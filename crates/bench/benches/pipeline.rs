@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the data-integration pipeline:
+//! workload generation, ETL transform+load (Figure 4's engine work),
+//! view pivoting and materialization (Figure 5's engine work), XSpec
+//! generation + MD5 change detection, and RLS operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_ntuple::NtupleGenerator;
+use gridfed_rls::RlsServer;
+use gridfed_simnet::topology::Topology;
+use gridfed_vendors::{SimServer, VendorKind};
+use gridfed_warehouse::etl::{EtlPipeline, TransportMode};
+use gridfed_warehouse::marts::materialize_into_mart;
+use gridfed_warehouse::views::ViewDef;
+use gridfed_xspec::generate_lower_xspec;
+use gridfed_xspec::md5::md5_hex;
+use gridfed_xspec::tracker::SchemaTracker;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn populated_source(events: usize) -> Arc<SimServer> {
+    let server = SimServer::new(VendorKind::MySql, "t2", "ntuples");
+    server.with_db_mut(|db| {
+        NtupleGenerator::new(NtupleSpec::physics("ntuple", events), 7)
+            .populate_source(db)
+            .unwrap()
+    });
+    server
+}
+
+fn generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(20);
+    g.bench_function("populate_500_events", |b| {
+        b.iter_batched(
+            || gridfed_storage::Database::new("src"),
+            |mut db| {
+                NtupleGenerator::new(NtupleSpec::physics("ntuple", 500), 7)
+                    .populate_source(&mut db)
+                    .unwrap();
+                db
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn etl(c: &mut Criterion) {
+    let source = populated_source(500);
+    let sconn = source.connect("grid", "grid").unwrap().value;
+    let mut g = c.benchmark_group("etl");
+    g.sample_size(20);
+    g.bench_function("transform_load_500_events", |b| {
+        b.iter_batched(
+            || {
+                SimServer::new(VendorKind::Oracle, "t0", "warehouse")
+                    .connect("grid", "grid")
+                    .unwrap()
+                    .value
+            },
+            |wconn| {
+                EtlPipeline::paper()
+                    .run_batch(&sconn, &wconn, None)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn materialization(c: &mut Criterion) {
+    let source = populated_source(500);
+    let warehouse = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+    let wconn = warehouse.connect("grid", "grid").unwrap().value;
+    EtlPipeline::paper()
+        .run_batch(&source.connect("grid", "grid").unwrap().value, &wconn, None)
+        .unwrap();
+    let spec = NtupleSpec::physics("ntuple", 500);
+    let topo = Topology::lan();
+
+    let mut g = c.benchmark_group("materialize");
+    g.sample_size(15);
+    g.bench_function("pivot_500_events_into_mart", |b| {
+        b.iter_batched(
+            || {
+                SimServer::new(VendorKind::MsSql, "m", "mart")
+                    .connect("grid", "grid")
+                    .unwrap()
+                    .value
+            },
+            |mconn| {
+                materialize_into_mart(
+                    &ViewDef::Pivot {
+                        name: "ntuple_events".into(),
+                        spec: spec.clone(),
+                    },
+                    &wconn,
+                    &mconn,
+                    &topo,
+                    TransportMode::Staged,
+                )
+                .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn metadata(c: &mut Criterion) {
+    let source = populated_source(100);
+    let conn = source.connect("grid", "grid").unwrap().value;
+    let spec_xml = generate_lower_xspec(&conn).unwrap().value.to_xml();
+
+    let mut g = c.benchmark_group("xspec");
+    g.sample_size(30);
+    g.bench_function("generate_lower_xspec", |b| {
+        b.iter(|| generate_lower_xspec(black_box(&conn)).unwrap())
+    });
+    g.bench_function("md5_xspec_text", |b| {
+        b.iter(|| md5_hex(black_box(spec_xml.as_bytes())))
+    });
+    g.bench_function("tracker_check_unchanged", |b| {
+        let lower = generate_lower_xspec(&conn).unwrap().value;
+        let mut tracker = SchemaTracker::new();
+        tracker.check(&lower);
+        b.iter(|| tracker.check(black_box(&lower)))
+    });
+    g.bench_function("parse_lower_xspec_xml", |b| {
+        b.iter(|| gridfed_xspec::LowerXSpec::from_xml(black_box(&spec_xml)).unwrap())
+    });
+    g.finish();
+}
+
+fn rls(c: &mut Criterion) {
+    let rls = RlsServer::new("rls.cern");
+    // A realistically sized catalog: the paper's ~1700 tables.
+    for i in 0..1700 {
+        rls.publish(
+            &format!("clarens://node{}:8443/das", i % 8),
+            &[format!("table_{i:04}")],
+        );
+    }
+    let mut g = c.benchmark_group("rls");
+    g.sample_size(50);
+    g.bench_function("lookup_hit_1700_tables", |b| {
+        b.iter(|| rls.lookup(black_box("table_0042")))
+    });
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| rls.lookup(black_box("nonexistent")))
+    });
+    g.bench_function("publish_one", |b| {
+        b.iter(|| rls.publish("clarens://x:8443/das", black_box(&["table_0042".to_string()])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, generation, etl, materialization, metadata, rls);
+criterion_main!(benches);

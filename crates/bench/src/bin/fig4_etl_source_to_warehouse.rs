@@ -1,0 +1,72 @@
+//! Figure 4 — "Performance of data extraction and loading by streaming":
+//! Stage-1 ETL from the normalized source databases into the warehouse,
+//! swept over the paper's payload sizes (0.397 … 207.866 kB).
+//!
+//! Run: `cargo run -p gridfed-bench --bin fig4_etl_source_to_warehouse`
+
+use gridfed_bench::{fig4_paper_secs, render_table, FIG4_SIZES_KB};
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_ntuple::NtupleGenerator;
+use gridfed_vendors::{SimServer, VendorKind};
+use gridfed_warehouse::etl::EtlPipeline;
+
+fn main() {
+    // One normalized MySQL source with enough events for all batches.
+    let spec = NtupleSpec::physics("ntuple", 1200);
+    let source = SimServer::new(VendorKind::MySql, "tier2.caltech", "ntuples");
+    source.with_db_mut(|db| {
+        NtupleGenerator::new(spec.clone(), 2005)
+            .populate_source(db)
+            .expect("source populates")
+    });
+    let warehouse = SimServer::new(VendorKind::Oracle, "tier0.cern", "warehouse");
+    let sconn = source.connect("grid", "grid").expect("connect").value;
+    let wconn = warehouse.connect("grid", "grid").expect("connect").value;
+    let pipeline = EtlPipeline::paper();
+
+    // Probe one event's fact payload to translate kB targets into event
+    // counts.
+    let probe = pipeline
+        .run_batch(&sconn, &wconn, Some((0, 1)))
+        .expect("probe batch");
+    let bytes_per_event = probe.bytes.max(1);
+
+    let mut rows = Vec::new();
+    let mut cursor: i64 = 1; // probe consumed event 0
+    for &kb in &FIG4_SIZES_KB {
+        let events = ((kb * 1000.0 / bytes_per_event as f64).round() as i64).max(1);
+        let report = pipeline
+            .run_batch(&sconn, &wconn, Some((cursor, cursor + events)))
+            .expect("ETL batch");
+        cursor += events;
+        let (paper_extract, paper_load) = fig4_paper_secs(kb);
+        rows.push(vec![
+            format!("{kb:.3}"),
+            format!("{:.3}", report.kilobytes()),
+            format!("{paper_extract:.2}"),
+            format!("{:.2}", report.extract_cost.as_secs_f64()),
+            format!("{paper_load:.2}"),
+            format!("{:.2}", report.load_cost.as_secs_f64()),
+        ]);
+    }
+
+    println!("Figure 4 — Stage 1 ETL: normalized sources → star-schema warehouse");
+    println!("(streaming through the temporary staging file, as in the prototype)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "paper kB",
+                "our kB",
+                "paper extract s",
+                "ours extract s",
+                "paper load s",
+                "ours load s",
+            ],
+            &rows,
+        )
+    );
+    println!("Shape checks: loading dominates extraction at every size; both grow");
+    println!("linearly with payload; the staging-file detour is included (see the");
+    println!("ablations binary for the staged-vs-direct comparison).");
+}

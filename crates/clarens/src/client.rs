@@ -1,0 +1,162 @@
+//! The Clarens client: login + remote method calls with transfer costs.
+
+use crate::codec::WireValue;
+use crate::directory::Directory;
+use crate::server::ClarensServer;
+use crate::Result;
+use gridfed_simnet::cost::Timed;
+use gridfed_simnet::topology::Topology;
+use std::sync::Arc;
+
+/// A lightweight Clarens client bound to one server.
+///
+/// The client lives on a topology node; every call pays the request and
+/// response transfer across the link between client and server (payload
+/// sizes come from the codec), plus the server-side handling cost.
+#[derive(Clone)]
+pub struct ClarensClient {
+    server: Arc<ClarensServer>,
+    topology: Arc<Topology>,
+    /// Node the client runs on.
+    from_host: String,
+    session: Option<String>,
+}
+
+impl ClarensClient {
+    /// Create a client for `server` running on `from_host`.
+    pub fn new(
+        server: Arc<ClarensServer>,
+        topology: Arc<Topology>,
+        from_host: impl Into<String>,
+    ) -> ClarensClient {
+        ClarensClient {
+            server,
+            topology,
+            from_host: from_host.into(),
+            session: None,
+        }
+    }
+
+    /// Create a client by URL via a directory.
+    pub fn connect(
+        directory: &Directory,
+        url: &str,
+        topology: Arc<Topology>,
+        from_host: impl Into<String>,
+    ) -> Result<ClarensClient> {
+        Ok(ClarensClient::new(
+            directory.resolve(url)?,
+            topology,
+            from_host,
+        ))
+    }
+
+    /// The bound server.
+    pub fn server(&self) -> &Arc<ClarensServer> {
+        &self.server
+    }
+
+    /// Active session token, if logged in.
+    pub fn session(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
+    /// Log in and store the session. The cost includes the certificate
+    /// handshake and its network round trips.
+    pub fn login(&mut self, user: &str, password: &str) -> Result<Timed<()>> {
+        let link = self.topology.link(&self.from_host, self.server.host());
+        // Certificate exchange: a couple of kB each way.
+        let wire = link.round_trip(2048, 2048);
+        let t = self.server.login(user, password)?;
+        self.session = Some(t.value);
+        Ok(Timed::new((), t.cost + wire))
+    }
+
+    /// Call `service.method(params)`. Requires a prior login.
+    pub fn call(
+        &self,
+        service: &str,
+        method: &str,
+        params: &[WireValue],
+    ) -> Result<Timed<WireValue>> {
+        let session = self
+            .session
+            .as_deref()
+            .ok_or(crate::ClarensError::NoSession)?;
+        // Request: session + routing + encoded params.
+        let req_bytes: usize = 64
+            + service.len()
+            + method.len()
+            + params.iter().map(WireValue::wire_size).sum::<usize>();
+        let link = self.topology.link(&self.from_host, self.server.host());
+        let result = self.server.handle(session, service, method, params)?;
+        let resp_bytes = 32 + result.value.wire_size();
+        let wire = link.round_trip(req_bytes, resp_bytes);
+        Ok(Timed::new(result.value, result.cost + wire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SystemService;
+    use gridfed_simnet::cost::Cost;
+
+    fn setup() -> (Arc<Directory>, Arc<Topology>) {
+        let dir = Directory::new();
+        let server = ClarensServer::new("clarens://srv:8443/das", "srv");
+        server.register_service(Arc::new(SystemService::new(server.url().to_string())));
+        dir.register(server);
+        (dir, Arc::new(Topology::lan()))
+    }
+
+    #[test]
+    fn login_then_call() {
+        let (dir, topo) = setup();
+        let mut client =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "laptop").unwrap();
+        assert!(client.call("system", "ping", &[]).is_err(), "must login first");
+        let login_cost = client.login("grid", "grid").unwrap().cost;
+        assert!(login_cost > Cost::from_millis(100));
+        let out = client.call("system", "ping", &[]).unwrap();
+        assert_eq!(out.value, WireValue::Str("pong".into()));
+    }
+
+    #[test]
+    fn call_cost_includes_network_round_trip() {
+        let (dir, topo) = setup();
+        let mut remote =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", Arc::clone(&topo), "far-node")
+                .unwrap();
+        remote.login("grid", "grid").unwrap();
+        let mut local =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "srv").unwrap();
+        local.login("grid", "grid").unwrap();
+        let remote_cost = remote.call("system", "ping", &[]).unwrap().cost;
+        let local_cost = local.call("system", "ping", &[]).unwrap().cost;
+        assert!(remote_cost > local_cost, "LAN hop must cost more than loopback");
+    }
+
+    #[test]
+    fn unknown_url_fails() {
+        let (dir, topo) = setup();
+        assert!(ClarensClient::connect(&dir, "clarens://nope", topo, "x").is_err());
+    }
+
+    #[test]
+    fn larger_params_cost_more() {
+        let (dir, topo) = setup();
+        let mut client =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "laptop").unwrap();
+        client.login("grid", "grid").unwrap();
+        let small = client
+            .call("system", "ping", &[WireValue::Str("x".into())])
+            .unwrap()
+            .cost;
+        let big = client
+            .call("system", "ping", &[WireValue::Str("x".repeat(500_000))])
+            .unwrap()
+            .cost;
+        assert!(big > small);
+    }
+}

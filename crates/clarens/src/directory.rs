@@ -1,0 +1,71 @@
+//! Server directory: URL → live server, the simulation's DNS.
+
+use crate::server::ClarensServer;
+use crate::{ClarensError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared directory of reachable Clarens servers.
+///
+/// The mediator resolves RLS-returned server URLs through this to forward
+/// sub-queries to remote JClarens instances.
+#[derive(Default)]
+pub struct Directory {
+    servers: RwLock<HashMap<String, Arc<ClarensServer>>>,
+}
+
+impl Directory {
+    /// New empty directory.
+    pub fn new() -> Arc<Directory> {
+        Arc::new(Directory::default())
+    }
+
+    /// Register a server under its URL.
+    pub fn register(&self, server: Arc<ClarensServer>) {
+        self.servers
+            .write()
+            .insert(server.url().to_string(), server);
+    }
+
+    /// Remove a server (shutdown).
+    pub fn unregister(&self, url: &str) -> bool {
+        self.servers.write().remove(url).is_some()
+    }
+
+    /// Resolve a URL.
+    pub fn resolve(&self, url: &str) -> Result<Arc<ClarensServer>> {
+        self.servers
+            .read()
+            .get(url)
+            .cloned()
+            .ok_or_else(|| ClarensError::UnknownServer(url.to_string()))
+    }
+
+    /// All registered URLs, sorted.
+    pub fn urls(&self) -> Vec<String> {
+        let mut urls: Vec<String> = self.servers.read().keys().cloned().collect();
+        urls.sort();
+        urls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_resolve_unregister() {
+        let dir = Directory::new();
+        let s = ClarensServer::new("clarens://a:8443/das", "a");
+        dir.register(Arc::clone(&s));
+        assert_eq!(dir.resolve("clarens://a:8443/das").unwrap().host(), "a");
+        assert_eq!(dir.urls(), vec!["clarens://a:8443/das"]);
+        assert!(dir.unregister("clarens://a:8443/das"));
+        assert!(matches!(
+            dir.resolve("clarens://a:8443/das"),
+            Err(ClarensError::UnknownServer(_))
+        ));
+        assert!(!dir.unregister("clarens://a:8443/das"));
+    }
+}

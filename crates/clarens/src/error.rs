@@ -1,0 +1,76 @@
+//! Clarens-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the web-service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClarensError {
+    /// Login failed.
+    AuthFailed(String),
+    /// No session / expired session token.
+    NoSession,
+    /// No service registered under this name.
+    NoService(String),
+    /// The service has no such method.
+    NoMethod {
+        /// Service that was addressed.
+        service: String,
+        /// Method that does not exist.
+        method: String,
+    },
+    /// A parameter had the wrong shape.
+    BadParams(String),
+    /// The service itself failed; message carries the service error text.
+    ServiceFault(String),
+    /// No server at this URL.
+    UnknownServer(String),
+    /// The session's user is not on the service's access control list.
+    AccessDenied {
+        /// Authenticated user.
+        user: String,
+        /// Service the user tried to call.
+        service: String,
+    },
+    /// Malformed wire data.
+    Codec(String),
+}
+
+impl fmt::Display for ClarensError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClarensError::AuthFailed(u) => write!(f, "authentication failed for `{u}`"),
+            ClarensError::NoSession => write!(f, "no valid session"),
+            ClarensError::NoService(s) => write!(f, "no service `{s}`"),
+            ClarensError::NoMethod { service, method } => {
+                write!(f, "service `{service}` has no method `{method}`")
+            }
+            ClarensError::BadParams(m) => write!(f, "bad parameters: {m}"),
+            ClarensError::ServiceFault(m) => write!(f, "service fault: {m}"),
+            ClarensError::UnknownServer(u) => write!(f, "unknown server `{u}`"),
+            ClarensError::AccessDenied { user, service } => {
+                write!(f, "user `{user}` is not permitted to call service `{service}`")
+            }
+            ClarensError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClarensError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ClarensError::NoService("das".into())
+            .to_string()
+            .contains("das"));
+        assert!(ClarensError::NoMethod {
+            service: "a".into(),
+            method: "b".into()
+        }
+        .to_string()
+        .contains("b"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The Clarens server: session-authenticated service dispatch.
+
+use crate::codec::WireValue;
+use crate::{ClarensError, Result};
+use gridfed_simnet::cost::{Cost, Timed};
+use gridfed_simnet::params::CostParams;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A Clarens-hosted service: named methods over wire values.
+///
+/// Implementations return the result *and* the virtual time the service
+/// body consumed; the server adds its own dispatch overhead on top.
+pub trait Service: Send + Sync {
+    /// Service name used in request routing.
+    fn name(&self) -> &str;
+    /// Dispatch a method call.
+    fn call(&self, method: &str, params: &[WireValue]) -> Result<Timed<WireValue>>;
+    /// Methods this service exposes (for `system.listMethods`-style
+    /// discovery).
+    fn methods(&self) -> Vec<String>;
+}
+
+/// A (J)Clarens server instance on a topology node.
+pub struct ClarensServer {
+    /// Server URL, e.g. `clarens://tier2.caltech:8443/das`.
+    url: String,
+    /// Topology node.
+    host: String,
+    services: RwLock<HashMap<String, Arc<dyn Service>>>,
+    users: RwLock<HashMap<String, String>>,
+    /// session token → authenticated user.
+    sessions: RwLock<HashMap<String, String>>,
+    /// Per-service access control lists: when a service has an ACL, only
+    /// the listed users may call it (Clarens used certificate-DN ACLs).
+    acls: RwLock<HashMap<String, HashSet<String>>>,
+    next_session: AtomicU64,
+    params: CostParams,
+}
+
+impl ClarensServer {
+    /// Create a server with a default `grid`/`grid` account.
+    pub fn new(url: impl Into<String>, host: impl Into<String>) -> Arc<ClarensServer> {
+        let mut users = HashMap::new();
+        users.insert("grid".to_string(), "grid".to_string());
+        Arc::new(ClarensServer {
+            url: url.into(),
+            host: host.into(),
+            services: RwLock::new(HashMap::new()),
+            users: RwLock::new(users),
+            sessions: RwLock::new(HashMap::new()),
+            acls: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            params: CostParams::paper_2005(),
+        })
+    }
+
+    /// Server URL (published to the RLS).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// Hosting topology node.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Cost model.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Add a user account.
+    pub fn add_user(&self, user: impl Into<String>, password: impl Into<String>) {
+        self.users.write().insert(user.into(), password.into());
+    }
+
+    /// Register a service (replaces any prior one of the same name).
+    pub fn register_service(&self, service: Arc<dyn Service>) {
+        self.services
+            .write()
+            .insert(service.name().to_string(), service);
+    }
+
+    /// Registered service names, sorted.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Authenticate and mint a session token. Models Clarens' certificate
+    /// handshake (one-time cost per client session).
+    pub fn login(&self, user: &str, password: &str) -> Result<Timed<String>> {
+        let ok = self
+            .users
+            .read()
+            .get(user)
+            .is_some_and(|p| p == password);
+        if !ok {
+            return Err(ClarensError::AuthFailed(user.to_string()));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let token = format!("sess-{id:08x}");
+        self.sessions.write().insert(token.clone(), user.to_string());
+        Ok(Timed::new(token, self.params.clarens_session_setup))
+    }
+
+    /// Invalidate a session token.
+    pub fn logout(&self, token: &str) -> bool {
+        self.sessions.write().remove(token).is_some()
+    }
+
+    /// Restrict a service to the given users. An empty list locks the
+    /// service entirely; services without an ACL are open to any
+    /// authenticated session.
+    pub fn set_acl(&self, service: &str, users: &[&str]) {
+        self.acls.write().insert(
+            service.to_string(),
+            users.iter().map(|u| u.to_string()).collect(),
+        );
+    }
+
+    /// Remove a service's ACL (back to open access).
+    pub fn clear_acl(&self, service: &str) -> bool {
+        self.acls.write().remove(service).is_some()
+    }
+
+    /// Server-side request handling: session check, service lookup,
+    /// dispatch. The returned cost covers decode + dispatch + the service
+    /// body + response encode (network costs belong to the client side).
+    pub fn handle(
+        &self,
+        session: &str,
+        service: &str,
+        method: &str,
+        params: &[WireValue],
+    ) -> Result<Timed<WireValue>> {
+        let user = self
+            .sessions
+            .read()
+            .get(session)
+            .cloned()
+            .ok_or(ClarensError::NoSession)?;
+        if let Some(allowed) = self.acls.read().get(service) {
+            if !allowed.contains(&user) {
+                return Err(ClarensError::AccessDenied {
+                    user,
+                    service: service.to_string(),
+                });
+            }
+        }
+        let svc = self
+            .services
+            .read()
+            .get(service)
+            .cloned()
+            .ok_or_else(|| ClarensError::NoService(service.to_string()))?;
+        let body = svc.call(method, params)?;
+        Ok(Timed::new(
+            body.value,
+            self.params.clarens_request + body.cost + self.params.clarens_response,
+        ))
+    }
+}
+
+/// A trivial built-in service for liveness checks and discovery.
+pub struct SystemService {
+    server_url: String,
+}
+
+impl SystemService {
+    /// New system service advertising `server_url`.
+    pub fn new(server_url: impl Into<String>) -> SystemService {
+        SystemService {
+            server_url: server_url.into(),
+        }
+    }
+}
+
+impl Service for SystemService {
+    fn name(&self) -> &str {
+        "system"
+    }
+
+    fn methods(&self) -> Vec<String> {
+        vec!["ping".into(), "whoami".into()]
+    }
+
+    fn call(&self, method: &str, _params: &[WireValue]) -> Result<Timed<WireValue>> {
+        match method {
+            "ping" => Ok(Timed::new(WireValue::Str("pong".into()), Cost::from_micros(50))),
+            "whoami" => Ok(Timed::new(
+                WireValue::Str(self.server_url.clone()),
+                Cost::from_micros(50),
+            )),
+            other => Err(ClarensError::NoMethod {
+                service: "system".into(),
+                method: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with_system() -> Arc<ClarensServer> {
+        let s = ClarensServer::new("clarens://h:8443/s", "h");
+        s.register_service(Arc::new(SystemService::new("clarens://h:8443/s")));
+        s
+    }
+
+    #[test]
+    fn login_and_call() {
+        let s = server_with_system();
+        let session = s.login("grid", "grid").unwrap();
+        assert!(session.cost > Cost::ZERO);
+        let out = s
+            .handle(&session.value, "system", "ping", &[])
+            .unwrap();
+        assert_eq!(out.value, WireValue::Str("pong".into()));
+        assert!(out.cost >= s.params().clarens_request);
+    }
+
+    #[test]
+    fn bad_login_rejected() {
+        let s = server_with_system();
+        assert!(matches!(
+            s.login("grid", "nope"),
+            Err(ClarensError::AuthFailed(_))
+        ));
+    }
+
+    #[test]
+    fn calls_require_session() {
+        let s = server_with_system();
+        assert!(matches!(
+            s.handle("bogus", "system", "ping", &[]),
+            Err(ClarensError::NoSession)
+        ));
+        let t = s.login("grid", "grid").unwrap().value;
+        assert!(s.logout(&t));
+        assert!(matches!(
+            s.handle(&t, "system", "ping", &[]),
+            Err(ClarensError::NoSession)
+        ));
+    }
+
+    #[test]
+    fn unknown_service_and_method() {
+        let s = server_with_system();
+        let t = s.login("grid", "grid").unwrap().value;
+        assert!(matches!(
+            s.handle(&t, "nope", "x", &[]),
+            Err(ClarensError::NoService(_))
+        ));
+        assert!(matches!(
+            s.handle(&t, "system", "nope", &[]),
+            Err(ClarensError::NoMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn sessions_are_unique() {
+        let s = server_with_system();
+        let a = s.login("grid", "grid").unwrap().value;
+        let b = s.login("grid", "grid").unwrap().value;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn acls_gate_services_per_user() {
+        let s = server_with_system();
+        s.add_user("alice", "pw");
+        s.add_user("bob", "pw");
+        s.set_acl("system", &["alice"]);
+        let alice = s.login("alice", "pw").unwrap().value;
+        let bob = s.login("bob", "pw").unwrap().value;
+        assert!(s.handle(&alice, "system", "ping", &[]).is_ok());
+        assert!(matches!(
+            s.handle(&bob, "system", "ping", &[]),
+            Err(ClarensError::AccessDenied { .. })
+        ));
+        // Empty ACL locks everyone out, including alice.
+        s.set_acl("system", &[]);
+        assert!(matches!(
+            s.handle(&alice, "system", "ping", &[]),
+            Err(ClarensError::AccessDenied { .. })
+        ));
+        // Clearing the ACL restores open access.
+        assert!(s.clear_acl("system"));
+        assert!(!s.clear_acl("system"));
+        assert!(s.handle(&bob, "system", "ping", &[]).is_ok());
+    }
+
+    #[test]
+    fn service_listing() {
+        let s = server_with_system();
+        assert_eq!(s.service_names(), vec!["system"]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the RPC wire codec — the boundary every
+//! federated byte crosses must be a faithful round trip and total on junk.
+
+use bytes::Bytes;
+use gridfed_clarens::codec::WireValue;
+use proptest::prelude::*;
+
+fn arb_wire(depth: u32) -> BoxedStrategy<WireValue> {
+    let leaf = prop_oneof![
+        Just(WireValue::Null),
+        any::<bool>().prop_map(WireValue::Bool),
+        any::<i64>().prop_map(WireValue::Int),
+        (-1e30f64..1e30).prop_map(WireValue::Float),
+        "\\PC{0,24}".prop_map(WireValue::Str),
+        prop::collection::vec(prop::collection::vec("\\PC{0,8}", 0..4), 0..4)
+            .prop_map(WireValue::Grid),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(WireValue::List)
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every constructible value.
+    #[test]
+    fn codec_round_trip(v in arb_wire(3)) {
+        let encoded = v.encode();
+        let decoded = WireValue::decode(encoded).expect("decodes");
+        prop_assert_eq!(decoded, v);
+    }
+
+    /// Decoding never panics on arbitrary bytes (errors are fine).
+    #[test]
+    fn decode_total(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = WireValue::decode(Bytes::from(data));
+    }
+
+    /// Truncating a valid encoding anywhere yields an error, never a
+    /// silent partial value.
+    #[test]
+    fn truncation_always_detected(v in arb_wire(2), cut_fraction in 0.0f64..1.0) {
+        let encoded = v.encode();
+        if encoded.len() > 1 {
+            let cut = ((encoded.len() - 1) as f64 * cut_fraction) as usize;
+            let sliced = encoded.slice(0..cut);
+            prop_assert!(WireValue::decode(sliced).is_err(), "cut at {cut} of {}", encoded.len());
+        }
+    }
+
+    /// wire_size equals the actual encoded length.
+    #[test]
+    fn wire_size_is_exact(v in arb_wire(3)) {
+        prop_assert_eq!(v.wire_size(), v.encode().len());
+    }
+}

@@ -1,0 +1,580 @@
+//! Query decomposition: from one federated SELECT to per-table sub-queries.
+//!
+//! The Data Access Layer "processes the queries for data sent by the
+//! clients containing joins of different tables from different databases
+//! (data marts), and divides them into sub-queries, which are then
+//! distributed on to the underlying databases" (§4.5). This module is that
+//! division: it decides where each table lives, which WHERE conjuncts can
+//! be pushed down to each backend, and which columns each sub-query must
+//! fetch so the mediator can finish the join.
+
+use crate::Result;
+use gridfed_sqlkit::ast::{ColumnRef, Expr, SelectItem, SelectStmt, TableRef};
+use gridfed_xspec::dict::TableLocation;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a logical table lives, from this service's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Home {
+    /// Registered locally; fetch through POOL-RAL or JDBC.
+    Local(TableLocation),
+    /// Hosted by a remote Clarens server (found via RLS).
+    Remote {
+        /// URL of the remote JClarens server.
+        server_url: String,
+    },
+}
+
+/// Resolves logical table names to homes. Implemented by the service
+/// (dictionary first, RLS fallback); tests provide stubs.
+pub trait TableResolver {
+    /// Resolve one logical table (replica already chosen).
+    fn resolve(&self, logical: &str) -> Result<Home>;
+    /// Column names of a logical table, when known locally (used for
+    /// predicate push-down and column pruning; `None` disables both).
+    fn columns_of(&self, logical: &str) -> Option<Vec<String>>;
+}
+
+/// One per-table fetch task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTask {
+    /// Table name as spelled in the query (the key for integration).
+    pub table: String,
+    /// Where to fetch from.
+    pub home: Home,
+    /// The single-table sub-query to run at the backend.
+    pub subquery: SelectStmt,
+}
+
+/// The decomposed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// Every table lives in one local database: push the whole statement.
+    SingleDatabase {
+        /// The single local database.
+        location: TableLocation,
+        /// The statement to execute.
+        stmt: SelectStmt,
+    },
+    /// Every table lives on one remote server: forward the whole
+    /// statement there.
+    ForwardAll {
+        /// Remote Clarens server URL.
+        server_url: String,
+        /// The statement to execute.
+        stmt: SelectStmt,
+    },
+    /// The general case: fetch per-table partials, integrate locally.
+    Federated {
+        /// Per-table fetch tasks.
+        tasks: Vec<TableTask>,
+        /// The statement to execute.
+        stmt: SelectStmt,
+    },
+}
+
+impl QueryPlan {
+    /// Whether this plan is distributed in Table 1's sense (data pulled
+    /// from more than one database).
+    pub fn distributed(&self) -> bool {
+        matches!(self, QueryPlan::Federated { .. })
+    }
+}
+
+/// Decompose a SELECT against a resolver.
+pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan> {
+    // Unique tables in syntactic order, with their bindings.
+    let mut tables: Vec<String> = Vec::new();
+    let mut bindings_of: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for tref in stmt.table_refs() {
+        let key = tref.name.to_ascii_lowercase();
+        if !tables.contains(&key) {
+            tables.push(key.clone());
+        }
+        bindings_of
+            .entry(key)
+            .or_default()
+            .push(tref.binding().to_ascii_lowercase());
+    }
+
+    let mut homes: BTreeMap<String, Home> = BTreeMap::new();
+    for t in &tables {
+        homes.insert(t.clone(), resolver.resolve(t)?);
+    }
+
+    // All-local, one database → push everything.
+    let local_dbs: BTreeSet<&str> = homes
+        .values()
+        .filter_map(|h| match h {
+            Home::Local(loc) => Some(loc.database.as_str()),
+            Home::Remote { .. } => None,
+        })
+        .collect();
+    let remote_servers: BTreeSet<&str> = homes
+        .values()
+        .filter_map(|h| match h {
+            Home::Remote { server_url } => Some(server_url.as_str()),
+            Home::Local(_) => None,
+        })
+        .collect();
+
+    if remote_servers.is_empty() && local_dbs.len() == 1 {
+        let loc = homes
+            .values()
+            .find_map(|h| match h {
+                Home::Local(loc) => Some(loc.clone()),
+                Home::Remote { .. } => None,
+            })
+            .expect("non-empty homes");
+        return Ok(QueryPlan::SingleDatabase {
+            location: loc,
+            stmt: stmt.clone(),
+        });
+    }
+    if local_dbs.is_empty() && remote_servers.len() == 1 {
+        return Ok(QueryPlan::ForwardAll {
+            server_url: remote_servers.into_iter().next().expect("len 1").to_string(),
+            stmt: stmt.clone(),
+        });
+    }
+
+    // General federation: one fetch task per unique table.
+    let conjuncts: Vec<Expr> = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+
+    let mut tasks = Vec::with_capacity(tables.len());
+    for t in &tables {
+        let home = homes.remove(t).expect("resolved above");
+        let bindings = &bindings_of[t];
+        let columns = resolver.columns_of(t);
+        let pushed = pushable_conjuncts(&conjuncts, t, bindings, columns.as_deref());
+        let items = pruned_items(stmt, t, bindings, columns.as_deref());
+        let mut subquery = SelectStmt {
+            // DISTINCT is applied at the mediator after integration; the
+            // per-table fetches stay plain so join multiplicities survive.
+            distinct: false,
+            items,
+            from: TableRef::new(t.clone()),
+            joins: Vec::new(),
+            where_clause: Expr::conjoin(pushed),
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        };
+        // LIMIT push-down: sound only for a single-table, non-aggregate,
+        // unordered query (result is a plain filtered subset).
+        if tables.len() == 1
+            && stmt.order_by.is_empty()
+            && stmt.group_by.is_empty()
+            && !stmt.is_aggregate()
+        {
+            subquery.limit = stmt.limit;
+        }
+        tasks.push(TableTask {
+            table: t.clone(),
+            home,
+            subquery,
+        });
+    }
+    Ok(QueryPlan::Federated {
+        tasks,
+        stmt: stmt.clone(),
+    })
+}
+
+/// Conjuncts safe to evaluate at table `t`'s backend: every column must
+/// belong to `t`, and `t` must be bound exactly once (self-joins disable
+/// push-down because an alias-qualified filter must not constrain the
+/// shared fetch). Qualifiers are stripped for backend execution.
+fn pushable_conjuncts(
+    conjuncts: &[Expr],
+    _table: &str,
+    bindings: &[String],
+    columns: Option<&[String]>,
+) -> Vec<Expr> {
+    if bindings.len() != 1 {
+        return Vec::new();
+    }
+    let binding = &bindings[0];
+    let Some(columns) = columns else {
+        return Vec::new();
+    };
+    let col_set: BTreeSet<String> = columns.iter().map(|c| c.to_ascii_lowercase()).collect();
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if c.contains_aggregate() {
+            continue;
+        }
+        let mut refs = Vec::new();
+        c.collect_columns(&mut refs);
+        if refs.is_empty() {
+            continue; // constant predicates stay at the mediator
+        }
+        let all_mine = refs.iter().all(|r| {
+            let col_ok = col_set.contains(&r.column.to_ascii_lowercase());
+            match &r.qualifier {
+                Some(q) => col_ok && q.eq_ignore_ascii_case(binding),
+                None => col_ok,
+            }
+        });
+        if all_mine {
+            out.push(strip_qualifiers(c));
+        }
+    }
+    out
+}
+
+/// Rewrite an expression with all column qualifiers removed (the backend
+/// sub-query has a single unaliased FROM).
+fn strip_qualifiers(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Column(c) => Expr::Column(ColumnRef {
+            qualifier: None,
+            column: c.column.clone(),
+        }),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(strip_qualifiers(expr)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(strip_qualifiers(left)),
+            op: *op,
+            right: Box::new(strip_qualifiers(right)),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(strip_qualifiers(expr)),
+            list: list.iter().map(strip_qualifiers).collect(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_qualifiers(expr)),
+            lo: Box::new(strip_qualifiers(lo)),
+            hi: Box::new(strip_qualifiers(hi)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(strip_qualifiers(expr)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Func { func, args } => Expr::Func {
+            func: *func,
+            args: args.iter().map(strip_qualifiers).collect(),
+        },
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => Expr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(strip_qualifiers(a))),
+            distinct: *distinct,
+        },
+    }
+}
+
+/// Projection for a table's sub-query: the columns the outer query could
+/// possibly need, or `*` when pruning is unsafe (wildcards in the outer
+/// query, or unknown schema).
+fn pruned_items(
+    stmt: &SelectStmt,
+    table: &str,
+    bindings: &[String],
+    columns: Option<&[String]>,
+) -> Vec<SelectItem> {
+    let Some(columns) = columns else {
+        return vec![SelectItem::Wildcard];
+    };
+    let has_wildcard = stmt.items.iter().any(|i| {
+        matches!(i, SelectItem::Wildcard)
+            || matches!(i, SelectItem::QualifiedWildcard(q)
+                if bindings.iter().any(|b| b.eq_ignore_ascii_case(q)))
+    });
+    if has_wildcard {
+        return vec![SelectItem::Wildcard];
+    }
+
+    // Gather every column reference in the whole statement.
+    let mut refs: Vec<&ColumnRef> = Vec::new();
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.collect_columns(&mut refs);
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        w.collect_columns(&mut refs);
+    }
+    for j in &stmt.joins {
+        if let Some(on) = &j.on {
+            on.collect_columns(&mut refs);
+        }
+    }
+    for g in &stmt.group_by {
+        g.collect_columns(&mut refs);
+    }
+    for o in &stmt.order_by {
+        o.expr.collect_columns(&mut refs);
+    }
+
+    let col_set: BTreeSet<String> = columns.iter().map(|c| c.to_ascii_lowercase()).collect();
+    let mut needed: BTreeSet<String> = BTreeSet::new();
+    for r in refs {
+        let col = r.column.to_ascii_lowercase();
+        if !col_set.contains(&col) {
+            continue;
+        }
+        match &r.qualifier {
+            Some(q) => {
+                if bindings.iter().any(|b| b.eq_ignore_ascii_case(q)) {
+                    needed.insert(col);
+                }
+            }
+            // Unqualified and present here: fetch it (may over-fetch when
+            // another table also has the column — correctness first).
+            None => {
+                needed.insert(col);
+            }
+        }
+    }
+    if needed.is_empty() {
+        // e.g. SELECT COUNT(*): row multiplicity still matters.
+        return vec![SelectItem::Wildcard];
+    }
+    let _ = table; // table name only used by callers for error context
+    // Preserve the table's own column order for determinism.
+    columns
+        .iter()
+        .filter(|c| needed.contains(&c.to_ascii_lowercase()))
+        .map(|c| SelectItem::col(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use gridfed_sqlkit::parser::parse_select;
+    use gridfed_sqlkit::render::{render_select, NeutralStyle};
+
+    struct StubResolver {
+        homes: BTreeMap<String, Home>,
+        cols: BTreeMap<String, Vec<String>>,
+    }
+
+    fn local(db: &str) -> Home {
+        Home::Local(TableLocation {
+            database: db.into(),
+            physical_table: "x".into(),
+            url: format!("mysql://grid:grid@h:3306/{db}"),
+            driver: "mysql".into(),
+            vendor: "MySQL".into(),
+            row_count: 100,
+        })
+    }
+
+    impl TableResolver for StubResolver {
+        fn resolve(&self, logical: &str) -> Result<Home> {
+            self.homes
+                .get(logical)
+                .cloned()
+                .ok_or_else(|| CoreError::TableNotFound(logical.to_string()))
+        }
+        fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
+            self.cols.get(logical).cloned()
+        }
+    }
+
+    fn resolver() -> StubResolver {
+        let mut homes = BTreeMap::new();
+        homes.insert("events".to_string(), local("mart1"));
+        homes.insert("runs".to_string(), local("mart2"));
+        homes.insert(
+            "conditions".to_string(),
+            Home::Remote {
+                server_url: "clarens://远/das".into(),
+            },
+        );
+        let mut cols = BTreeMap::new();
+        cols.insert(
+            "events".to_string(),
+            vec!["e_id".into(), "run_id".into(), "energy".into()],
+        );
+        cols.insert(
+            "runs".to_string(),
+            vec!["run_id".into(), "detector".into()],
+        );
+        StubResolver { homes, cols }
+    }
+
+    #[test]
+    fn same_database_pushes_whole_statement() {
+        let mut r = resolver();
+        r.homes.insert("runs".to_string(), local("mart1"));
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
+        match plan(&stmt, &r).unwrap() {
+            QueryPlan::SingleDatabase { location, .. } => assert_eq!(location.database, "mart1"),
+            other => panic!("expected single-database plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_remote_single_server_forwards() {
+        let r = resolver();
+        let stmt = parse_select("SELECT * FROM conditions WHERE temp > 5").unwrap();
+        match plan(&stmt, &r).unwrap() {
+            QueryPlan::ForwardAll { server_url, .. } => {
+                assert!(server_url.contains("das"));
+            }
+            other => panic!("expected forward-all, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_database_join_federates_with_pushdown() {
+        let r = resolver();
+        let stmt = parse_select(
+            "SELECT e.e_id, r.detector FROM events e JOIN runs r ON e.run_id = r.run_id \
+             WHERE e.energy > 50.0 AND r.detector = 'ecal'",
+        )
+        .unwrap();
+        let plan = plan(&stmt, &r).unwrap();
+        assert!(plan.distributed());
+        let QueryPlan::Federated { tasks, .. } = plan else {
+            panic!("expected federated");
+        };
+        assert_eq!(tasks.len(), 2);
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        let sql = render_select(&ev.subquery, &NeutralStyle);
+        assert!(sql.contains("energy"), "pushed filter: {sql}");
+        assert!(!sql.contains("detector"), "foreign filter not pushed: {sql}");
+        let ru = tasks.iter().find(|t| t.table == "runs").unwrap();
+        let sql = render_select(&ru.subquery, &NeutralStyle);
+        assert!(sql.contains("'ecal'"), "runs filter pushed: {sql}");
+    }
+
+    #[test]
+    fn column_pruning_fetches_only_needed() {
+        let r = resolver();
+        let stmt = parse_select(
+            "SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        let sql = render_select(&ev.subquery, &NeutralStyle);
+        assert!(sql.contains("e_id") && sql.contains("run_id"));
+        assert!(!sql.contains("energy"), "unused column pruned: {sql}");
+    }
+
+    #[test]
+    fn wildcard_disables_pruning() {
+        let r = resolver();
+        let stmt = parse_select(
+            "SELECT * FROM events e JOIN runs r ON e.run_id = r.run_id",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        for task in &tasks {
+            assert_eq!(task.subquery.items, vec![SelectItem::Wildcard]);
+        }
+    }
+
+    #[test]
+    fn self_join_disables_pushdown() {
+        let mut r = resolver();
+        // put runs remote so the query federates while events is bound twice
+        r.homes.insert(
+            "events".to_string(),
+            local("mart1"),
+        );
+        let stmt = parse_select(
+            "SELECT a.e_id FROM events a JOIN events b ON a.run_id = b.run_id \
+             JOIN runs r ON a.run_id = r.run_id WHERE a.energy > 1.0",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        assert!(ev.subquery.where_clause.is_none(), "self-join must not push");
+        // and only one task for the twice-bound table
+        assert_eq!(tasks.iter().filter(|t| t.table == "events").count(), 1);
+    }
+
+    #[test]
+    fn limit_pushed_only_for_simple_single_table() {
+        // single table, remote + local mix impossible with one table; use a
+        // federated single-table case by making the table remote and one
+        // local… simplest: two tables to prevent, one to allow.
+        let mut r = resolver();
+        r.homes.insert(
+            "events".to_string(),
+            Home::Remote {
+                server_url: "clarens://a/das".into(),
+            },
+        );
+        r.homes.insert("runs".to_string(), local("mart2"));
+        // Single remote table + single local table → federated, no push.
+        let stmt = parse_select(
+            "SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id LIMIT 5",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        assert!(tasks.iter().all(|t| t.subquery.limit.is_none()));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let r = resolver();
+        let stmt = parse_select("SELECT * FROM ghosts").unwrap();
+        assert!(matches!(
+            plan(&stmt, &r),
+            Err(CoreError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_schema_falls_back_to_wildcard_no_pushdown() {
+        let r = resolver();
+        let stmt = parse_select(
+            "SELECT c.temp FROM conditions c JOIN runs r ON c.run_id = r.run_id \
+             WHERE c.temp > 1.0",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let cond = tasks.iter().find(|t| t.table == "conditions").unwrap();
+        assert_eq!(cond.subquery.items, vec![SelectItem::Wildcard]);
+        assert!(cond.subquery.where_clause.is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Mediator errors.
+
+use std::fmt;
+
+/// Errors raised by the Data Access Service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// SQL front-end failure.
+    Sql(gridfed_sqlkit::SqlError),
+    /// A logical table exists nowhere: not locally, not via RLS.
+    TableNotFound(String),
+    /// Vendor/driver failure.
+    Vendor(gridfed_vendors::VendorError),
+    /// POOL-RAL path failure.
+    Pool(String),
+    /// Clarens RPC failure (remote forwarding).
+    Rpc(gridfed_clarens::ClarensError),
+    /// Metadata failure.
+    XSpec(gridfed_xspec::XSpecError),
+    /// The query's partial results exceeded the mediator's memory guard.
+    MemoryLimit {
+        /// Bytes the partials required.
+        needed: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sql(e) => write!(f, "SQL error: {e}"),
+            CoreError::TableNotFound(t) => {
+                write!(f, "table `{t}` is not hosted by any known server")
+            }
+            CoreError::Vendor(e) => write!(f, "vendor error: {e}"),
+            CoreError::Pool(m) => write!(f, "POOL-RAL error: {m}"),
+            CoreError::Rpc(e) => write!(f, "RPC error: {e}"),
+            CoreError::XSpec(e) => write!(f, "metadata error: {e}"),
+            CoreError::MemoryLimit { needed, limit } => write!(
+                f,
+                "query needs {needed} bytes of partial results, over the {limit}-byte guard"
+            ),
+            CoreError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<gridfed_sqlkit::SqlError> for CoreError {
+    fn from(e: gridfed_sqlkit::SqlError) -> Self {
+        CoreError::Sql(e)
+    }
+}
+impl From<gridfed_vendors::VendorError> for CoreError {
+    fn from(e: gridfed_vendors::VendorError) -> Self {
+        CoreError::Vendor(e)
+    }
+}
+impl From<gridfed_clarens::ClarensError> for CoreError {
+    fn from(e: gridfed_clarens::ClarensError) -> Self {
+        CoreError::Rpc(e)
+    }
+}
+impl From<gridfed_xspec::XSpecError> for CoreError {
+    fn from(e: gridfed_xspec::XSpecError) -> Self {
+        CoreError::XSpec(e)
+    }
+}
+impl From<gridfed_poolral::PoolError> for CoreError {
+    fn from(e: gridfed_poolral::PoolError) -> Self {
+        CoreError::Pool(e.to_string())
+    }
+}
+impl From<gridfed_storage::StorageError> for CoreError {
+    fn from(e: gridfed_storage::StorageError) -> Self {
+        CoreError::Sql(gridfed_sqlkit::SqlError::Storage(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: CoreError = gridfed_sqlkit::SqlError::UnknownTable("t".into()).into();
+        assert!(matches!(e, CoreError::Sql(_)));
+        let e: CoreError = gridfed_clarens::ClarensError::NoSession.into();
+        assert!(e.to_string().contains("RPC"));
+    }
+}

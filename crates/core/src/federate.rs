@@ -1,0 +1,201 @@
+//! Partial-result integration: the mediator-side join.
+//!
+//! After the sub-queries return, "the data retrieved through each of the
+//! sub-queries is finally merged into a single 2-D vector, and returned to
+//! the client" (§4.6). Integration loads each partial into an in-memory
+//! staging database and re-runs the *original* statement over it with the
+//! `sqlkit` executor — cross-database joins, residual predicates,
+//! aggregation, ordering, and limits all fall out of the same engine that
+//! powers the backends.
+
+use crate::error::CoreError;
+use crate::Result;
+use gridfed_sqlkit::ast::SelectStmt;
+use gridfed_sqlkit::exec::{execute_select, DatabaseProvider};
+use gridfed_sqlkit::ResultSet;
+use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Value};
+
+/// One fetched partial result: the table name it answers for, plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial {
+    /// Table name as spelled in the client query.
+    pub table: String,
+    /// Column names of the partial.
+    pub columns: Vec<String>,
+    /// Typed rows.
+    pub rows: Vec<Row>,
+}
+
+impl Partial {
+    /// Build from a [`ResultSet`].
+    pub fn from_result(table: impl Into<String>, rs: ResultSet) -> Partial {
+        Partial {
+            table: table.into(),
+            columns: rs.columns,
+            rows: rs.rows,
+        }
+    }
+
+    /// Total wire size of the partial's rows.
+    pub fn wire_size(&self) -> usize {
+        self.rows.iter().map(Row::wire_size).sum()
+    }
+}
+
+/// Infer a permissive (all-nullable) schema for a partial: column type =
+/// first non-null value's type, FLOAT as the numeric fallback; INT columns
+/// are widened to FLOAT if any value is FLOAT.
+fn infer_schema(partial: &Partial) -> Result<Schema> {
+    let mut types: Vec<Option<DataType>> = vec![None; partial.columns.len()];
+    for row in &partial.rows {
+        for (i, v) in row.values().iter().enumerate() {
+            let Some(vt) = v.data_type() else { continue };
+            match types[i] {
+                None => types[i] = Some(vt),
+                Some(DataType::Int) if vt == DataType::Float => {
+                    types[i] = Some(DataType::Float)
+                }
+                Some(DataType::Float) if vt == DataType::Int => {}
+                Some(t) if t == vt => {}
+                Some(t) => {
+                    return Err(CoreError::Internal(format!(
+                        "partial `{}` column `{}` mixes {t} and {vt}",
+                        partial.table, partial.columns[i]
+                    )))
+                }
+            }
+        }
+    }
+    let cols = partial
+        .columns
+        .iter()
+        .zip(&types)
+        .map(|(name, ty)| ColumnDef::new(name.clone(), ty.unwrap_or(DataType::Float)))
+        .collect();
+    Schema::new(cols).map_err(CoreError::from)
+}
+
+/// Integrate partials by executing `stmt` over them.
+pub fn integrate(stmt: &SelectStmt, partials: &[Partial]) -> Result<ResultSet> {
+    let mut staging = Database::new("mediator_staging");
+    for p in partials {
+        let schema = infer_schema(p)?;
+        let table = staging.create_table(p.table.clone(), schema)?;
+        for row in &p.rows {
+            // Coerce INT→FLOAT where inference widened the column.
+            let values: Vec<Value> = row.values().to_vec();
+            table.insert(values)?;
+        }
+    }
+    execute_select(stmt, &DatabaseProvider(&staging)).map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridfed_sqlkit::parser::parse_select;
+
+    fn events_partial() -> Partial {
+        Partial {
+            table: "events".into(),
+            columns: vec!["e_id".into(), "run_id".into(), "energy".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Int(10), Value::Float(5.0)]),
+                Row::new(vec![Value::Int(2), Value::Int(10), Value::Float(50.0)]),
+                Row::new(vec![Value::Int(3), Value::Int(20), Value::Float(70.0)]),
+            ],
+        }
+    }
+
+    fn runs_partial() -> Partial {
+        Partial {
+            table: "runs".into(),
+            columns: vec!["run_id".into(), "detector".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(10), Value::Text("ecal".into())]),
+                Row::new(vec![Value::Int(20), Value::Text("hcal".into())]),
+            ],
+        }
+    }
+
+    #[test]
+    fn cross_partial_join() {
+        let stmt = parse_select(
+            "SELECT e.e_id, r.detector FROM events e JOIN runs r ON e.run_id = r.run_id \
+             WHERE e.energy > 10.0 ORDER BY e.e_id",
+        )
+        .unwrap();
+        let rs = integrate(&stmt, &[events_partial(), runs_partial()]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].values()[1], Value::Text("ecal".into()));
+        assert_eq!(rs.rows[1].values()[1], Value::Text("hcal".into()));
+    }
+
+    #[test]
+    fn residual_aggregation() {
+        let stmt = parse_select(
+            "SELECT r.detector, COUNT(*) AS n FROM events e JOIN runs r \
+             ON e.run_id = r.run_id GROUP BY r.detector ORDER BY r.detector",
+        )
+        .unwrap();
+        let rs = integrate(&stmt, &[events_partial(), runs_partial()]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].values()[1], Value::Int(2));
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_float() {
+        let p = Partial {
+            table: "t".into(),
+            columns: vec!["a".into()],
+            rows: vec![Row::new(vec![Value::Null])],
+        };
+        let stmt = parse_select("SELECT a FROM t").unwrap();
+        let rs = integrate(&stmt, &[p]).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.rows[0].values()[0].is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_column_widens() {
+        let p = Partial {
+            table: "t".into(),
+            columns: vec!["a".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1)]),
+                Row::new(vec![Value::Float(2.5)]),
+            ],
+        };
+        let stmt = parse_select("SELECT a FROM t ORDER BY a").unwrap();
+        let rs = integrate(&stmt, &[p]).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn incompatible_types_rejected() {
+        let p = Partial {
+            table: "t".into(),
+            columns: vec!["a".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1)]),
+                Row::new(vec![Value::Text("x".into())]),
+            ],
+        };
+        let stmt = parse_select("SELECT a FROM t").unwrap();
+        assert!(matches!(
+            integrate(&stmt, &[p]),
+            Err(CoreError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn self_join_over_one_partial() {
+        let stmt = parse_select(
+            "SELECT a.e_id, b.e_id FROM events a JOIN events b ON a.run_id = b.run_id \
+             WHERE a.e_id < b.e_id",
+        )
+        .unwrap();
+        let rs = integrate(&stmt, &[events_partial()]).unwrap();
+        assert_eq!(rs.len(), 1); // (1,2) within run 10
+    }
+}

@@ -1,0 +1,656 @@
+//! One-call assembly of a complete simulated grid.
+//!
+//! [`GridBuilder`] wires together everything the paper's Figure 1 shows:
+//! normalized source databases at Tier-1/Tier-2, the Tier-0 warehouse, the
+//! ETL pipeline, warehouse views materialized into vendor-diverse data
+//! marts, one or two JClarens servers hosting the Data Access Service, the
+//! central RLS, and a client. Examples, integration tests, and the
+//! figure/table benchmarks all build their worlds through this.
+
+use crate::service::{ConnectionPolicy, DataAccessService, DispatchMode, QueryOutcome};
+use crate::placement::ReplicaPolicy;
+use crate::Result;
+use crate::error::CoreError;
+use gridfed_clarens::client::ClarensClient;
+use gridfed_clarens::directory::Directory;
+use gridfed_clarens::server::ClarensServer;
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_ntuple::NtupleGenerator;
+use gridfed_rls::RlsServer;
+use gridfed_simnet::cost::Cost;
+use gridfed_simnet::link::Link;
+use gridfed_simnet::params::CostParams;
+use gridfed_simnet::topology::Topology;
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::ResultSet;
+use gridfed_storage::{ColumnDef, DataType, Schema};
+use gridfed_vendors::{DriverRegistry, SimServer, VendorKind};
+use gridfed_warehouse::etl::{EtlPipeline, EtlReport, TransportMode};
+use gridfed_warehouse::marts::{materialize_into_mart, MartReport};
+use gridfed_warehouse::views::ViewDef;
+use std::sync::Arc;
+
+/// One normalized source database.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Host/node and database-server name.
+    pub name: String,
+    /// Vendor product.
+    pub vendor: VendorKind,
+    /// Number of events this source holds (a slice of the shared dataset).
+    pub events: usize,
+}
+
+/// Builder for a complete simulated grid.
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    seed: u64,
+    sources: Vec<SourceSpec>,
+    dispatch: DispatchMode,
+    policy: ReplicaPolicy,
+    conn_policy: ConnectionPolicy,
+    wan: bool,
+    two_servers: bool,
+    replicate_events: bool,
+    catalog_padding: usize,
+    transport: TransportMode,
+}
+
+impl Default for GridBuilder {
+    fn default() -> Self {
+        GridBuilder {
+            seed: 2005,
+            sources: Vec::new(),
+            dispatch: DispatchMode::Parallel,
+            policy: ReplicaPolicy::First,
+            conn_policy: ConnectionPolicy::PerQuery,
+            wan: false,
+            two_servers: true,
+            replicate_events: false,
+            catalog_padding: 0,
+            transport: TransportMode::Staged,
+        }
+    }
+}
+
+impl GridBuilder {
+    /// Fresh builder with paper-like defaults.
+    pub fn new() -> GridBuilder {
+        GridBuilder::default()
+    }
+
+    /// Deterministic seed for the workload generator.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a normalized source database holding `events` events.
+    pub fn source(mut self, name: impl Into<String>, vendor: VendorKind, events: usize) -> Self {
+        self.sources.push(SourceSpec {
+            name: name.into(),
+            vendor,
+            events,
+        });
+        self
+    }
+
+    /// Sub-query dispatch mode (parallel by default; sequential for the
+    /// Unity-style ablation).
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Replica-selection policy.
+    pub fn with_policy(mut self, policy: ReplicaPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Connection policy on the distributed path.
+    pub fn with_connection_policy(mut self, policy: ConnectionPolicy) -> Self {
+        self.conn_policy = policy;
+        self
+    }
+
+    /// Put WAN links between the two Clarens servers and from the client
+    /// to the far server (the paper's wide-area future-work test).
+    pub fn with_wan(mut self, wan: bool) -> Self {
+        self.wan = wan;
+        self
+    }
+
+    /// Host all marts on one Clarens server instead of two.
+    pub fn single_server(mut self) -> Self {
+        self.two_servers = false;
+        self
+    }
+
+    /// Replicate the ntuple events mart on the second server too
+    /// (exercises replica selection).
+    pub fn replicate_events(mut self, yes: bool) -> Self {
+        self.replicate_events = yes;
+        self
+    }
+
+    /// Add `n` small padding tables across the marts, approximating the
+    /// paper's 1700-table catalog without 1700 interesting tables.
+    pub fn catalog_padding(mut self, n: usize) -> Self {
+        self.catalog_padding = n;
+        self
+    }
+
+    /// ETL transport mode (staging file vs direct streaming).
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Assemble the grid.
+    pub fn build(mut self) -> Result<Grid> {
+        if self.sources.is_empty() {
+            // Paper-like default: Oracle slice at Tier-1 CERN, MySQL slice
+            // at Tier-2 Caltech.
+            self.sources.push(SourceSpec {
+                name: "tier1.cern".into(),
+                vendor: VendorKind::Oracle,
+                events: 200,
+            });
+            self.sources.push(SourceSpec {
+                name: "tier2.caltech".into(),
+                vendor: VendorKind::MySql,
+                events: 200,
+            });
+        }
+        let total_events: usize = self.sources.iter().map(|s| s.events).sum();
+        let spec = NtupleSpec::physics("ntuple", total_events);
+
+        // ---- topology ----
+        let mut topology = Topology::lan();
+        for node in ["tier0.cern", "node1", "node2", "rls.cern", "client"] {
+            topology.add_node(node);
+        }
+        if self.wan {
+            topology.set_link("node1", "node2", Link::wan());
+            topology.set_link("client", "node2", Link::wan());
+            topology.set_link("tier0.cern", "node2", Link::wan());
+        }
+        let topology = Arc::new(topology);
+
+        let registry = Arc::new(DriverRegistry::with_standard_drivers());
+        let directory = Directory::new();
+        let rls = RlsServer::new("rls.cern");
+
+        // ---- sources (normalized slices of one dataset) ----
+        let mut sources = Vec::new();
+        let mut offset = 0usize;
+        for (i, s) in self.sources.iter().enumerate() {
+            let server = SimServer::new(s.vendor, s.name.clone(), "ntuples");
+            server.with_db_mut(|db| {
+                // Seed differs per slice but derives from the builder seed,
+                // so the full dataset is reproducible.
+                NtupleGenerator::new(spec.clone(), self.seed.wrapping_add(i as u64))
+                    .populate_source_range(db, offset, offset + s.events)
+            })?;
+            offset += s.events;
+            registry.register_server(Arc::clone(&server));
+            sources.push(server);
+        }
+
+        // ---- warehouse + ETL (Stage 1) ----
+        let warehouse = SimServer::new(VendorKind::Oracle, "tier0.cern", "warehouse");
+        registry.register_server(Arc::clone(&warehouse));
+        let wconn = warehouse
+            .connect("grid", "grid")
+            .map_err(CoreError::Vendor)?
+            .value;
+        let pipeline = EtlPipeline::paper().with_mode(self.transport);
+        let mut etl_reports = Vec::new();
+        for src in &sources {
+            let sconn = src.connect("grid", "grid").map_err(CoreError::Vendor)?.value;
+            let report = pipeline
+                .run_batch(&sconn, &wconn, None)
+                .map_err(|e| CoreError::Internal(format!("ETL failed: {e}")))?;
+            etl_reports.push(report);
+        }
+
+        // ---- views + marts (Stage 2) ----
+        let views = standard_views(&spec);
+        let mart_plan: Vec<(&str, VendorKind, &str, Vec<usize>)> = if self.two_servers {
+            vec![
+                ("mart_mysql", VendorKind::MySql, "node1", vec![0]),
+                ("mart_mssql", VendorKind::MsSql, "node1", vec![1]),
+                (
+                    "mart_oracle",
+                    VendorKind::Oracle,
+                    "node2",
+                    if self.replicate_events { vec![2, 0] } else { vec![2] },
+                ),
+                ("mart_sqlite", VendorKind::Sqlite, "node2", vec![3]),
+            ]
+        } else {
+            vec![
+                ("mart_mysql", VendorKind::MySql, "node1", vec![0]),
+                ("mart_mssql", VendorKind::MsSql, "node1", vec![1]),
+                (
+                    "mart_oracle",
+                    VendorKind::Oracle,
+                    "node1",
+                    if self.replicate_events { vec![2, 0] } else { vec![2] },
+                ),
+                ("mart_sqlite", VendorKind::Sqlite, "node1", vec![3]),
+            ]
+        };
+
+        let mut marts = Vec::new();
+        let mut mart_reports = Vec::new();
+        for (name, vendor, host, view_ids) in &mart_plan {
+            let mart = SimServer::new(*vendor, *host, *name);
+            registry.register_server(Arc::clone(&mart));
+            let mconn = mart.connect("grid", "grid").map_err(CoreError::Vendor)?.value;
+            for &vi in view_ids {
+                let report = materialize_into_mart(
+                    &views[vi],
+                    &wconn,
+                    &mconn,
+                    &topology,
+                    self.transport,
+                )
+                .map_err(|e| CoreError::Internal(format!("materialization failed: {e}")))?;
+                mart_reports.push(report);
+            }
+            marts.push(mart);
+        }
+
+        // ---- catalog padding (the paper's 1700-table inventory) ----
+        if self.catalog_padding > 0 {
+            let pad_schema = Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("payload", DataType::Text),
+            ])?;
+            for i in 0..self.catalog_padding {
+                let mart = &marts[i % marts.len()];
+                mart.with_db_mut(|db| {
+                    db.create_table(format!("pad_{i:04}"), pad_schema.clone())
+                        .map(|_| ())
+                })?;
+            }
+        }
+
+        // ---- Clarens servers + Data Access Services ----
+        let server_plan: Vec<(&str, &str)> = if self.two_servers {
+            vec![
+                ("clarens://node1:8443/das", "node1"),
+                ("clarens://node2:8443/das", "node2"),
+            ]
+        } else {
+            vec![("clarens://node1:8443/das", "node1")]
+        };
+        let mut servers = Vec::new();
+        let mut services = Vec::new();
+        for (url, host) in &server_plan {
+            let clarens = ClarensServer::new(*url, *host);
+            let mut das = DataAccessService::new(
+                *url,
+                *host,
+                Arc::clone(&registry),
+                Arc::clone(&directory),
+                Arc::clone(&topology),
+                Some(Arc::clone(&rls)),
+            );
+            das.set_dispatch(self.dispatch);
+            das.set_policy(self.policy);
+            das.set_connection_policy(self.conn_policy);
+            let das = Arc::new(das);
+            clarens.register_service(Arc::clone(&das) as Arc<dyn gridfed_clarens::Service>);
+            clarens.register_service(Arc::new(crate::jas::HistogramService::new(Arc::clone(&das)))
+                as Arc<dyn gridfed_clarens::Service>);
+            directory.register(Arc::clone(&clarens));
+            servers.push(clarens);
+            services.push(das);
+        }
+
+        // Register each mart with the service on its node (or the only
+        // service).
+        for mart in &marts {
+            let das = services
+                .iter()
+                .find(|s| s.host() == mart.host())
+                .unwrap_or(&services[0]);
+            das.register_database(&mart_url(mart))?;
+        }
+
+        // ---- client ----
+        let mut client = ClarensClient::connect(
+            &directory,
+            server_plan[0].0,
+            Arc::clone(&topology),
+            "client",
+        )?;
+        client.login("grid", "grid")?;
+
+        Ok(Grid {
+            topology,
+            registry,
+            directory,
+            rls,
+            warehouse,
+            sources,
+            marts,
+            servers,
+            services,
+            client,
+            spec,
+            etl_reports,
+            mart_reports,
+        })
+    }
+}
+
+/// Canonical connection URL for a mart server.
+pub fn mart_url(mart: &Arc<SimServer>) -> String {
+    match mart.kind() {
+        VendorKind::Oracle => format!(
+            "oracle://grid/grid@{}:1521/{}",
+            mart.host(),
+            mart.db_name()
+        ),
+        VendorKind::MySql => format!(
+            "mysql://grid:grid@{}:3306/{}",
+            mart.host(),
+            mart.db_name()
+        ),
+        VendorKind::MsSql => format!(
+            "mssql://{}:1433;database={};user=grid;password=grid",
+            mart.host(),
+            mart.db_name()
+        ),
+        VendorKind::Sqlite => format!("sqlite:/{}/{}.db", mart.host(), mart.db_name()),
+    }
+}
+
+/// The four standard warehouse views the builder materializes.
+pub fn standard_views(spec: &NtupleSpec) -> Vec<ViewDef> {
+    vec![
+        ViewDef::Pivot {
+            name: "ntuple_events".into(),
+            spec: spec.clone(),
+        },
+        ViewDef::Sql {
+            name: "run_summary".into(),
+            query: parse_select(
+                "SELECT run_id, COUNT(*) AS n_meas, AVG(value) AS avg_value \
+                 FROM fact_measurements GROUP BY run_id ORDER BY run_id",
+            )
+            .expect("static view SQL parses"),
+        },
+        ViewDef::Sql {
+            name: "run_conditions".into(),
+            query: parse_select(
+                "SELECT run_id, detector, AVG(weight) AS avg_weight \
+                 FROM fact_measurements GROUP BY run_id, detector ORDER BY run_id",
+            )
+            .expect("static view SQL parses"),
+        },
+        ViewDef::Sql {
+            name: "detector_summary".into(),
+            query: parse_select(
+                "SELECT detector, COUNT(*) AS n_meas, AVG(value) AS mean_value \
+                 FROM fact_measurements GROUP BY detector ORDER BY detector",
+            )
+            .expect("static view SQL parses"),
+        },
+    ]
+}
+
+/// Outcome of a grid query including the client-perceived response time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridQuery {
+    /// The merged 2-D result.
+    pub result: ResultSet,
+    /// Mediator statistics.
+    pub stats: crate::stats::QueryStats,
+    /// Virtual time inside the Data Access Service.
+    pub service_cost: Cost,
+    /// Client-perceived response time: request wire + Clarens dispatch +
+    /// service + response wire (the quantity Table 1 / Figure 6 report).
+    pub response_time: Cost,
+}
+
+/// A fully assembled grid.
+pub struct Grid {
+    /// The simulated network.
+    pub topology: Arc<Topology>,
+    /// Shared driver/server registry.
+    pub registry: Arc<DriverRegistry>,
+    /// Clarens server directory.
+    pub directory: Arc<Directory>,
+    /// The central Replica Location Service.
+    pub rls: Arc<RlsServer>,
+    /// The Tier-0 warehouse server.
+    pub warehouse: Arc<SimServer>,
+    /// Normalized source databases.
+    pub sources: Vec<Arc<SimServer>>,
+    /// Data-mart servers.
+    pub marts: Vec<Arc<SimServer>>,
+    /// Clarens servers.
+    pub servers: Vec<Arc<ClarensServer>>,
+    /// The Data Access Service behind each server.
+    pub services: Vec<Arc<DataAccessService>>,
+    client: ClarensClient,
+    /// The shared ntuple dataset shape.
+    pub spec: NtupleSpec,
+    /// Stage-1 ETL reports (one per source).
+    pub etl_reports: Vec<EtlReport>,
+    /// Stage-2 materialization reports (one per view placement).
+    pub mart_reports: Vec<MartReport>,
+}
+
+impl Grid {
+    /// Execute a query as the client: through the first Clarens server's
+    /// Data Access Service, with full wire + dispatch costing.
+    pub fn query(&self, sql: &str) -> Result<GridQuery> {
+        let das = &self.services[0];
+        let t = das.query(sql)?;
+        let QueryOutcome { result, stats } = t.value;
+        let params = CostParams::paper_2005();
+        let link = self
+            .topology
+            .link("client", self.servers[0].host());
+        let wire = link.round_trip(64 + sql.len(), 32 + result.wire_size());
+        let response_time =
+            params.clarens_request + t.cost + params.clarens_response + wire;
+        Ok(GridQuery {
+            result,
+            stats,
+            service_cost: t.cost,
+            response_time,
+        })
+    }
+
+    /// Execute through the real RPC path (client → Clarens server →
+    /// service), returning the paper's 2-D string vector and the measured
+    /// response time. Used by integration tests to validate the full stack.
+    pub fn query_rpc(&self, sql: &str) -> Result<(Vec<Vec<String>>, Cost)> {
+        let t = self
+            .client
+            .call("das", "query", &[gridfed_clarens::WireValue::Str(sql.into())])?;
+        let grid = t.value.as_grid().map_err(CoreError::Rpc)?.clone();
+        Ok((grid, t.cost))
+    }
+
+    /// The Data Access Service on a given server index.
+    pub fn service(&self, idx: usize) -> &Arc<DataAccessService> {
+        &self.services[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_options_assemble_valid_grids() {
+        // Single server: one Clarens instance hosts all four marts.
+        let g = GridBuilder::new().with_seed(3).single_server().build().unwrap();
+        assert_eq!(g.servers.len(), 1);
+        assert_eq!(g.services[0].databases().len(), 4);
+        let out = g
+            .query(
+                "SELECT e.e_id FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 3",
+            )
+            .unwrap();
+        assert_eq!(out.stats.servers, 1);
+        assert_eq!(out.stats.remote_forwards, 0, "no forwarding needed");
+
+        // Direct ETL transport produces the same warehouse contents.
+        let staged = GridBuilder::new().with_seed(3).build().unwrap();
+        let direct = GridBuilder::new()
+            .with_seed(3)
+            .with_transport(TransportMode::Direct)
+            .build()
+            .unwrap();
+        assert_eq!(
+            staged
+                .warehouse
+                .with_db(|db| db.table("fact_measurements").unwrap().len()),
+            direct
+                .warehouse
+                .with_db(|db| db.table("fact_measurements").unwrap().len())
+        );
+
+        // Replicated events: both policies find a replica.
+        let rep = GridBuilder::new()
+            .with_seed(3)
+            .replicate_events(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            rep.service(1)
+                .dictionary_snapshot()
+                .resolve_table("ntuple_events")
+                .len(),
+            1,
+            "server 2 sees its own replica"
+        );
+    }
+
+    fn small_grid() -> Grid {
+        GridBuilder::new()
+            .with_seed(7)
+            .source("tier1.cern", VendorKind::Oracle, 60)
+            .source("tier2.caltech", VendorKind::MySql, 60)
+            .build()
+            .expect("grid builds")
+    }
+
+    #[test]
+    fn build_assembles_everything() {
+        let g = small_grid();
+        assert_eq!(g.sources.len(), 2);
+        assert_eq!(g.marts.len(), 4);
+        assert_eq!(g.servers.len(), 2);
+        assert_eq!(g.etl_reports.len(), 2);
+        // warehouse holds all measurements
+        assert_eq!(
+            g.warehouse
+                .with_db(|db| db.table("fact_measurements").unwrap().len()),
+            g.spec.measurement_rows()
+        );
+        // events mart holds one row per event
+        assert_eq!(
+            g.marts[0].with_db(|db| db.table("ntuple_events").unwrap().len()),
+            g.spec.events
+        );
+    }
+
+    #[test]
+    fn local_single_table_query() {
+        let g = small_grid();
+        let out = g.query("SELECT e_id, energy FROM ntuple_events WHERE energy > 50.0").unwrap();
+        assert!(!out.result.is_empty());
+        assert!(!out.stats.distributed);
+        assert_eq!(out.stats.servers, 1);
+        assert_eq!(out.stats.pooled_hits, 1, "POOL fast path expected");
+        // Table 1 row 1 territory: well under 100 ms.
+        assert!(
+            out.response_time.as_millis_f64() < 100.0,
+            "local query took {}",
+            out.response_time
+        );
+    }
+
+    #[test]
+    fn distributed_two_database_join() {
+        let g = small_grid();
+        let out = g
+            .query(
+                "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 5",
+            )
+            .unwrap();
+        assert_eq!(out.result.len(), 5);
+        assert!(out.stats.distributed);
+        assert_eq!(out.stats.databases, 2);
+        assert_eq!(out.stats.servers, 1);
+        assert!(out.stats.connections_opened >= 2);
+        // >10× the local query, as in Table 1.
+        assert!(
+            out.response_time.as_millis_f64() > 300.0,
+            "distributed query took {}",
+            out.response_time
+        );
+    }
+
+    #[test]
+    fn two_server_query_uses_rls_and_forwarding() {
+        let g = small_grid();
+        let out = g
+            .query(
+                "SELECT e.e_id, s.n_meas, c.avg_weight, d.mean_value \
+                 FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id \
+                 JOIN run_conditions c ON s.run_id = c.run_id \
+                 JOIN detector_summary d ON c.detector = d.detector \
+                 WHERE e.e_id < 3",
+            )
+            .unwrap();
+        assert_eq!(out.stats.tables, 4);
+        assert_eq!(out.stats.servers, 2);
+        assert!(out.stats.rls_lookups >= 2);
+        assert!(out.stats.remote_forwards >= 2);
+        assert!(!out.result.is_empty());
+        assert!(out.response_time.as_millis_f64() > 400.0);
+    }
+
+    #[test]
+    fn rpc_path_matches_direct_path() {
+        let g = small_grid();
+        let direct = g
+            .query("SELECT e_id FROM ntuple_events WHERE e_id < 4")
+            .unwrap();
+        let (grid, cost) = g
+            .query_rpc("SELECT e_id FROM ntuple_events WHERE e_id < 4")
+            .unwrap();
+        assert_eq!(grid.len(), direct.result.len() + 1, "header + rows");
+        assert!(cost > Cost::ZERO);
+    }
+
+    #[test]
+    fn aggregates_federate_correctly() {
+        let g = small_grid();
+        // Count events per detector via a cross-database join, then check
+        // against the single-mart ground truth.
+        let out = g
+            .query(
+                "SELECT d.detector, COUNT(*) AS n FROM ntuple_events e \
+                 JOIN run_conditions c ON e.run_id = c.run_id \
+                 JOIN detector_summary d ON c.detector = d.detector \
+                 GROUP BY d.detector ORDER BY d.detector",
+            )
+            .unwrap();
+        assert!(!out.result.is_empty());
+    }
+}

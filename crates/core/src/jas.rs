@@ -1,0 +1,242 @@
+//! The JAS-plugin service: histograms over federated queries.
+//!
+//! The paper shipped a Java Analysis Studio plug-in "to submit queries for
+//! accessing the data and visualizing the results as histograms" (§6).
+//! Here that capability is a Clarens *service* co-hosted with the Data
+//! Access Service: a client asks for a histogram of one column of an
+//! arbitrary federated query, and only the bins travel back — far cheaper
+//! than shipping the rows to the client, and exactly what a thin analysis
+//! front-end wants.
+
+use crate::service::DataAccessService;
+use gridfed_clarens::codec::WireValue;
+use gridfed_clarens::server::Service;
+use gridfed_clarens::ClarensError;
+use gridfed_ntuple::Histogram1D;
+use gridfed_simnet::cost::{Cost, Timed};
+use std::sync::Arc;
+
+/// The histogram summary a client receives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// In-range bin contents.
+    pub bins: Vec<u64>,
+    /// Fills below the range.
+    pub underflow: u64,
+    /// Fills above the range.
+    pub overflow: u64,
+    /// Total fills.
+    pub entries: u64,
+    /// Mean of all filled values, when any.
+    pub mean: Option<f64>,
+}
+
+/// Clarens service wrapping a [`DataAccessService`] with histogramming.
+pub struct HistogramService {
+    das: Arc<DataAccessService>,
+}
+
+impl HistogramService {
+    /// Create the service over a Data Access Service.
+    pub fn new(das: Arc<DataAccessService>) -> HistogramService {
+        HistogramService { das }
+    }
+
+    /// Run `sql` through the federation and histogram `column` of the
+    /// result into `bins` equal bins over `[lo, hi)`.
+    pub fn histogram1d(
+        &self,
+        sql: &str,
+        column: &str,
+        bins: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Timed<HistogramSummary>, ClarensError> {
+        if bins == 0 || bins > 100_000 {
+            return Err(ClarensError::BadParams(format!(
+                "bin count {bins} out of range 1..=100000"
+            )));
+        }
+        if lo >= hi {
+            return Err(ClarensError::BadParams(format!(
+                "empty histogram range [{lo}, {hi})"
+            )));
+        }
+        let out = self
+            .das
+            .query(sql)
+            .map_err(|e| ClarensError::ServiceFault(e.to_string()))?;
+        let values = out.value.result.column_values(column).ok_or_else(|| {
+            ClarensError::BadParams(format!("result has no column `{column}`"))
+        })?;
+        let mut hist = Histogram1D::new(column, bins, lo, hi);
+        hist.fill_values(values.iter());
+        // Per-fill CPU on the server side: a fraction of a row-merge.
+        let fill_cost = Cost::from_micros(2).scale(values.len() as f64);
+        Ok(Timed::new(
+            HistogramSummary {
+                bins: hist.bins().to_vec(),
+                underflow: hist.outliers().0,
+                overflow: hist.outliers().1,
+                entries: hist.entries(),
+                mean: hist.mean(),
+            },
+            out.cost + fill_cost,
+        ))
+    }
+}
+
+impl Service for HistogramService {
+    fn name(&self) -> &str {
+        "jas"
+    }
+
+    fn methods(&self) -> Vec<String> {
+        vec!["histogram1d".into()]
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        params: &[WireValue],
+    ) -> gridfed_clarens::Result<Timed<WireValue>> {
+        match method {
+            "histogram1d" => {
+                let [sql, column, bins, lo, hi] = params else {
+                    return Err(ClarensError::BadParams(
+                        "histogram1d(sql, column, bins, lo, hi)".into(),
+                    ));
+                };
+                let (WireValue::Float(lo), WireValue::Float(hi)) = (lo, hi) else {
+                    return Err(ClarensError::BadParams("lo/hi must be floats".into()));
+                };
+                let t = self.histogram1d(
+                    sql.as_str()?,
+                    column.as_str()?,
+                    bins.as_int()? as usize,
+                    *lo,
+                    *hi,
+                )?;
+                let summary = t.value;
+                Ok(Timed::new(
+                    WireValue::List(vec![
+                        WireValue::List(
+                            summary.bins.iter().map(|&b| WireValue::Int(b as i64)).collect(),
+                        ),
+                        WireValue::Int(summary.underflow as i64),
+                        WireValue::Int(summary.overflow as i64),
+                        WireValue::Int(summary.entries as i64),
+                        summary.mean.map(WireValue::Float).unwrap_or(WireValue::Null),
+                    ]),
+                    t.cost,
+                ))
+            }
+            other => Err(ClarensError::NoMethod {
+                service: "jas".into(),
+                method: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridBuilder;
+
+    fn service() -> (crate::grid::Grid, HistogramService) {
+        let grid = GridBuilder::new().with_seed(17).build().expect("grid");
+        let das = Arc::clone(grid.service(0));
+        (grid, HistogramService::new(das))
+    }
+
+    #[test]
+    fn histogram_over_federated_query() {
+        let (_grid, jas) = service();
+        let t = jas
+            .histogram1d(
+                "SELECT energy FROM ntuple_events",
+                "energy",
+                10,
+                0.0,
+                200.0,
+            )
+            .expect("histogram");
+        let s = t.value;
+        assert_eq!(s.bins.len(), 10);
+        assert!(s.entries > 0);
+        assert_eq!(
+            s.bins.iter().sum::<u64>() + s.underflow + s.overflow,
+            s.entries,
+            "conservation"
+        );
+        assert!(s.mean.unwrap() > 0.0, "energies are positive");
+        assert!(t.cost > Cost::ZERO);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let (_grid, jas) = service();
+        assert!(jas
+            .histogram1d("SELECT energy FROM ntuple_events", "energy", 0, 0.0, 1.0)
+            .is_err());
+        assert!(jas
+            .histogram1d("SELECT energy FROM ntuple_events", "energy", 5, 2.0, 1.0)
+            .is_err());
+        assert!(jas
+            .histogram1d("SELECT energy FROM ntuple_events", "nope", 5, 0.0, 1.0)
+            .is_err());
+        assert!(jas
+            .histogram1d("SELECT broken FROM", "x", 5, 0.0, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn wire_binding_round_trips() {
+        let (_grid, jas) = service();
+        let out = jas
+            .call(
+                "histogram1d",
+                &[
+                    WireValue::Str("SELECT energy FROM ntuple_events".into()),
+                    WireValue::Str("energy".into()),
+                    WireValue::Int(8),
+                    WireValue::Float(0.0),
+                    WireValue::Float(150.0),
+                ],
+            )
+            .expect("call");
+        let WireValue::List(parts) = out.value else {
+            panic!("expected list");
+        };
+        assert_eq!(parts.len(), 5);
+        let WireValue::List(bins) = &parts[0] else {
+            panic!("expected bins list");
+        };
+        assert_eq!(bins.len(), 8);
+        // unknown method
+        assert!(jas.call("histogram9d", &[]).is_err());
+    }
+
+    #[test]
+    fn served_through_clarens_rpc() {
+        let (grid, jas) = service();
+        grid.servers[0].register_service(Arc::new(jas));
+        let session = grid.servers[0].login("grid", "grid").expect("login").value;
+        let out = grid.servers[0]
+            .handle(
+                &session,
+                "jas",
+                "histogram1d",
+                &[
+                    WireValue::Str("SELECT energy FROM ntuple_events".into()),
+                    WireValue::Str("energy".into()),
+                    WireValue::Int(4),
+                    WireValue::Float(0.0),
+                    WireValue::Float(100.0),
+                ],
+            )
+            .expect("rpc");
+        assert!(matches!(out.value, WireValue::List(_)));
+    }
+}

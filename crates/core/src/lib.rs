@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # gridfed-core
+//!
+//! The paper's primary contribution: the **Data Access Service** — the
+//! middleware that lets a client pose one SQL query against "a single,
+//! simplified view" of many heterogeneous, geographically distributed
+//! relational databases.
+//!
+//! Query path (paper §4.5-§4.8):
+//!
+//! 1. A Clarens client submits SQL to the service.
+//! 2. The service parses it and resolves each logical table through the
+//!    XSpec data dictionary.
+//! 3. Tables registered locally route to either the **POOL-RAL path**
+//!    (POOL-supported vendors, pooled handles) or the **Unity/JDBC path**
+//!    (everything else, fresh connections).
+//! 4. Tables *not* registered locally are found via the **RLS** and the
+//!    sub-queries are forwarded to the remote JClarens server hosting them.
+//! 5. Partial results are pulled back, cross-database joins and residual
+//!    predicates are applied by the mediator, and a single 2-D result
+//!    vector is returned.
+//!
+//! Modules:
+//! - [`decompose`] — query analysis: table homes, predicate push-down,
+//!   per-table sub-query construction.
+//! - [`federate`] — partial-result integration: in-memory join + residual
+//!   evaluation using the `sqlkit` executor.
+//! - [`service`] — [`service::DataAccessService`], including the Clarens
+//!   `Service` binding, runtime plug-in registration (§4.10), and schema
+//!   tracking (§4.9).
+//! - [`placement`] — replica-selection policies (incl. the closest-replica
+//!   future-work extension).
+//! - [`stats`] — per-query statistics and cost breakdowns.
+//! - [`grid`] — [`grid::GridBuilder`]: one-call assembly of a complete
+//!   simulated grid (sources, warehouse, marts, Clarens servers, RLS) for
+//!   examples, tests, and benchmarks.
+
+pub mod decompose;
+pub mod error;
+pub mod federate;
+pub mod grid;
+pub mod jas;
+pub mod placement;
+pub mod service;
+pub mod stats;
+
+pub use error::CoreError;
+pub use grid::{Grid, GridBuilder};
+pub use placement::ReplicaPolicy;
+pub use service::{DataAccessService, DispatchMode, QueryOutcome};
+pub use stats::QueryStats;
+
+/// Result alias for the mediator.
+pub type Result<T> = std::result::Result<T, CoreError>;

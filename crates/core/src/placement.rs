@@ -1,0 +1,92 @@
+//! Replica-selection policies.
+//!
+//! The data dictionary may resolve a logical table to several hosting
+//! databases (replicated marts). The prototype picked the first; the
+//! paper's future work asks for "a system that could decide the closest
+//! available database (in terms of network connectivity) from a set of
+//! replicated databases" — implemented here as [`ReplicaPolicy::Closest`].
+
+use gridfed_simnet::topology::Topology;
+use gridfed_vendors::ConnectionString;
+use gridfed_xspec::dict::TableLocation;
+
+/// How to choose among replicas of a logical table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaPolicy {
+    /// The prototype's behaviour: first registered wins.
+    #[default]
+    First,
+    /// Future-work extension: cheapest network path from the service host.
+    Closest,
+}
+
+impl ReplicaPolicy {
+    /// Pick one location from a non-empty candidate list.
+    pub fn choose<'a>(
+        &self,
+        candidates: &'a [TableLocation],
+        from_host: &str,
+        topology: &Topology,
+    ) -> Option<&'a TableLocation> {
+        match self {
+            ReplicaPolicy::First => candidates.first(),
+            ReplicaPolicy::Closest => candidates.iter().min_by_key(|loc| {
+                let host = ConnectionString::parse(&loc.url)
+                    .map(|c| gridfed_vendors::driver::server_address(&c).0)
+                    .unwrap_or_else(|_| "unknown-host".to_string());
+                topology.transfer(from_host, &host, 1024)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridfed_simnet::link::Link;
+
+    fn loc(db: &str, host: &str) -> TableLocation {
+        TableLocation {
+            database: db.into(),
+            physical_table: "t".into(),
+            url: format!("mysql://grid:grid@{host}:3306/{db}"),
+            driver: "mysql".into(),
+            vendor: "MySQL".into(),
+            row_count: 0,
+        }
+    }
+
+    #[test]
+    fn first_policy_takes_first() {
+        let candidates = vec![loc("a", "far"), loc("b", "near")];
+        let topo = Topology::lan();
+        let chosen = ReplicaPolicy::First
+            .choose(&candidates, "near", &topo)
+            .unwrap();
+        assert_eq!(chosen.database, "a");
+    }
+
+    #[test]
+    fn closest_policy_prefers_cheap_link() {
+        let candidates = vec![loc("a", "far"), loc("b", "near")];
+        let mut topo = Topology::lan();
+        topo.set_link("client", "far", Link::wan());
+        let chosen = ReplicaPolicy::Closest
+            .choose(&candidates, "client", &topo)
+            .unwrap();
+        assert_eq!(chosen.database, "b");
+        // co-located replica beats LAN
+        let candidates = vec![loc("a", "other"), loc("b", "client")];
+        let chosen = ReplicaPolicy::Closest
+            .choose(&candidates, "client", &topo)
+            .unwrap();
+        assert_eq!(chosen.database, "b");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let topo = Topology::lan();
+        assert!(ReplicaPolicy::First.choose(&[], "x", &topo).is_none());
+        assert!(ReplicaPolicy::Closest.choose(&[], "x", &topo).is_none());
+    }
+}

@@ -1,0 +1,1051 @@
+//! The Data Access Service — the mediator the paper builds.
+
+use crate::decompose::{self, Home, QueryPlan, TableResolver};
+use crate::error::CoreError;
+use crate::federate::{self, Partial};
+use crate::placement::ReplicaPolicy;
+use crate::stats::{CostBreakdown, QueryStats};
+use crate::Result;
+use gridfed_clarens::client::ClarensClient;
+use gridfed_clarens::codec::WireValue;
+use gridfed_clarens::directory::Directory;
+use gridfed_clarens::server::Service;
+use gridfed_clarens::ClarensError;
+use gridfed_poolral::PoolRal;
+use gridfed_rls::RlsServer;
+use gridfed_simnet::cost::{Cost, Timed};
+use gridfed_simnet::params::CostParams;
+use gridfed_simnet::topology::Topology;
+use gridfed_sqlkit::ast::SelectStmt;
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::render::{render_select, NeutralStyle};
+use gridfed_sqlkit::ResultSet;
+use gridfed_storage::{Row, Value};
+use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
+use gridfed_xspec::dict::DataDictionary;
+use gridfed_xspec::generate_lower_xspec;
+use gridfed_xspec::model::UpperEntry;
+use gridfed_xspec::tracker::{SchemaTracker, TrackOutcome};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How sub-query branches are dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// The enhanced mediator: branches run concurrently; virtual time is
+    /// the slowest branch.
+    #[default]
+    Parallel,
+    /// Unity-style sequential dispatch (ablation baseline): virtual time
+    /// is the sum of branches.
+    Sequential,
+}
+
+/// How backend connections are obtained on the distributed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnectionPolicy {
+    /// The prototype's measured behaviour (Table 1): every distributed
+    /// query opens and authenticates fresh connections.
+    #[default]
+    PerQuery,
+    /// Ablation: reuse pooled POOL-RAL handles where the vendor allows.
+    Pooled,
+}
+
+/// Result of one query: the 2-D vector plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The merged 2-D result.
+    pub result: ResultSet,
+    /// Mediator statistics for the query.
+    pub stats: QueryStats,
+}
+
+/// The Data Access Service hosted inside a (J)Clarens server.
+pub struct DataAccessService {
+    /// URL of the Clarens server hosting this service (published to RLS).
+    url: String,
+    /// Topology node of that server.
+    host: String,
+    dict: RwLock<DataDictionary>,
+    registry: Arc<DriverRegistry>,
+    pool: PoolRal,
+    rls: Option<Arc<RlsServer>>,
+    directory: Arc<Directory>,
+    topology: Arc<Topology>,
+    params: CostParams,
+    policy: ReplicaPolicy,
+    dispatch: DispatchMode,
+    conn_policy: ConnectionPolicy,
+    tracker: Mutex<SchemaTracker>,
+    remote_clients: Mutex<HashMap<String, ClarensClient>>,
+    /// Result cache for repeated identical queries (the paper's
+    /// "ensure the efficiency of the system" future-work item). Off by
+    /// default; invalidated whenever the dictionary changes.
+    cache: Mutex<Option<HashMap<String, QueryOutcome>>>,
+    /// Optional ceiling on partial-result bytes per query (the guard
+    /// against Unity's full-materialization memory overload).
+    memory_limit: Mutex<Option<usize>>,
+    /// Backend credentials used for all database connections.
+    creds: (String, String),
+}
+
+impl DataAccessService {
+    /// Create a service bound to a Clarens server URL and host node.
+    pub fn new(
+        url: impl Into<String>,
+        host: impl Into<String>,
+        registry: Arc<DriverRegistry>,
+        directory: Arc<Directory>,
+        topology: Arc<Topology>,
+        rls: Option<Arc<RlsServer>>,
+    ) -> DataAccessService {
+        DataAccessService {
+            url: url.into(),
+            host: host.into(),
+            dict: RwLock::new(DataDictionary::new()),
+            registry: Arc::clone(&registry),
+            pool: PoolRal::new(registry),
+            rls,
+            directory,
+            topology,
+            params: CostParams::paper_2005(),
+            policy: ReplicaPolicy::First,
+            dispatch: DispatchMode::Parallel,
+            conn_policy: ConnectionPolicy::PerQuery,
+            tracker: Mutex::new(SchemaTracker::new()),
+            remote_clients: Mutex::new(HashMap::new()),
+            cache: Mutex::new(None),
+            memory_limit: Mutex::new(None),
+            creds: ("grid".to_string(), "grid".to_string()),
+        }
+    }
+
+    /// This service's Clarens URL.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// Hosting topology node.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Set the replica-selection policy (builder-style, pre-`Arc`).
+    pub fn set_policy(&mut self, policy: ReplicaPolicy) {
+        self.policy = policy;
+    }
+
+    /// Set the dispatch mode.
+    pub fn set_dispatch(&mut self, dispatch: DispatchMode) {
+        self.dispatch = dispatch;
+    }
+
+    /// Set the connection policy.
+    pub fn set_connection_policy(&mut self, policy: ConnectionPolicy) {
+        self.conn_policy = policy;
+    }
+
+    /// Bound the partial-result bytes a single query may materialize at
+    /// the mediator; `None` removes the guard. This is the mediator's
+    /// answer to Unity's documented failure mode ("if there is a lot of
+    /// data to be fetched, the memory becomes overloaded"): a clean error
+    /// instead of an overloaded server.
+    pub fn set_memory_limit(&self, limit: Option<usize>) {
+        *self.memory_limit.lock() = limit;
+    }
+
+    /// Enforce the per-query memory guard.
+    fn check_memory(&self, needed: usize) -> Result<()> {
+        if let Some(limit) = *self.memory_limit.lock() {
+            if needed > limit {
+                return Err(CoreError::MemoryLimit { needed, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enable or disable the result cache. Enabling starts empty;
+    /// disabling drops all cached results.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        *self.cache.lock() = if enabled { Some(HashMap::new()) } else { None };
+    }
+
+    /// Drop every cached result (called automatically whenever the data
+    /// dictionary changes underneath the cache).
+    pub fn invalidate_cache(&self) {
+        if let Some(c) = self.cache.lock().as_mut() {
+            c.clear();
+        }
+    }
+
+    /// Register a database (data mart) with this service: connect,
+    /// introspect, generate its Lower-Level XSpec, add it to the data
+    /// dictionary, publish its tables to the RLS, and pre-initialize a
+    /// POOL-RAL handle when the vendor is POOL-supported.
+    ///
+    /// This is both the startup path and the runtime **plug-in** path
+    /// (§4.10): "the server is provided the URL of the database … the
+    /// server then downloads the file, parses it, and retrieves the
+    /// metadata about the database."
+    pub fn register_database(&self, url: &str) -> Result<Timed<String>> {
+        let parsed = ConnectionString::parse(url)?;
+        let mut cost;
+        let conn = self.registry.connect_parsed(&parsed)?;
+        cost = conn.cost;
+        let lower = generate_lower_xspec(&conn.value).map_err(CoreError::Vendor)?;
+        cost += lower.cost;
+        let lower = lower.value;
+        let db_name = lower.database.clone();
+        let tables: Vec<String> = lower
+            .tables
+            .iter()
+            .map(|t| t.logical_name())
+            .collect();
+        let entry = UpperEntry {
+            name: db_name.clone(),
+            url: url.to_string(),
+            driver: parsed.vendor.scheme().to_string(),
+            lower_ref: format!("{db_name}.xspec"),
+        };
+        // Seed the schema tracker with the generation-time baseline.
+        self.tracker.lock().check(&lower);
+        self.dict.write().register(entry, lower);
+        self.invalidate_cache();
+        if let Some(rls) = &self.rls {
+            let t = rls.publish(&self.url, &tables);
+            cost += t.cost
+                + self
+                    .topology
+                    .link(&self.host, rls.host())
+                    .round_trip(256, 64);
+        }
+        if parsed.vendor.pool_supported() {
+            let t = self.pool.initialize(url, &self.creds.0, &self.creds.1)?;
+            cost += t.cost;
+        }
+        Ok(Timed::new(db_name, cost))
+    }
+
+    /// Remove a database from this service (dictionary only; RLS entries
+    /// for this server's other tables remain).
+    pub fn unregister_database(&self, name: &str) -> bool {
+        self.invalidate_cache();
+        self.dict.write().unregister(name)
+    }
+
+    /// Logical tables known locally, sorted.
+    pub fn local_tables(&self) -> Vec<String> {
+        self.dict.read().logical_tables()
+    }
+
+    /// A snapshot of the service's data dictionary (used to stand up the
+    /// Unity baseline driver over the same federation for comparisons).
+    pub fn dictionary_snapshot(&self) -> DataDictionary {
+        self.dict.read().clone()
+    }
+
+    /// Registered database names, sorted.
+    pub fn databases(&self) -> Vec<String> {
+        self.dict.read().databases()
+    }
+
+    /// Re-generate the XSpec of every registered database and apply the
+    /// paper's size/md5 change detection (§4.9). Returns the names of
+    /// databases whose schema changed (their dictionary entries are
+    /// refreshed in place).
+    pub fn refresh_schemas(&self) -> Result<Timed<Vec<String>>> {
+        let entries: Vec<(String, String)> = {
+            let dict = self.dict.read();
+            dict.databases()
+                .into_iter()
+                .map(|name| {
+                    let url = dict.entry(&name).expect("listed db has entry").url.clone();
+                    (name, url)
+                })
+                .collect()
+        };
+        let mut changed = Vec::new();
+        let mut cost = Cost::ZERO;
+        for (name, url) in entries {
+            let conn = self.registry.connect(&url)?;
+            cost += conn.cost;
+            let lower = generate_lower_xspec(&conn.value).map_err(CoreError::Vendor)?;
+            cost += lower.cost;
+            let outcome = self.tracker.lock().check(&lower.value);
+            if matches!(outcome, TrackOutcome::Changed { .. }) {
+                self.dict.write().refresh_lower(lower.value)?;
+                self.invalidate_cache();
+                changed.push(name);
+            }
+        }
+        Ok(Timed::new(changed, cost))
+    }
+
+    // ---- query path ----
+
+    /// Describe how a query would execute, without executing it — which
+    /// tables resolve where, what gets pushed down, and which sub-queries
+    /// would be dispatched (an `EXPLAIN` for the federation).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_select(sql)?;
+        let mut stats = QueryStats::default();
+        let mut bd = CostBreakdown::default();
+        let resolved = self.resolve_tables(&stmt, &mut stats, &mut bd)?;
+        let plan = decompose::plan(&stmt, &resolved)?;
+        let mut out = String::new();
+        match plan {
+            QueryPlan::SingleDatabase { location, .. } => {
+                let vendor = VendorKind::from_scheme(&location.driver);
+                let pooled = vendor.is_some_and(|v| v.pool_supported())
+                    && self.pool.has_handle(&location.url);
+                out.push_str(&format!(
+                    "plan: SINGLE DATABASE
+  push entire statement to `{}` ({}) via {}
+",
+                    location.database,
+                    location.vendor,
+                    if pooled {
+                        "POOL-RAL (pooled handle)"
+                    } else {
+                        "Unity/JDBC (fresh connection)"
+                    }
+                ));
+            }
+            QueryPlan::ForwardAll { server_url, .. } => {
+                out.push_str(&format!(
+                    "plan: FORWARD ALL
+  forward entire statement to remote server {server_url}
+"
+                ));
+            }
+            QueryPlan::Federated { tasks, .. } => {
+                out.push_str(&format!(
+                    "plan: FEDERATED ({} sub-queries)
+",
+                    tasks.len()
+                ));
+                for task in &tasks {
+                    let sub = render_select(&task.subquery, &NeutralStyle);
+                    match &task.home {
+                        Home::Local(loc) => out.push_str(&format!(
+                            "  fetch `{}` from `{}` ({}): {sub}
+",
+                            task.table, loc.database, loc.vendor
+                        )),
+                        Home::Remote { server_url } => out.push_str(&format!(
+                            "  fetch `{}` via RLS from {server_url}: {sub}
+",
+                            task.table
+                        )),
+                    }
+                }
+                out.push_str(
+                    "  integrate at mediator: cross-database joins, residual predicates, aggregation, ORDER BY, LIMIT
+",
+                );
+            }
+        }
+        if stats.rls_lookups > 0 {
+            out.push_str(&format!("  ({} RLS lookups required)
+", stats.rls_lookups));
+        }
+        Ok(out)
+    }
+
+    /// Execute a SQL query against the federation.
+    pub fn query(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
+        // Result cache fast path: a hit costs one dictionary probe.
+        if let Some(cache) = self.cache.lock().as_ref() {
+            if let Some(hit) = cache.get(sql) {
+                let mut outcome = hit.clone();
+                outcome.stats.cache_hit = true;
+                return Ok(Timed::new(outcome, Cost::from_micros(300)));
+            }
+        }
+        let mut stats = QueryStats::default();
+        let mut bd = CostBreakdown {
+            plan: self.params.sql_parse,
+            ..CostBreakdown::default()
+        };
+        let stmt = parse_select(sql)?;
+        stats.tables = stmt.table_refs().len();
+
+        // Resolve every unique table up front, charging RLS lookups.
+        let resolved = self.resolve_tables(&stmt, &mut stats, &mut bd)?;
+        bd.plan += self.params.plan_decompose;
+        let plan = decompose::plan(&stmt, &resolved)?;
+
+        let result = match plan {
+            QueryPlan::SingleDatabase { location, stmt } => {
+                self.exec_single(&location, &stmt, &mut stats, &mut bd)?
+            }
+            QueryPlan::ForwardAll { server_url, stmt } => {
+                self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd)?
+            }
+            QueryPlan::Federated { tasks, stmt } => {
+                self.exec_federated(tasks, &stmt, &mut stats, &mut bd)?
+            }
+        };
+
+        stats.rows_returned = result.rows.len();
+        bd.serialize += self
+            .params
+            .per_row_serialize
+            .scale(result.rows.len() as f64);
+        stats.breakdown = bd;
+        let total = bd.total();
+        let outcome = QueryOutcome { result, stats };
+        if let Some(cache) = self.cache.lock().as_mut() {
+            cache.insert(sql.to_string(), outcome.clone());
+        }
+        Ok(Timed::new(outcome, total))
+    }
+
+    /// Resolve the tables of a statement: dictionary first, RLS fallback.
+    fn resolve_tables(
+        &self,
+        stmt: &SelectStmt,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) -> Result<ResolvedTables> {
+        let dict = self.dict.read();
+        let mut homes = HashMap::new();
+        let mut cols = HashMap::new();
+        let mut servers: Vec<String> = vec![self.url.clone()];
+        let mut databases: Vec<String> = Vec::new();
+        for tref in stmt.table_refs() {
+            let key = tref.name.to_ascii_lowercase();
+            if homes.contains_key(&key) {
+                continue;
+            }
+            let locations = dict.resolve_table(&key);
+            if !locations.is_empty() {
+                let loc = self
+                    .policy
+                    .choose(&locations, &self.host, &self.topology)
+                    .expect("non-empty candidates")
+                    .clone();
+                if !databases.contains(&loc.database) {
+                    databases.push(loc.database.clone());
+                }
+                cols.insert(key.clone(), dict.columns_of(&key).ok());
+                homes.insert(key, Home::Local(loc));
+                continue;
+            }
+            // "If the tables requested are not registered with the JClarens
+            // server, the RLS is used to lookup the physical locations."
+            let Some(rls) = &self.rls else {
+                return Err(CoreError::TableNotFound(tref.name.clone()));
+            };
+            let lookup = rls.lookup_from(&self.host, &self.topology, &key);
+            stats.rls_lookups += 1;
+            bd.rls += lookup.cost;
+            let url = lookup
+                .value
+                .into_iter()
+                .find(|u| u != &self.url)
+                .ok_or_else(|| CoreError::TableNotFound(tref.name.clone()))?;
+            if !servers.contains(&url) {
+                servers.push(url.clone());
+            }
+            cols.insert(key.clone(), None);
+            homes.insert(key, Home::Remote { server_url: url });
+        }
+        stats.servers = servers.len();
+        stats.databases = databases.len()
+            + homes
+                .values()
+                .filter(|h| matches!(h, Home::Remote { .. }))
+                .count();
+        Ok(ResolvedTables { homes, cols })
+    }
+
+    /// Fast path: the whole statement runs in one local database.
+    fn exec_single(
+        &self,
+        location: &gridfed_xspec::dict::TableLocation,
+        stmt: &SelectStmt,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) -> Result<ResultSet> {
+        stats.subqueries = 1;
+        let vendor = VendorKind::from_scheme(&location.driver)
+            .ok_or_else(|| CoreError::Internal(format!("unknown driver {}", location.driver)))?;
+        let (result, exec_cost, db_host) = if vendor.pool_supported()
+            && self.pool.has_handle(&location.url)
+        {
+            // POOL-RAL path over the pooled handle: no connection setup.
+            stats.pooled_hits += 1;
+            let t = self.pool.execute_stmt(&location.url, stmt)?;
+            let (host, _) =
+                gridfed_vendors::driver::server_address(&ConnectionString::parse(&location.url)?);
+            (t.value, t.cost, host)
+        } else {
+            // Unity/JDBC path: fresh connection.
+            let conn = self.registry.connect(&location.url)?;
+            stats.connections_opened += 1;
+            bd.connect += conn.cost;
+            let t = conn.value.query_stmt(stmt)?;
+            (t.value, t.cost, conn.value.server().host().to_string())
+        };
+        stats.rows_fetched = result.rows.len();
+        stats.bytes_fetched = result.wire_size();
+        self.check_memory(stats.bytes_fetched)?;
+        let transfer = self
+            .topology
+            .transfer(&db_host, &self.host, result.wire_size());
+        bd.execute += exec_cost + transfer;
+        Ok(result)
+    }
+
+    /// Forward the entire statement to one remote Clarens server.
+    fn exec_forward_all(
+        &self,
+        server_url: &str,
+        stmt: &SelectStmt,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) -> Result<ResultSet> {
+        stats.subqueries = 1;
+        stats.remote_forwards = 1;
+        let (client, login_cost) = self.remote_client(server_url)?;
+        bd.connect += login_cost;
+        let sql = render_select(stmt, &NeutralStyle);
+        let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+        bd.execute += t.cost + self.params.remote_forward;
+        let partial = wire_to_partial("forwarded", &t.value)?;
+        stats.rows_fetched = partial.rows.len();
+        stats.bytes_fetched = partial.wire_size();
+        self.check_memory(stats.bytes_fetched)?;
+        Ok(ResultSet {
+            columns: partial.columns,
+            rows: partial.rows,
+        })
+    }
+
+    /// The general federated path: scatter sub-queries, gather partials,
+    /// integrate.
+    fn exec_federated(
+        &self,
+        tasks: Vec<decompose::TableTask>,
+        stmt: &SelectStmt,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) -> Result<ResultSet> {
+        stats.distributed = true;
+        stats.subqueries = tasks.len();
+
+        // Group tasks into branches: one per local database, one per
+        // remote server.
+        let mut local_groups: HashMap<String, (String, Vec<decompose::TableTask>)> =
+            HashMap::new();
+        let mut remote_groups: HashMap<String, Vec<decompose::TableTask>> = HashMap::new();
+        for task in tasks {
+            match &task.home {
+                Home::Local(loc) => {
+                    local_groups
+                        .entry(loc.database.clone())
+                        .or_insert_with(|| (loc.url.clone(), Vec::new()))
+                        .1
+                        .push(task);
+                }
+                Home::Remote { server_url } => {
+                    remote_groups
+                        .entry(server_url.clone())
+                        .or_default()
+                        .push(task);
+                }
+            }
+        }
+
+        // Connection establishment. The 2005 JDBC DriverManager serializes
+        // connection setup, so the distributed path pays the *sum* of
+        // connect+auth costs — the dominant term of Table 1's >10× penalty.
+        enum Branch {
+            Local {
+                conn: gridfed_vendors::Connection,
+                pooled_url: Option<String>,
+                tasks: Vec<decompose::TableTask>,
+            },
+            Remote {
+                client: ClarensClient,
+                tasks: Vec<decompose::TableTask>,
+            },
+        }
+        let mut branches = Vec::new();
+        let mut sorted_local: Vec<(String, (String, Vec<decompose::TableTask>))> =
+            local_groups.into_iter().collect();
+        sorted_local.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_db, (url, tasks)) in sorted_local {
+            let parsed = ConnectionString::parse(&url)?;
+            let pooled = self.conn_policy == ConnectionPolicy::Pooled
+                && parsed.vendor.pool_supported()
+                && self.pool.has_handle(&url);
+            if pooled {
+                stats.pooled_hits += 1;
+                // Reuse the pooled handle: no connect cost; route through
+                // POOL-RAL in the branch below.
+                let conn = self.registry.connect_parsed(&parsed)?.value;
+                branches.push(Branch::Local {
+                    conn,
+                    pooled_url: Some(url),
+                    tasks,
+                });
+            } else {
+                let conn = self.registry.connect_parsed(&parsed)?;
+                stats.connections_opened += 1;
+                bd.connect += conn.cost;
+                branches.push(Branch::Local {
+                    conn: conn.value,
+                    pooled_url: None,
+                    tasks,
+                });
+            }
+        }
+        let mut sorted_remote: Vec<(String, Vec<decompose::TableTask>)> =
+            remote_groups.into_iter().collect();
+        sorted_remote.sort_by(|a, b| a.0.cmp(&b.0));
+        for (url, tasks) in sorted_remote {
+            stats.remote_forwards += tasks.len();
+            let (client, login_cost) = self.remote_client(&url)?;
+            bd.connect += login_cost;
+            branches.push(Branch::Remote { client, tasks });
+        }
+
+        // Scatter: really-parallel dispatch with crossbeam scoped threads.
+        type BranchOut = Result<(Vec<Partial>, Cost)>;
+        let run_local = |conn: &gridfed_vendors::Connection,
+                         pooled_url: &Option<String>,
+                         tasks: &[decompose::TableTask]|
+         -> BranchOut {
+            let mut cost = Cost::ZERO;
+            let mut partials = Vec::with_capacity(tasks.len());
+            for task in tasks {
+                let t = match pooled_url {
+                    Some(url) => self.pool.execute_stmt(url, &task.subquery)?,
+                    None => {
+                        let t = conn.query_stmt(&task.subquery)?;
+                        Timed::new(t.value, t.cost)
+                    }
+                };
+                let transfer = self.topology.transfer(
+                    conn.server().host(),
+                    &self.host,
+                    t.value.wire_size(),
+                );
+                cost += t.cost + transfer;
+                partials.push(Partial::from_result(task.table.clone(), t.value));
+            }
+            Ok((partials, cost))
+        };
+        let run_remote =
+            |client: &ClarensClient, tasks: &[decompose::TableTask]| -> BranchOut {
+                let mut cost = Cost::ZERO;
+                let mut partials = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    let sql = render_select(&task.subquery, &NeutralStyle);
+                    let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+                    cost += t.cost + self.params.remote_forward;
+                    partials.push(wire_to_partial(&task.table, &t.value)?);
+                }
+                Ok((partials, cost))
+            };
+
+        let outcomes: Vec<BranchOut> = match self.dispatch {
+            DispatchMode::Parallel => crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = branches
+                    .iter()
+                    .map(|b| {
+                        scope.spawn(move |_| match b {
+                            Branch::Local {
+                                conn,
+                                pooled_url,
+                                tasks,
+                            } => run_local(conn, pooled_url, tasks),
+                            Branch::Remote { client, tasks } => run_remote(client, tasks),
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("branch thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope"),
+            DispatchMode::Sequential => branches
+                .iter()
+                .map(|b| match b {
+                    Branch::Local {
+                        conn,
+                        pooled_url,
+                        tasks,
+                    } => run_local(conn, pooled_url, tasks),
+                    Branch::Remote { client, tasks } => run_remote(client, tasks),
+                })
+                .collect(),
+        };
+
+        // Gather.
+        let mut partials = Vec::new();
+        let mut branch_costs = Vec::new();
+        for out in outcomes {
+            let (p, c) = out?;
+            partials.extend(p);
+            branch_costs.push(c);
+        }
+        bd.execute += match self.dispatch {
+            DispatchMode::Parallel => Cost::par_all(branch_costs),
+            DispatchMode::Sequential => branch_costs.into_iter().sum(),
+        };
+
+        stats.rows_fetched = partials.iter().map(|p| p.rows.len()).sum();
+        stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
+        self.check_memory(stats.bytes_fetched)?;
+        bd.integrate += self
+            .params
+            .per_row_merge
+            .scale(stats.rows_fetched as f64);
+        federate::integrate(stmt, &partials)
+    }
+
+    /// Get (or create + login) the pooled Clarens client for a remote
+    /// server. Returns the client and the login cost charged (zero when
+    /// the session already exists).
+    fn remote_client(&self, server_url: &str) -> Result<(ClarensClient, Cost)> {
+        let mut clients = self.remote_clients.lock();
+        if let Some(c) = clients.get(server_url) {
+            return Ok((c.clone(), Cost::ZERO));
+        }
+        let mut client = ClarensClient::connect(
+            &self.directory,
+            server_url,
+            Arc::clone(&self.topology),
+            self.host.clone(),
+        )?;
+        let login = client.login(&self.creds.0, &self.creds.1)?;
+        clients.insert(server_url.to_string(), client.clone());
+        Ok((client, login.cost))
+    }
+}
+
+/// Pre-resolved tables handed to the decomposer.
+struct ResolvedTables {
+    homes: HashMap<String, Home>,
+    cols: HashMap<String, Option<Vec<String>>>,
+}
+
+impl TableResolver for ResolvedTables {
+    fn resolve(&self, logical: &str) -> Result<Home> {
+        self.homes
+            .get(logical)
+            .cloned()
+            .ok_or_else(|| CoreError::TableNotFound(logical.to_string()))
+    }
+
+    fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
+        self.cols.get(logical).cloned().flatten()
+    }
+}
+
+// ---- wire conversions ----
+
+/// Typed result → wire form: `List([List(columns), List(rows…)])` where
+/// each row is a `List` of scalars.
+pub fn result_to_wire(rs: &ResultSet) -> WireValue {
+    let columns = WireValue::List(
+        rs.columns
+            .iter()
+            .map(|c| WireValue::Str(c.clone()))
+            .collect(),
+    );
+    let rows = WireValue::List(
+        rs.rows
+            .iter()
+            .map(|r| WireValue::List(r.values().iter().map(value_to_wire).collect()))
+            .collect(),
+    );
+    WireValue::List(vec![columns, rows])
+}
+
+/// Wire form → a typed partial.
+pub fn wire_to_partial(table: &str, wire: &WireValue) -> Result<Partial> {
+    let WireValue::List(parts) = wire else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "expected typed result list".into(),
+        )));
+    };
+    let [cols, rows] = parts.as_slice() else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "typed result must have two parts".into(),
+        )));
+    };
+    let WireValue::List(cols) = cols else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "columns must be a list".into(),
+        )));
+    };
+    let columns: Vec<String> = cols
+        .iter()
+        .map(|c| c.as_str().map(str::to_string).map_err(CoreError::Rpc))
+        .collect::<Result<_>>()?;
+    let WireValue::List(rows) = rows else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "rows must be a list".into(),
+        )));
+    };
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for r in rows {
+        let WireValue::List(cells) = r else {
+            return Err(CoreError::Rpc(ClarensError::BadParams(
+                "row must be a list".into(),
+            )));
+        };
+        out_rows.push(Row::new(
+            cells.iter().map(wire_to_value).collect::<Result<_>>()?,
+        ));
+    }
+    Ok(Partial {
+        table: table.to_string(),
+        columns,
+        rows: out_rows,
+    })
+}
+
+fn value_to_wire(v: &Value) -> WireValue {
+    match v {
+        Value::Null => WireValue::Null,
+        Value::Int(i) => WireValue::Int(*i),
+        Value::Float(x) => WireValue::Float(*x),
+        Value::Text(s) => WireValue::Str(s.clone()),
+        Value::Bool(b) => WireValue::Bool(*b),
+        Value::Bytes(_) => WireValue::Str(v.render()),
+    }
+}
+
+fn wire_to_value(w: &WireValue) -> Result<Value> {
+    Ok(match w {
+        WireValue::Null => Value::Null,
+        WireValue::Int(i) => Value::Int(*i),
+        WireValue::Float(x) => Value::Float(*x),
+        WireValue::Str(s) => Value::Text(s.clone()),
+        WireValue::Bool(b) => Value::Bool(*b),
+        other => {
+            return Err(CoreError::Rpc(ClarensError::BadParams(format!(
+                "unexpected wire value {other:?}"
+            ))))
+        }
+    })
+}
+
+// ---- Clarens service binding ----
+
+impl Service for DataAccessService {
+    fn name(&self) -> &str {
+        "das"
+    }
+
+    fn methods(&self) -> Vec<String> {
+        vec![
+            "query".into(),
+            "query_typed".into(),
+            "explain".into(),
+            "tables".into(),
+            "databases".into(),
+            "register_database".into(),
+            "refresh_schemas".into(),
+        ]
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        params: &[WireValue],
+    ) -> gridfed_clarens::Result<Timed<WireValue>> {
+        let fault = |e: CoreError| ClarensError::ServiceFault(e.to_string());
+        match method {
+            // The paper's client-facing form: a 2-D vector of strings.
+            "query" => {
+                let sql = params
+                    .first()
+                    .ok_or_else(|| ClarensError::BadParams("query(sql) needs 1 param".into()))?
+                    .as_str()?;
+                let t = self.query(sql).map_err(fault)?;
+                Ok(Timed::new(
+                    WireValue::Grid(t.value.result.to_vector()),
+                    t.cost,
+                ))
+            }
+            // Mediator-to-mediator form: typed rows.
+            "query_typed" => {
+                let sql = params
+                    .first()
+                    .ok_or_else(|| ClarensError::BadParams("query_typed(sql) needs 1 param".into()))?
+                    .as_str()?;
+                let t = self.query(sql).map_err(fault)?;
+                Ok(Timed::new(result_to_wire(&t.value.result), t.cost))
+            }
+            "explain" => {
+                let sql = params
+                    .first()
+                    .ok_or_else(|| ClarensError::BadParams("explain(sql) needs 1 param".into()))?
+                    .as_str()?;
+                let t = self.explain(sql).map_err(fault)?;
+                Ok(Timed::new(WireValue::Str(t), Cost::from_millis(2)))
+            }
+            "tables" => Ok(Timed::new(
+                WireValue::List(
+                    self.local_tables()
+                        .into_iter()
+                        .map(WireValue::Str)
+                        .collect(),
+                ),
+                Cost::from_micros(200),
+            )),
+            "databases" => Ok(Timed::new(
+                WireValue::List(
+                    self.databases().into_iter().map(WireValue::Str).collect(),
+                ),
+                Cost::from_micros(200),
+            )),
+            "register_database" => {
+                let url = params
+                    .first()
+                    .ok_or_else(|| {
+                        ClarensError::BadParams("register_database(url) needs 1 param".into())
+                    })?
+                    .as_str()?;
+                let t = self.register_database(url).map_err(fault)?;
+                Ok(Timed::new(WireValue::Str(t.value), t.cost))
+            }
+            "refresh_schemas" => {
+                let t = self.refresh_schemas().map_err(fault)?;
+                Ok(Timed::new(
+                    WireValue::List(t.value.into_iter().map(WireValue::Str).collect()),
+                    t.cost,
+                ))
+            }
+            other => Err(ClarensError::NoMethod {
+                service: "das".into(),
+                method: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridBuilder;
+
+    #[test]
+    fn explain_describes_each_plan_shape() {
+        let grid = GridBuilder::new().with_seed(23).build().expect("grid");
+        let das = grid.service(0);
+
+        let single = das
+            .explain("SELECT e_id FROM ntuple_events WHERE e_id < 5")
+            .expect("explain single");
+        assert!(single.contains("SINGLE DATABASE"), "{single}");
+        assert!(single.contains("POOL-RAL"), "{single}");
+
+        let fed = das
+            .explain(
+                "SELECT e.e_id FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE e.energy > 1.0",
+            )
+            .expect("explain federated");
+        assert!(fed.contains("FEDERATED (2 sub-queries)"), "{fed}");
+        assert!(fed.contains("mart_mysql"), "{fed}");
+        assert!(fed.contains("energy"), "pushed predicate shown: {fed}");
+
+        let fwd = das
+            .explain("SELECT mean_value FROM detector_summary")
+            .expect("explain forward");
+        assert!(fwd.contains("FORWARD ALL"), "{fwd}");
+        assert!(fwd.contains("RLS"), "{fwd}");
+
+        // explain is side-effect-free: no partial results appear anywhere,
+        // and the query still runs fine afterwards.
+        assert!(das.query("SELECT e_id FROM ntuple_events WHERE e_id < 3").is_ok());
+    }
+
+    #[test]
+    fn memory_guard_bounds_partial_materialization() {
+        let grid = GridBuilder::new().with_seed(37).build().expect("grid");
+        let das = grid.service(0);
+        let sql = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                   JOIN run_summary s ON e.run_id = s.run_id";
+
+        // Unbounded: works, and reports how much it materialized.
+        let ok = das.query(sql).expect("unbounded");
+        assert!(ok.value.stats.bytes_fetched > 0);
+
+        // A guard below the query's needs rejects it cleanly.
+        das.set_memory_limit(Some(64));
+        let err = das.query(sql).unwrap_err();
+        assert!(
+            matches!(err, CoreError::MemoryLimit { needed, limit: 64 } if needed > 64),
+            "got {err:?}"
+        );
+
+        // A generous guard admits it; removing the guard restores default.
+        das.set_memory_limit(Some(10 << 20));
+        assert!(das.query(sql).is_ok());
+        das.set_memory_limit(None);
+        assert!(das.query(sql).is_ok());
+    }
+
+    #[test]
+    fn result_cache_serves_hits_until_invalidated() {
+        let grid = GridBuilder::new().with_seed(29).build().expect("grid");
+        let das = grid.service(0);
+        let sql = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                   JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 10";
+
+        // Off by default.
+        let cold = das.query(sql).expect("cold");
+        assert!(!cold.value.stats.cache_hit);
+        let again = das.query(sql).expect("again");
+        assert!(!again.value.stats.cache_hit, "cache is opt-in");
+
+        das.set_cache_enabled(true);
+        let miss = das.query(sql).expect("miss");
+        assert!(!miss.value.stats.cache_hit);
+        let hit = das.query(sql).expect("hit");
+        assert!(hit.value.stats.cache_hit);
+        assert_eq!(hit.value.result, miss.value.result);
+        assert!(
+            hit.cost.as_millis_f64() < 5.0,
+            "cache hit should be nearly free, was {}",
+            hit.cost
+        );
+
+        // Dictionary changes invalidate.
+        das.unregister_database("mart_mssql");
+        // run_summary is gone now; re-querying must NOT serve stale rows.
+        assert!(das.query(sql).is_err(), "stale cache must not answer");
+
+        das.set_cache_enabled(false);
+        let off = das.query("SELECT e_id FROM ntuple_events WHERE e_id < 2").expect("off");
+        assert!(!off.value.stats.cache_hit);
+    }
+
+    #[test]
+    fn explain_available_over_rpc() {
+        let grid = GridBuilder::new().with_seed(23).build().expect("grid");
+        let session = grid.servers[0].login("grid", "grid").expect("login").value;
+        let out = grid.servers[0]
+            .handle(
+                &session,
+                "das",
+                "explain",
+                &[gridfed_clarens::WireValue::Str(
+                    "SELECT e_id FROM ntuple_events".into(),
+                )],
+            )
+            .expect("rpc explain");
+        assert!(out.value.as_str().expect("string plan").contains("plan:"));
+    }
+}

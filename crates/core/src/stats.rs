@@ -1,0 +1,88 @@
+//! Per-query statistics — the numbers behind Table 1 and Figure 6.
+
+use gridfed_simnet::cost::Cost;
+
+/// Statistics for one query through the Data Access Service.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryStats {
+    /// Distinct backend databases touched.
+    pub databases: usize,
+    /// Distinct Clarens servers involved (1 = purely local).
+    pub servers: usize,
+    /// Sub-queries dispatched (local + forwarded).
+    pub subqueries: usize,
+    /// Whether the query was decomposed across databases
+    /// (the "Query Distributed (Yes/No)" column of Table 1).
+    pub distributed: bool,
+    /// Tables referenced by the query (Table 1's last column).
+    pub tables: usize,
+    /// RLS lookups performed.
+    pub rls_lookups: usize,
+    /// Sub-queries forwarded to remote Clarens servers.
+    pub remote_forwards: usize,
+    /// Partial-result rows fetched from backends before integration.
+    pub rows_fetched: usize,
+    /// Bytes of partial results materialized in mediator memory — the
+    /// quantity behind Unity's documented "memory becomes overloaded"
+    /// failure mode, and what the mediator's memory guard bounds.
+    pub bytes_fetched: usize,
+    /// Rows in the final result.
+    pub rows_returned: usize,
+    /// Fresh database connections opened for this query.
+    pub connections_opened: usize,
+    /// Pooled POOL-RAL handles reused.
+    pub pooled_hits: usize,
+    /// Whether this outcome was served from the mediator's result cache.
+    pub cache_hit: bool,
+    /// Virtual-time breakdown.
+    pub breakdown: CostBreakdown,
+}
+
+/// Where the virtual time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Request decode + parse + planning.
+    pub plan: Cost,
+    /// RLS lookups (catalog + network).
+    pub rls: Cost,
+    /// Connection establishment (the distribution penalty).
+    pub connect: Cost,
+    /// Sub-query execution + result transfer (parallel-composed).
+    pub execute: Cost,
+    /// Cross-database join + merge + residual filtering.
+    pub integrate: Cost,
+    /// Final serialization to the client.
+    pub serialize: Cost,
+}
+
+impl CostBreakdown {
+    /// Total virtual time.
+    pub fn total(&self) -> Cost {
+        self.plan + self.rls + self.connect + self.execute + self.integrate + self.serialize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CostBreakdown {
+            plan: Cost::from_millis(2),
+            rls: Cost::from_millis(25),
+            connect: Cost::from_millis(300),
+            execute: Cost::from_millis(40),
+            integrate: Cost::from_millis(10),
+            serialize: Cost::from_millis(3),
+        };
+        assert_eq!(b.total().as_millis_f64(), 380.0);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = QueryStats::default();
+        assert_eq!(s.breakdown.total(), Cost::ZERO);
+        assert!(!s.distributed);
+    }
+}

@@ -1,0 +1,297 @@
+//! Histograms — the JAS-plugin substitute.
+//!
+//! The paper shipped a Java Analysis Studio plug-in "to submit queries for
+//! accessing the data and visualizing the results as histograms". These
+//! histograms consume [`gridfed_sqlkit`]-shaped results via plain `f64`
+//! fills and render as ASCII for the examples.
+
+use gridfed_storage::Value;
+use std::fmt;
+
+/// A fixed-binning 1-D histogram with under/overflow.
+///
+/// ```
+/// use gridfed_ntuple::Histogram1D;
+///
+/// let mut h = Histogram1D::new("energy [GeV]", 4, 0.0, 100.0);
+/// for e in [5.0, 30.0, 31.0, 250.0] {
+///     h.fill(e);
+/// }
+/// assert_eq!(h.bins(), &[1, 2, 0, 0]);
+/// assert_eq!(h.outliers(), (0, 1));
+/// assert!(h.is_conserved());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram1D {
+    title: String,
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    entries: u64,
+    sum: f64,
+}
+
+impl Histogram1D {
+    /// Create a histogram with `nbins` equal bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi` — construction-time misuse.
+    pub fn new(title: impl Into<String>, nbins: usize, lo: f64, hi: f64) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram1D {
+            title: title.into(),
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            entries: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Fill with one value.
+    pub fn fill(&mut self, x: f64) {
+        self.entries += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Guard against float rounding at the upper edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Fill from a column of SQL values; NULLs and non-numerics are skipped
+    /// and counted as rejected.
+    pub fn fill_values<'a>(&mut self, values: impl IntoIterator<Item = &'a Value>) -> usize {
+        let mut rejected = 0;
+        for v in values {
+            match v {
+                Value::Int(i) => self.fill(*i as f64),
+                Value::Float(x) => self.fill(*x),
+                _ => rejected += 1,
+            }
+        }
+        rejected
+    }
+
+    /// Total fills (including under/overflow).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// In-range bin contents.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Under/overflow counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Mean of all filled values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.entries == 0 {
+            None
+        } else {
+            Some(self.sum / self.entries as f64)
+        }
+    }
+
+    /// Conservation check: bins + outliers == entries.
+    pub fn is_conserved(&self) -> bool {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow == self.entries
+    }
+}
+
+impl fmt::Display for Histogram1D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (entries={})", self.title, self.entries)?;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            let lo = self.lo + w * i as f64;
+            let bar_len = (count * 50 / max) as usize;
+            writeln!(
+                f,
+                "[{lo:>9.2}, {:>9.2})  {:>7}  {}",
+                lo + w,
+                count,
+                "#".repeat(bar_len)
+            )?;
+        }
+        if self.underflow + self.overflow > 0 {
+            writeln!(
+                f,
+                "underflow={} overflow={}",
+                self.underflow, self.overflow
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-binning 2-D histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram2D {
+    title: String,
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+    x_bins: usize,
+    y_bins: usize,
+    counts: Vec<u64>,
+    entries: u64,
+    out_of_range: u64,
+}
+
+impl Histogram2D {
+    /// Create a 2-D histogram over `[x_lo,x_hi) × [y_lo,y_hi)`.
+    ///
+    /// # Panics
+    /// Panics on empty ranges or zero bin counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        title: impl Into<String>,
+        x_bins: usize,
+        x_lo: f64,
+        x_hi: f64,
+        y_bins: usize,
+        y_lo: f64,
+        y_hi: f64,
+    ) -> Self {
+        assert!(x_bins > 0 && y_bins > 0, "need at least one bin per axis");
+        assert!(x_lo < x_hi && y_lo < y_hi, "ranges must be non-empty");
+        Histogram2D {
+            title: title.into(),
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+            x_bins,
+            y_bins,
+            counts: vec![0; x_bins * y_bins],
+            entries: 0,
+            out_of_range: 0,
+        }
+    }
+
+    /// Fill with one (x, y) pair.
+    pub fn fill(&mut self, x: f64, y: f64) {
+        self.entries += 1;
+        if x < self.x_lo || x >= self.x_hi || y < self.y_lo || y >= self.y_hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let xw = (self.x_hi - self.x_lo) / self.x_bins as f64;
+        let yw = (self.y_hi - self.y_lo) / self.y_bins as f64;
+        let xi = (((x - self.x_lo) / xw) as usize).min(self.x_bins - 1);
+        let yi = (((y - self.y_lo) / yw) as usize).min(self.y_bins - 1);
+        self.counts[yi * self.x_bins + xi] += 1;
+    }
+
+    /// Count in one cell.
+    pub fn cell(&self, xi: usize, yi: usize) -> u64 {
+        self.counts[yi * self.x_bins + xi]
+    }
+
+    /// Total fills.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Conservation check: cells + out-of-range == entries.
+    pub fn is_conserved(&self) -> bool {
+        self.counts.iter().sum::<u64>() + self.out_of_range == self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_land_in_correct_bins() {
+        let mut h = Histogram1D::new("e", 10, 0.0, 100.0);
+        h.fill(5.0);
+        h.fill(95.0);
+        h.fill(99.9999);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 2);
+        assert!(h.is_conserved());
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let mut h = Histogram1D::new("e", 4, 0.0, 1.0);
+        h.fill(-1.0);
+        h.fill(2.0);
+        h.fill(1.0); // hi edge is exclusive → overflow
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.entries(), 3);
+        assert!(h.is_conserved());
+    }
+
+    #[test]
+    fn fill_values_skips_non_numeric() {
+        let mut h = Histogram1D::new("v", 2, 0.0, 10.0);
+        let vals = vec![
+            Value::Int(1),
+            Value::Float(6.0),
+            Value::Null,
+            Value::Text("x".into()),
+        ];
+        let rejected = h.fill_values(&vals);
+        assert_eq!(rejected, 2);
+        assert_eq!(h.entries(), 2);
+        assert_eq!(h.mean(), Some(3.5));
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_none() {
+        let h = Histogram1D::new("x", 2, 0.0, 1.0);
+        assert_eq!(h.mean(), None);
+        assert!(h.is_conserved());
+    }
+
+    #[test]
+    fn display_contains_bars() {
+        let mut h = Histogram1D::new("demo", 2, 0.0, 2.0);
+        for _ in 0..5 {
+            h.fill(0.5);
+        }
+        let s = h.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn hist2d_cells_and_conservation() {
+        let mut h = Histogram2D::new("xy", 2, 0.0, 2.0, 2, 0.0, 2.0);
+        h.fill(0.5, 0.5);
+        h.fill(1.5, 1.5);
+        h.fill(1.5, 1.5);
+        h.fill(9.0, 0.0);
+        assert_eq!(h.cell(0, 0), 1);
+        assert_eq!(h.cell(1, 1), 2);
+        assert_eq!(h.entries(), 4);
+        assert!(h.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram1D::new("bad", 0, 0.0, 1.0);
+    }
+}

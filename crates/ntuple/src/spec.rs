@@ -1,0 +1,173 @@
+//! Ntuple shape descriptions.
+
+/// Physical category of a generated variable; drives the value distribution
+/// the generator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariableKind {
+    /// Deposited energy in GeV (positive, long-tailed).
+    Energy,
+    /// Momentum component in GeV/c (signed, roughly Gaussian).
+    Momentum,
+    /// A detector-calibration constant (near 1.0, small spread).
+    Calibration,
+    /// An ambient condition (temperature, voltage; slow drift around a
+    /// set-point).
+    Condition,
+    /// A counter (non-negative small integer).
+    Counter,
+}
+
+impl VariableKind {
+    /// Measurement unit label, used in the variables dimension table.
+    pub fn unit(self) -> &'static str {
+        match self {
+            VariableKind::Energy => "GeV",
+            VariableKind::Momentum => "GeV/c",
+            VariableKind::Calibration => "ratio",
+            VariableKind::Condition => "a.u.",
+            VariableKind::Counter => "count",
+        }
+    }
+}
+
+/// One named variable of an ntuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableSpec {
+    /// Name.
+    pub name: String,
+    /// Kind.
+    pub kind: VariableKind,
+}
+
+/// Shape of one ntuple dataset: how many events, which variables, and how
+/// the events spread over runs and detectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtupleSpec {
+    /// Dataset name (becomes the table-name stem).
+    pub name: String,
+    /// Number of events (rows).
+    pub events: usize,
+    /// Variables (columns) — NVAR in HBOOK terms.
+    pub variables: Vec<VariableSpec>,
+    /// Number of runs the events are spread over.
+    pub runs: usize,
+    /// Detector subsystems producing the data.
+    pub detectors: Vec<String>,
+}
+
+impl NtupleSpec {
+    /// A spec with `nvar` auto-named variables cycling through the
+    /// physical kinds.
+    pub fn with_nvar(name: impl Into<String>, events: usize, nvar: usize) -> NtupleSpec {
+        let kinds = [
+            VariableKind::Energy,
+            VariableKind::Momentum,
+            VariableKind::Calibration,
+            VariableKind::Condition,
+            VariableKind::Counter,
+        ];
+        let variables = (0..nvar)
+            .map(|i| {
+                let kind = kinds[i % kinds.len()];
+                VariableSpec {
+                    name: format!("var_{i:03}"),
+                    kind,
+                }
+            })
+            .collect();
+        NtupleSpec {
+            name: name.into(),
+            events,
+            variables,
+            runs: (events / 500).max(1),
+            detectors: vec![
+                "ecal".to_string(),
+                "hcal".to_string(),
+                "tracker".to_string(),
+                "muon".to_string(),
+            ],
+        }
+    }
+
+    /// The paper's testbed scale: ~80 000 rows. One measurement row per
+    /// (event, variable) pair in the normalized schema.
+    pub fn paper_scale() -> NtupleSpec {
+        NtupleSpec::with_nvar("ntuple", 8_000, 10)
+    }
+
+    /// A spec with physically named variables — the shape the examples and
+    /// the grid builder expose, so analysis queries read naturally
+    /// (`WHERE energy > 50.0`).
+    pub fn physics(name: impl Into<String>, events: usize) -> NtupleSpec {
+        let variables = vec![
+            ("energy", VariableKind::Energy),
+            ("px", VariableKind::Momentum),
+            ("py", VariableKind::Momentum),
+            ("pz", VariableKind::Momentum),
+            ("calib", VariableKind::Calibration),
+            ("temp", VariableKind::Condition),
+            ("nhits", VariableKind::Counter),
+        ]
+        .into_iter()
+        .map(|(n, kind)| VariableSpec {
+            name: n.to_string(),
+            kind,
+        })
+        .collect();
+        NtupleSpec {
+            name: name.into(),
+            events,
+            variables,
+            runs: (events / 100).max(4),
+            detectors: vec![
+                "ecal".to_string(),
+                "hcal".to_string(),
+                "tracker".to_string(),
+                "muon".to_string(),
+            ],
+        }
+    }
+
+    /// A small spec for unit tests.
+    pub fn tiny() -> NtupleSpec {
+        NtupleSpec::with_nvar("tiny", 40, 4)
+    }
+
+    /// NVAR — the number of variables.
+    pub fn nvar(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Total measurement rows the normalized schema will hold.
+    pub fn measurement_rows(&self) -> usize {
+        self.events * self.nvar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_nvar_names_and_cycles_kinds() {
+        let s = NtupleSpec::with_nvar("x", 100, 7);
+        assert_eq!(s.nvar(), 7);
+        assert_eq!(s.variables[0].name, "var_000");
+        assert_eq!(s.variables[0].kind, VariableKind::Energy);
+        assert_eq!(s.variables[5].kind, VariableKind::Energy);
+        assert_eq!(s.measurement_rows(), 700);
+    }
+
+    #[test]
+    fn paper_scale_matches_testbed() {
+        let s = NtupleSpec::paper_scale();
+        assert_eq!(s.measurement_rows(), 80_000);
+        assert!(s.runs >= 1);
+    }
+
+    #[test]
+    fn units_are_labelled() {
+        assert_eq!(VariableKind::Energy.unit(), "GeV");
+        assert_eq!(VariableKind::Counter.unit(), "count");
+    }
+}

@@ -1,0 +1,245 @@
+#![warn(missing_docs)]
+//! # gridfed-rls
+//!
+//! The Replica Location Service (paper §4.8): a central catalog mapping
+//! table names to the URLs of the (J)Clarens servers hosting them.
+//!
+//! "Each service instance publishes information about the databases and the
+//! tables it is hosting to the central RLS server. This central RLS server
+//! is contacted when the data access layer does not find a locally
+//! registered table." The RLS is what lets many smaller service instances
+//! collectively cover the full database collection instead of one server
+//! registering everything — quantified by the `ablation_rls` bench.
+
+use gridfed_simnet::cost::Timed;
+use gridfed_simnet::params::CostParams;
+use gridfed_simnet::topology::Topology;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Running statistics of an RLS server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RlsStats {
+    /// Total lookups served.
+    pub lookups: u64,
+    /// Lookups that found at least one server.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Publish calls handled.
+    pub publishes: u64,
+}
+
+/// The central RLS server.
+///
+/// ```
+/// use gridfed_rls::RlsServer;
+///
+/// let rls = RlsServer::new("rls.cern");
+/// rls.publish("clarens://node1:8443/das", &["events".into()]);
+/// let hit = rls.lookup("EVENTS"); // case-insensitive
+/// assert_eq!(hit.value, vec!["clarens://node1:8443/das"]);
+/// ```
+#[derive(Debug)]
+pub struct RlsServer {
+    /// Topology node the server runs on.
+    host: String,
+    /// table logical name → hosting server URLs (sorted for determinism).
+    mappings: RwLock<BTreeMap<String, BTreeSet<String>>>,
+    stats: RwLock<RlsStats>,
+    params: CostParams,
+}
+
+impl RlsServer {
+    /// Create an RLS server on a topology node.
+    pub fn new(host: impl Into<String>) -> Arc<RlsServer> {
+        Arc::new(RlsServer {
+            host: host.into(),
+            mappings: RwLock::new(BTreeMap::new()),
+            stats: RwLock::new(RlsStats::default()),
+            params: CostParams::paper_2005(),
+        })
+    }
+
+    /// The node hosting this RLS.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Publish: `server_url` hosts each of `tables`. Idempotent.
+    pub fn publish(&self, server_url: &str, tables: &[String]) -> Timed<()> {
+        let mut map = self.mappings.write();
+        for t in tables {
+            map.entry(t.to_ascii_lowercase())
+                .or_default()
+                .insert(server_url.to_string());
+        }
+        self.stats.write().publishes += 1;
+        Timed::new(
+            (),
+            self.params.rls_publish.scale(tables.len().max(1) as f64),
+        )
+    }
+
+    /// Remove every mapping for a server (service shutdown).
+    pub fn unpublish_server(&self, server_url: &str) -> Timed<usize> {
+        let mut map = self.mappings.write();
+        let mut removed = 0;
+        map.retain(|_, urls| {
+            if urls.remove(server_url) {
+                removed += 1;
+            }
+            !urls.is_empty()
+        });
+        Timed::new(removed, self.params.rls_publish)
+    }
+
+    /// Look up the servers hosting a table. The cost covers the catalog
+    /// probe; callers add the network round trip from their own host.
+    pub fn lookup(&self, table: &str) -> Timed<Vec<String>> {
+        let map = self.mappings.read();
+        let urls: Vec<String> = map
+            .get(&table.to_ascii_lowercase())
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        let mut stats = self.stats.write();
+        stats.lookups += 1;
+        if urls.is_empty() {
+            stats.misses += 1;
+        } else {
+            stats.hits += 1;
+        }
+        Timed::new(urls, self.params.rls_lookup)
+    }
+
+    /// Look up from a caller on `caller_host`: catalog probe plus the
+    /// request/response round trip across `topology`.
+    pub fn lookup_from(
+        &self,
+        caller_host: &str,
+        topology: &Topology,
+        table: &str,
+    ) -> Timed<Vec<String>> {
+        let t = self.lookup(table);
+        let link = topology.link(caller_host, &self.host);
+        let wire = link.round_trip(table.len() + 64, 64 + 64 * t.value.len());
+        Timed::new(t.value, t.cost + wire)
+    }
+
+    /// Bulk lookup: resolve many tables in one catalog visit. One base
+    /// lookup cost plus a small per-extra-table increment — cheaper than
+    /// N separate round trips (an efficiency refinement of the paper's
+    /// per-table lookups; see `lookup_from` for the per-table form).
+    pub fn lookup_many(&self, tables: &[String]) -> Timed<Vec<(String, Vec<String>)>> {
+        let map = self.mappings.read();
+        let mut out = Vec::with_capacity(tables.len());
+        let mut stats = self.stats.write();
+        for t in tables {
+            let urls: Vec<String> = map
+                .get(&t.to_ascii_lowercase())
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            stats.lookups += 1;
+            if urls.is_empty() {
+                stats.misses += 1;
+            } else {
+                stats.hits += 1;
+            }
+            out.push((t.clone(), urls));
+        }
+        // One probe amortized: base cost + 10% per additional table.
+        let cost = self
+            .params
+            .rls_lookup
+            .scale(1.0 + 0.1 * tables.len().saturating_sub(1) as f64);
+        Timed::new(out, cost)
+    }
+
+    /// All tables currently known, sorted.
+    pub fn tables(&self) -> Vec<String> {
+        self.mappings.read().keys().cloned().collect()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RlsStats {
+        *self.stats.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridfed_simnet::cost::Cost;
+
+    #[test]
+    fn publish_and_lookup() {
+        let rls = RlsServer::new("rls.cern");
+        rls.publish("http://clarens1", &["Events".into(), "runs".into()]);
+        rls.publish("http://clarens2", &["events".into()]);
+        let hit = rls.lookup("EVENTS");
+        assert_eq!(hit.value, vec!["http://clarens1", "http://clarens2"]);
+        assert!(hit.cost > Cost::ZERO);
+        let miss = rls.lookup("nope");
+        assert!(miss.value.is_empty());
+        let stats = rls.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn publish_is_idempotent() {
+        let rls = RlsServer::new("rls");
+        rls.publish("u", &["t".into()]);
+        rls.publish("u", &["t".into()]);
+        assert_eq!(rls.lookup("t").value.len(), 1);
+    }
+
+    #[test]
+    fn unpublish_removes_only_that_server() {
+        let rls = RlsServer::new("rls");
+        rls.publish("a", &["t1".into(), "t2".into()]);
+        rls.publish("b", &["t1".into()]);
+        let removed = rls.unpublish_server("a").value;
+        assert_eq!(removed, 2);
+        assert_eq!(rls.lookup("t1").value, vec!["b"]);
+        assert!(rls.lookup("t2").value.is_empty());
+        assert_eq!(rls.tables(), vec!["t1"]);
+    }
+
+    #[test]
+    fn lookup_from_adds_network_cost() {
+        let rls = RlsServer::new("rls.cern");
+        rls.publish("u", &["t".into()]);
+        let topo = Topology::lan();
+        let local = rls.lookup("t").cost;
+        let remote = rls.lookup_from("tier2.caltech", &topo, "t").cost;
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn bulk_lookup_amortizes_cost() {
+        let rls = RlsServer::new("rls");
+        rls.publish("a", &["t1".into(), "t2".into(), "t3".into()]);
+        let names: Vec<String> = vec!["t1".into(), "t2".into(), "missing".into()];
+        let bulk = rls.lookup_many(&names);
+        assert_eq!(bulk.value.len(), 3);
+        assert_eq!(bulk.value[0].1, vec!["a"]);
+        assert!(bulk.value[2].1.is_empty());
+        // cheaper than three separate probes
+        let single = rls.lookup("t1").cost;
+        assert!(bulk.cost < single.scale(3.0));
+        let stats = rls.stats();
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn results_are_deterministic_order() {
+        let rls = RlsServer::new("rls");
+        rls.publish("zeta", &["t".into()]);
+        rls.publish("alpha", &["t".into()]);
+        assert_eq!(rls.lookup("t").value, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The virtual-time cost algebra.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A virtual duration in microseconds.
+///
+/// `Cost` forms a commutative monoid under `+` (sequential composition,
+/// identity [`Cost::ZERO`]) and under [`Cost::par`] (parallel composition =
+/// `max`, same identity). The mediator uses `+` along a single control path
+/// and `par` across concurrently dispatched sub-queries.
+///
+/// ```
+/// use gridfed_simnet::cost::Cost;
+///
+/// let connect = Cost::from_millis(190);
+/// let query_a = Cost::from_millis(12);
+/// let query_b = Cost::from_millis(30);
+/// // Two sub-queries dispatched in parallel after one connection setup:
+/// let total = connect + query_a.par(query_b);
+/// assert_eq!(total.as_millis_f64(), 220.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost {
+    micros: u64,
+}
+
+impl Cost {
+    /// Zero virtual time.
+    pub const ZERO: Cost = Cost { micros: 0 };
+
+    /// From microseconds.
+    pub const fn from_micros(micros: u64) -> Cost {
+        Cost { micros }
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(millis: u64) -> Cost {
+        Cost {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// From seconds (f64; negative clamps to zero).
+    pub fn from_secs_f64(secs: f64) -> Cost {
+        Cost {
+            micros: (secs.max(0.0) * 1e6) as u64,
+        }
+    }
+
+    /// Microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Milliseconds (fractional).
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Seconds (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Parallel composition: both branches run concurrently, so the
+    /// combined cost is the slower branch.
+    pub fn par(self, other: Cost) -> Cost {
+        Cost {
+            micros: self.micros.max(other.micros),
+        }
+    }
+
+    /// Parallel composition over many branches.
+    pub fn par_all(costs: impl IntoIterator<Item = Cost>) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::par)
+    }
+
+    /// Scale by a factor (e.g. retries, slow-CPU profiles).
+    pub fn scale(self, factor: f64) -> Cost {
+        Cost {
+            micros: (self.micros as f64 * factor.max(0.0)) as u64,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            micros: self.micros.saturating_add(rhs.micros),
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros >= 1_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.micros >= 1_000 {
+            write!(f, "{:.2} ms", self.as_millis_f64())
+        } else {
+            write!(f, "{} µs", self.micros)
+        }
+    }
+}
+
+/// A value paired with the virtual time it took to produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timed<T> {
+    /// The produced value.
+    pub value: T,
+    /// Virtual time spent producing it.
+    pub cost: Cost,
+}
+
+impl<T> Timed<T> {
+    /// Pair a value with its cost.
+    pub fn new(value: T, cost: Cost) -> Self {
+        Timed { value, cost }
+    }
+
+    /// Map the value, keeping the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
+        Timed {
+            value: f(self.value),
+            cost: self.cost,
+        }
+    }
+
+    /// Add extra cost.
+    pub fn charged(mut self, extra: Cost) -> Self {
+        self.cost += extra;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_sequential() {
+        let a = Cost::from_millis(10);
+        let b = Cost::from_millis(5);
+        assert_eq!((a + b).as_millis_f64(), 15.0);
+    }
+
+    #[test]
+    fn par_is_max() {
+        let a = Cost::from_millis(10);
+        let b = Cost::from_millis(25);
+        assert_eq!(a.par(b), b);
+        assert_eq!(Cost::par_all([a, b, Cost::from_millis(7)]), b);
+        assert_eq!(Cost::par_all(std::iter::empty()), Cost::ZERO);
+    }
+
+    #[test]
+    fn identities_hold() {
+        let a = Cost::from_micros(123);
+        assert_eq!(a + Cost::ZERO, a);
+        assert_eq!(a.par(Cost::ZERO), a);
+    }
+
+    #[test]
+    fn saturating_add_never_overflows() {
+        let max = Cost::from_micros(u64::MAX);
+        assert_eq!(max + max, max);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Cost::from_secs_f64(0.5).as_millis_f64(), 500.0);
+        assert_eq!(Cost::from_secs_f64(-1.0), Cost::ZERO);
+        assert_eq!(Cost::from_millis(2).as_micros(), 2000);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Cost::from_micros(12).to_string(), "12 µs");
+        assert_eq!(Cost::from_millis(38).to_string(), "38.00 ms");
+        assert_eq!(Cost::from_secs_f64(2.5).to_string(), "2.500 s");
+    }
+
+    #[test]
+    fn sum_and_timed() {
+        let total: Cost = [Cost::from_millis(1), Cost::from_millis(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_millis_f64(), 3.0);
+        let t = Timed::new(42, Cost::from_millis(1))
+            .map(|v| v * 2)
+            .charged(Cost::from_millis(4));
+        assert_eq!(t.value, 84);
+        assert_eq!(t.cost.as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn scale_clamps_negative() {
+        assert_eq!(Cost::from_millis(10).scale(-3.0), Cost::ZERO);
+        assert_eq!(Cost::from_millis(10).scale(2.0), Cost::from_millis(20));
+    }
+}

@@ -1,0 +1,100 @@
+//! Network links: latency + bandwidth transfer model.
+
+use crate::cost::Cost;
+
+/// A point-to-point network link.
+///
+/// Transfer cost for a payload of `n` bytes is
+/// `latency + n / bandwidth + per_message_overhead`, the standard
+/// first-order LogP-style model. The paper's Figures 4-6 are all, at heart,
+/// plots of this function composed with per-row processing costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way latency.
+    pub latency: Cost,
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message serialization/framing overhead.
+    pub per_message: Cost,
+}
+
+impl Link {
+    /// The paper's testbed: 100 Mbps switched Ethernet LAN. Usable
+    /// bandwidth is derated to ~80% for framing and TCP overhead.
+    pub fn lan_100mbps() -> Link {
+        Link {
+            latency: Cost::from_micros(300),
+            bandwidth_bps: 100e6 / 8.0 * 0.8,
+            per_message: Cost::from_micros(200),
+        }
+    }
+
+    /// A loopback "link" for services co-hosted on one machine.
+    pub fn local() -> Link {
+        Link {
+            latency: Cost::from_micros(20),
+            bandwidth_bps: 4e9,
+            per_message: Cost::from_micros(10),
+        }
+    }
+
+    /// A trans-continental WAN path (the Tier-0 → Tier-2 case the paper
+    /// lists as future work): ~60 ms RTT/2, 10 Mbps usable.
+    pub fn wan() -> Link {
+        Link {
+            latency: Cost::from_millis(30),
+            bandwidth_bps: 10e6 / 8.0,
+            per_message: Cost::from_micros(500),
+        }
+    }
+
+    /// Virtual time to move `bytes` across the link in one message.
+    pub fn transfer(&self, bytes: usize) -> Cost {
+        self.latency + self.per_message + Cost::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Virtual time for a request/response exchange carrying `req` request
+    /// bytes and `resp` response bytes.
+    pub fn round_trip(&self, req: usize, resp: usize) -> Cost {
+        self.transfer(req) + self.transfer(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_linearly_in_payload() {
+        let lan = Link::lan_100mbps();
+        let small = lan.transfer(1_000);
+        let big = lan.transfer(101_000);
+        // Marginal cost of 100 kB at 10 MB/s usable ≈ 10 ms.
+        let delta_ms = big.as_millis_f64() - small.as_millis_f64();
+        assert!((delta_ms - 10.0).abs() < 1.0, "delta was {delta_ms} ms");
+    }
+
+    #[test]
+    fn zero_byte_message_still_pays_latency() {
+        let lan = Link::lan_100mbps();
+        assert!(lan.transfer(0) >= lan.latency);
+    }
+
+    #[test]
+    fn wan_slower_than_lan_slower_than_local() {
+        let payload = 10_000;
+        let local = Link::local().transfer(payload);
+        let lan = Link::lan_100mbps().transfer(payload);
+        let wan = Link::wan().transfer(payload);
+        assert!(local < lan && lan < wan);
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let lan = Link::lan_100mbps();
+        assert_eq!(
+            lan.round_trip(100, 900),
+            lan.transfer(100) + lan.transfer(900)
+        );
+    }
+}

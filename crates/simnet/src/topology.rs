@@ -1,0 +1,133 @@
+//! Named nodes and the links between them — the tiered LHC computing model
+//! in miniature.
+
+use crate::cost::Cost;
+use crate::link::Link;
+use std::collections::HashMap;
+
+/// A network topology: named nodes plus per-pair links, with a default link
+/// for unlisted pairs.
+///
+/// Node names are free-form (`"tier0.cern"`, `"tier2.caltech"`); the
+/// federation layer names Clarens servers and database hosts after them.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    default_link: Link,
+    links: HashMap<(String, String), Link>,
+    nodes: Vec<String>,
+}
+
+impl Topology {
+    /// A topology where every pair uses `default_link`.
+    pub fn uniform(default_link: Link) -> Topology {
+        Topology {
+            default_link,
+            links: HashMap::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The paper's testbed: all nodes on one 100 Mbps LAN.
+    pub fn lan() -> Topology {
+        Topology::uniform(Link::lan_100mbps())
+    }
+
+    /// Register a node name (idempotent). Unregistered names still work;
+    /// registration only aids enumeration.
+    pub fn add_node(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if !self.nodes.contains(&name) {
+            self.nodes.push(name);
+        }
+        self
+    }
+
+    /// Known node names, in registration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Set the link between two nodes (symmetric).
+    pub fn set_link(&mut self, a: &str, b: &str, link: Link) -> &mut Self {
+        self.add_node(a);
+        self.add_node(b);
+        self.links.insert(key(a, b), link);
+        self
+    }
+
+    /// The link between two nodes. Same-node traffic uses the loopback
+    /// profile; unknown pairs fall back to the default link.
+    pub fn link(&self, a: &str, b: &str) -> Link {
+        if a == b {
+            return Link::local();
+        }
+        self.links.get(&key(a, b)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Transfer cost of moving `bytes` from node `a` to node `b`.
+    pub fn transfer(&self, a: &str, b: &str, bytes: usize) -> Cost {
+        self.link(a, b).transfer(bytes)
+    }
+
+    /// The node from `candidates` with the cheapest link to `from`
+    /// (comparing the cost of a small probe message). Implements the
+    /// paper's future-work item: "decide the closest available database
+    /// (in terms of network connectivity) from a set of replicated
+    /// databases."
+    pub fn closest<'a>(&self, from: &str, candidates: &'a [String]) -> Option<&'a String> {
+        candidates
+            .iter()
+            .min_by_key(|c| self.transfer(from, c, 1024))
+    }
+}
+
+fn key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_override_links() {
+        let mut t = Topology::lan();
+        t.set_link("tier0.cern", "tier2.caltech", Link::wan());
+        assert_eq!(t.link("a", "b"), Link::lan_100mbps());
+        assert_eq!(t.link("tier0.cern", "tier2.caltech"), Link::wan());
+        // symmetric
+        assert_eq!(t.link("tier2.caltech", "tier0.cern"), Link::wan());
+    }
+
+    #[test]
+    fn loopback_for_same_node() {
+        let t = Topology::lan();
+        assert_eq!(t.link("x", "x"), Link::local());
+    }
+
+    #[test]
+    fn closest_prefers_cheapest_link() {
+        let mut t = Topology::lan();
+        t.set_link("client", "far", Link::wan());
+        let candidates = vec!["far".to_string(), "near".to_string()];
+        assert_eq!(t.closest("client", &candidates), Some(&"near".to_string()));
+        // co-located replica wins over LAN
+        let candidates = vec!["near".to_string(), "client".to_string()];
+        assert_eq!(
+            t.closest("client", &candidates),
+            Some(&"client".to_string())
+        );
+        assert_eq!(t.closest("client", &[]), None);
+    }
+
+    #[test]
+    fn node_registration_is_idempotent() {
+        let mut t = Topology::lan();
+        t.add_node("a").add_node("a").add_node("b");
+        assert_eq!(t.nodes(), &["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the cost algebra and transfer model — the
+//! experiments' arithmetic must be lawful for their conclusions to mean
+//! anything.
+
+use gridfed_simnet::cost::Cost;
+use gridfed_simnet::disk::DiskProfile;
+use gridfed_simnet::link::Link;
+use proptest::prelude::*;
+
+fn arb_cost() -> impl Strategy<Value = Cost> {
+    (0u64..10_000_000_000).prop_map(Cost::from_micros)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// (Cost, +, ZERO) is a commutative monoid.
+    #[test]
+    fn add_monoid(a in arb_cost(), b in arb_cost(), c in arb_cost()) {
+        prop_assert_eq!(a + Cost::ZERO, a);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// (Cost, par, ZERO) is a commutative idempotent monoid.
+    #[test]
+    fn par_monoid(a in arb_cost(), b in arb_cost(), c in arb_cost()) {
+        prop_assert_eq!(a.par(Cost::ZERO), a);
+        prop_assert_eq!(a.par(b), b.par(a));
+        prop_assert_eq!(a.par(b).par(c), a.par(b.par(c)));
+        prop_assert_eq!(a.par(a), a);
+    }
+
+    /// Parallel composition never exceeds sequential composition, and is
+    /// at least each branch: max(a,b) ≤ a+b and max(a,b) ≥ a.
+    #[test]
+    fn par_bounded_by_seq(a in arb_cost(), b in arb_cost()) {
+        let par = a.par(b);
+        prop_assert!(par <= a + b);
+        prop_assert!(par >= a);
+        prop_assert!(par >= b);
+    }
+
+    /// par distributes over the branch list regardless of order.
+    #[test]
+    fn par_all_is_order_insensitive(mut costs in prop::collection::vec(arb_cost(), 0..8)) {
+        let forward = Cost::par_all(costs.clone());
+        costs.reverse();
+        prop_assert_eq!(Cost::par_all(costs), forward);
+    }
+
+    /// Transfer cost is monotone in payload size on every link profile.
+    #[test]
+    fn transfer_monotone(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+        for link in [Link::local(), Link::lan_100mbps(), Link::wan()] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(link.transfer(lo) <= link.transfer(hi));
+        }
+    }
+
+    /// Transfer is superadditive-ish: one big message never costs more
+    /// than the two halves sent separately (fixed per-message overhead).
+    #[test]
+    fn batching_never_loses(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let link = Link::lan_100mbps();
+        prop_assert!(link.transfer(a + b) <= link.transfer(a) + link.transfer(b));
+    }
+
+    /// Disk staging is monotone and the stage() detour equals write+read.
+    #[test]
+    fn staging_is_consistent(bytes in 0usize..50_000_000) {
+        let d = DiskProfile::ide_2005();
+        prop_assert_eq!(d.stage(bytes), d.write_file(bytes) + d.read_file(bytes));
+        prop_assert!(d.stage(bytes + 1) >= d.stage(bytes));
+    }
+
+    /// scale() respects multiplication laws approximately (integer
+    /// truncation allowed) and exactly for scale(1.0) and scale(0.0).
+    #[test]
+    fn scale_laws(a in arb_cost()) {
+        prop_assert_eq!(a.scale(1.0), a);
+        prop_assert_eq!(a.scale(0.0), Cost::ZERO);
+        prop_assert!(a.scale(2.0) >= a);
+        prop_assert!(a.scale(0.5) <= a);
+    }
+
+    /// Display never panics and always carries a unit.
+    #[test]
+    fn display_total(a in arb_cost()) {
+        let s = a.to_string();
+        prop_assert!(s.ends_with('s') || s.ends_with("µs"), "{s}");
+    }
+}

@@ -1,0 +1,899 @@
+//! Single-context SELECT execution.
+//!
+//! The executor runs a [`SelectStmt`] against any [`TableProvider`]: a local
+//! [`Database`], a vendor connection, or the mediator's set of already-fetched
+//! partial results. Joins use a hash join when the `ON` condition is a simple
+//! column equality, falling back to a nested loop otherwise.
+
+use crate::ast::{DeleteStmt, Expr, JoinKind, OrderItem, SelectItem, SelectStmt, UpdateStmt};
+use crate::error::SqlError;
+use crate::expr::{eval, eval_predicate, AggState, Bindings};
+use crate::render::render_expr_neutral;
+use crate::result::ResultSet;
+use crate::Result;
+use gridfed_storage::{Database, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Source of tables for the executor.
+pub trait TableProvider {
+    /// Schema of a table.
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+    /// All rows of a table.
+    fn table_rows(&self, name: &str) -> Result<Vec<Row>>;
+}
+
+/// [`TableProvider`] over a local storage [`Database`].
+pub struct DatabaseProvider<'a>(pub &'a Database);
+
+impl TableProvider for DatabaseProvider<'_> {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self
+            .0
+            .table(name)
+            .map_err(|_| SqlError::UnknownTable(name.to_string()))?
+            .schema()
+            .clone())
+    }
+
+    fn table_rows(&self, name: &str) -> Result<Vec<Row>> {
+        Ok(self
+            .0
+            .table(name)
+            .map_err(|_| SqlError::UnknownTable(name.to_string()))?
+            .rows())
+    }
+}
+
+/// Intermediate relation: bindings + rows.
+struct Relation {
+    bindings: Bindings,
+    rows: Vec<Row>,
+}
+
+/// Execute a SELECT against a provider.
+pub fn execute_select(stmt: &SelectStmt, provider: &dyn TableProvider) -> Result<ResultSet> {
+    // FROM + JOINs.
+    let mut rel = load(provider, &stmt.from.name, stmt.from.binding())?;
+    for join in &stmt.joins {
+        let right = load(provider, &join.table.name, join.table.binding())?;
+        rel = join_relations(rel, right, join.kind, join.on.as_ref())?;
+    }
+
+    // WHERE.
+    if let Some(pred) = &stmt.where_clause {
+        let bindings = rel.bindings.clone();
+        let mut kept = Vec::with_capacity(rel.rows.len());
+        for row in rel.rows {
+            if eval_predicate(pred, row.values(), &bindings)? {
+                kept.push(row);
+            }
+        }
+        rel.rows = kept;
+    }
+
+    let (columns, mut keyed_rows) = if stmt.is_aggregate() {
+        aggregate_project(stmt, &rel)?
+    } else {
+        plain_project(stmt, &rel)?
+    };
+
+    // ORDER BY: sort on keys computed during projection.
+    if !stmt.order_by.is_empty() {
+        keyed_rows.sort_by(|a, b| {
+            for (i, item) in stmt.order_by.iter().enumerate() {
+                let ord = a.0[i].index_cmp(&b.0[i]);
+                let ord = if item.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut rows: Vec<Row> = keyed_rows.into_iter().map(|(_, r)| r).collect();
+    if stmt.distinct {
+        // Order-preserving dedup keyed on the rendered row (numeric
+        // INT/FLOAT equality folds together, as in SQL DISTINCT).
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| {
+            let key: Vec<Option<String>> = r.values().iter().map(hash_key).collect();
+            seen.insert(key)
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+/// Execute an UPDATE against a mutable database, returning the number of
+/// rows changed.
+///
+/// Semantics match the 2005 backends' autocommit mode: the statement is
+/// validated up front (predicate, assignment types, uniqueness of the
+/// post-image) and then applied atomically by rebuilding the table.
+pub fn execute_update(stmt: &UpdateStmt, db: &mut Database) -> Result<usize> {
+    let table = db
+        .table_mut(&stmt.table)
+        .map_err(|_| SqlError::UnknownTable(stmt.table.clone()))?;
+    let schema = table.schema().clone();
+    let bindings = Bindings::for_table(&stmt.table, &schema.names());
+
+    // Resolve assignment targets.
+    let mut targets = Vec::with_capacity(stmt.assignments.len());
+    for (col, expr) in &stmt.assignments {
+        let idx = schema
+            .index_of(col)
+            .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
+        targets.push((idx, expr));
+    }
+
+    // Build the post-image, validating every row before touching the table.
+    let snapshot = table.rows();
+    let mut new_rows = Vec::with_capacity(snapshot.len());
+    let mut changed = 0usize;
+    for row in &snapshot {
+        let matches = match &stmt.where_clause {
+            Some(pred) => eval_predicate(pred, row.values(), &bindings)?,
+            None => true,
+        };
+        if matches {
+            let mut values = row.values().to_vec();
+            for (idx, expr) in &targets {
+                values[*idx] = eval(expr, row.values(), &bindings)?;
+            }
+            new_rows.push(schema.check_row(values)?);
+            changed += 1;
+        } else {
+            new_rows.push(row.values().to_vec());
+        }
+    }
+    check_unique_post_image(&schema, &new_rows)?;
+
+    table.truncate();
+    for values in new_rows {
+        table.insert(values)?;
+    }
+    Ok(changed)
+}
+
+/// Execute a DELETE against a mutable database, returning the number of
+/// rows removed. Validation-first, like [`execute_update`].
+pub fn execute_delete(stmt: &DeleteStmt, db: &mut Database) -> Result<usize> {
+    let table = db
+        .table_mut(&stmt.table)
+        .map_err(|_| SqlError::UnknownTable(stmt.table.clone()))?;
+    let schema = table.schema().clone();
+    let bindings = Bindings::for_table(&stmt.table, &schema.names());
+    let snapshot = table.rows();
+    let mut keep = Vec::with_capacity(snapshot.len());
+    let mut removed = 0usize;
+    for row in &snapshot {
+        let matches = match &stmt.where_clause {
+            Some(pred) => eval_predicate(pred, row.values(), &bindings)?,
+            None => true,
+        };
+        if matches {
+            removed += 1;
+        } else {
+            keep.push(row.values().to_vec());
+        }
+    }
+    table.truncate();
+    for values in keep {
+        table.insert(values)?;
+    }
+    Ok(removed)
+}
+
+/// Reject a rebuilt table image that would violate a UNIQUE column.
+fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
+    for (idx, col) in schema.columns().iter().enumerate() {
+        if !col.unique {
+            continue;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for values in rows {
+            if let Some(k) = hash_key(&values[idx]) {
+                if !seen.insert(k) {
+                    return Err(SqlError::Storage(
+                        gridfed_storage::StorageError::UniqueViolation {
+                            column: col.name.clone(),
+                            value: values[idx].render(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load(provider: &dyn TableProvider, table: &str, binding: &str) -> Result<Relation> {
+    let schema = provider.table_schema(table)?;
+    let rows = provider.table_rows(table)?;
+    Ok(Relation {
+        bindings: Bindings::for_table(binding, &schema.names()),
+        rows,
+    })
+}
+
+/// If `on` is `left_col = right_col` with one side bound to each input,
+/// return the two positions for a hash join.
+fn equi_join_keys(on: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize, usize)> {
+    if let Expr::Binary {
+        left: l,
+        op: crate::ast::BinaryOp::Eq,
+        right: r,
+    } = on
+    {
+        if let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) {
+            if let (Ok(la), Ok(rb)) = (left.resolve(a), right.resolve(b)) {
+                return Some((la, rb));
+            }
+            if let (Ok(lb), Ok(ra)) = (left.resolve(b), right.resolve(a)) {
+                return Some((lb, ra));
+            }
+        }
+    }
+    None
+}
+
+/// Hash key for a join value; groups numerically equal INT/FLOAT together.
+fn hash_key(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(format!("n{}", *i as f64)),
+        Value::Float(x) => Some(format!("n{x}")),
+        Value::Text(s) => Some(format!("t{s}")),
+        Value::Bool(b) => Some(format!("b{b}")),
+        Value::Bytes(b) => Some(format!("y{b:?}")),
+    }
+}
+
+fn join_relations(
+    left: Relation,
+    right: Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> Result<Relation> {
+    let bindings = left.bindings.concat(&right.bindings);
+    let right_arity = right.bindings.arity();
+    let mut rows = Vec::new();
+
+    // Fast path: hash join on a simple column equality.
+    if kind != JoinKind::Cross {
+        if let Some(on_expr) = on {
+            if let Some((lk, rk)) = equi_join_keys(on_expr, &left.bindings, &right.bindings) {
+                let mut table: HashMap<String, Vec<&Row>> = HashMap::new();
+                for r in &right.rows {
+                    if let Some(k) = hash_key(&r.values()[rk]) {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                for l in &left.rows {
+                    let mut matched = false;
+                    if let Some(k) = hash_key(&l.values()[lk]) {
+                        if let Some(matches) = table.get(&k) {
+                            for r in matches {
+                                rows.push(l.concat(r));
+                                matched = true;
+                            }
+                        }
+                    }
+                    if !matched && kind == JoinKind::LeftOuter {
+                        rows.push(l.concat(&Row::new(vec![Value::Null; right_arity])));
+                    }
+                }
+                return Ok(Relation { bindings, rows });
+            }
+        }
+    }
+
+    // General nested loop.
+    for l in &left.rows {
+        let mut matched = false;
+        for r in &right.rows {
+            let combined = l.concat(r);
+            let keep = match on {
+                Some(cond) => eval_predicate(cond, combined.values(), &bindings)?,
+                None => true,
+            };
+            if keep {
+                rows.push(combined);
+                matched = true;
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            rows.push(l.concat(&Row::new(vec![Value::Null; right_arity])));
+        }
+    }
+    Ok(Relation { bindings, rows })
+}
+
+/// Output column name for a select item.
+fn item_name(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Wildcard => "*".into(),
+        SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => a.clone(),
+            None => match expr {
+                Expr::Column(c) => c.column.clone(),
+                other => render_expr_neutral(other),
+            },
+        },
+    }
+}
+
+/// Expand wildcards into concrete (name, position) pairs.
+fn expand_items(
+    items: &[SelectItem],
+    bindings: &Bindings,
+) -> Result<Vec<(String, ItemPlan)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for pos in 0..bindings.arity() {
+                    out.push((
+                        bindings.name_at(pos).expect("pos in range").to_string(),
+                        ItemPlan::Position(pos),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let positions = bindings.positions_of_qualifier(q);
+                if positions.is_empty() {
+                    return Err(SqlError::UnknownTable(q.clone()));
+                }
+                for pos in positions {
+                    out.push((
+                        bindings.name_at(pos).expect("pos in range").to_string(),
+                        ItemPlan::Position(pos),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                out.push((item_name(item), ItemPlan::Expr(expr.clone())));
+            }
+        }
+    }
+    Ok(out)
+}
+
+enum ItemPlan {
+    Position(usize),
+    Expr(Expr),
+}
+
+type KeyedRows = Vec<(Vec<Value>, Row)>;
+
+/// Project a non-aggregate query; returns column names and rows paired with
+/// their ORDER BY sort keys (computed over the *input* row).
+fn plain_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, KeyedRows)> {
+    let plans = expand_items(&stmt.items, &rel.bindings)?;
+    let columns: Vec<String> = plans.iter().map(|(n, _)| n.clone()).collect();
+    let mut out = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let mut values = Vec::with_capacity(plans.len());
+        for (_, plan) in &plans {
+            match plan {
+                ItemPlan::Position(p) => values.push(row.values()[*p].clone()),
+                ItemPlan::Expr(e) => values.push(eval(e, row.values(), &rel.bindings)?),
+            }
+        }
+        let keys = order_keys(&stmt.order_by, row.values(), &rel.bindings, &columns, &values)?;
+        out.push((keys, Row::new(values)));
+    }
+    Ok((columns, out))
+}
+
+/// Compute ORDER BY sort keys. Each key expression is resolved first against
+/// the output columns (so `ORDER BY alias` works), then against the input
+/// bindings.
+fn order_keys(
+    order_by: &[OrderItem],
+    input: &[Value],
+    bindings: &Bindings,
+    out_columns: &[String],
+    out_values: &[Value],
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        if let Expr::Column(c) = &item.expr {
+            if c.qualifier.is_none() {
+                if let Some(pos) = out_columns
+                    .iter()
+                    .position(|n| n.eq_ignore_ascii_case(&c.column))
+                {
+                    keys.push(out_values[pos].clone());
+                    continue;
+                }
+            }
+        }
+        keys.push(eval(&item.expr, input, bindings)?);
+    }
+    Ok(keys)
+}
+
+/// Group rows and evaluate aggregate projections.
+fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, KeyedRows)> {
+    // Group key: rendered values of the GROUP BY expressions. With no GROUP
+    // BY, everything lands in one global group.
+    let mut groups: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for row in &rel.rows {
+        let mut key_vals = Vec::with_capacity(stmt.group_by.len());
+        for g in &stmt.group_by {
+            key_vals.push(eval(g, row.values(), &rel.bindings)?);
+        }
+        let key_str = key_vals
+            .iter()
+            .map(|v| hash_key(v).unwrap_or_else(|| "∅".into()))
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        match index.get(&key_str) {
+            Some(&i) => groups[i].1.push(row),
+            None => {
+                index.insert(key_str, groups.len());
+                groups.push((key_vals, vec![row]));
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if groups.is_empty() && stmt.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let columns: Vec<String> = stmt.items.iter().map(item_name).collect();
+    for item in &stmt.items {
+        if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+            return Err(SqlError::Unsupported(
+                "wildcard projection in aggregate query".into(),
+            ));
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, rows) in &groups {
+        // HAVING: filter whole groups; the predicate may mix aggregates
+        // and grouping expressions, with SQL's unknown-is-false rule.
+        if let Some(having) = &stmt.having {
+            let verdict = eval_aggregate_expr(having, rows, &rel.bindings)?;
+            let keep = match verdict {
+                Value::Bool(b) => b,
+                Value::Int(i) => i != 0,
+                Value::Null => false,
+                other => {
+                    return Err(SqlError::Eval(format!(
+                        "HAVING must be boolean, got {}",
+                        other.render()
+                    )))
+                }
+            };
+            if !keep {
+                continue;
+            }
+        }
+        let mut values = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let expr = match item {
+                SelectItem::Expr { expr, .. } => expr,
+                _ => unreachable!("wildcards rejected above"),
+            };
+            values.push(eval_aggregate_expr(expr, rows, &rel.bindings)?);
+        }
+        let sample: &[Value] = rows.first().map(|r| r.values()).unwrap_or(&[]);
+        let keys = order_keys(&stmt.order_by, sample, &rel.bindings, &columns, &values)
+            .unwrap_or_else(|_| vec![Value::Null; stmt.order_by.len()]);
+        out.push((keys, Row::new(values)));
+    }
+    Ok((columns, out))
+}
+
+/// Evaluate an expression that may contain aggregate calls over a group.
+fn eval_aggregate_expr(expr: &Expr, rows: &[&Row], bindings: &Bindings) -> Result<Value> {
+    match expr {
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
+            let mut state = AggState::new(*func, *distinct);
+            for row in rows {
+                match arg {
+                    None => state.update(None)?,
+                    Some(a) => {
+                        let v = eval(a, row.values(), bindings)?;
+                        state.update(Some(&v))?;
+                    }
+                }
+            }
+            Ok(state.finish())
+        }
+        _ if !expr.contains_aggregate() => {
+            // A grouping expression: evaluate on the group's first row.
+            match rows.first() {
+                Some(row) => eval(expr, row.values(), bindings),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_aggregate_expr(left, rows, bindings)?;
+            let r = eval_aggregate_expr(right, rows, bindings)?;
+            let e = Expr::binary(Expr::Literal(l), *op, Expr::Literal(r));
+            eval(&e, &[], &Bindings::default())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_aggregate_expr(expr, rows, bindings)?;
+            let e = Expr::Unary {
+                op: *op,
+                expr: Box::new(Expr::Literal(v)),
+            };
+            eval(&e, &[], &Bindings::default())
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_aggregate_expr(expr, rows, bindings)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let e = Expr::Between {
+                expr: Box::new(Expr::Literal(eval_aggregate_expr(expr, rows, bindings)?)),
+                lo: Box::new(Expr::Literal(eval_aggregate_expr(lo, rows, bindings)?)),
+                hi: Box::new(Expr::Literal(eval_aggregate_expr(hi, rows, bindings)?)),
+                negated: *negated,
+            };
+            eval(&e, &[], &Bindings::default())
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let e = Expr::InList {
+                expr: Box::new(Expr::Literal(eval_aggregate_expr(expr, rows, bindings)?)),
+                list: list
+                    .iter()
+                    .map(|i| eval_aggregate_expr(i, rows, bindings).map(Expr::Literal))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            };
+            eval(&e, &[], &Bindings::default())
+        }
+        other => Err(SqlError::Unsupported(format!(
+            "aggregate expression shape: {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use gridfed_storage::{ColumnDef, DataType};
+
+    fn db() -> Database {
+        let mut db = Database::new("mart");
+        let events = Schema::new(vec![
+            ColumnDef::new("e_id", DataType::Int).primary_key(),
+            ColumnDef::new("det_id", DataType::Int),
+            ColumnDef::new("energy", DataType::Float),
+        ])
+        .unwrap();
+        let t = db.create_table("events", events).unwrap();
+        for (id, det, en) in [
+            (1, 10, 5.0),
+            (2, 10, 15.0),
+            (3, 20, 25.0),
+            (4, 20, 35.0),
+            (5, 30, 45.0),
+        ] {
+            t.insert(vec![Value::Int(id), Value::Int(det), Value::Float(en)])
+                .unwrap();
+        }
+        let dets = Schema::new(vec![
+            ColumnDef::new("det_id", DataType::Int).primary_key(),
+            ColumnDef::new("name", DataType::Text),
+        ])
+        .unwrap();
+        let t = db.create_table("detectors", dets).unwrap();
+        for (id, name) in [(10, "ecal"), (20, "hcal")] {
+            t.insert(vec![Value::Int(id), name.into()]).unwrap();
+        }
+        db
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let stmt = parse_select(sql).unwrap();
+        execute_select(&stmt, &DatabaseProvider(&db())).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let r = run("SELECT * FROM events");
+        assert_eq!(r.columns, vec!["e_id", "det_id", "energy"]);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn where_filter_and_projection() {
+        let r = run("SELECT e_id FROM events WHERE energy > 20.0");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.columns, vec!["e_id"]);
+    }
+
+    #[test]
+    fn computed_projection_with_alias() {
+        let r = run("SELECT e_id, energy * 2 AS double_e FROM events WHERE e_id = 1");
+        assert_eq!(r.columns[1], "double_e");
+        assert_eq!(r.rows[0].values()[1], Value::Float(10.0));
+    }
+
+    #[test]
+    fn inner_join_hash_path() {
+        let r = run(
+            "SELECT e.e_id, d.name FROM events e JOIN detectors d ON e.det_id = d.det_id \
+             ORDER BY e.e_id",
+        );
+        assert_eq!(r.len(), 4); // det 30 has no match
+        assert_eq!(r.rows[0].values()[1], Value::Text("ecal".into()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let r = run(
+            "SELECT e.e_id, d.name FROM events e LEFT JOIN detectors d ON e.det_id = d.det_id \
+             ORDER BY e.e_id",
+        );
+        assert_eq!(r.len(), 5);
+        assert!(r.rows[4].values()[1].is_null());
+    }
+
+    #[test]
+    fn comma_join_with_where_equality() {
+        let r = run(
+            "SELECT e.e_id FROM events e, detectors d WHERE e.det_id = d.det_id AND d.name = 'hcal'",
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn join_on_general_condition_uses_nested_loop() {
+        let r = run("SELECT e.e_id FROM events e JOIN detectors d ON e.det_id < d.det_id");
+        // det_id 10 < 20 (ids 1,2); plus everything < nothing else
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let r = run(
+            "SELECT det_id, COUNT(*) AS n, AVG(energy) AS avg_e FROM events \
+             GROUP BY det_id ORDER BY det_id",
+        );
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows[0].values(), &[
+            Value::Int(10),
+            Value::Int(2),
+            Value::Float(10.0)
+        ]);
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let r = run("SELECT COUNT(*), SUM(energy), MIN(energy), MAX(energy) FROM events");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0].values()[0], Value::Int(5));
+        assert_eq!(r.rows[0].values()[3], Value::Float(45.0));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let r = run("SELECT COUNT(*) FROM events WHERE e_id > 100");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0].values()[0], Value::Int(0));
+    }
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let r = run("SELECT MAX(energy) - MIN(energy) AS span FROM events");
+        assert_eq!(r.rows[0].values()[0], Value::Float(40.0));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let r = run(
+            "SELECT det_id, COUNT(*) AS n FROM events GROUP BY det_id \
+             HAVING COUNT(*) > 1 ORDER BY det_id",
+        );
+        assert_eq!(r.len(), 2); // det 30 has a single event
+        let r = run(
+            "SELECT det_id, AVG(energy) AS avg_e FROM events GROUP BY det_id \
+             HAVING AVG(energy) BETWEEN 5.0 AND 31.0 ORDER BY det_id",
+        );
+        assert_eq!(r.len(), 2);
+        // HAVING mixing a grouping column and an aggregate.
+        let r = run(
+            "SELECT det_id FROM events GROUP BY det_id \
+             HAVING det_id > 10 AND COUNT(*) = 2",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0].values()[0], Value::Int(20));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let r = run("SELECT e_id FROM events ORDER BY energy DESC LIMIT 2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0].values()[0], Value::Int(5));
+        assert_eq!(r.rows[1].values()[0], Value::Int(4));
+    }
+
+    #[test]
+    fn order_by_output_alias() {
+        let r = run("SELECT e_id, energy * -1 AS neg FROM events ORDER BY neg");
+        assert_eq!(r.rows[0].values()[0], Value::Int(5));
+    }
+
+    #[test]
+    fn update_changes_matching_rows() {
+        let mut d = db();
+        let stmt = match crate::parser::parse(
+            "UPDATE events SET energy = energy * 2, detector = 'boosted' WHERE det_id = 10",
+        )
+        .unwrap()
+        {
+            crate::ast::Statement::Update(u) => u,
+            _ => panic!(),
+        };
+        // `detector` is not a column of events; expect unknown column
+        assert!(matches!(
+            execute_update(&stmt, &mut d),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        let stmt = match crate::parser::parse(
+            "UPDATE events SET energy = energy * 2 WHERE det_id = 10",
+        )
+        .unwrap()
+        {
+            crate::ast::Statement::Update(u) => u,
+            _ => panic!(),
+        };
+        let n = execute_update(&stmt, &mut d).unwrap();
+        assert_eq!(n, 2);
+        let r = execute_select(
+            &parse_select("SELECT energy FROM events WHERE e_id = 1").unwrap(),
+            &DatabaseProvider(&d),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0].values()[0], Value::Float(10.0));
+        // unaffected row unchanged
+        let r = execute_select(
+            &parse_select("SELECT energy FROM events WHERE e_id = 5").unwrap(),
+            &DatabaseProvider(&d),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0].values()[0], Value::Float(45.0));
+    }
+
+    #[test]
+    fn update_rejecting_duplicate_keys_leaves_table_intact() {
+        let mut d = db();
+        let stmt = match crate::parser::parse("UPDATE events SET e_id = 1").unwrap() {
+            crate::ast::Statement::Update(u) => u,
+            _ => panic!(),
+        };
+        assert!(matches!(
+            execute_update(&stmt, &mut d),
+            Err(SqlError::Storage(
+                gridfed_storage::StorageError::UniqueViolation { .. }
+            ))
+        ));
+        // validation-first: nothing was modified
+        let r = execute_select(
+            &parse_select("SELECT COUNT(*) FROM events").unwrap(),
+            &DatabaseProvider(&d),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0].values()[0], Value::Int(5));
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let mut d = db();
+        let stmt = match crate::parser::parse("DELETE FROM events WHERE energy > 20.0").unwrap() {
+            crate::ast::Statement::Delete(del) => del,
+            _ => panic!(),
+        };
+        assert_eq!(execute_delete(&stmt, &mut d).unwrap(), 3);
+        let r = execute_select(
+            &parse_select("SELECT COUNT(*) FROM events").unwrap(),
+            &DatabaseProvider(&d),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0].values()[0], Value::Int(2));
+        // unfiltered delete empties the table
+        let all = match crate::parser::parse("DELETE FROM events").unwrap() {
+            crate::ast::Statement::Delete(del) => del,
+            _ => panic!(),
+        };
+        assert_eq!(execute_delete(&all, &mut d).unwrap(), 2);
+    }
+
+    #[test]
+    fn scalar_functions_in_queries() {
+        let r = run("SELECT e_id, ROUND(energy) AS e FROM events WHERE e_id = 1");
+        assert_eq!(r.rows[0].values()[1], Value::Float(5.0));
+        let r = run("SELECT COUNT(*) FROM events WHERE ABS(energy - 25.0) < 0.5");
+        assert_eq!(r.rows[0].values()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_dedupes_rows() {
+        let r = run("SELECT DISTINCT det_id FROM events ORDER BY det_id");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows[0].values()[0], Value::Int(10));
+        // DISTINCT respects multi-column combinations.
+        let r = run("SELECT DISTINCT det_id, e_id FROM events");
+        assert_eq!(r.len(), 5);
+        // LIMIT applies after dedup.
+        let r = run("SELECT DISTINCT det_id FROM events ORDER BY det_id LIMIT 2");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let r = run("SELECT d.* FROM events e JOIN detectors d ON e.det_id = d.det_id LIMIT 1");
+        assert_eq!(r.columns, vec!["det_id", "name"]);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let stmt = parse_select("SELECT x FROM missing").unwrap();
+        assert!(matches!(
+            execute_select(&stmt, &DatabaseProvider(&db())),
+            Err(SqlError::UnknownTable(_))
+        ));
+        let stmt = parse_select("SELECT missing_col FROM events").unwrap();
+        assert!(matches!(
+            execute_select(&stmt, &DatabaseProvider(&db())),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_in_join() {
+        let stmt = parse_select(
+            "SELECT det_id FROM events e JOIN detectors d ON e.det_id = d.det_id",
+        )
+        .unwrap();
+        assert!(matches!(
+            execute_select(&stmt, &DatabaseProvider(&db())),
+            Err(SqlError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn in_and_between_filters() {
+        let r = run("SELECT e_id FROM events WHERE e_id IN (1, 3, 99)");
+        assert_eq!(r.len(), 2);
+        let r = run("SELECT e_id FROM events WHERE energy BETWEEN 10.0 AND 30.0");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let r = run(
+            "SELECT a.e_id, b.e_id FROM events a JOIN events b ON a.det_id = b.det_id \
+             WHERE a.e_id < b.e_id",
+        );
+        // pairs within det 10: (1,2); det 20: (3,4)
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,422 @@
+//! Hand-written SQL lexer.
+//!
+//! Accepts the identifier-quoting styles of all four vendors the paper
+//! federates: `"ansi"` (Oracle), `` `backtick` `` (MySQL), `[bracket]`
+//! (MS-SQL), and bare identifiers (SQLite accepts all). The mediator can
+//! therefore parse a query written for any of the backends.
+
+use crate::error::SqlError;
+use crate::Result;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare identifier (original case preserved).
+    Ident(String),
+    /// Quoted identifier (quotes stripped, case preserved exactly).
+    QuotedIdent(String),
+    /// String literal (quotes stripped, embedded `''` unescaped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    // punctuation
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `=`.
+    Eq,
+    /// `<>` / `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `;`.
+    Semicolon,
+}
+
+impl Token {
+    /// True if the token is the given keyword (case-insensitive); quoted
+    /// identifiers are never keywords.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::QuotedIdent(s) => format!("quoted `{s}`"),
+            Token::StringLit(s) => format!("string '{s}'"),
+            Token::IntLit(i) => i.to_string(),
+            Token::FloatLit(x) => x.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenize `input` into a vector of tokens.
+///
+/// Comments: `-- line` and `/* block */` are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::StringLit(s));
+                i = next;
+            }
+            '"' | '`' => {
+                let close = c;
+                let (s, next) = lex_delimited(input, i, close)?;
+                tokens.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            '[' => {
+                let (s, next) = lex_delimited(input, i, ']')?;
+                tokens.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lex a `'...'` string literal with `''` escaping, starting at the quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Keep multi-byte UTF-8 intact by slicing on char boundaries.
+            let ch = input[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(SqlError::Lex {
+        pos: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+/// Lex a delimited identifier starting at the opening delimiter.
+fn lex_delimited(input: &str, start: usize, close: char) -> Result<(String, usize)> {
+    let rest = &input[start + 1..];
+    match rest.find(close) {
+        Some(len) => {
+            let name = &rest[..len];
+            if name.is_empty() {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    message: "empty delimited identifier".into(),
+                });
+            }
+            Ok((name.to_string(), start + 1 + len + 1))
+        }
+        None => Err(SqlError::Lex {
+            pos: start,
+            message: format!("unterminated delimited identifier (expected `{close}`)"),
+        }),
+    }
+}
+
+/// Lex an integer or float literal.
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    let tok = if is_float {
+        Token::FloatLit(text.parse().map_err(|_| SqlError::Lex {
+            pos: start,
+            message: format!("bad float literal `{text}`"),
+        })?)
+    } else {
+        Token::IntLit(text.parse().map_err(|_| SqlError::Lex {
+            pos: start,
+            message: format!("integer literal `{text}` out of range"),
+        })?)
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE x >= 1.5").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::FloatLit(1.5)));
+    }
+
+    #[test]
+    fn all_vendor_quoting_styles() {
+        let t = tokenize(r#"SELECT "a", `b`, [c] FROM t"#).unwrap();
+        let quoted: Vec<_> = t
+            .iter()
+            .filter_map(|tok| match tok {
+                Token::QuotedIdent(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quoted, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let t = tokenize("SELECT 'it''s'").unwrap();
+        assert_eq!(t[1], Token::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(
+            tokenize("SELECT 'oops"),
+            Err(SqlError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("SELECT a -- trailing\n FROM /* inline */ t").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(tokenize("SELECT /* oops").is_err());
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        let t = tokenize("1 2.5 3e2 4E-1").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::IntLit(1),
+                Token::FloatLit(2.5),
+                Token::FloatLit(300.0),
+                Token::FloatLit(0.4),
+            ]
+        );
+    }
+
+    #[test]
+    fn neq_both_spellings() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::NotEq]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::NotEq]);
+    }
+
+    #[test]
+    fn dotted_qualified_name() {
+        let t = tokenize("t1.col").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_detection_is_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        let q = tokenize("\"select\"").unwrap();
+        assert!(!q[0].is_kw("SELECT"));
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        match tokenize("SELECT ^") {
+            Err(SqlError::Lex { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        let t = tokenize("SELECT 'μ-tuple'").unwrap();
+        assert_eq!(t[1], Token::StringLit("μ-tuple".into()));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # gridfed-sqlkit
+//!
+//! SQL front-end and single-database execution engine.
+//!
+//! The paper's Data Access Service receives SQL over the Clarens web-service
+//! interface, parses it, splits it into sub-queries, and renders each
+//! sub-query in the dialect of the target database. This crate supplies all
+//! of those pieces:
+//!
+//! - [`lexer`] / [`parser`] — hand-written lexer and recursive-descent
+//!   parser for the SQL subset the prototype supports (`SELECT` with joins,
+//!   predicates, grouping, ordering, limits; `CREATE TABLE`; `INSERT`;
+//!   `CREATE VIEW`).
+//! - [`ast`] — the abstract syntax tree shared by the mediator, the vendor
+//!   dialect renderers, and the executor.
+//! - [`expr`] — SQL three-valued-logic expression evaluation.
+//! - [`exec`] — a Volcano-ish executor over a [`exec::TableProvider`], used
+//!   for per-mart execution and for the mediator's post-merge residual
+//!   processing.
+//! - [`render`] — AST → SQL text, parameterized by a [`render::SqlStyle`] so
+//!   vendor crates can impose their dialect quirks.
+//! - [`result`] — [`ResultSet`], the "single 2-D vector" of the paper.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod render;
+pub mod result;
+
+pub use ast::{Expr, SelectStmt, Statement};
+pub use error::SqlError;
+pub use exec::{execute_select, DatabaseProvider, TableProvider};
+pub use parser::parse;
+pub use render::{render_statement, NeutralStyle, SqlStyle};
+pub use result::ResultSet;
+
+/// Result alias for the SQL layer.
+pub type Result<T> = std::result::Result<T, SqlError>;

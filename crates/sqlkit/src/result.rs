@@ -1,0 +1,157 @@
+//! Result sets: the "single 2-D vector" the paper's service returns.
+
+use gridfed_storage::{Row, Value};
+use std::fmt;
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// An empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Values of one column across all rows (clones).
+    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+        let idx = self.column_index(name)?;
+        Some(
+            self.rows
+                .iter()
+                .map(|r| r.get(idx).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// The paper's wire format: a plain 2-D vector of rendered strings
+    /// (header row first), as returned to Clarens clients.
+    pub fn to_vector(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::with_capacity(self.rows.len() + 1);
+        out.push(self.columns.clone());
+        for row in &self.rows {
+            out.push(row.values().iter().map(Value::render).collect());
+        }
+        out
+    }
+
+    /// Approximate serialized size in bytes (headers + values), used by the
+    /// virtual-time transfer model.
+    pub fn wire_size(&self) -> usize {
+        let header: usize = self.columns.iter().map(|c| c.len() + 4).sum();
+        header + self.rows.iter().map(Row::wire_size).sum::<usize>()
+    }
+
+    /// Append another result set's rows; arity and column names must match.
+    pub fn append(&mut self, mut other: ResultSet) -> Result<(), String> {
+        if self.columns.len() != other.columns.len() {
+            return Err(format!(
+                "cannot merge result sets of arity {} and {}",
+                self.columns.len(),
+                other.columns.len()
+            ));
+        }
+        self.rows.append(&mut other.rows);
+        Ok(())
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Renders an aligned text table — what the JAS-plugin substitute and
+    /// the examples print.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let grid = self.to_vector();
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| grid.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+            .collect();
+        for (i, row) in grid.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)?;
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+                writeln!(f, "{}", "-".repeat(total))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> ResultSet {
+        ResultSet {
+            columns: vec!["id".into(), "energy".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Float(10.5)]),
+                Row::new(vec![Value::Int(2), Value::Null]),
+            ],
+        }
+    }
+
+    #[test]
+    fn vector_form_has_header_row() {
+        let v = rs().to_vector();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], vec!["id", "energy"]);
+        assert_eq!(v[2], vec!["2", "NULL"]);
+    }
+
+    #[test]
+    fn column_access_is_case_insensitive() {
+        let r = rs();
+        assert_eq!(r.column_index("ENERGY"), Some(1));
+        let vals = r.column_values("Id").unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2)]);
+        assert!(r.column_values("nope").is_none());
+    }
+
+    #[test]
+    fn append_checks_arity() {
+        let mut a = rs();
+        let b = rs();
+        a.append(b).unwrap();
+        assert_eq!(a.len(), 4);
+        let bad = ResultSet::empty(vec!["x".into()]);
+        assert!(a.append(bad).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = rs().to_string();
+        assert!(text.contains("id"));
+        assert!(text.contains("10.5"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Named databases: a collection of tables plus a queryable catalog.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// A database: named tables behind a case-insensitive catalog.
+///
+/// `BTreeMap` keyed on the lower-cased name keeps catalog listings in a
+/// deterministic order, which the XSpec generator relies on so that two
+/// generations of an unchanged schema hash identically.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Create a table with the given schema.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(key.clone(), Table::new(name, schema));
+        Ok(self.tables.get_mut(&key).expect("just inserted"))
+    }
+
+    /// Drop a table; errors if absent.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// True if a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables, sorted (original casing preserved).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name().to_string()).collect()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total live rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Total approximate wire size of all table contents.
+    pub fn wire_size(&self) -> usize {
+        self.tables.values().map(Table::wire_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("id", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut db = Database::new("tier2_mysql");
+        db.create_table("Events", schema()).unwrap();
+        assert!(db.has_table("events"));
+        assert!(db.has_table("EVENTS"));
+        assert_eq!(db.table("events").unwrap().name(), "Events");
+        db.drop_table("EvEnTs").unwrap();
+        assert!(!db.has_table("events"));
+        assert!(matches!(
+            db.table("events"),
+            Err(StorageError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new("d");
+        db.create_table("t", schema()).unwrap();
+        assert!(matches!(
+            db.create_table("T", schema()),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_listing_is_sorted_and_counts_rows() {
+        let mut db = Database::new("d");
+        db.create_table("zeta", schema()).unwrap();
+        db.create_table("alpha", schema()).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+        db.table_mut("alpha")
+            .unwrap()
+            .insert(vec![Value::Int(1)])
+            .unwrap();
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(db.table_count(), 2);
+    }
+}

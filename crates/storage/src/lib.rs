@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # gridfed-storage
+//!
+//! An embedded relational storage engine: the substrate standing in for the
+//! Oracle / MySQL / MS-SQL / SQLite servers the paper deployed at the LHC
+//! computing tiers.
+//!
+//! The engine provides typed values, schemas, row stores with optional
+//! ordered (B-tree) secondary indexes, and named databases with a catalog.
+//! It is deliberately small but real: every byte of data that the federation
+//! middleware moves in this repository is stored in — and scanned out of —
+//! these tables.
+//!
+//! The SQL front-end lives in `gridfed-sqlkit`; vendor dialect façades live
+//! in `gridfed-vendors`.
+
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use error::StorageError;
+pub use index::OrderedIndex;
+pub use row::Row;
+pub use schema::{ColumnDef, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};
+
+/// Convenience result alias used throughout the storage engine.
+pub type Result<T> = std::result::Result<T, StorageError>;

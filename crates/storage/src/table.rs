@@ -1,0 +1,365 @@
+//! Row-store tables with schema enforcement and optional per-column indexes.
+
+use crate::error::StorageError;
+use crate::index::OrderedIndex;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A table: a schema, a row store, and zero or more single-column indexes.
+///
+/// Deleted rows leave tombstones (`None`) so index positions stay stable;
+/// `compact` rebuilds the store when tombstones accumulate.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    /// column position -> index
+    indexes: HashMap<usize, OrderedIndex>,
+}
+
+impl Table {
+    /// Create an empty table. UNIQUE columns automatically get an index so
+    /// uniqueness checks are O(log n).
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let mut t = Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+        };
+        let unique_cols: Vec<usize> = t
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique)
+            .map(|(i, _)| i)
+            .collect();
+        for i in unique_cols {
+            t.indexes.insert(i, OrderedIndex::new());
+        }
+        t
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the table holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create an ordered index on `column`. Existing rows are indexed
+    /// immediately. Idempotent.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StorageError::NoSuchColumn(column.to_string()))?;
+        if self.indexes.contains_key(&col) {
+            return Ok(());
+        }
+        let mut ix = OrderedIndex::new();
+        for (pos, row) in self.rows.iter().enumerate() {
+            if let Some(r) = row {
+                ix.insert(r.values()[col].clone(), pos);
+            }
+        }
+        self.indexes.insert(col, ix);
+        Ok(())
+    }
+
+    /// True if `column` has an index.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.schema
+            .index_of(column)
+            .is_some_and(|c| self.indexes.contains_key(&c))
+    }
+
+    /// Insert a row, enforcing schema types, NOT NULL, and UNIQUE.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<usize> {
+        let values = self.schema.check_row(values)?;
+        // Uniqueness: every unique column has an index by construction.
+        for (col_pos, col) in self.schema.columns().iter().enumerate() {
+            if col.unique && !values[col_pos].is_null() {
+                let ix = &self.indexes[&col_pos];
+                if ix.contains(&values[col_pos]) {
+                    return Err(StorageError::UniqueViolation {
+                        column: col.name.clone(),
+                        value: values[col_pos].render(),
+                    });
+                }
+            }
+        }
+        let pos = self.rows.len();
+        for (col_pos, ix) in self.indexes.iter_mut() {
+            ix.insert(values[*col_pos].clone(), pos);
+        }
+        self.rows.push(Some(Row::new(values)));
+        self.live += 1;
+        Ok(pos)
+    }
+
+    /// Insert many rows; stops at the first error, reporting how many rows
+    /// were inserted before it.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delete all rows matching `pred`; returns the number deleted.
+    pub fn delete_where(&mut self, pred: impl Fn(&Row) -> bool) -> usize {
+        let mut deleted = 0;
+        for pos in 0..self.rows.len() {
+            let matches = self.rows[pos].as_ref().is_some_and(&pred);
+            if matches {
+                let row = self.rows[pos].take().expect("checked Some");
+                for (col_pos, ix) in self.indexes.iter_mut() {
+                    ix.remove(&row.values()[*col_pos], pos);
+                }
+                self.live -= 1;
+                deleted += 1;
+            }
+        }
+        deleted
+    }
+
+    /// Remove all rows (keeps schema and index definitions).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.live = 0;
+        for ix in self.indexes.values_mut() {
+            *ix = OrderedIndex::new();
+        }
+    }
+
+    /// Iterate live rows (clones; see type-level docs).
+    pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
+        self.rows.iter().filter_map(|r| r.clone())
+    }
+
+    /// All live rows as a vector.
+    pub fn rows(&self) -> Vec<Row> {
+        self.scan().collect()
+    }
+
+    /// Rows whose `column` equals `value`, via index when available,
+    /// falling back to a full scan otherwise.
+    pub fn lookup(&self, column: &str, value: &Value) -> Result<Vec<Row>> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StorageError::NoSuchColumn(column.to_string()))?;
+        if let Some(ix) = self.indexes.get(&col) {
+            Ok(ix
+                .get(value)
+                .iter()
+                .filter_map(|&p| self.rows[p].clone())
+                .collect())
+        } else {
+            Ok(self
+                .scan()
+                .filter(|r| r.values()[col].sql_eq(value))
+                .collect())
+        }
+    }
+
+    /// Rows whose `column` falls within `[lo, hi]`, via index when
+    /// available. Requires an index (the SQL layer decides the fallback).
+    pub fn range_lookup(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<Row>> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StorageError::NoSuchColumn(column.to_string()))?;
+        let ix = self
+            .indexes
+            .get(&col)
+            .ok_or_else(|| StorageError::NoIndex(column.to_string()))?;
+        Ok(ix
+            .range(lo, hi)
+            .iter()
+            .filter_map(|&p| self.rows[p].clone())
+            .collect())
+    }
+
+    /// Rebuild the row store dropping tombstones; indexes are rebuilt.
+    pub fn compact(&mut self) {
+        let rows: Vec<Row> = self.scan().collect();
+        let cols: Vec<usize> = self.indexes.keys().copied().collect();
+        self.rows = rows.into_iter().map(Some).collect();
+        self.live = self.rows.len();
+        for col in cols {
+            let mut ix = OrderedIndex::new();
+            for (pos, row) in self.rows.iter().enumerate() {
+                if let Some(r) = row {
+                    ix.insert(r.values()[col].clone(), pos);
+                }
+            }
+            self.indexes.insert(col, ix);
+        }
+    }
+
+    /// Approximate wire size of all live rows — what a full dump of this
+    /// table would cost to transfer.
+    pub fn wire_size(&self) -> usize {
+        self.scan().map(|r| r.wire_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn events_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("e_id", DataType::Int).primary_key(),
+            ColumnDef::new("energy", DataType::Float),
+            ColumnDef::new("detector", DataType::Text),
+        ])
+        .unwrap();
+        Table::new("events", schema)
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = events_table();
+        t.insert(vec![Value::Int(1), Value::Float(10.5), "ecal".into()])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Float(20.0), "hcal".into()])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        let rows = t.rows();
+        assert_eq!(rows[0].values()[2], Value::Text("ecal".into()));
+    }
+
+    #[test]
+    fn primary_key_uniqueness_enforced() {
+        let mut t = events_table();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn indexed_lookup_matches_scan() {
+        let mut t = events_table();
+        for i in 0..100 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Float(f64::from(i as i32) * 0.5),
+                if i % 2 == 0 { "ecal" } else { "hcal" }.into(),
+            ])
+            .unwrap();
+        }
+        t.create_index("detector").unwrap();
+        let by_index = t.lookup("detector", &"ecal".into()).unwrap();
+        assert_eq!(by_index.len(), 50);
+        // unindexed column still works via scan
+        let by_scan = t.lookup("energy", &Value::Float(2.5)).unwrap();
+        assert_eq!(by_scan.len(), 1);
+        assert_eq!(by_scan[0].values()[0], Value::Int(5));
+    }
+
+    #[test]
+    fn range_lookup_requires_index() {
+        let mut t = events_table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Null, Value::Null])
+                .unwrap();
+        }
+        // e_id is unique → auto-indexed
+        let hits = t
+            .range_lookup("e_id", Some(&Value::Int(3)), Some(&Value::Int(5)))
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(matches!(
+            t.range_lookup("energy", None, None),
+            Err(StorageError::NoIndex(_))
+        ));
+    }
+
+    #[test]
+    fn delete_updates_len_and_indexes() {
+        let mut t = events_table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Null, "d".into()])
+                .unwrap();
+        }
+        let n = t.delete_where(|r| matches!(r.values()[0], Value::Int(i) if i < 4));
+        assert_eq!(n, 4);
+        assert_eq!(t.len(), 6);
+        assert!(t.lookup("e_id", &Value::Int(2)).unwrap().is_empty());
+        // deleted key can be reinserted
+        t.insert(vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn compact_preserves_content() {
+        let mut t = events_table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Null, Value::Null])
+                .unwrap();
+        }
+        t.delete_where(|r| matches!(r.values()[0], Value::Int(i) if i % 2 == 0));
+        t.compact();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.lookup("e_id", &Value::Int(3)).unwrap().len(), 1);
+        assert_eq!(t.lookup("e_id", &Value::Int(4)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn truncate_empties_but_keeps_indexes() {
+        let mut t = events_table();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert!(t.has_index("e_id"));
+        t.insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn nulls_do_not_violate_unique() {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int).unique()]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Vendor-layer errors.
+
+use gridfed_sqlkit::SqlError;
+use gridfed_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by simulated vendor servers and drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VendorError {
+    /// Connection string did not match the vendor's grammar.
+    BadConnectionString {
+        /// Vendor involved.
+        vendor: String,
+        /// Details.
+        detail: String,
+    },
+    /// No driver registered for a connection-string scheme.
+    NoDriver(String),
+    /// Unknown server host.
+    UnknownServer(String),
+    /// Authentication failed.
+    AuthFailed {
+        /// User that failed to authenticate.
+        user: String,
+    },
+    /// The SQL text uses syntax this vendor's dialect rejects.
+    DialectViolation {
+        /// Vendor involved.
+        vendor: String,
+        /// Details.
+        detail: String,
+    },
+    /// SQL error from the underlying engine.
+    Sql(SqlError),
+    /// Storage error from the underlying engine.
+    Storage(StorageError),
+    /// The connection was closed.
+    ConnectionClosed,
+}
+
+impl fmt::Display for VendorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VendorError::BadConnectionString { vendor, detail } => {
+                write!(f, "bad {vendor} connection string: {detail}")
+            }
+            VendorError::NoDriver(scheme) => {
+                write!(f, "no driver registered for scheme `{scheme}`")
+            }
+            VendorError::UnknownServer(host) => write!(f, "unknown server `{host}`"),
+            VendorError::AuthFailed { user } => {
+                write!(f, "authentication failed for user `{user}`")
+            }
+            VendorError::DialectViolation { vendor, detail } => {
+                write!(f, "{vendor} dialect violation: {detail}")
+            }
+            VendorError::Sql(e) => write!(f, "SQL error: {e}"),
+            VendorError::Storage(e) => write!(f, "storage error: {e}"),
+            VendorError::ConnectionClosed => write!(f, "connection is closed"),
+        }
+    }
+}
+
+impl std::error::Error for VendorError {}
+
+impl From<SqlError> for VendorError {
+    fn from(e: SqlError) -> Self {
+        VendorError::Sql(e)
+    }
+}
+
+impl From<StorageError> for VendorError {
+    fn from(e: StorageError) -> Self {
+        VendorError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VendorError::AuthFailed { user: "cms".into() };
+        assert!(e.to_string().contains("cms"));
+        let e = VendorError::NoDriver("postgres".into());
+        assert!(e.to_string().contains("postgres"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The four vendors of the paper's deployment.
+
+use std::fmt;
+
+/// Database product kinds federated by the prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VendorKind {
+    /// Oracle — Tier-0 warehouse and Tier-1 sources.
+    Oracle,
+    /// MySQL — Tier-2/3 sources and marts.
+    MySql,
+    /// Microsoft SQL Server — marts only (not POOL-supported).
+    MsSql,
+    /// SQLite — disconnected-analysis marts.
+    Sqlite,
+}
+
+impl VendorKind {
+    /// All vendors, in tier order.
+    pub const ALL: [VendorKind; 4] = [
+        VendorKind::Oracle,
+        VendorKind::MySql,
+        VendorKind::MsSql,
+        VendorKind::Sqlite,
+    ];
+
+    /// Human-readable product name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VendorKind::Oracle => "Oracle",
+            VendorKind::MySql => "MySQL",
+            VendorKind::MsSql => "MS-SQL",
+            VendorKind::Sqlite => "SQLite",
+        }
+    }
+
+    /// Connection-string scheme.
+    pub fn scheme(self) -> &'static str {
+        match self {
+            VendorKind::Oracle => "oracle",
+            VendorKind::MySql => "mysql",
+            VendorKind::MsSql => "mssql",
+            VendorKind::Sqlite => "sqlite",
+        }
+    }
+
+    /// Parse a scheme back to a vendor.
+    pub fn from_scheme(scheme: &str) -> Option<VendorKind> {
+        VendorKind::ALL
+            .into_iter()
+            .find(|v| v.scheme().eq_ignore_ascii_case(scheme))
+    }
+
+    /// Whether the POOL-RAL libraries support this backend. Per the paper,
+    /// queries to POOL-supported databases take the POOL-RAL path; the rest
+    /// go through the Unity/JDBC path. POOL supported Oracle, MySQL, and
+    /// SQLite — not MS-SQL.
+    pub fn pool_supported(self) -> bool {
+        !matches!(self, VendorKind::MsSql)
+    }
+
+    /// Default server port (SQLite is file-based: no port).
+    pub fn default_port(self) -> Option<u16> {
+        match self {
+            VendorKind::Oracle => Some(1521),
+            VendorKind::MySql => Some(3306),
+            VendorKind::MsSql => Some(1433),
+            VendorKind::Sqlite => None,
+        }
+    }
+
+    /// Per-vendor performance multiplier applied to query-path costs:
+    /// relative speeds of the 2005-era products on the paper's workload.
+    pub fn perf_multiplier(self) -> f64 {
+        match self {
+            VendorKind::Oracle => 1.0,
+            VendorKind::MySql => 0.85,
+            VendorKind::MsSql => 1.15,
+            // SQLite is in-process: no network stack, cheap reads.
+            VendorKind::Sqlite => 0.4,
+        }
+    }
+
+    /// Connection-establishment multiplier (SQLite opens a file; the rest
+    /// run a wire protocol handshake).
+    pub fn connect_multiplier(self) -> f64 {
+        match self {
+            VendorKind::Oracle => 1.2,
+            VendorKind::MySql => 0.8,
+            VendorKind::MsSql => 1.0,
+            VendorKind::Sqlite => 0.1,
+        }
+    }
+}
+
+impl fmt::Display for VendorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_round_trip() {
+        for v in VendorKind::ALL {
+            assert_eq!(VendorKind::from_scheme(v.scheme()), Some(v));
+        }
+        assert_eq!(VendorKind::from_scheme("ORACLE"), Some(VendorKind::Oracle));
+        assert_eq!(VendorKind::from_scheme("db2"), None);
+    }
+
+    #[test]
+    fn pool_support_excludes_mssql_only() {
+        assert!(VendorKind::Oracle.pool_supported());
+        assert!(VendorKind::MySql.pool_supported());
+        assert!(VendorKind::Sqlite.pool_supported());
+        assert!(!VendorKind::MsSql.pool_supported());
+    }
+
+    #[test]
+    fn sqlite_is_file_based() {
+        assert_eq!(VendorKind::Sqlite.default_port(), None);
+        assert!(VendorKind::Sqlite.connect_multiplier() < 0.5);
+        assert_eq!(VendorKind::MySql.default_port(), Some(3306));
+    }
+}

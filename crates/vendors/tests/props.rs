@@ -1,0 +1,95 @@
+//! Property-based tests for the vendor layer: connection-string grammars
+//! and dialect rendering/checking.
+
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::render::render_select;
+use gridfed_vendors::{dialect_for, ConnectionString, VendorKind};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every vendor's connection string survives a parse → canonical →
+    /// parse round trip.
+    #[test]
+    fn connstr_canonical_round_trip(
+        user in arb_name(),
+        password in arb_name(),
+        host in "[a-z][a-z0-9.]{0,15}",
+        port in 1u16..,
+        db in arb_name(),
+    ) {
+        let urls = [
+            format!("oracle://{user}/{password}@{host}:{port}/{db}"),
+            format!("mysql://{user}:{password}@{host}:{port}/{db}"),
+            format!("mssql://{host}:{port};database={db};user={user};password={password}"),
+            format!("sqlite:/{host}/{db}.db"),
+        ];
+        for url in urls {
+            let parsed = ConnectionString::parse(&url)
+                .unwrap_or_else(|e| panic!("`{url}` failed: {e}"));
+            let again = ConnectionString::parse(&parsed.canonical())
+                .unwrap_or_else(|e| panic!("canonical of `{url}` failed: {e}"));
+            prop_assert_eq!(parsed.vendor, again.vendor);
+            prop_assert_eq!(&parsed.host, &again.host);
+            prop_assert_eq!(&parsed.database, &again.database);
+            prop_assert_eq!(&parsed.user, &again.user);
+            prop_assert_eq!(&parsed.password, &again.password);
+        }
+    }
+
+    /// The connection-string parser is total on arbitrary input.
+    #[test]
+    fn connstr_parser_total(input in "\\PC{0,60}") {
+        let _ = ConnectionString::parse(&input);
+    }
+
+    /// Each vendor accepts its own rendering of any query the neutral
+    /// parser accepts (built from structured parts to stay in-grammar).
+    #[test]
+    fn dialects_accept_own_renderings(
+        cols in prop::collection::vec(arb_name(), 1..4),
+        table in arb_name(),
+        filter_col in arb_name(),
+        threshold in -1000i64..1000,
+        limit in proptest::option::of(1u64..50),
+    ) {
+        let mut sql = format!(
+            "SELECT {} FROM {table} WHERE {filter_col} > {threshold}",
+            cols.join(", ")
+        );
+        if let Some(l) = limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        let stmt = parse_select(&sql).expect("neutral SQL parses");
+        for vendor in VendorKind::ALL {
+            let dialect = dialect_for(vendor);
+            let rendered = render_select(&stmt, &dialect.style());
+            prop_assert!(
+                dialect.check_text(&rendered).is_ok(),
+                "{vendor} rejected its own rendering: {rendered}"
+            );
+            // And the rendering still parses back with the shared parser.
+            prop_assert!(
+                parse_select(&rendered).is_ok(),
+                "{vendor} rendering does not re-parse: {rendered}"
+            );
+        }
+        // MySQL renderings with quoting are rejected by Oracle and MS-SQL.
+        let mysql = render_select(&stmt, &dialect_for(VendorKind::MySql).style());
+        prop_assert!(dialect_for(VendorKind::Oracle).check_text(&mysql).is_err());
+        prop_assert!(dialect_for(VendorKind::MsSql).check_text(&mysql).is_err());
+    }
+
+    /// Dialect checks are total on arbitrary text.
+    #[test]
+    fn dialect_check_total(input in "\\PC{0,60}") {
+        for vendor in VendorKind::ALL {
+            let _ = dialect_for(vendor).check_text(&input);
+        }
+    }
+}

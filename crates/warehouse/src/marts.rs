@@ -1,0 +1,236 @@
+//! Stage 2: materializing warehouse views into data marts.
+//!
+//! "Views are created on the integrated data of the data warehouse, and
+//! materialized on a new set of databases, which are made available locally
+//! to the applications" (§4.3). Figure 5 measures exactly this stage.
+
+use crate::views::{evaluate_view, ViewDef};
+use crate::{Result, WarehouseError};
+use gridfed_simnet::cost::Cost;
+use gridfed_simnet::disk::DiskProfile;
+use gridfed_simnet::params::CostParams;
+use gridfed_simnet::topology::Topology;
+use gridfed_storage::{Row, Value};
+use gridfed_vendors::Connection;
+
+use crate::etl::TransportMode;
+
+/// Outcome of materializing one view into one mart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MartReport {
+    /// Mart table created/refreshed.
+    pub table: String,
+    /// Rows materialized.
+    pub rows: usize,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// View evaluation + staging-write phase (lower curve of Figure 5).
+    pub extract_cost: Cost,
+    /// Transfer + mart-insert phase (upper curve of Figure 5).
+    pub load_cost: Cost,
+    /// Whether the phases overlapped (direct streaming).
+    pub overlapped: bool,
+}
+
+impl MartReport {
+    /// Total virtual time: phases sum when staged, overlap when direct.
+    pub fn total(&self) -> Cost {
+        if self.overlapped {
+            self.extract_cost.par(self.load_cost)
+        } else {
+            self.extract_cost + self.load_cost
+        }
+    }
+
+    /// Payload in kB.
+    pub fn kilobytes(&self) -> f64 {
+        self.bytes as f64 / 1000.0
+    }
+}
+
+/// Materialize `view` from the warehouse into `mart` as table
+/// `view.name()`, replacing prior contents. Returns the Figure-5 report.
+pub fn materialize_into_mart(
+    view: &ViewDef,
+    warehouse: &Connection,
+    mart: &Connection,
+    topology: &Topology,
+    mode: TransportMode,
+) -> Result<MartReport> {
+    let params = CostParams::paper_2005();
+    let disk = DiskProfile::ide_2005();
+
+    // ---- Extract: evaluate the view over the warehouse. ----
+    let result = evaluate_view(view, warehouse)?;
+    let schema = view.output_schema(warehouse)?;
+    let rows = result.rows.len();
+    let bytes: usize = result.rows.iter().map(Row::wire_size).sum();
+
+    let mut extract_cost = params.etl_stream_setup
+        + params.view_extract_per_row.scale(rows as f64);
+    let link = topology.transfer(warehouse.server().host(), mart.server().host(), bytes);
+    let mut load_cost =
+        params.etl_stream_setup + link + params.mart_load_per_row.scale(rows as f64);
+    if mode == TransportMode::Staged {
+        extract_cost += disk.write_file(bytes);
+        load_cost += disk.read_file(bytes);
+    }
+
+    // ---- Load: (re)create the mart table and insert. ----
+    let table = view.name().to_string();
+    mart.server().with_db_mut(|db| -> Result<()> {
+        if db.has_table(&table) {
+            db.drop_table(&table).map_err(WarehouseError::Storage)?;
+        }
+        db.create_table(&table, schema.clone())
+            .map_err(WarehouseError::Storage)?;
+        Ok(())
+    })?;
+    mart.insert_rows(
+        &table,
+        result.rows.into_iter().map(Row::into_values).collect::<Vec<Vec<Value>>>(),
+    )?;
+
+    Ok(MartReport {
+        table,
+        rows,
+        bytes,
+        extract_cost,
+        load_cost,
+        overlapped: mode == TransportMode::Direct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etl::EtlPipeline;
+    use gridfed_ntuple::{NtupleGenerator, NtupleSpec};
+    use gridfed_sqlkit::parser::parse_select;
+    use gridfed_vendors::{SimServer, VendorKind};
+    use std::sync::Arc;
+
+    fn warehouse_with_data(spec: &NtupleSpec) -> Arc<SimServer> {
+        let src = SimServer::new(VendorKind::MySql, "t2", "src");
+        src.with_db_mut(|db| {
+            NtupleGenerator::new(spec.clone(), 3)
+                .populate_source(db)
+                .unwrap();
+        });
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+        EtlPipeline::paper()
+            .run_batch(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+                None,
+            )
+            .unwrap();
+        wh
+    }
+
+    #[test]
+    fn pivot_view_materializes_into_mart() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::MsSql, "mart.fnal", "mart1");
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec: spec.clone(),
+        };
+        let report = materialize_into_mart(
+            &view,
+            &wh.connect("grid", "grid").unwrap().value,
+            &mart.connect("grid", "grid").unwrap().value,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        assert_eq!(report.rows, spec.events);
+        assert_eq!(
+            mart.with_db(|db| db.table("tiny_events").unwrap().len()),
+            spec.events
+        );
+        assert!(report.load_cost > report.extract_cost, "Fig 5 shape");
+    }
+
+    #[test]
+    fn rematerialization_replaces_contents() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::Sqlite, "laptop", "local");
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec: spec.clone(),
+        };
+        materialize_into_mart(&view, &wconn, &mconn, &Topology::lan(), TransportMode::Staged)
+            .unwrap();
+        materialize_into_mart(&view, &wconn, &mconn, &Topology::lan(), TransportMode::Staged)
+            .unwrap();
+        assert_eq!(
+            mart.with_db(|db| db.table("tiny_events").unwrap().len()),
+            spec.events
+        );
+    }
+
+    #[test]
+    fn sql_view_materializes_with_inferred_schema() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::MySql, "mart2", "m");
+        let view = ViewDef::Sql {
+            name: "run_summary".into(),
+            query: parse_select(
+                "SELECT run_id, COUNT(*) AS n, AVG(value) AS avg_v \
+                 FROM fact_measurements GROUP BY run_id ORDER BY run_id",
+            )
+            .unwrap(),
+        };
+        let report = materialize_into_mart(
+            &view,
+            &wh.connect("grid", "grid").unwrap().value,
+            &mart.connect("grid", "grid").unwrap().value,
+            &Topology::lan(),
+            TransportMode::Direct,
+        )
+        .unwrap();
+        assert_eq!(report.rows, spec.runs);
+        mart.with_db(|db| {
+            let t = db.table("run_summary").unwrap();
+            assert_eq!(t.schema().names(), vec!["run_id", "n", "avg_v"]);
+        });
+    }
+
+    #[test]
+    fn wan_mart_costs_more_than_lan_mart() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec,
+        };
+        let lan_mart = SimServer::new(VendorKind::MySql, "near", "m");
+        let lan = materialize_into_mart(
+            &view,
+            &wconn,
+            &lan_mart.connect("grid", "grid").unwrap().value,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        let mut wan_topo = Topology::lan();
+        wan_topo.set_link("t0", "far", gridfed_simnet::link::Link::wan());
+        let wan_mart = SimServer::new(VendorKind::MySql, "far", "m");
+        let wan = materialize_into_mart(
+            &view,
+            &wconn,
+            &wan_mart.connect("grid", "grid").unwrap().value,
+            &wan_topo,
+            TransportMode::Staged,
+        )
+        .unwrap();
+        assert!(wan.total() > lan.total());
+    }
+}

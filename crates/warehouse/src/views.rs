@@ -1,0 +1,267 @@
+//! Read-only views over the warehouse.
+//!
+//! "We created views on the data stored in the warehouse to provide
+//! read-only access for scientific analysis" (§4.2). Two view flavours:
+//!
+//! - [`ViewDef::Sql`] — an ordinary SELECT over the fact table.
+//! - [`ViewDef::Pivot`] — the ntuple pivot: fact rows (one per
+//!   measurement) become the HBOOK shape (one row per event, one column
+//!   per variable). This is what the analysts' mart tables look like, and
+//!   it is not expressible in the prototype's SQL subset, so it is a
+//!   first-class view program.
+
+use crate::{Result, WarehouseError};
+use gridfed_ntuple::schema as nschema;
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_sqlkit::ast::SelectStmt;
+use gridfed_sqlkit::exec::{execute_select, DatabaseProvider};
+use gridfed_sqlkit::ResultSet;
+use gridfed_storage::{Row, Schema, Value};
+use gridfed_vendors::Connection;
+use std::collections::HashMap;
+
+/// A named warehouse view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewDef {
+    /// A SELECT over warehouse tables.
+    Sql {
+        /// View (and mart-table) name.
+        name: String,
+        /// The defining SELECT.
+        query: SelectStmt,
+    },
+    /// The ntuple pivot for one spec.
+    Pivot {
+        /// View (and mart-table) name.
+        name: String,
+        /// The ntuple whose events are pivoted.
+        spec: NtupleSpec,
+    },
+}
+
+impl ViewDef {
+    /// View name.
+    pub fn name(&self) -> &str {
+        match self {
+            ViewDef::Sql { name, .. } | ViewDef::Pivot { name, .. } => name,
+        }
+    }
+
+    /// Schema of the view output.
+    pub fn output_schema(&self, warehouse: &Connection) -> Result<Schema> {
+        match self {
+            ViewDef::Pivot { spec, .. } => Ok(nschema::mart_ntuple_schema(spec)),
+            ViewDef::Sql { .. } => {
+                // Derive from a (cheap) evaluation over the live schema;
+                // views are defined once, so this is not a hot path.
+                let rs = evaluate_view(self, warehouse)?;
+                schema_from_result(&rs)
+            }
+        }
+    }
+}
+
+/// Infer an all-nullable schema from a result set's first row types
+/// (defaulting to FLOAT for all-NULL columns).
+fn schema_from_result(rs: &ResultSet) -> Result<Schema> {
+    use gridfed_storage::{ColumnDef, DataType};
+    let mut cols = Vec::with_capacity(rs.columns.len());
+    for (i, name) in rs.columns.iter().enumerate() {
+        let ty = rs
+            .rows
+            .iter()
+            .find_map(|r| r.get(i).and_then(Value::data_type))
+            .unwrap_or(DataType::Float);
+        cols.push(ColumnDef::new(name.clone(), ty));
+    }
+    Schema::new(cols).map_err(WarehouseError::Storage)
+}
+
+/// Evaluate a view against the warehouse, returning its rows.
+pub fn evaluate_view(view: &ViewDef, warehouse: &Connection) -> Result<ResultSet> {
+    match view {
+        ViewDef::Sql { query, .. } => warehouse
+            .server()
+            .with_db(|db| execute_select(query, &DatabaseProvider(db)))
+            .map_err(WarehouseError::Sql),
+        ViewDef::Pivot { spec, .. } => warehouse.server().with_db(|db| pivot_fact(db, spec)),
+    }
+}
+
+/// Pivot the fact table into the ntuple shape for `spec`.
+fn pivot_fact(
+    db: &gridfed_storage::Database,
+    spec: &NtupleSpec,
+) -> Result<ResultSet> {
+    let fact = db
+        .table(nschema::FACT_TABLE)
+        .map_err(WarehouseError::Storage)?;
+    let schema = fact.schema();
+    let (e_idx, run_idx, det_idx, var_idx, val_idx, w_idx) = (
+        col(schema, "e_id")?,
+        col(schema, "run_id")?,
+        col(schema, "detector")?,
+        col(schema, "var_name")?,
+        col(schema, "value")?,
+        col(schema, "weight")?,
+    );
+
+    let var_slot: HashMap<&str, usize> = spec
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.name.as_str(), i))
+        .collect();
+
+    // e_id → (run_id, detector, weight, [values per variable])
+    let mut events: HashMap<i64, (Value, Value, Value, Vec<Value>)> = HashMap::new();
+    let mut order: Vec<i64> = Vec::new();
+    for row in fact.scan() {
+        let vals = row.values();
+        let e_id = match &vals[e_idx] {
+            Value::Int(i) => *i,
+            other => {
+                return Err(WarehouseError::Pipeline(format!(
+                    "non-integer e_id {} in fact table",
+                    other.render()
+                )))
+            }
+        };
+        let slot = match &vals[var_idx] {
+            Value::Text(name) => var_slot.get(name.as_str()).copied(),
+            _ => None,
+        };
+        let entry = events.entry(e_id).or_insert_with(|| {
+            order.push(e_id);
+            (
+                vals[run_idx].clone(),
+                vals[det_idx].clone(),
+                vals[w_idx].clone(),
+                vec![Value::Null; spec.nvar()],
+            )
+        });
+        if let Some(slot) = slot {
+            entry.3[slot] = vals[val_idx].clone();
+        }
+    }
+
+    let out_schema = nschema::mart_ntuple_schema(spec);
+    let mut rows = Vec::with_capacity(events.len());
+    order.sort_unstable();
+    for e_id in order {
+        let (run_id, detector, weight, vars) = events.remove(&e_id).expect("keyed by order");
+        let mut values = vec![Value::Int(e_id), run_id, detector, weight];
+        values.extend(vars);
+        rows.push(Row::new(values));
+    }
+    Ok(ResultSet {
+        columns: out_schema.names(),
+        rows,
+    })
+}
+
+fn col(schema: &Schema, name: &str) -> Result<usize> {
+    schema
+        .index_of(name)
+        .ok_or_else(|| WarehouseError::Pipeline(format!("fact table missing column `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etl::EtlPipeline;
+    use gridfed_ntuple::NtupleGenerator;
+    use gridfed_sqlkit::parser::parse_select;
+    use gridfed_vendors::{SimServer, VendorKind};
+    use std::sync::Arc;
+
+    fn loaded_warehouse(spec: &NtupleSpec) -> Arc<SimServer> {
+        let src = SimServer::new(VendorKind::MySql, "t2", "src");
+        src.with_db_mut(|db| {
+            NtupleGenerator::new(spec.clone(), 3)
+                .populate_source(db)
+                .unwrap();
+        });
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+        EtlPipeline::paper()
+            .run_batch(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+                None,
+            )
+            .unwrap();
+        wh
+    }
+
+    #[test]
+    fn sql_view_filters_fact() {
+        let spec = NtupleSpec::tiny();
+        let wh = loaded_warehouse(&spec);
+        let conn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Sql {
+            name: "v_ecal".into(),
+            query: parse_select(
+                "SELECT e_id, var_name, value FROM fact_measurements WHERE detector = 'ecal'",
+            )
+            .unwrap(),
+        };
+        let rs = evaluate_view(&view, &conn).unwrap();
+        assert!(!rs.is_empty());
+        assert_eq!(rs.columns, vec!["e_id", "var_name", "value"]);
+    }
+
+    #[test]
+    fn pivot_view_has_ntuple_shape() {
+        let spec = NtupleSpec::tiny();
+        let wh = loaded_warehouse(&spec);
+        let conn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "v_tiny".into(),
+            spec: spec.clone(),
+        };
+        let rs = evaluate_view(&view, &conn).unwrap();
+        assert_eq!(rs.len(), spec.events);
+        assert_eq!(rs.columns.len(), 4 + spec.nvar());
+        // every variable column is filled (generator produces all pairs)
+        for row in &rs.rows {
+            assert!(row.values()[4..].iter().all(|v| !v.is_null()));
+        }
+        // rows are sorted by e_id
+        let ids: Vec<_> = rs
+            .rows
+            .iter()
+            .map(|r| match r.values()[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn pivot_schema_matches_output() {
+        let spec = NtupleSpec::tiny();
+        let wh = loaded_warehouse(&spec);
+        let conn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "v".into(),
+            spec: spec.clone(),
+        };
+        let schema = view.output_schema(&conn).unwrap();
+        let rs = evaluate_view(&view, &conn).unwrap();
+        assert_eq!(schema.names(), rs.columns);
+    }
+
+    #[test]
+    fn view_on_missing_fact_table_errors() {
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "empty");
+        let conn = wh.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "v".into(),
+            spec: NtupleSpec::tiny(),
+        };
+        assert!(evaluate_view(&view, &conn).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Lower-Level XSpec generation from a live connection.
+//!
+//! This is the "tools provided by the Unity project" step: introspect a
+//! backend's catalog and emit its XSpec. Also runs periodically inside the
+//! schema-change tracker (§4.9).
+
+use crate::model::{LowerXSpec, XColumn, XTable};
+use gridfed_simnet::cost::Timed;
+use gridfed_vendors::{Connection, VendorError};
+
+/// Generate the Lower-Level XSpec for the database behind `conn`.
+///
+/// The returned cost covers the catalog introspection round-trips.
+pub fn generate_lower_xspec(conn: &Connection) -> Result<Timed<LowerXSpec>, VendorError> {
+    let info = conn.introspect()?;
+    let dialect = conn.server().dialect();
+    let tables = info
+        .value
+        .iter()
+        .map(|t| XTable {
+            name: t.name.clone(),
+            row_count: t.row_count,
+            columns: t
+                .columns
+                .iter()
+                .map(|(name, vendor_type, nullable, unique)| XColumn {
+                    name: name.clone(),
+                    vendor_type: vendor_type.clone(),
+                    neutral_type: dialect
+                        .parse_type(vendor_type)
+                        .unwrap_or(gridfed_storage::DataType::Text),
+                    nullable: *nullable,
+                    unique: *unique,
+                })
+                .collect(),
+        })
+        .collect();
+    Ok(Timed::new(
+        LowerXSpec {
+            database: conn.server().db_name().to_string(),
+            vendor: conn.vendor().name().to_string(),
+            tables,
+        },
+        info.cost,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridfed_storage::DataType;
+    use gridfed_vendors::{SimServer, VendorKind};
+
+    #[test]
+    fn generated_xspec_reflects_catalog_with_neutral_types() {
+        let server = SimServer::new(VendorKind::Oracle, "t1", "calib");
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE conditions (c_id INT PRIMARY KEY, temp FLOAT, note TEXT)")
+            .unwrap();
+        let spec = generate_lower_xspec(&conn).unwrap().value;
+        assert_eq!(spec.database, "calib");
+        assert_eq!(spec.vendor, "Oracle");
+        assert_eq!(spec.tables.len(), 1);
+        let t = &spec.tables[0];
+        assert_eq!(t.columns[0].vendor_type, "NUMBER(19)");
+        assert_eq!(t.columns[0].neutral_type, DataType::Int);
+        assert_eq!(t.columns[1].vendor_type, "BINARY_DOUBLE");
+        assert_eq!(t.columns[1].neutral_type, DataType::Float);
+        assert!(t.columns[0].unique);
+    }
+
+    #[test]
+    fn xspec_survives_xml_round_trip() {
+        let server = SimServer::new(VendorKind::MsSql, "t2", "mart");
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE a (x INT, y TEXT NOT NULL)").unwrap();
+        conn.execute("CREATE TABLE b (z FLOAT)").unwrap();
+        let spec = generate_lower_xspec(&conn).unwrap().value;
+        let back = LowerXSpec::from_xml(&spec.to_xml()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.tables.len(), 2);
+    }
+
+    #[test]
+    fn regeneration_is_stable_for_unchanged_schema() {
+        let server = SimServer::new(VendorKind::MySql, "t2", "db");
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE t (a INT)").unwrap();
+        let a = generate_lower_xspec(&conn).unwrap().value.to_xml();
+        let b = generate_lower_xspec(&conn).unwrap().value.to_xml();
+        assert_eq!(a, b, "unchanged schema must produce identical XSpec text");
+    }
+}

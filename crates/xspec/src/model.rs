@@ -1,0 +1,286 @@
+//! The XSpec data model and its XML binding.
+
+use crate::xml::{parse, XmlNode};
+use crate::{Result, XSpecError};
+use gridfed_storage::DataType;
+
+/// One column in a Lower-Level XSpec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XColumn {
+    /// Physical column name.
+    pub name: String,
+    /// Vendor type name, as introspected (`NUMBER(19)`, `BIGINT`, …).
+    pub vendor_type: String,
+    /// Engine-neutral type.
+    pub neutral_type: DataType,
+    /// Whether NULL is permitted.
+    pub nullable: bool,
+    /// Whether duplicate values are rejected.
+    pub unique: bool,
+}
+
+/// One table in a Lower-Level XSpec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XTable {
+    /// Physical table name.
+    pub name: String,
+    /// Column definitions, in order.
+    pub columns: Vec<XColumn>,
+    /// Row count at generation time (informational; used by the planner as
+    /// a cardinality hint).
+    pub row_count: usize,
+}
+
+impl XTable {
+    /// Logical name of the table: lower-cased physical name. Clients query
+    /// logical names; the mediator maps to physical per database.
+    pub fn logical_name(&self) -> String {
+        self.name.to_ascii_lowercase()
+    }
+}
+
+/// A Lower-Level XSpec: one database's schema dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerXSpec {
+    /// Database name.
+    pub database: String,
+    /// Vendor product name (`Oracle`, `MySQL`, …).
+    pub vendor: String,
+    /// Tables of the database.
+    pub tables: Vec<XTable>,
+}
+
+impl LowerXSpec {
+    /// Find a table by logical (case-insensitive) name.
+    pub fn table(&self, logical: &str) -> Option<&XTable> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(logical))
+    }
+
+    /// Serialize to the XSpec XML format.
+    pub fn to_xml(&self) -> String {
+        let mut root = XmlNode::new("xspec")
+            .attr("level", "lower")
+            .attr("database", &self.database)
+            .attr("vendor", &self.vendor);
+        for t in &self.tables {
+            let mut tn = XmlNode::new("table")
+                .attr("name", &t.name)
+                .attr("rows", t.row_count.to_string());
+            for c in &t.columns {
+                tn = tn.child(
+                    XmlNode::new("column")
+                        .attr("name", &c.name)
+                        .attr("type", &c.vendor_type)
+                        .attr("neutral", c.neutral_type.name())
+                        .attr("nullable", if c.nullable { "true" } else { "false" })
+                        .attr("unique", if c.unique { "true" } else { "false" }),
+                );
+            }
+            root = root.child(tn);
+        }
+        root.to_xml()
+    }
+
+    /// Parse from the XSpec XML format.
+    pub fn from_xml(text: &str) -> Result<LowerXSpec> {
+        let root = parse(text)?;
+        if root.name != "xspec" || root.get_attr("level") != Some("lower") {
+            return Err(XSpecError::Model(
+                "expected a lower-level <xspec> document".into(),
+            ));
+        }
+        let database = root.require_attr("database")?.to_string();
+        let vendor = root.require_attr("vendor")?.to_string();
+        let mut tables = Vec::new();
+        for tn in root.children_named("table") {
+            let name = tn.require_attr("name")?.to_string();
+            let row_count = tn
+                .get_attr("rows")
+                .unwrap_or("0")
+                .parse::<usize>()
+                .map_err(|_| XSpecError::Model(format!("bad row count on table `{name}`")))?;
+            let mut columns = Vec::new();
+            for cn in tn.children_named("column") {
+                let cname = cn.require_attr("name")?.to_string();
+                let vendor_type = cn.require_attr("type")?.to_string();
+                let neutral = cn.require_attr("neutral")?;
+                let neutral_type = DataType::parse(neutral).ok_or_else(|| {
+                    XSpecError::Model(format!("unknown neutral type `{neutral}`"))
+                })?;
+                columns.push(XColumn {
+                    name: cname,
+                    vendor_type,
+                    neutral_type,
+                    nullable: cn.get_attr("nullable") == Some("true"),
+                    unique: cn.get_attr("unique") == Some("true"),
+                });
+            }
+            tables.push(XTable {
+                name,
+                columns,
+                row_count,
+            });
+        }
+        Ok(LowerXSpec {
+            database,
+            vendor,
+            tables,
+        })
+    }
+}
+
+/// One database entry in the Upper-Level XSpec: URL, driver, and the name
+/// of its Lower-Level file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpperEntry {
+    /// Logical database name.
+    pub name: String,
+    /// Connection URL (vendor-specific grammar).
+    pub url: String,
+    /// Driver name (scheme).
+    pub driver: String,
+    /// Name/path of the Lower-Level XSpec for this database.
+    pub lower_ref: String,
+}
+
+/// The single Upper-Level XSpec: the federation's catalog of catalogs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpperXSpec {
+    /// One entry per federated database.
+    pub entries: Vec<UpperEntry>,
+}
+
+impl UpperXSpec {
+    /// Look up an entry by database name.
+    pub fn entry(&self, name: &str) -> Option<&UpperEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Add or replace an entry (plug-in registration path).
+    pub fn upsert(&mut self, entry: UpperEntry) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.name.eq_ignore_ascii_case(&entry.name))
+        {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Serialize to XML.
+    pub fn to_xml(&self) -> String {
+        let mut root = XmlNode::new("xspec").attr("level", "upper");
+        for e in &self.entries {
+            root = root.child(
+                XmlNode::new("database")
+                    .attr("name", &e.name)
+                    .attr("url", &e.url)
+                    .attr("driver", &e.driver)
+                    .attr("lower", &e.lower_ref),
+            );
+        }
+        root.to_xml()
+    }
+
+    /// Parse from XML.
+    pub fn from_xml(text: &str) -> Result<UpperXSpec> {
+        let root = parse(text)?;
+        if root.name != "xspec" || root.get_attr("level") != Some("upper") {
+            return Err(XSpecError::Model(
+                "expected an upper-level <xspec> document".into(),
+            ));
+        }
+        let mut entries = Vec::new();
+        for dn in root.children_named("database") {
+            entries.push(UpperEntry {
+                name: dn.require_attr("name")?.to_string(),
+                url: dn.require_attr("url")?.to_string(),
+                driver: dn.require_attr("driver")?.to_string(),
+                lower_ref: dn.require_attr("lower")?.to_string(),
+            });
+        }
+        Ok(UpperXSpec { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lower() -> LowerXSpec {
+        LowerXSpec {
+            database: "ntuples".into(),
+            vendor: "MySQL".into(),
+            tables: vec![XTable {
+                name: "Events".into(),
+                row_count: 42,
+                columns: vec![
+                    XColumn {
+                        name: "e_id".into(),
+                        vendor_type: "BIGINT".into(),
+                        neutral_type: DataType::Int,
+                        nullable: false,
+                        unique: true,
+                    },
+                    XColumn {
+                        name: "energy".into(),
+                        vendor_type: "DOUBLE".into(),
+                        neutral_type: DataType::Float,
+                        nullable: true,
+                        unique: false,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn lower_round_trip() {
+        let spec = sample_lower();
+        let xml = spec.to_xml();
+        let back = LowerXSpec::from_xml(&xml).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn logical_name_is_lowercase() {
+        let spec = sample_lower();
+        assert_eq!(spec.tables[0].logical_name(), "events");
+        assert!(spec.table("EVENTS").is_some());
+        assert!(spec.table("nope").is_none());
+    }
+
+    #[test]
+    fn upper_round_trip_and_upsert() {
+        let mut upper = UpperXSpec::default();
+        upper.upsert(UpperEntry {
+            name: "mart1".into(),
+            url: "mysql://u:p@h:3306/mart1".into(),
+            driver: "mysql".into(),
+            lower_ref: "mart1.xspec".into(),
+        });
+        upper.upsert(UpperEntry {
+            name: "mart1".into(),
+            url: "mysql://u:p@h2:3306/mart1".into(),
+            driver: "mysql".into(),
+            lower_ref: "mart1.xspec".into(),
+        });
+        assert_eq!(upper.entries.len(), 1);
+        assert!(upper.entry("MART1").unwrap().url.contains("h2"));
+        let xml = upper.to_xml();
+        assert_eq!(UpperXSpec::from_xml(&xml).unwrap(), upper);
+    }
+
+    #[test]
+    fn wrong_level_rejected() {
+        let lower_xml = sample_lower().to_xml();
+        assert!(UpperXSpec::from_xml(&lower_xml).is_err());
+        let upper_xml = UpperXSpec::default().to_xml();
+        assert!(LowerXSpec::from_xml(&upper_xml).is_err());
+    }
+}

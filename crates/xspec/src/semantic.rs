@@ -1,0 +1,172 @@
+//! Semantic table-integration hints — the paper's future-work item:
+//! *"the study of how tables from databases can be integrated with respect
+//! to their semantic similarity."*
+//!
+//! The matcher scores table pairs across databases by (a) shared column
+//! names and (b) character-trigram Jaccard similarity of column names, and
+//! proposes join candidates the analyst (or the mediator's planner) can
+//! review.
+
+use crate::dict::DataDictionary;
+use std::collections::BTreeSet;
+
+/// A suggested cross-database join candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSuggestion {
+    /// Left table of the suggested join.
+    pub left_table: String,
+    /// Right table of the suggested join.
+    pub right_table: String,
+    /// Column pairs that look joinable, best first.
+    pub column_pairs: Vec<(String, String, f64)>,
+    /// Overall table affinity in [0, 1].
+    pub score: f64,
+}
+
+/// Character trigrams of a lower-cased identifier (padded).
+fn trigrams(s: &str) -> BTreeSet<String> {
+    let padded = format!("  {}  ", s.to_ascii_lowercase());
+    let chars: Vec<char> = padded.chars().collect();
+    chars
+        .windows(3)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Jaccard similarity of two identifiers' trigram sets.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    if a.eq_ignore_ascii_case(b) {
+        return 1.0;
+    }
+    let ta = trigrams(a);
+    let tb = trigrams(b);
+    let inter = ta.intersection(&tb).count();
+    let union = ta.union(&tb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Suggest join candidates between every pair of distinct logical tables in
+/// the dictionary. Only pairs with at least one column-pair similarity at
+/// or above `threshold` are returned, best-scoring first.
+pub fn suggest_joins(dict: &DataDictionary, threshold: f64) -> Vec<JoinSuggestion> {
+    let tables = dict.logical_tables();
+    let mut out = Vec::new();
+    for (i, left) in tables.iter().enumerate() {
+        for right in &tables[i + 1..] {
+            let (Ok(lcols), Ok(rcols)) = (dict.columns_of(left), dict.columns_of(right)) else {
+                continue;
+            };
+            let mut pairs = Vec::new();
+            for lc in &lcols {
+                for rc in &rcols {
+                    let sim = name_similarity(lc, rc);
+                    if sim >= threshold {
+                        pairs.push((lc.clone(), rc.clone(), sim));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                continue;
+            }
+            pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
+            let best = pairs[0].2;
+            let coverage = pairs.len() as f64 / lcols.len().max(rcols.len()) as f64;
+            let score = (best * 0.7 + coverage.min(1.0) * 0.3).min(1.0);
+            out.push(JoinSuggestion {
+                left_table: left.clone(),
+                right_table: right.clone(),
+                column_pairs: pairs,
+                score,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LowerXSpec, UpperEntry, UpperXSpec, XColumn, XTable};
+    use gridfed_storage::DataType;
+
+    fn col(name: &str) -> XColumn {
+        XColumn {
+            name: name.into(),
+            vendor_type: "BIGINT".into(),
+            neutral_type: DataType::Int,
+            nullable: true,
+            unique: false,
+        }
+    }
+
+    fn dict_with(tables: &[(&str, &[&str])]) -> DataDictionary {
+        let lower = LowerXSpec {
+            database: "db".into(),
+            vendor: "MySQL".into(),
+            tables: tables
+                .iter()
+                .map(|(name, cols)| XTable {
+                    name: name.to_string(),
+                    row_count: 0,
+                    columns: cols.iter().map(|c| col(c)).collect(),
+                })
+                .collect(),
+        };
+        let mut upper = UpperXSpec::default();
+        upper.upsert(UpperEntry {
+            name: "db".into(),
+            url: "mysql://u:p@h:1/db".into(),
+            driver: "mysql".into(),
+            lower_ref: "db.xspec".into(),
+        });
+        DataDictionary::from_specs(upper, [lower]).unwrap()
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        assert_eq!(name_similarity("run_id", "RUN_ID"), 1.0);
+    }
+
+    #[test]
+    fn similar_names_score_between() {
+        let s = name_similarity("run_id", "runid");
+        assert!(s > 0.3 && s < 1.0, "similarity was {s}");
+        let far = name_similarity("energy", "detector");
+        assert!(far < 0.2, "dissimilar names scored {far}");
+    }
+
+    #[test]
+    fn suggestions_find_shared_keys() {
+        let d = dict_with(&[
+            ("events", &["e_id", "run_id", "energy"]),
+            ("runs", &["run_id", "detector"]),
+            ("unrelated", &["zzz"]),
+        ]);
+        let suggestions = suggest_joins(&d, 0.6);
+        assert!(!suggestions.is_empty());
+        let top = &suggestions[0];
+        assert_eq!(
+            (top.left_table.as_str(), top.right_table.as_str()),
+            ("events", "runs")
+        );
+        assert_eq!(top.column_pairs[0].0, "run_id");
+        assert_eq!(top.column_pairs[0].2, 1.0);
+        // `unrelated` appears in no suggestion
+        assert!(suggestions
+            .iter()
+            .all(|s| s.left_table != "unrelated" && s.right_table != "unrelated"));
+    }
+
+    #[test]
+    fn threshold_filters_weak_pairs() {
+        let d = dict_with(&[("a", &["alpha"]), ("b", &["beta"])]);
+        assert!(suggest_joins(&d, 0.5).is_empty());
+        let loose = suggest_joins(&d, 0.01);
+        assert!(loose.len() <= 1);
+    }
+}

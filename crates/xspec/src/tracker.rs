@@ -1,0 +1,213 @@
+//! Schema-change tracking (paper §4.9).
+//!
+//! The paper's algorithm, verbatim: after a fixed interval, regenerate each
+//! database's XSpec; compare the new file's **size** against the old one;
+//! if equal, compare **md5 sums**; on any difference, replace the old XSpec
+//! and update the server's schema.
+//!
+//! Row counts are excluded from the compared text (they live in the XSpec
+//! for planner hints but are data, not schema).
+
+use crate::md5::md5_hex;
+use crate::model::LowerXSpec;
+use std::collections::HashMap;
+
+/// Outcome of one tracking check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackOutcome {
+    /// First time this database is seen; baseline recorded.
+    Registered,
+    /// Size and md5 match: schema unchanged.
+    Unchanged,
+    /// Schema changed; old XSpec replaced. Fields are diagnostic.
+    Changed {
+        /// The regenerated XSpec changed size.
+        size_differs: bool,
+        /// The regenerated XSpec changed md5.
+        md5_differs: bool,
+    },
+}
+
+/// Tracks the last-seen XSpec per database.
+#[derive(Debug, Default)]
+pub struct SchemaTracker {
+    /// database name → (canonical text, size, md5)
+    baselines: HashMap<String, (String, usize, String)>,
+    checks: u64,
+    changes: u64,
+}
+
+/// Canonical text compared by the tracker: the XSpec XML with row counts
+/// zeroed, so data growth does not masquerade as schema change.
+fn canonical_text(spec: &LowerXSpec) -> String {
+    let mut schema_only = spec.clone();
+    for t in &mut schema_only.tables {
+        t.row_count = 0;
+    }
+    schema_only.to_xml()
+}
+
+impl SchemaTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one check for `spec` (freshly regenerated). Implements the
+    /// paper's size-then-md5 comparison.
+    pub fn check(&mut self, spec: &LowerXSpec) -> TrackOutcome {
+        self.checks += 1;
+        let text = canonical_text(spec);
+        let size = text.len();
+        let key = spec.database.clone();
+        match self.baselines.get(&key) {
+            None => {
+                let digest = md5_hex(text.as_bytes());
+                self.baselines.insert(key, (text, size, digest));
+                TrackOutcome::Registered
+            }
+            Some((_, old_size, old_md5)) => {
+                let size_differs = *old_size != size;
+                // Size check first (cheap); md5 only when sizes agree —
+                // exactly the paper's ordering.
+                let md5_differs = if size_differs {
+                    true
+                } else {
+                    md5_hex(text.as_bytes()) != *old_md5
+                };
+                if size_differs || md5_differs {
+                    let digest = md5_hex(text.as_bytes());
+                    self.baselines.insert(key, (text, size, digest));
+                    self.changes += 1;
+                    TrackOutcome::Changed {
+                        size_differs,
+                        md5_differs,
+                    }
+                } else {
+                    TrackOutcome::Unchanged
+                }
+            }
+        }
+    }
+
+    /// The last recorded XSpec text for a database, if any.
+    pub fn baseline_text(&self, database: &str) -> Option<&str> {
+        self.baselines.get(database).map(|(t, _, _)| t.as_str())
+    }
+
+    /// (checks run, changes detected).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.checks, self.changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{XColumn, XTable};
+    use gridfed_storage::DataType;
+
+    fn spec(cols: &[(&str, DataType)], rows: usize) -> LowerXSpec {
+        LowerXSpec {
+            database: "db".into(),
+            vendor: "MySQL".into(),
+            tables: vec![XTable {
+                name: "t".into(),
+                row_count: rows,
+                columns: cols
+                    .iter()
+                    .map(|(n, ty)| XColumn {
+                        name: n.to_string(),
+                        vendor_type: "X".into(),
+                        neutral_type: *ty,
+                        nullable: true,
+                        unique: false,
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn first_check_registers() {
+        let mut tr = SchemaTracker::new();
+        assert_eq!(
+            tr.check(&spec(&[("a", DataType::Int)], 0)),
+            TrackOutcome::Registered
+        );
+    }
+
+    #[test]
+    fn unchanged_schema_detected() {
+        let mut tr = SchemaTracker::new();
+        tr.check(&spec(&[("a", DataType::Int)], 0));
+        assert_eq!(
+            tr.check(&spec(&[("a", DataType::Int)], 0)),
+            TrackOutcome::Unchanged
+        );
+        assert_eq!(tr.stats(), (2, 0));
+    }
+
+    #[test]
+    fn added_column_changes_size() {
+        let mut tr = SchemaTracker::new();
+        tr.check(&spec(&[("a", DataType::Int)], 0));
+        match tr.check(&spec(&[("a", DataType::Int), ("b", DataType::Text)], 0)) {
+            TrackOutcome::Changed { size_differs, .. } => assert!(size_differs),
+            other => panic!("expected change, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_size_change_caught_by_md5() {
+        let mut tr = SchemaTracker::new();
+        // Column renamed a→b: identical XML length, different bytes.
+        tr.check(&spec(&[("a", DataType::Int)], 0));
+        match tr.check(&spec(&[("b", DataType::Int)], 0)) {
+            TrackOutcome::Changed {
+                size_differs,
+                md5_differs,
+            } => {
+                assert!(!size_differs, "rename keeps the size");
+                assert!(md5_differs);
+            }
+            other => panic!("expected change, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_count_growth_is_not_schema_change() {
+        let mut tr = SchemaTracker::new();
+        tr.check(&spec(&[("a", DataType::Int)], 10));
+        assert_eq!(
+            tr.check(&spec(&[("a", DataType::Int)], 10_000)),
+            TrackOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn change_updates_baseline() {
+        let mut tr = SchemaTracker::new();
+        tr.check(&spec(&[("a", DataType::Int)], 0));
+        tr.check(&spec(&[("b", DataType::Int)], 0));
+        // Re-checking the new schema is now Unchanged.
+        assert_eq!(
+            tr.check(&spec(&[("b", DataType::Int)], 0)),
+            TrackOutcome::Unchanged
+        );
+        assert_eq!(tr.stats(), (3, 1));
+        assert!(tr.baseline_text("db").unwrap().contains("\"b\""));
+    }
+
+    #[test]
+    fn databases_tracked_independently() {
+        let mut tr = SchemaTracker::new();
+        let mut s1 = spec(&[("a", DataType::Int)], 0);
+        s1.database = "one".into();
+        let mut s2 = spec(&[("z", DataType::Text)], 0);
+        s2.database = "two".into();
+        assert_eq!(tr.check(&s1), TrackOutcome::Registered);
+        assert_eq!(tr.check(&s2), TrackOutcome::Registered);
+        assert_eq!(tr.check(&s1), TrackOutcome::Unchanged);
+    }
+}

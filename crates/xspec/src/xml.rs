@@ -1,0 +1,400 @@
+//! Minimal XML reader/writer for XSpec files.
+//!
+//! Supports exactly what the XSpec format needs: nested elements,
+//! double-quoted attributes, text content, comments, the `<?xml?>`
+//! declaration, self-closing tags, and the five standard entities. No
+//! namespaces, CDATA, or DTDs.
+
+use crate::{Result, XSpecError};
+
+/// An XML element node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlNode {
+    /// Name.
+    pub name: String,
+    /// Attributes as (key, value) pairs, in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements, in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly under this element.
+    pub text: String,
+}
+
+impl XmlNode {
+    /// A new element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> XmlNode {
+        XmlNode {
+            name: name.into(),
+            ..XmlNode::default()
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> XmlNode {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: XmlNode) -> XmlNode {
+        self.children.push(child);
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required attribute lookup with a model error.
+    pub fn require_attr(&self, key: &str) -> Result<&str> {
+        self.get_attr(key).ok_or_else(|| {
+            XSpecError::Model(format!("element <{}> missing attribute `{key}`", self.name))
+        })
+    }
+
+    /// Children with a given element name.
+    pub fn children_named<'a, 'b: 'a>(
+        &'a self,
+        name: &'b str,
+    ) -> impl Iterator<Item = &'a XmlNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with a given name.
+    pub fn first_child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Serialize with an XML declaration and 2-space indentation. The
+    /// output is byte-deterministic, which the schema-change tracker's
+    /// size/md5 comparison depends on.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write(out, depth + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, ch)) = chars.next() {
+        if ch != '&' {
+            out.push(ch);
+            continue;
+        }
+        let rest = &s[i..];
+        let Some(end) = rest.find(';') else {
+            return Err(XSpecError::Xml("unterminated entity".into()));
+        };
+        let entity = &rest[1..end];
+        out.push(match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            other => {
+                return Err(XSpecError::Xml(format!("unknown entity `&{other};`")));
+            }
+        });
+        // Skip the entity body in the main iterator.
+        for _ in 0..end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Parse an XML document into its root element.
+pub fn parse(input: &str) -> Result<XmlNode> {
+    let mut p = XmlParser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.element()?;
+    p.skip_ws_and_comments()?;
+    if p.pos != p.bytes.len() {
+        return Err(XSpecError::Xml("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => return Err(XSpecError::Xml("unterminated comment".into())),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws_and_comments()?;
+        if self.input[self.pos..].starts_with("<?xml") {
+            match self.input[self.pos..].find("?>") {
+                Some(end) => self.pos += end + 2,
+                None => return Err(XSpecError::Xml("unterminated XML declaration".into())),
+            }
+        }
+        self.skip_ws_and_comments()
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| {
+            b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XSpecError::Xml(format!(
+                "expected name at byte {start}"
+            )));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> Result<XmlNode> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(XSpecError::Xml(format!(
+                "expected `<` at byte {}",
+                self.pos
+            )));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut node = XmlNode::new(name);
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        return Ok(node);
+                    }
+                    return Err(XSpecError::Xml("stray `/` in tag".into()));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(XSpecError::Xml(format!(
+                            "expected `=` after attribute `{key}`"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(XSpecError::Xml("attribute value must be double-quoted".into()));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(XSpecError::Xml("unterminated attribute value".into()));
+                    }
+                    let value = unescape(&self.input[start..self.pos])?;
+                    self.pos += 1;
+                    node.attrs.push((key, value));
+                }
+                None => return Err(XSpecError::Xml("unexpected end inside tag".into())),
+            }
+        }
+        // content
+        loop {
+            // text run
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|&b| b != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let text = unescape(&self.input[start..self.pos])?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    node.text.push_str(trimmed);
+                }
+            }
+            if self.input[self.pos..].starts_with("<!--") {
+                self.skip_ws_and_comments()?;
+                continue;
+            }
+            if self.input[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != node.name {
+                    return Err(XSpecError::Xml(format!(
+                        "mismatched close tag: expected </{}>, got </{close}>",
+                        node.name
+                    )));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(XSpecError::Xml("malformed close tag".into()));
+                }
+                self.pos += 1;
+                return Ok(node);
+            }
+            if self.bytes.get(self.pos) == Some(&b'<') {
+                let child = self.element()?;
+                node.children.push(child);
+                continue;
+            }
+            return Err(XSpecError::Xml(format!(
+                "unterminated element <{}>",
+                node.name
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_serialize_parse_round_trip() {
+        let doc = XmlNode::new("xspec")
+            .attr("database", "ntuples")
+            .attr("vendor", "MySQL")
+            .child(
+                XmlNode::new("table")
+                    .attr("name", "events")
+                    .child(XmlNode::new("column").attr("name", "e_id").attr("type", "BIGINT")),
+            )
+            .child(XmlNode::new("note"));
+        let text = doc.to_xml();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let doc = XmlNode::new("t").attr("v", "a<b&\"c\"'d'>");
+        let parsed = parse(&doc.to_xml()).unwrap();
+        assert_eq!(parsed.get_attr("v"), Some("a<b&\"c\"'d'>"));
+    }
+
+    #[test]
+    fn text_content() {
+        let parsed = parse("<a>hello &amp; goodbye</a>").unwrap();
+        assert_eq!(parsed.text, "hello & goodbye");
+    }
+
+    #[test]
+    fn comments_and_declaration_skipped() {
+        let parsed = parse(
+            "<?xml version=\"1.0\"?>\n<!-- generated -->\n<a><!-- inner --><b/></a>\n<!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(parsed.name, "a");
+        assert_eq!(parsed.children.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("<a><b></a>").is_err()); // mismatched close
+        assert!(parse("<a attr=unquoted/>").is_err());
+        assert!(parse("<a>&bogus;</a>").is_err());
+        assert!(parse("<a/><b/>").is_err()); // two roots
+        assert!(parse("<a").is_err());
+    }
+
+    #[test]
+    fn helpers() {
+        let doc = parse("<a><t name=\"x\"/><t name=\"y\"/><u/></a>").unwrap();
+        assert_eq!(doc.children_named("t").count(), 2);
+        assert!(doc.first_child("u").is_some());
+        assert!(doc.first_child("v").is_none());
+        assert!(doc.children[0].require_attr("name").is_ok());
+        assert!(doc.children[0].require_attr("none").is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let doc = XmlNode::new("a").child(XmlNode::new("b").attr("k", "v"));
+        assert_eq!(doc.to_xml(), doc.to_xml());
+    }
+}

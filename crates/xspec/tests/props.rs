@@ -1,0 +1,167 @@
+//! Property-based tests for the metadata layer: XML round-tripping, XSpec
+//! model round-tripping, MD5 stability, and tracker behaviour.
+
+use gridfed_storage::DataType;
+use gridfed_xspec::md5::{md5, md5_hex};
+use gridfed_xspec::model::{LowerXSpec, UpperEntry, UpperXSpec, XColumn, XTable};
+use gridfed_xspec::tracker::{SchemaTracker, TrackOutcome};
+use gridfed_xspec::xml::{parse, XmlNode};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,10}"
+}
+
+fn arb_attr_value() -> impl Strategy<Value = String> {
+    // Includes every character the escaper must handle.
+    "[a-zA-Z0-9 <>&\"'=/_-]{0,16}"
+}
+
+fn arb_xml(depth: u32) -> BoxedStrategy<XmlNode> {
+    let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_attr_value()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut node = XmlNode::new(name);
+            // Attribute keys must be unique for round-trip equality.
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    node.attrs.push((k, v));
+                }
+            }
+            node
+        });
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        (arb_name(), prop::collection::vec(inner, 0..3)).prop_map(|(name, children)| {
+            let mut node = XmlNode::new(name);
+            node.children = children;
+            node
+        })
+    })
+    .boxed()
+}
+
+fn arb_lower() -> impl Strategy<Value = LowerXSpec> {
+    let ty = prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Float),
+        Just(DataType::Text),
+        Just(DataType::Bool),
+        Just(DataType::Bytes),
+    ];
+    let col = (arb_name(), ty, any::<bool>(), any::<bool>()).prop_map(
+        |(name, neutral_type, nullable, unique)| XColumn {
+            name,
+            vendor_type: format!("T_{}", neutral_type.name()),
+            neutral_type,
+            nullable,
+            unique,
+        },
+    );
+    let table = (arb_name(), prop::collection::vec(col, 0..4), 0usize..100_000).prop_map(
+        |(name, columns, row_count)| XTable {
+            name,
+            columns,
+            row_count,
+        },
+    );
+    (arb_name(), prop::collection::vec(table, 0..4)).prop_map(|(database, tables)| LowerXSpec {
+        database,
+        vendor: "MySQL".into(),
+        tables,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// XML write → parse is the identity on the node tree.
+    #[test]
+    fn xml_round_trip(doc in arb_xml(3)) {
+        let text = doc.to_xml();
+        let parsed = parse(&text);
+        prop_assert!(parsed.is_ok(), "failed on: {text}");
+        prop_assert_eq!(parsed.unwrap(), doc);
+    }
+
+    /// The XML parser is total (no panics) on arbitrary input.
+    #[test]
+    fn xml_parser_total(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// LowerXSpec → XML → LowerXSpec is the identity.
+    #[test]
+    fn lower_xspec_round_trip(spec in arb_lower()) {
+        let xml = spec.to_xml();
+        let back = LowerXSpec::from_xml(&xml);
+        prop_assert!(back.is_ok(), "failed on: {xml}");
+        prop_assert_eq!(back.unwrap(), spec);
+    }
+
+    /// UpperXSpec round trip.
+    #[test]
+    fn upper_xspec_round_trip(names in prop::collection::vec(arb_name(), 0..5)) {
+        let mut upper = UpperXSpec::default();
+        for n in names {
+            upper.upsert(UpperEntry {
+                name: n.clone(),
+                url: format!("mysql://u:p@h:3306/{n}"),
+                driver: "mysql".into(),
+                lower_ref: format!("{n}.xspec"),
+            });
+        }
+        let xml = upper.to_xml();
+        prop_assert_eq!(UpperXSpec::from_xml(&xml).unwrap(), upper);
+    }
+
+    /// MD5 is deterministic and length-robust; hex form is 32 lowercase
+    /// hex digits.
+    #[test]
+    fn md5_shape(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let d1 = md5(&data);
+        let d2 = md5(&data);
+        prop_assert_eq!(d1, d2);
+        let hex = md5_hex(&data);
+        prop_assert_eq!(hex.len(), 32);
+        prop_assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    /// Appending a byte changes the digest (no trivial length-extension
+    /// collisions on these sizes).
+    #[test]
+    fn md5_sensitive_to_append(data in prop::collection::vec(any::<u8>(), 0..200), extra in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(md5(&data), md5(&longer));
+    }
+
+    /// Tracker: re-checking the same spec is always Unchanged; checking a
+    /// spec with different columns is always Changed.
+    #[test]
+    fn tracker_detects_exactly_schema_changes(spec in arb_lower(), extra_col in arb_name()) {
+        let mut tracker = SchemaTracker::new();
+        prop_assert_eq!(tracker.check(&spec), TrackOutcome::Registered);
+        prop_assert_eq!(tracker.check(&spec), TrackOutcome::Unchanged);
+
+        // Row-count drift is not schema change.
+        let mut grown = spec.clone();
+        for t in &mut grown.tables {
+            t.row_count += 17;
+        }
+        prop_assert_eq!(tracker.check(&grown), TrackOutcome::Unchanged);
+
+        // Adding a column to some table is.
+        if let Some(t) = grown.tables.first_mut() {
+            t.columns.push(XColumn {
+                name: format!("zz_{extra_col}"),
+                vendor_type: "BIGINT".into(),
+                neutral_type: DataType::Int,
+                nullable: true,
+                unique: false,
+            });
+            let outcome = tracker.check(&grown);
+            let changed = matches!(outcome, TrackOutcome::Changed { .. });
+            prop_assert!(changed, "expected Changed, got {:?}", outcome);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! An interactive SQL shell over the federation — the "simple client"
+//! end of the paper's "simple and complex clients" spectrum.
+//!
+//! Reads statements from stdin (one per line), so it works interactively
+//! or piped:
+//!
+//! ```text
+//! cargo run --example gridfed_shell
+//! echo "SELECT detector, mean_value FROM detector_summary" | cargo run --example gridfed_shell
+//! ```
+//!
+//! Dot-commands: `.tables`, `.databases`, `.servers`, `.refresh`, `.help`,
+//! `.quit`.
+
+use gridfed::prelude::*;
+use std::io::{self, BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("assembling grid (two servers, four marts)…");
+    let grid = GridBuilder::new().with_seed(2005).build()?;
+    eprintln!(
+        "ready: {} logical tables across {} databases on {} servers",
+        grid.service(0).local_tables().len() + grid.service(1).local_tables().len(),
+        grid.marts.len(),
+        grid.servers.len()
+    );
+    eprintln!("type SQL, or .help");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        eprint!("gridfed> ");
+        io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                writeln!(
+                    out,
+                    ".tables     logical tables on server 1\n\
+                     .databases  databases registered on server 1\n\
+                     .servers    Clarens servers in the directory\n\
+                     .refresh    run the schema-change tracker\n\
+                     EXPLAIN <sql>  show the federation plan without running\n\
+                     .quit       leave"
+                )?;
+            }
+            ".tables" => {
+                for t in grid.service(0).local_tables() {
+                    writeln!(out, "{t}")?;
+                }
+            }
+            ".databases" => {
+                for d in grid.service(0).databases() {
+                    writeln!(out, "{d}")?;
+                }
+            }
+            ".servers" => {
+                for url in grid.directory.urls() {
+                    writeln!(out, "{url}")?;
+                }
+            }
+            ".refresh" => match grid.service(0).refresh_schemas() {
+                Ok(t) => writeln!(out, "changed: {:?} ({})", t.value, t.cost)?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
+            dot if dot.starts_with('.') => {
+                writeln!(out, "unknown command `{dot}` — try .help")?;
+            }
+            sql if sql.to_ascii_lowercase().starts_with("explain ") => {
+                match grid.service(0).explain(&sql[8..]) {
+                    Ok(plan) => write!(out, "{plan}")?,
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            sql => match grid.query(sql) {
+                Ok(r) => {
+                    write!(out, "{}", r.result)?;
+                    writeln!(
+                        out,
+                        "({} rows in {}; {} sub-queries over {} databases{})",
+                        r.result.len(),
+                        r.response_time,
+                        r.stats.subqueries,
+                        r.stats.databases.max(1),
+                        if r.stats.remote_forwards > 0 {
+                            format!(", {} forwarded", r.stats.remote_forwards)
+                        } else {
+                            String::new()
+                        }
+                    )?;
+                }
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
+        }
+        out.flush()?;
+    }
+    Ok(())
+}

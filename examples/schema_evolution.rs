@@ -1,0 +1,104 @@
+//! Runtime plug-in databases (§4.10) and schema-change tracking (§4.9).
+//!
+//! A physicist's laptop SQLite database joins the federation at runtime;
+//! the service introspects it, generates its XSpec, publishes its tables to
+//! the RLS — and from then on every server in the grid can answer queries
+//! over it. Later the laptop's schema changes, and the periodic tracker
+//! (size + md5 comparison of the regenerated XSpec) picks it up.
+//!
+//! Run: `cargo run --example schema_evolution`
+
+use gridfed::prelude::*;
+use gridfed::vendors::SimServer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridBuilder::new().with_seed(3).build()?;
+    let das1 = grid.service(0);
+    let das2 = grid.service(1);
+
+    // ---- A new database appears: a laptop SQLite mart ----
+    let laptop = SimServer::new(VendorKind::Sqlite, "laptop", "fieldnotes");
+    let conn = laptop.connect("grid", "grid")?.value;
+    conn.execute(
+        "CREATE TABLE beam_log (entry_id INT PRIMARY KEY, run_id INT, note TEXT)",
+    )?;
+    conn.execute(
+        "INSERT INTO beam_log (entry_id, run_id, note) VALUES \
+         (1, 0, 'beam ramped to 450 GeV'), \
+         (2, 0, 'ecal hv trip, recovered'), \
+         (3, 0, 'stable beams declared')",
+    )?;
+    grid.registry.register_server(laptop);
+
+    // Plug it into server 2 at runtime, by URL — "this feature enables
+    // databases to be added at runtime to the system."
+    let registered = das2.register_database("sqlite:/laptop/fieldnotes.db")?;
+    println!(
+        "plug-in registered database `{}` in {}",
+        registered.value, registered.cost
+    );
+    println!("server 2 now hosts: {:?}", das2.local_tables());
+
+    // ---- Server 1 can reach it through the RLS ----
+    let out = das1.query(
+        "SELECT b.note, s.n_meas FROM beam_log b \
+         JOIN run_summary s ON b.run_id = s.run_id",
+    )?;
+    println!(
+        "\ncross-server join against the plug-in database \
+         ({} RLS lookups, {} forwards):",
+        out.value.stats.rls_lookups, out.value.stats.remote_forwards
+    );
+    println!("{}", out.value.result);
+
+    // ---- Schema evolution ----
+    // First sweep: nothing changed anywhere.
+    let unchanged = das2.refresh_schemas()?;
+    println!("refresh #1: changed databases = {:?}", unchanged.value);
+    assert!(unchanged.value.is_empty());
+
+    // The laptop grows a column... (rebuild the table: 2005-era SQLite had
+    // no ALTER TABLE ADD COLUMN on this path)
+    let laptop = grid.registry.lookup("laptop", "fieldnotes")?;
+    laptop.with_db_mut(|db| {
+        db.drop_table("beam_log").expect("drop");
+        let schema = gridfed::storage::Schema::new(vec![
+            ColumnDef::new("entry_id", DataType::Int).primary_key(),
+            ColumnDef::new("run_id", DataType::Int),
+            ColumnDef::new("note", DataType::Text),
+            ColumnDef::new("shift_crew", DataType::Text),
+        ])
+        .expect("schema");
+        db.create_table("beam_log", schema).expect("recreate");
+        db.table_mut("beam_log")
+            .expect("table")
+            .insert(vec![
+                Value::Int(1),
+                Value::Int(0),
+                "beam ramped to 450 GeV".into(),
+                "owl shift".into(),
+            ])
+            .expect("insert");
+    });
+
+    // Second sweep: size/md5 comparison flags the change and hot-swaps the
+    // dictionary entry.
+    let changed = das2.refresh_schemas()?;
+    println!("refresh #2: changed databases = {:?}", changed.value);
+    assert_eq!(changed.value, vec!["fieldnotes".to_string()]);
+
+    // The new column is immediately queryable.
+    let out = das2.query("SELECT note, shift_crew FROM beam_log")?;
+    println!("\nafter schema refresh:");
+    println!("{}", out.value.result);
+
+    // ---- Unregistering ----
+    assert!(das2.unregister_database("fieldnotes"));
+    assert!(das2.query("SELECT note FROM beam_log").is_err() || {
+        // Other servers may still resolve it via stale RLS entries; the
+        // local dictionary, at least, no longer knows it.
+        !das2.local_tables().contains(&"beam_log".to_string())
+    });
+    println!("\nlaptop database unregistered from server 2");
+    Ok(())
+}

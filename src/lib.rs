@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! # gridfed — Grid-enabled heterogeneous relational database federation
+//!
+//! Umbrella crate re-exporting the full middleware stack that reproduces
+//! *"Heterogeneous Relational Databases for a Grid-enabled Analysis
+//! Environment"* (ICPP Workshops 2005).
+//!
+//! The stack, bottom-up:
+//!
+//! - [`storage`] — embedded relational engine (the stand-in for the paper's
+//!   Oracle/MySQL/MS-SQL/SQLite servers).
+//! - [`sqlkit`] — SQL lexer, parser, and single-database executor.
+//! - [`simnet`] — deterministic virtual-time network + cost model
+//!   (the stand-in for the paper's 100 Mbps LAN testbed).
+//! - [`vendors`] — vendor dialect profiles and the driver/connection layer.
+//! - [`ntuple`] — HBOOK ntuple data model, workload generator, histograms.
+//! - [`xspec`] — Unity-style XSpec metadata, data dictionary, schema
+//!   change tracking, runtime plug-in registration.
+//! - [`warehouse`] — ETL "data streaming" into the star-schema warehouse,
+//!   warehouse views, and data-mart materialization.
+//! - [`rls`] — Replica Location Service.
+//! - [`poolral`] — POOL-RAL-style vendor-neutral access layer.
+//! - [`unity`] — the Unity baseline federated driver.
+//! - [`clarens`] — the (J)Clarens-style RPC service framework.
+//! - [`core`] — the Data Access Service: query decomposition, routing,
+//!   distributed execution, and result integration.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridfed::prelude::*;
+//!
+//! // Build a small grid: one source database, warehouse, one mart,
+//! // one Clarens server hosting the data access service.
+//! let mut grid = GridBuilder::new()
+//!     .with_seed(7)
+//!     .source("tier1_oracle", VendorKind::Oracle, 200)
+//!     .build()
+//!     .expect("grid construction");
+//!
+//! let out = grid
+//!     .query("SELECT e_id, energy FROM ntuple_events WHERE energy > 50.0")
+//!     .expect("query");
+//! assert!(!out.result.is_empty());
+//! println!("{} rows in {}", out.result.len(), out.response_time);
+//! ```
+
+pub use gridfed_clarens as clarens;
+pub use gridfed_core as core;
+pub use gridfed_ntuple as ntuple;
+pub use gridfed_poolral as poolral;
+pub use gridfed_rls as rls;
+pub use gridfed_simnet as simnet;
+pub use gridfed_sqlkit as sqlkit;
+pub use gridfed_storage as storage;
+pub use gridfed_unity as unity;
+pub use gridfed_vendors as vendors;
+pub use gridfed_warehouse as warehouse;
+pub use gridfed_xspec as xspec;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use gridfed_core::grid::{Grid, GridBuilder};
+    pub use gridfed_core::service::{DataAccessService, QueryOutcome};
+    pub use gridfed_simnet::cost::Cost;
+    pub use gridfed_sqlkit::ResultSet;
+    pub use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Table, Value};
+    pub use gridfed_vendors::VendorKind;
+}

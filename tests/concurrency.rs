@@ -1,0 +1,99 @@
+//! Concurrency integration: many clients hammering one grid at once.
+//!
+//! The paper's service is a shared web service; parallel analysis clients
+//! are its normal load. These tests check that concurrent queries (and
+//! concurrent queries racing schema changes) never corrupt results.
+
+use gridfed::core::grid::GridBuilder;
+use gridfed::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn parallel_clients_get_identical_answers() {
+    let grid = Arc::new(
+        GridBuilder::new()
+            .with_seed(71)
+            .source("tier1.cern", VendorKind::Oracle, 150)
+            .source("tier2.caltech", VendorKind::MySql, 150)
+            .build()
+            .expect("grid builds"),
+    );
+    let sql = "SELECT e.e_id, e.energy, s.n_meas FROM ntuple_events e \
+               JOIN run_summary s ON e.run_id = s.run_id \
+               WHERE e.energy > 10.0 ORDER BY e.e_id";
+    let reference = grid.query(sql).expect("reference").result;
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let grid = Arc::clone(&grid);
+            let sql = sql.to_string();
+            thread::spawn(move || {
+                let mut results = Vec::new();
+                for _ in 0..5 {
+                    results.push(grid.query(&sql).expect("concurrent query").result);
+                }
+                results
+            })
+        })
+        .collect();
+    for h in handles {
+        for result in h.join().expect("thread") {
+            assert_eq!(result, reference);
+        }
+    }
+}
+
+#[test]
+fn queries_race_schema_refreshes_safely() {
+    let grid = Arc::new(GridBuilder::new().with_seed(72).build().expect("grid"));
+    let das = Arc::clone(grid.service(0));
+
+    let reader = {
+        let grid = Arc::clone(&grid);
+        thread::spawn(move || {
+            for _ in 0..20 {
+                let out = grid
+                    .query("SELECT e_id FROM ntuple_events WHERE e_id < 10")
+                    .expect("query during refresh churn");
+                assert_eq!(out.result.len(), 10);
+            }
+        })
+    };
+    let refresher = thread::spawn(move || {
+        for _ in 0..10 {
+            let changed = das.refresh_schemas().expect("refresh").value;
+            assert!(changed.is_empty(), "nothing actually changed");
+        }
+    });
+    reader.join().expect("reader");
+    refresher.join().expect("refresher");
+}
+
+#[test]
+fn mixed_query_shapes_in_parallel() {
+    let grid = Arc::new(GridBuilder::new().with_seed(73).build().expect("grid"));
+    let queries = [
+        "SELECT e_id FROM ntuple_events WHERE e_id < 5",
+        "SELECT detector, COUNT(*) AS n FROM ntuple_events GROUP BY detector ORDER BY detector",
+        "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+         JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 5",
+        "SELECT detector, mean_value FROM detector_summary ORDER BY detector",
+    ];
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|sql| {
+            let grid = Arc::clone(&grid);
+            let sql = sql.to_string();
+            thread::spawn(move || {
+                for _ in 0..5 {
+                    let out = grid.query(&sql).expect("parallel shape");
+                    assert!(!out.result.columns.is_empty());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread");
+    }
+}
