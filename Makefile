@@ -1,0 +1,21 @@
+# Developer entry points. `make verify` is the full pre-merge gate:
+# tier-1 (release build + tests) plus lints and formatting.
+
+.PHONY: verify build test lint fmt bench
+
+verify: build test lint fmt
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --check
+
+bench:
+	cargo bench -p gridfed-bench

@@ -42,7 +42,11 @@ fn bench_db() -> Database {
     for i in 0..8i64 {
         t.insert(vec![
             Value::Int(i),
-            Value::Text(if i % 2 == 0 { format!("ecal_{i}") } else { format!("hcal_{i}") }),
+            Value::Text(if i % 2 == 0 {
+                format!("ecal_{i}")
+            } else {
+                format!("hcal_{i}")
+            }),
         ])
         .unwrap();
     }
@@ -52,7 +56,9 @@ fn bench_db() -> Database {
 fn sql_frontend(c: &mut Criterion) {
     let mut g = c.benchmark_group("sql_frontend");
     g.sample_size(30);
-    g.bench_function("tokenize", |b| b.iter(|| tokenize(black_box(QUERY)).unwrap()));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| tokenize(black_box(QUERY)).unwrap())
+    });
     g.bench_function("parse", |b| b.iter(|| parse(black_box(QUERY)).unwrap()));
     let stmt = parse_select(QUERY).unwrap();
     g.bench_function("render_neutral", |b| {
@@ -130,7 +136,8 @@ fn storage_ops(c: &mut Criterion) {
             |mut db| {
                 let t = db.table_mut("t").unwrap();
                 for i in 0..10_000i64 {
-                    t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+                    t.insert(vec![Value::Int(i), Value::Float(i as f64)])
+                        .unwrap();
                 }
                 db
             },

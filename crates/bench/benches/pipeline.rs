@@ -152,7 +152,12 @@ fn rls(c: &mut Criterion) {
         b.iter(|| rls.lookup(black_box("nonexistent")))
     });
     g.bench_function("publish_one", |b| {
-        b.iter(|| rls.publish("clarens://x:8443/das", black_box(&["table_0042".to_string()])))
+        b.iter(|| {
+            rls.publish(
+                "clarens://x:8443/das",
+                black_box(&["table_0042".to_string()]),
+            )
+        })
     });
     g.finish();
 }

@@ -1,0 +1,160 @@
+//! Optimizer ablation bench (`plan_opt`): execute the same Table-1-shaped
+//! queries with the full optimizer pipeline, with every pass disabled, and
+//! with each pass alone — quantifying what predicate pushdown, projection
+//! pruning, and cardinality-based join ordering buy at execution time.
+//! Recorded in `BENCH_plan_opt.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridfed_sqlkit::exec::{execute_plan, DatabaseProvider, ProviderCatalog};
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::plan::LogicalPlan;
+use gridfed_sqlkit::{build_plan, optimize_with, PassSet};
+use gridfed_storage::{ColumnDef, DataType, Database, Schema, Value};
+use std::hint::black_box;
+
+/// Table 1's query shapes over the ntuple mart schema: Q1 one table,
+/// Q2 a two-table join, Q3 a wide multi-table join.
+const Q1: &str = "SELECT e_id, energy FROM ntuple_events WHERE energy > 10.0 + 5.0";
+const Q2: &str = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     WHERE e.energy > 15.0 AND s.quality = 'good'";
+const Q3: &str = "SELECT e.e_id, s.n_meas, d.region, t.label FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     JOIN detector_summary d ON e.det_id = d.det_id \
+     JOIN tags t ON e.tag_id = t.tag_id \
+     WHERE e.energy > 15.0 AND d.region = 'barrel' AND s.quality = 'good'";
+
+/// A 20 000-row fact table plus three small dimensions, mirroring the mart
+/// layout the paper queries.
+fn bench_db() -> Database {
+    let mut db = Database::new("plan_opt");
+    let schema = Schema::new(vec![
+        ColumnDef::new("e_id", DataType::Int).primary_key(),
+        ColumnDef::new("run_id", DataType::Int),
+        ColumnDef::new("det_id", DataType::Int),
+        ColumnDef::new("tag_id", DataType::Int),
+        ColumnDef::new("energy", DataType::Float),
+    ])
+    .unwrap();
+    let t = db.create_table("ntuple_events", schema).unwrap();
+    for i in 0..20_000i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i % 16),
+            Value::Int(i % 6),
+            Value::Int(i % 10),
+            Value::Float((i % 997) as f64 * 0.7),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("run_id", DataType::Int).primary_key(),
+        ColumnDef::new("n_meas", DataType::Int),
+        ColumnDef::new("quality", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("run_summary", schema).unwrap();
+    for i in 0..16i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i * 10),
+            Value::Text(if i % 4 == 0 {
+                "noisy".into()
+            } else {
+                "good".into()
+            }),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("det_id", DataType::Int).primary_key(),
+        ColumnDef::new("region", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("detector_summary", schema).unwrap();
+    for i in 0..6i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Text(if i % 2 == 0 {
+                "barrel".into()
+            } else {
+                "endcap".into()
+            }),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("tag_id", DataType::Int).primary_key(),
+        ColumnDef::new("label", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("tags", schema).unwrap();
+    for i in 0..10i64 {
+        t.insert(vec![Value::Int(i), Value::Text(format!("tag_{i}"))])
+            .unwrap();
+    }
+    db
+}
+
+fn plan_opt(c: &mut Criterion) {
+    let db = bench_db();
+    let provider = DatabaseProvider(&db);
+    let catalog = ProviderCatalog(&provider);
+    let configs: [(&str, PassSet); 6] = [
+        ("none", PassSet::NONE),
+        ("all", PassSet::ALL),
+        (
+            "fold",
+            PassSet {
+                fold_constants: true,
+                ..PassSet::NONE
+            },
+        ),
+        (
+            "pushdown",
+            PassSet {
+                pushdown_predicates: true,
+                ..PassSet::NONE
+            },
+        ),
+        (
+            "prune",
+            PassSet {
+                prune_projections: true,
+                ..PassSet::NONE
+            },
+        ),
+        (
+            "reorder",
+            PassSet {
+                reorder_joins: true,
+                ..PassSet::NONE
+            },
+        ),
+    ];
+
+    let mut g = c.benchmark_group("plan_opt");
+    g.sample_size(20);
+    for (shape, sql) in [
+        ("q1_single_table", Q1),
+        ("q2_two_table_join", Q2),
+        ("q3_four_table_join", Q3),
+    ] {
+        let stmt = parse_select(sql).unwrap();
+        // Plans are prepared once per config: the bench isolates execution
+        // cost, the thing the optimizer is supposed to shrink.
+        let plans: Vec<(&str, LogicalPlan)> = configs
+            .iter()
+            .map(|(name, set)| (*name, optimize_with(build_plan(&stmt), &catalog, *set)))
+            .collect();
+        for (name, plan) in &plans {
+            g.bench_function(&format!("{shape}/{name}"), |b| {
+                b.iter(|| execute_plan(black_box(plan), &provider).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, plan_opt);
+criterion_main!(benches);

@@ -131,7 +131,12 @@ fn rls_ablation() {
     println!(
         "{}",
         render_table(
-            &["configuration", "virtual time", "rls lookups", "local subqueries on server 1"],
+            &[
+                "configuration",
+                "virtual time",
+                "rls lookups",
+                "local subqueries on server 1"
+            ],
             &[
                 vec![
                     "2 servers + RLS".into(),

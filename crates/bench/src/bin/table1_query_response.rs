@@ -41,11 +41,12 @@ fn main() {
               WHERE e.e_id < 20";
 
     let mut rows = Vec::new();
-    for (query, (servers, distributed, paper_ms, tables)) in
-        [q1, q2, q3].iter().zip(TABLE1_PAPER)
-    {
+    for (query, (servers, distributed, paper_ms, tables)) in [q1, q2, q3].iter().zip(TABLE1_PAPER) {
         let out = grid.query(query).expect("query succeeds");
-        assert_eq!(out.stats.servers, servers, "server count matches the paper row");
+        assert_eq!(
+            out.stats.servers, servers,
+            "server count matches the paper row"
+        );
         assert_eq!(out.stats.distributed, distributed);
         assert_eq!(out.stats.tables, tables);
         let measured = out.response_time.as_millis_f64();
@@ -68,7 +69,11 @@ fn main() {
 
     println!(
         "Table 1 — Query response time{}\n",
-        if wan { " (WAN links between servers)" } else { "" }
+        if wan {
+            " (WAN links between servers)"
+        } else {
+            ""
+        }
     );
     println!(
         "{}",

@@ -30,9 +30,7 @@ pub const TABLE1_PAPER: [(usize, bool, f64, usize); 3] = [
 ];
 
 /// Paper reference x-axis for Figure 4: payload sizes in kB.
-pub const FIG4_SIZES_KB: [f64; 8] = [
-    0.397, 4.928, 8.217, 9.486, 12.721, 67.480, 113.414, 207.866,
-];
+pub const FIG4_SIZES_KB: [f64; 8] = [0.397, 4.928, 8.217, 9.486, 12.721, 67.480, 113.414, 207.866];
 
 /// Paper reference x-axis for Figure 6: requested row counts.
 pub const FIG6_ROWS: [usize; 12] = [
@@ -138,7 +136,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["a", "long_header"],
-            &[vec!["1".into(), "2".into()], vec!["33".into(), "4444".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["33".into(), "4444".into()],
+            ],
         );
         assert!(t.contains("long_header"));
         assert_eq!(t.lines().count(), 4);

@@ -115,7 +115,10 @@ mod tests {
         let (dir, topo) = setup();
         let mut client =
             ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "laptop").unwrap();
-        assert!(client.call("system", "ping", &[]).is_err(), "must login first");
+        assert!(
+            client.call("system", "ping", &[]).is_err(),
+            "must login first"
+        );
         let login_cost = client.login("grid", "grid").unwrap().cost;
         assert!(login_cost > Cost::from_millis(100));
         let out = client.call("system", "ping", &[]).unwrap();
@@ -125,16 +128,23 @@ mod tests {
     #[test]
     fn call_cost_includes_network_round_trip() {
         let (dir, topo) = setup();
-        let mut remote =
-            ClarensClient::connect(&dir, "clarens://srv:8443/das", Arc::clone(&topo), "far-node")
-                .unwrap();
+        let mut remote = ClarensClient::connect(
+            &dir,
+            "clarens://srv:8443/das",
+            Arc::clone(&topo),
+            "far-node",
+        )
+        .unwrap();
         remote.login("grid", "grid").unwrap();
         let mut local =
             ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "srv").unwrap();
         local.login("grid", "grid").unwrap();
         let remote_cost = remote.call("system", "ping", &[]).unwrap().cost;
         let local_cost = local.call("system", "ping", &[]).unwrap().cost;
-        assert!(remote_cost > local_cost, "LAN hop must cost more than loopback");
+        assert!(
+            remote_cost > local_cost,
+            "LAN hop must cost more than loopback"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl fmt::Display for ClarensError {
             ClarensError::ServiceFault(m) => write!(f, "service fault: {m}"),
             ClarensError::UnknownServer(u) => write!(f, "unknown server `{u}`"),
             ClarensError::AccessDenied { user, service } => {
-                write!(f, "user `{user}` is not permitted to call service `{service}`")
+                write!(
+                    f,
+                    "user `{user}` is not permitted to call service `{service}`"
+                )
             }
             ClarensError::Codec(m) => write!(f, "codec error: {m}"),
         }

@@ -94,17 +94,15 @@ impl ClarensServer {
     /// Authenticate and mint a session token. Models Clarens' certificate
     /// handshake (one-time cost per client session).
     pub fn login(&self, user: &str, password: &str) -> Result<Timed<String>> {
-        let ok = self
-            .users
-            .read()
-            .get(user)
-            .is_some_and(|p| p == password);
+        let ok = self.users.read().get(user).is_some_and(|p| p == password);
         if !ok {
             return Err(ClarensError::AuthFailed(user.to_string()));
         }
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let token = format!("sess-{id:08x}");
-        self.sessions.write().insert(token.clone(), user.to_string());
+        self.sessions
+            .write()
+            .insert(token.clone(), user.to_string());
         Ok(Timed::new(token, self.params.clarens_session_setup))
     }
 
@@ -191,7 +189,10 @@ impl Service for SystemService {
 
     fn call(&self, method: &str, _params: &[WireValue]) -> Result<Timed<WireValue>> {
         match method {
-            "ping" => Ok(Timed::new(WireValue::Str("pong".into()), Cost::from_micros(50))),
+            "ping" => Ok(Timed::new(
+                WireValue::Str("pong".into()),
+                Cost::from_micros(50),
+            )),
             "whoami" => Ok(Timed::new(
                 WireValue::Str(self.server_url.clone()),
                 Cost::from_micros(50),
@@ -219,9 +220,7 @@ mod tests {
         let s = server_with_system();
         let session = s.login("grid", "grid").unwrap();
         assert!(session.cost > Cost::ZERO);
-        let out = s
-            .handle(&session.value, "system", "ping", &[])
-            .unwrap();
+        let out = s.handle(&session.value, "system", "ping", &[]).unwrap();
         assert_eq!(out.value, WireValue::Str("pong".into()));
         assert!(out.cost >= s.params().clarens_request);
     }

@@ -9,7 +9,10 @@
 //! fetch so the mediator can finish the join.
 
 use crate::Result;
-use gridfed_sqlkit::ast::{ColumnRef, Expr, SelectItem, SelectStmt, TableRef};
+use gridfed_sqlkit::ast::{BinaryOp, ColumnRef, Expr, SelectItem, SelectStmt, TableRef};
+use gridfed_sqlkit::optimize::{optimize, PlanCatalog};
+use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
+use gridfed_storage::normalize_ident;
 use gridfed_xspec::dict::TableLocation;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -66,10 +69,15 @@ pub enum QueryPlan {
     },
     /// The general case: fetch per-table partials, integrate locally.
     Federated {
-        /// Per-table fetch tasks.
+        /// Per-table fetch tasks, derived from the optimized plan's scans.
         tasks: Vec<TableTask>,
-        /// The statement to execute.
-        stmt: SelectStmt,
+        /// The optimized plan: each `Scan` shows exactly the predicates and
+        /// column list its sub-query pushes to the backend.
+        optimized: LogicalPlan,
+        /// The residual plan the mediator runs over the fetched partials:
+        /// the optimized plan with every scan's pushed work blanked out
+        /// (the backends already did it).
+        residual: LogicalPlan,
     },
 }
 
@@ -81,20 +89,45 @@ impl QueryPlan {
     }
 }
 
+/// [`PlanCatalog`] over a [`TableResolver`]: schemas come from the data
+/// dictionary, cardinalities from the XSpec row-count hints of locally
+/// resolved tables — the statistics feeding the optimizer's join ordering.
+struct ResolverCatalog<'a>(&'a dyn TableResolver);
+
+impl PlanCatalog for ResolverCatalog<'_> {
+    fn columns(&self, table: &str) -> Option<Vec<String>> {
+        self.0.columns_of(&normalize_ident(table))
+    }
+
+    fn row_count(&self, table: &str) -> Option<u64> {
+        match self.0.resolve(&normalize_ident(table)) {
+            Ok(Home::Local(loc)) => Some(loc.row_count as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Build the optimized logical plan for a statement, as the federation sees
+/// it (schemas and statistics drawn from the resolver). Shared by the
+/// decomposer and `EXPLAIN`.
+pub fn optimized_plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> LogicalPlan {
+    optimize(build_plan(stmt), &ResolverCatalog(resolver))
+}
+
 /// Decompose a SELECT against a resolver.
 pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan> {
     // Unique tables in syntactic order, with their bindings.
     let mut tables: Vec<String> = Vec::new();
     let mut bindings_of: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for tref in stmt.table_refs() {
-        let key = tref.name.to_ascii_lowercase();
+        let key = normalize_ident(&tref.name);
         if !tables.contains(&key) {
             tables.push(key.clone());
         }
         bindings_of
             .entry(key)
             .or_default()
-            .push(tref.binding().to_ascii_lowercase());
+            .push(normalize_ident(tref.binding()));
     }
 
     let mut homes: BTreeMap<String, Home> = BTreeMap::new();
@@ -133,25 +166,52 @@ pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan
     }
     if local_dbs.is_empty() && remote_servers.len() == 1 {
         return Ok(QueryPlan::ForwardAll {
-            server_url: remote_servers.into_iter().next().expect("len 1").to_string(),
+            server_url: remote_servers
+                .into_iter()
+                .next()
+                .expect("len 1")
+                .to_string(),
             stmt: stmt.clone(),
         });
     }
 
-    // General federation: one fetch task per unique table.
-    let conjuncts: Vec<Expr> = stmt
-        .where_clause
-        .as_ref()
-        .map(|w| w.conjuncts().into_iter().cloned().collect())
-        .unwrap_or_default();
+    // General federation. Lower the statement to the plan IR and optimize:
+    // predicate pushdown and projection pruning decide — per Scan node —
+    // what each backend sub-query filters and fetches.
+    let optimized = optimized_plan(stmt, resolver);
 
+    // Retract pushdown where federation cannot honor it: a table bound
+    // more than once shares one fetch (an alias-qualified filter must not
+    // constrain the other binding), and a table with an unknown schema is
+    // fetched raw (we cannot verify the backend has the column).
+    let retract: BTreeSet<String> = tables
+        .iter()
+        .filter(|t| bindings_of[*t].len() > 1 || resolver.columns_of(t).is_none())
+        .cloned()
+        .collect();
+    let optimized = retract_scan_pushdown(optimized, &retract);
+
+    // One fetch task per unique table, mirroring its Scan node exactly.
+    let scans = optimized.scans();
     let mut tasks = Vec::with_capacity(tables.len());
     for t in &tables {
         let home = homes.remove(t).expect("resolved above");
-        let bindings = &bindings_of[t];
-        let columns = resolver.columns_of(t);
-        let pushed = pushable_conjuncts(&conjuncts, t, bindings, columns.as_deref());
-        let items = pruned_items(stmt, t, bindings, columns.as_deref());
+        let scan = scans
+            .iter()
+            .find(|s| matches!(s, LogicalPlan::Scan { table, .. } if normalize_ident(table) == *t))
+            .expect("every FROM table has a scan");
+        let LogicalPlan::Scan {
+            projection,
+            filters,
+            ..
+        } = scan
+        else {
+            unreachable!("scans() yields Scan nodes");
+        };
+        let items = match projection {
+            Some(cols) => cols.iter().map(|c| SelectItem::col(c)).collect(),
+            None => vec![SelectItem::Wildcard],
+        };
         let mut subquery = SelectStmt {
             // DISTINCT is applied at the mediator after integration; the
             // per-table fetches stay plain so join multiplicities survive.
@@ -159,7 +219,9 @@ pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan
             items,
             from: TableRef::new(t.clone()),
             joins: Vec::new(),
-            where_clause: Expr::conjoin(pushed),
+            // The backend sub-query has a single unaliased FROM, so the
+            // pushed conjuncts lose their qualifiers.
+            where_clause: Expr::conjoin(filters.iter().map(strip_qualifiers).collect()),
             group_by: Vec::new(),
             having: None,
             order_by: Vec::new(),
@@ -180,52 +242,193 @@ pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan
             subquery,
         });
     }
+    let residual = residual_plan(&optimized);
     Ok(QueryPlan::Federated {
         tasks,
-        stmt: stmt.clone(),
+        optimized,
+        residual,
     })
 }
 
-/// Conjuncts safe to evaluate at table `t`'s backend: every column must
-/// belong to `t`, and `t` must be bound exactly once (self-joins disable
-/// push-down because an alias-qualified filter must not constrain the
-/// shared fetch). Qualifiers are stripped for backend execution.
-fn pushable_conjuncts(
-    conjuncts: &[Expr],
-    _table: &str,
-    bindings: &[String],
-    columns: Option<&[String]>,
-) -> Vec<Expr> {
-    if bindings.len() != 1 {
-        return Vec::new();
+/// Undo pushdown and pruning on the scans of the named tables: their
+/// filters move back into the residual WHERE and their column lists widen
+/// to `*`. Used where a per-scan decision cannot be honored by a shared or
+/// schema-blind fetch.
+fn retract_scan_pushdown(plan: LogicalPlan, tables: &BTreeSet<String>) -> LogicalPlan {
+    if tables.is_empty() {
+        return plan;
     }
-    let binding = &bindings[0];
-    let Some(columns) = columns else {
-        return Vec::new();
-    };
-    let col_set: BTreeSet<String> = columns.iter().map(|c| c.to_ascii_lowercase()).collect();
-    let mut out = Vec::new();
-    for c in conjuncts {
-        if c.contains_aggregate() {
-            continue;
-        }
-        let mut refs = Vec::new();
-        c.collect_columns(&mut refs);
-        if refs.is_empty() {
-            continue; // constant predicates stay at the mediator
-        }
-        let all_mine = refs.iter().all(|r| {
-            let col_ok = col_set.contains(&r.column.to_ascii_lowercase());
-            match &r.qualifier {
-                Some(q) => col_ok && q.eq_ignore_ascii_case(binding),
-                None => col_ok,
+    match plan {
+        LogicalPlan::Project { input, items, keys } => LogicalPlan::Project {
+            input: Box::new(retract_relational(*input, tables)),
+            items,
+            keys,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            items,
+            group_by,
+            having,
+            keys,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(retract_relational(*input, tables)),
+            items,
+            group_by,
+            having,
+            keys,
+        },
+        LogicalPlan::Sort { input, ascending } => LogicalPlan::Sort {
+            input: Box::new(retract_scan_pushdown(*input, tables)),
+            ascending,
+        },
+        LogicalPlan::Strip { input, drop } => LogicalPlan::Strip {
+            input: Box::new(retract_scan_pushdown(*input, tables)),
+            drop,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(retract_scan_pushdown(*input, tables)),
+        },
+        LogicalPlan::Limit { input, limit } => LogicalPlan::Limit {
+            input: Box::new(retract_scan_pushdown(*input, tables)),
+            limit,
+        },
+        relational => retract_relational(relational, tables),
+    }
+}
+
+/// Strip the named scans inside a relational subtree and re-conjoin their
+/// pulled filters above it. Pulling a pushed conjunct back up is always
+/// sound: pushdown only ever moved it down from there.
+fn retract_relational(plan: LogicalPlan, tables: &BTreeSet<String>) -> LogicalPlan {
+    let mut pulled = Vec::new();
+    let plan = strip_scans(plan, tables, &mut pulled);
+    match Expr::conjoin(pulled) {
+        Some(extra) => match plan {
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input,
+                predicate: Expr::binary(predicate, BinaryOp::And, extra),
+            },
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                predicate: extra,
+            },
+        },
+        None => plan,
+    }
+}
+
+fn strip_scans(
+    plan: LogicalPlan,
+    tables: &BTreeSet<String>,
+    pulled: &mut Vec<Expr>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            mut filters,
+        } => {
+            if tables.contains(&normalize_ident(&table)) {
+                pulled.append(&mut filters);
+                LogicalPlan::Scan {
+                    table,
+                    binding,
+                    projection: None,
+                    filters,
+                }
+            } else {
+                LogicalPlan::Scan {
+                    table,
+                    binding,
+                    projection,
+                    filters,
+                }
             }
-        });
-        if all_mine {
-            out.push(strip_qualifiers(c));
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(strip_scans(*input, tables, pulled)),
+            predicate,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(strip_scans(*left, tables, pulled)),
+            right: Box::new(strip_scans(*right, tables, pulled)),
+            kind,
+            on,
+        },
+        other => other,
+    }
+}
+
+/// The mediator's residual plan: the optimized plan with every scan's
+/// pushed filters and projection blanked out — the backends have already
+/// applied them, so the scan just reads the staged partial (keyed by the
+/// normalized table name) as-is.
+fn residual_plan(optimized: &LogicalPlan) -> LogicalPlan {
+    fn blank(plan: &LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Scan { table, binding, .. } => LogicalPlan::Scan {
+                table: normalize_ident(table),
+                binding: binding.clone(),
+                projection: None,
+                filters: Vec::new(),
+            },
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: Box::new(blank(input)),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => LogicalPlan::Join {
+                left: Box::new(blank(left)),
+                right: Box::new(blank(right)),
+                kind: *kind,
+                on: on.clone(),
+            },
+            LogicalPlan::Project { input, items, keys } => LogicalPlan::Project {
+                input: Box::new(blank(input)),
+                items: items.clone(),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                items,
+                group_by,
+                having,
+                keys,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(blank(input)),
+                items: items.clone(),
+                group_by: group_by.clone(),
+                having: having.clone(),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Sort { input, ascending } => LogicalPlan::Sort {
+                input: Box::new(blank(input)),
+                ascending: ascending.clone(),
+            },
+            LogicalPlan::Strip { input, drop } => LogicalPlan::Strip {
+                input: Box::new(blank(input)),
+                drop: *drop,
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(blank(input)),
+            },
+            LogicalPlan::Limit { input, limit } => LogicalPlan::Limit {
+                input: Box::new(blank(input)),
+                limit: *limit,
+            },
         }
     }
-    out
+    blank(optimized)
 }
 
 /// Rewrite an expression with all column qualifiers removed (the backend
@@ -295,82 +498,6 @@ fn strip_qualifiers(expr: &Expr) -> Expr {
     }
 }
 
-/// Projection for a table's sub-query: the columns the outer query could
-/// possibly need, or `*` when pruning is unsafe (wildcards in the outer
-/// query, or unknown schema).
-fn pruned_items(
-    stmt: &SelectStmt,
-    table: &str,
-    bindings: &[String],
-    columns: Option<&[String]>,
-) -> Vec<SelectItem> {
-    let Some(columns) = columns else {
-        return vec![SelectItem::Wildcard];
-    };
-    let has_wildcard = stmt.items.iter().any(|i| {
-        matches!(i, SelectItem::Wildcard)
-            || matches!(i, SelectItem::QualifiedWildcard(q)
-                if bindings.iter().any(|b| b.eq_ignore_ascii_case(q)))
-    });
-    if has_wildcard {
-        return vec![SelectItem::Wildcard];
-    }
-
-    // Gather every column reference in the whole statement.
-    let mut refs: Vec<&ColumnRef> = Vec::new();
-    for item in &stmt.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            expr.collect_columns(&mut refs);
-        }
-    }
-    if let Some(w) = &stmt.where_clause {
-        w.collect_columns(&mut refs);
-    }
-    for j in &stmt.joins {
-        if let Some(on) = &j.on {
-            on.collect_columns(&mut refs);
-        }
-    }
-    for g in &stmt.group_by {
-        g.collect_columns(&mut refs);
-    }
-    for o in &stmt.order_by {
-        o.expr.collect_columns(&mut refs);
-    }
-
-    let col_set: BTreeSet<String> = columns.iter().map(|c| c.to_ascii_lowercase()).collect();
-    let mut needed: BTreeSet<String> = BTreeSet::new();
-    for r in refs {
-        let col = r.column.to_ascii_lowercase();
-        if !col_set.contains(&col) {
-            continue;
-        }
-        match &r.qualifier {
-            Some(q) => {
-                if bindings.iter().any(|b| b.eq_ignore_ascii_case(q)) {
-                    needed.insert(col);
-                }
-            }
-            // Unqualified and present here: fetch it (may over-fetch when
-            // another table also has the column — correctness first).
-            None => {
-                needed.insert(col);
-            }
-        }
-    }
-    if needed.is_empty() {
-        // e.g. SELECT COUNT(*): row multiplicity still matters.
-        return vec![SelectItem::Wildcard];
-    }
-    let _ = table; // table name only used by callers for error context
-    // Preserve the table's own column order for determinism.
-    columns
-        .iter()
-        .filter(|c| needed.contains(&c.to_ascii_lowercase()))
-        .map(|c| SelectItem::col(c))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,10 +548,7 @@ mod tests {
             "events".to_string(),
             vec!["e_id".into(), "run_id".into(), "energy".into()],
         );
-        cols.insert(
-            "runs".to_string(),
-            vec!["run_id".into(), "detector".into()],
-        );
+        cols.insert("runs".to_string(), vec!["run_id".into(), "detector".into()]);
         StubResolver { homes, cols }
     }
 
@@ -469,7 +593,10 @@ mod tests {
         let ev = tasks.iter().find(|t| t.table == "events").unwrap();
         let sql = render_select(&ev.subquery, &NeutralStyle);
         assert!(sql.contains("energy"), "pushed filter: {sql}");
-        assert!(!sql.contains("detector"), "foreign filter not pushed: {sql}");
+        assert!(
+            !sql.contains("detector"),
+            "foreign filter not pushed: {sql}"
+        );
         let ru = tasks.iter().find(|t| t.table == "runs").unwrap();
         let sql = render_select(&ru.subquery, &NeutralStyle);
         assert!(sql.contains("'ecal'"), "runs filter pushed: {sql}");
@@ -478,10 +605,8 @@ mod tests {
     #[test]
     fn column_pruning_fetches_only_needed() {
         let r = resolver();
-        let stmt = parse_select(
-            "SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
         let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
             panic!()
         };
@@ -494,10 +619,8 @@ mod tests {
     #[test]
     fn wildcard_disables_pruning() {
         let r = resolver();
-        let stmt = parse_select(
-            "SELECT * FROM events e JOIN runs r ON e.run_id = r.run_id",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT * FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
         let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
             panic!()
         };
@@ -510,10 +633,7 @@ mod tests {
     fn self_join_disables_pushdown() {
         let mut r = resolver();
         // put runs remote so the query federates while events is bound twice
-        r.homes.insert(
-            "events".to_string(),
-            local("mart1"),
-        );
+        r.homes.insert("events".to_string(), local("mart1"));
         let stmt = parse_select(
             "SELECT a.e_id FROM events a JOIN events b ON a.run_id = b.run_id \
              JOIN runs r ON a.run_id = r.run_id WHERE a.energy > 1.0",
@@ -523,7 +643,10 @@ mod tests {
             panic!()
         };
         let ev = tasks.iter().find(|t| t.table == "events").unwrap();
-        assert!(ev.subquery.where_clause.is_none(), "self-join must not push");
+        assert!(
+            ev.subquery.where_clause.is_none(),
+            "self-join must not push"
+        );
         // and only one task for the twice-bound table
         assert_eq!(tasks.iter().filter(|t| t.table == "events").count(), 1);
     }
@@ -542,10 +665,9 @@ mod tests {
         );
         r.homes.insert("runs".to_string(), local("mart2"));
         // Single remote table + single local table → federated, no push.
-        let stmt = parse_select(
-            "SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id LIMIT 5",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id LIMIT 5")
+                .unwrap();
         let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
             panic!()
         };
@@ -556,10 +678,7 @@ mod tests {
     fn unknown_table_errors() {
         let r = resolver();
         let stmt = parse_select("SELECT * FROM ghosts").unwrap();
-        assert!(matches!(
-            plan(&stmt, &r),
-            Err(CoreError::TableNotFound(_))
-        ));
+        assert!(matches!(plan(&stmt, &r), Err(CoreError::TableNotFound(_))));
     }
 
     #[test]

@@ -3,15 +3,17 @@
 //! After the sub-queries return, "the data retrieved through each of the
 //! sub-queries is finally merged into a single 2-D vector, and returned to
 //! the client" (§4.6). Integration loads each partial into an in-memory
-//! staging database and re-runs the *original* statement over it with the
-//! `sqlkit` executor — cross-database joins, residual predicates,
+//! staging database and runs the *residual* logical plan over it with the
+//! `sqlkit` plan executor — cross-database joins, residual predicates,
 //! aggregation, ordering, and limits all fall out of the same engine that
-//! powers the backends.
+//! powers the backends. The residual plan's scans are blanked (no filters,
+//! no projection) because the backends already applied the pushed-down
+//! work; what remains is exactly the mediator's share.
 
 use crate::error::CoreError;
 use crate::Result;
-use gridfed_sqlkit::ast::SelectStmt;
-use gridfed_sqlkit::exec::{execute_select, DatabaseProvider};
+use gridfed_sqlkit::exec::{execute_plan, DatabaseProvider};
+use gridfed_sqlkit::plan::LogicalPlan;
 use gridfed_sqlkit::ResultSet;
 use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Value};
 
@@ -52,9 +54,7 @@ fn infer_schema(partial: &Partial) -> Result<Schema> {
             let Some(vt) = v.data_type() else { continue };
             match types[i] {
                 None => types[i] = Some(vt),
-                Some(DataType::Int) if vt == DataType::Float => {
-                    types[i] = Some(DataType::Float)
-                }
+                Some(DataType::Int) if vt == DataType::Float => types[i] = Some(DataType::Float),
                 Some(DataType::Float) if vt == DataType::Int => {}
                 Some(t) if t == vt => {}
                 Some(t) => {
@@ -75,8 +75,8 @@ fn infer_schema(partial: &Partial) -> Result<Schema> {
     Schema::new(cols).map_err(CoreError::from)
 }
 
-/// Integrate partials by executing `stmt` over them.
-pub fn integrate(stmt: &SelectStmt, partials: &[Partial]) -> Result<ResultSet> {
+/// Integrate partials by executing the residual `plan` over them.
+pub fn integrate(plan: &LogicalPlan, partials: &[Partial]) -> Result<ResultSet> {
     let mut staging = Database::new("mediator_staging");
     for p in partials {
         let schema = infer_schema(p)?;
@@ -87,13 +87,14 @@ pub fn integrate(stmt: &SelectStmt, partials: &[Partial]) -> Result<ResultSet> {
             table.insert(values)?;
         }
     }
-    execute_select(stmt, &DatabaseProvider(&staging)).map_err(CoreError::from)
+    execute_plan(plan, &DatabaseProvider(&staging)).map_err(CoreError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gridfed_sqlkit::parser::parse_select;
+    use gridfed_sqlkit::plan::build_plan;
 
     fn events_partial() -> Partial {
         Partial {
@@ -125,7 +126,7 @@ mod tests {
              WHERE e.energy > 10.0 ORDER BY e.e_id",
         )
         .unwrap();
-        let rs = integrate(&stmt, &[events_partial(), runs_partial()]).unwrap();
+        let rs = integrate(&build_plan(&stmt), &[events_partial(), runs_partial()]).unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rows[0].values()[1], Value::Text("ecal".into()));
         assert_eq!(rs.rows[1].values()[1], Value::Text("hcal".into()));
@@ -138,7 +139,7 @@ mod tests {
              ON e.run_id = r.run_id GROUP BY r.detector ORDER BY r.detector",
         )
         .unwrap();
-        let rs = integrate(&stmt, &[events_partial(), runs_partial()]).unwrap();
+        let rs = integrate(&build_plan(&stmt), &[events_partial(), runs_partial()]).unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rows[0].values()[1], Value::Int(2));
     }
@@ -151,7 +152,7 @@ mod tests {
             rows: vec![Row::new(vec![Value::Null])],
         };
         let stmt = parse_select("SELECT a FROM t").unwrap();
-        let rs = integrate(&stmt, &[p]).unwrap();
+        let rs = integrate(&build_plan(&stmt), &[p]).unwrap();
         assert_eq!(rs.len(), 1);
         assert!(rs.rows[0].values()[0].is_null());
     }
@@ -167,7 +168,7 @@ mod tests {
             ],
         };
         let stmt = parse_select("SELECT a FROM t ORDER BY a").unwrap();
-        let rs = integrate(&stmt, &[p]).unwrap();
+        let rs = integrate(&build_plan(&stmt), &[p]).unwrap();
         assert_eq!(rs.len(), 2);
     }
 
@@ -183,7 +184,7 @@ mod tests {
         };
         let stmt = parse_select("SELECT a FROM t").unwrap();
         assert!(matches!(
-            integrate(&stmt, &[p]),
+            integrate(&build_plan(&stmt), &[p]),
             Err(CoreError::Internal(_))
         ));
     }
@@ -195,7 +196,7 @@ mod tests {
              WHERE a.e_id < b.e_id",
         )
         .unwrap();
-        let rs = integrate(&stmt, &[events_partial()]).unwrap();
+        let rs = integrate(&build_plan(&stmt), &[events_partial()]).unwrap();
         assert_eq!(rs.len(), 1); // (1,2) within run 10
     }
 }

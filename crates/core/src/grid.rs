@@ -7,10 +7,10 @@
 //! central RLS, and a client. Examples, integration tests, and the
 //! figure/table benchmarks all build their worlds through this.
 
-use crate::service::{ConnectionPolicy, DataAccessService, DispatchMode, QueryOutcome};
-use crate::placement::ReplicaPolicy;
-use crate::Result;
 use crate::error::CoreError;
+use crate::placement::ReplicaPolicy;
+use crate::service::{ConnectionPolicy, DataAccessService, DispatchMode, QueryOutcome};
+use crate::Result;
 use gridfed_clarens::client::ClarensClient;
 use gridfed_clarens::directory::Directory;
 use gridfed_clarens::server::ClarensServer;
@@ -208,7 +208,10 @@ impl GridBuilder {
         let pipeline = EtlPipeline::paper().with_mode(self.transport);
         let mut etl_reports = Vec::new();
         for src in &sources {
-            let sconn = src.connect("grid", "grid").map_err(CoreError::Vendor)?.value;
+            let sconn = src
+                .connect("grid", "grid")
+                .map_err(CoreError::Vendor)?
+                .value;
             let report = pipeline
                 .run_batch(&sconn, &wconn, None)
                 .map_err(|e| CoreError::Internal(format!("ETL failed: {e}")))?;
@@ -225,7 +228,11 @@ impl GridBuilder {
                     "mart_oracle",
                     VendorKind::Oracle,
                     "node2",
-                    if self.replicate_events { vec![2, 0] } else { vec![2] },
+                    if self.replicate_events {
+                        vec![2, 0]
+                    } else {
+                        vec![2]
+                    },
                 ),
                 ("mart_sqlite", VendorKind::Sqlite, "node2", vec![3]),
             ]
@@ -237,7 +244,11 @@ impl GridBuilder {
                     "mart_oracle",
                     VendorKind::Oracle,
                     "node1",
-                    if self.replicate_events { vec![2, 0] } else { vec![2] },
+                    if self.replicate_events {
+                        vec![2, 0]
+                    } else {
+                        vec![2]
+                    },
                 ),
                 ("mart_sqlite", VendorKind::Sqlite, "node1", vec![3]),
             ]
@@ -248,16 +259,14 @@ impl GridBuilder {
         for (name, vendor, host, view_ids) in &mart_plan {
             let mart = SimServer::new(*vendor, *host, *name);
             registry.register_server(Arc::clone(&mart));
-            let mconn = mart.connect("grid", "grid").map_err(CoreError::Vendor)?.value;
+            let mconn = mart
+                .connect("grid", "grid")
+                .map_err(CoreError::Vendor)?
+                .value;
             for &vi in view_ids {
-                let report = materialize_into_mart(
-                    &views[vi],
-                    &wconn,
-                    &mconn,
-                    &topology,
-                    self.transport,
-                )
-                .map_err(|e| CoreError::Internal(format!("materialization failed: {e}")))?;
+                let report =
+                    materialize_into_mart(&views[vi], &wconn, &mconn, &topology, self.transport)
+                        .map_err(|e| CoreError::Internal(format!("materialization failed: {e}")))?;
                 mart_reports.push(report);
             }
             marts.push(mart);
@@ -304,8 +313,10 @@ impl GridBuilder {
             das.set_connection_policy(self.conn_policy);
             let das = Arc::new(das);
             clarens.register_service(Arc::clone(&das) as Arc<dyn gridfed_clarens::Service>);
-            clarens.register_service(Arc::new(crate::jas::HistogramService::new(Arc::clone(&das)))
-                as Arc<dyn gridfed_clarens::Service>);
+            clarens.register_service(
+                Arc::new(crate::jas::HistogramService::new(Arc::clone(&das)))
+                    as Arc<dyn gridfed_clarens::Service>,
+            );
             directory.register(Arc::clone(&clarens));
             servers.push(clarens);
             services.push(das);
@@ -351,16 +362,8 @@ impl GridBuilder {
 /// Canonical connection URL for a mart server.
 pub fn mart_url(mart: &Arc<SimServer>) -> String {
     match mart.kind() {
-        VendorKind::Oracle => format!(
-            "oracle://grid/grid@{}:1521/{}",
-            mart.host(),
-            mart.db_name()
-        ),
-        VendorKind::MySql => format!(
-            "mysql://grid:grid@{}:3306/{}",
-            mart.host(),
-            mart.db_name()
-        ),
+        VendorKind::Oracle => format!("oracle://grid/grid@{}:1521/{}", mart.host(), mart.db_name()),
+        VendorKind::MySql => format!("mysql://grid:grid@{}:3306/{}", mart.host(), mart.db_name()),
         VendorKind::MsSql => format!(
             "mssql://{}:1433;database={};user=grid;password=grid",
             mart.host(),
@@ -455,12 +458,9 @@ impl Grid {
         let t = das.query(sql)?;
         let QueryOutcome { result, stats } = t.value;
         let params = CostParams::paper_2005();
-        let link = self
-            .topology
-            .link("client", self.servers[0].host());
+        let link = self.topology.link("client", self.servers[0].host());
         let wire = link.round_trip(64 + sql.len(), 32 + result.wire_size());
-        let response_time =
-            params.clarens_request + t.cost + params.clarens_response + wire;
+        let response_time = params.clarens_request + t.cost + params.clarens_response + wire;
         Ok(GridQuery {
             result,
             stats,
@@ -473,9 +473,11 @@ impl Grid {
     /// service), returning the paper's 2-D string vector and the measured
     /// response time. Used by integration tests to validate the full stack.
     pub fn query_rpc(&self, sql: &str) -> Result<(Vec<Vec<String>>, Cost)> {
-        let t = self
-            .client
-            .call("das", "query", &[gridfed_clarens::WireValue::Str(sql.into())])?;
+        let t = self.client.call(
+            "das",
+            "query",
+            &[gridfed_clarens::WireValue::Str(sql.into())],
+        )?;
         let grid = t.value.as_grid().map_err(CoreError::Rpc)?.clone();
         Ok((grid, t.cost))
     }
@@ -493,7 +495,11 @@ mod tests {
     #[test]
     fn builder_options_assemble_valid_grids() {
         // Single server: one Clarens instance hosts all four marts.
-        let g = GridBuilder::new().with_seed(3).single_server().build().unwrap();
+        let g = GridBuilder::new()
+            .with_seed(3)
+            .single_server()
+            .build()
+            .unwrap();
         assert_eq!(g.servers.len(), 1);
         assert_eq!(g.services[0].databases().len(), 4);
         let out = g
@@ -569,7 +575,9 @@ mod tests {
     #[test]
     fn local_single_table_query() {
         let g = small_grid();
-        let out = g.query("SELECT e_id, energy FROM ntuple_events WHERE energy > 50.0").unwrap();
+        let out = g
+            .query("SELECT e_id, energy FROM ntuple_events WHERE energy > 50.0")
+            .unwrap();
         assert!(!out.result.is_empty());
         assert!(!out.stats.distributed);
         assert_eq!(out.stats.servers, 1);

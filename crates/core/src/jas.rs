@@ -66,9 +66,10 @@ impl HistogramService {
             .das
             .query(sql)
             .map_err(|e| ClarensError::ServiceFault(e.to_string()))?;
-        let values = out.value.result.column_values(column).ok_or_else(|| {
-            ClarensError::BadParams(format!("result has no column `{column}`"))
-        })?;
+        let values =
+            out.value.result.column_values(column).ok_or_else(|| {
+                ClarensError::BadParams(format!("result has no column `{column}`"))
+            })?;
         let mut hist = Histogram1D::new(column, bins, lo, hi);
         hist.fill_values(values.iter());
         // Per-fill CPU on the server side: a fraction of a row-merge.
@@ -121,12 +122,19 @@ impl Service for HistogramService {
                 Ok(Timed::new(
                     WireValue::List(vec![
                         WireValue::List(
-                            summary.bins.iter().map(|&b| WireValue::Int(b as i64)).collect(),
+                            summary
+                                .bins
+                                .iter()
+                                .map(|&b| WireValue::Int(b as i64))
+                                .collect(),
                         ),
                         WireValue::Int(summary.underflow as i64),
                         WireValue::Int(summary.overflow as i64),
                         WireValue::Int(summary.entries as i64),
-                        summary.mean.map(WireValue::Float).unwrap_or(WireValue::Null),
+                        summary
+                            .mean
+                            .map(WireValue::Float)
+                            .unwrap_or(WireValue::Null),
                     ]),
                     t.cost,
                 ))
@@ -154,13 +162,7 @@ mod tests {
     fn histogram_over_federated_query() {
         let (_grid, jas) = service();
         let t = jas
-            .histogram1d(
-                "SELECT energy FROM ntuple_events",
-                "energy",
-                10,
-                0.0,
-                200.0,
-            )
+            .histogram1d("SELECT energy FROM ntuple_events", "energy", 10, 0.0, 200.0)
             .expect("histogram");
         let s = t.value;
         assert_eq!(s.bins.len(), 10);

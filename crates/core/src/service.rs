@@ -18,9 +18,10 @@ use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
 use gridfed_sqlkit::ast::SelectStmt;
 use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
 use gridfed_sqlkit::render::{render_select, NeutralStyle};
 use gridfed_sqlkit::ResultSet;
-use gridfed_storage::{Row, Value};
+use gridfed_storage::{normalize_ident, Row, Value};
 use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
 use gridfed_xspec::dict::DataDictionary;
 use gridfed_xspec::generate_lower_xspec;
@@ -198,11 +199,7 @@ impl DataAccessService {
         cost += lower.cost;
         let lower = lower.value;
         let db_name = lower.database.clone();
-        let tables: Vec<String> = lower
-            .tables
-            .iter()
-            .map(|t| t.logical_name())
-            .collect();
+        let tables: Vec<String> = lower.tables.iter().map(|t| t.logical_name()).collect();
         let entry = UpperEntry {
             name: db_name.clone(),
             url: url.to_string(),
@@ -295,6 +292,22 @@ impl DataAccessService {
         let resolved = self.resolve_tables(&stmt, &mut stats, &mut bd)?;
         let plan = decompose::plan(&stmt, &resolved)?;
         let mut out = String::new();
+
+        // Layer 1: the logical plan lowered straight from the AST.
+        out.push_str("logical plan:\n");
+        build_plan(&stmt).render_tree(1, &mut out);
+
+        // Layer 2: the optimized plan — folded constants, predicates pushed
+        // into scans, joins reordered by cardinality, projections pruned.
+        // For the federated shape this is the post-retraction plan whose
+        // Scan nodes mirror the dispatched sub-queries exactly.
+        out.push_str("optimized plan:\n");
+        match &plan {
+            QueryPlan::Federated { optimized, .. } => optimized.render_tree(1, &mut out),
+            _ => decompose::optimized_plan(&stmt, &resolved).render_tree(1, &mut out),
+        }
+
+        // Layer 3: federated placement — where each scan's sub-query runs.
         match plan {
             QueryPlan::SingleDatabase { location, .. } => {
                 let vendor = VendorKind::from_scheme(&location.driver);
@@ -320,7 +333,9 @@ impl DataAccessService {
 "
                 ));
             }
-            QueryPlan::Federated { tasks, .. } => {
+            QueryPlan::Federated {
+                tasks, residual, ..
+            } => {
                 out.push_str(&format!(
                     "plan: FEDERATED ({} sub-queries)
 ",
@@ -345,11 +360,16 @@ impl DataAccessService {
                     "  integrate at mediator: cross-database joins, residual predicates, aggregation, ORDER BY, LIMIT
 ",
                 );
+                out.push_str("residual plan (mediator side):\n");
+                residual.render_tree(1, &mut out);
             }
         }
         if stats.rls_lookups > 0 {
-            out.push_str(&format!("  ({} RLS lookups required)
-", stats.rls_lookups));
+            out.push_str(&format!(
+                "  ({} RLS lookups required)
+",
+                stats.rls_lookups
+            ));
         }
         Ok(out)
     }
@@ -384,9 +404,9 @@ impl DataAccessService {
             QueryPlan::ForwardAll { server_url, stmt } => {
                 self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd)?
             }
-            QueryPlan::Federated { tasks, stmt } => {
-                self.exec_federated(tasks, &stmt, &mut stats, &mut bd)?
-            }
+            QueryPlan::Federated {
+                tasks, residual, ..
+            } => self.exec_federated(tasks, &residual, &mut stats, &mut bd)?,
         };
 
         stats.rows_returned = result.rows.len();
@@ -416,7 +436,7 @@ impl DataAccessService {
         let mut servers: Vec<String> = vec![self.url.clone()];
         let mut databases: Vec<String> = Vec::new();
         for tref in stmt.table_refs() {
-            let key = tref.name.to_ascii_lowercase();
+            let key = normalize_ident(&tref.name);
             if homes.contains_key(&key) {
                 continue;
             }
@@ -530,7 +550,7 @@ impl DataAccessService {
     fn exec_federated(
         &self,
         tasks: Vec<decompose::TableTask>,
-        stmt: &SelectStmt,
+        residual: &LogicalPlan,
         stats: &mut QueryStats,
         bd: &mut CostBreakdown,
     ) -> Result<ResultSet> {
@@ -539,8 +559,7 @@ impl DataAccessService {
 
         // Group tasks into branches: one per local database, one per
         // remote server.
-        let mut local_groups: HashMap<String, (String, Vec<decompose::TableTask>)> =
-            HashMap::new();
+        let mut local_groups: HashMap<String, (String, Vec<decompose::TableTask>)> = HashMap::new();
         let mut remote_groups: HashMap<String, Vec<decompose::TableTask>> = HashMap::new();
         for task in tasks {
             match &task.home {
@@ -630,35 +649,32 @@ impl DataAccessService {
                         Timed::new(t.value, t.cost)
                     }
                 };
-                let transfer = self.topology.transfer(
-                    conn.server().host(),
-                    &self.host,
-                    t.value.wire_size(),
-                );
+                let transfer =
+                    self.topology
+                        .transfer(conn.server().host(), &self.host, t.value.wire_size());
                 cost += t.cost + transfer;
                 partials.push(Partial::from_result(task.table.clone(), t.value));
             }
             Ok((partials, cost))
         };
-        let run_remote =
-            |client: &ClarensClient, tasks: &[decompose::TableTask]| -> BranchOut {
-                let mut cost = Cost::ZERO;
-                let mut partials = Vec::with_capacity(tasks.len());
-                for task in tasks {
-                    let sql = render_select(&task.subquery, &NeutralStyle);
-                    let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
-                    cost += t.cost + self.params.remote_forward;
-                    partials.push(wire_to_partial(&task.table, &t.value)?);
-                }
-                Ok((partials, cost))
-            };
+        let run_remote = |client: &ClarensClient, tasks: &[decompose::TableTask]| -> BranchOut {
+            let mut cost = Cost::ZERO;
+            let mut partials = Vec::with_capacity(tasks.len());
+            for task in tasks {
+                let sql = render_select(&task.subquery, &NeutralStyle);
+                let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+                cost += t.cost + self.params.remote_forward;
+                partials.push(wire_to_partial(&task.table, &t.value)?);
+            }
+            Ok((partials, cost))
+        };
 
         let outcomes: Vec<BranchOut> = match self.dispatch {
-            DispatchMode::Parallel => crossbeam::thread::scope(|scope| {
+            DispatchMode::Parallel => std::thread::scope(|scope| {
                 let handles: Vec<_> = branches
                     .iter()
                     .map(|b| {
-                        scope.spawn(move |_| match b {
+                        scope.spawn(move || match b {
                             Branch::Local {
                                 conn,
                                 pooled_url,
@@ -672,8 +688,7 @@ impl DataAccessService {
                     .into_iter()
                     .map(|h| h.join().expect("branch thread panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope"),
+            }),
             DispatchMode::Sequential => branches
                 .iter()
                 .map(|b| match b {
@@ -703,11 +718,8 @@ impl DataAccessService {
         stats.rows_fetched = partials.iter().map(|p| p.rows.len()).sum();
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
         self.check_memory(stats.bytes_fetched)?;
-        bd.integrate += self
-            .params
-            .per_row_merge
-            .scale(stats.rows_fetched as f64);
-        federate::integrate(stmt, &partials)
+        bd.integrate += self.params.per_row_merge.scale(stats.rows_fetched as f64);
+        federate::integrate(residual, &partials)
     }
 
     /// Get (or create + login) the pooled Clarens client for a remote
@@ -881,7 +893,9 @@ impl Service for DataAccessService {
             "query_typed" => {
                 let sql = params
                     .first()
-                    .ok_or_else(|| ClarensError::BadParams("query_typed(sql) needs 1 param".into()))?
+                    .ok_or_else(|| {
+                        ClarensError::BadParams("query_typed(sql) needs 1 param".into())
+                    })?
                     .as_str()?;
                 let t = self.query(sql).map_err(fault)?;
                 Ok(Timed::new(result_to_wire(&t.value.result), t.cost))
@@ -904,9 +918,7 @@ impl Service for DataAccessService {
                 Cost::from_micros(200),
             )),
             "databases" => Ok(Timed::new(
-                WireValue::List(
-                    self.databases().into_iter().map(WireValue::Str).collect(),
-                ),
+                WireValue::List(self.databases().into_iter().map(WireValue::Str).collect()),
                 Cost::from_micros(200),
             )),
             "register_database" => {
@@ -968,7 +980,9 @@ mod tests {
 
         // explain is side-effect-free: no partial results appear anywhere,
         // and the query still runs fine afterwards.
-        assert!(das.query("SELECT e_id FROM ntuple_events WHERE e_id < 3").is_ok());
+        assert!(das
+            .query("SELECT e_id FROM ntuple_events WHERE e_id < 3")
+            .is_ok());
     }
 
     #[test]
@@ -1028,7 +1042,9 @@ mod tests {
         assert!(das.query(sql).is_err(), "stale cache must not answer");
 
         das.set_cache_enabled(false);
-        let off = das.query("SELECT e_id FROM ntuple_events WHERE e_id < 2").expect("off");
+        let off = das
+            .query("SELECT e_id FROM ntuple_events WHERE e_id < 2")
+            .expect("off");
         assert!(!off.value.stats.cache_hit);
     }
 

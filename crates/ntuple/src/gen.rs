@@ -180,7 +180,9 @@ mod tests {
         NtupleGenerator::new(spec.clone(), 7)
             .populate_source(&mut a)
             .unwrap();
-        NtupleGenerator::new(spec, 7).populate_source(&mut b).unwrap();
+        NtupleGenerator::new(spec, 7)
+            .populate_source(&mut b)
+            .unwrap();
         let ra = a.table("measurements").unwrap().rows();
         let rb = b.table("measurements").unwrap().rows();
         assert_eq!(ra, rb);
@@ -194,7 +196,9 @@ mod tests {
         NtupleGenerator::new(spec.clone(), 1)
             .populate_source(&mut a)
             .unwrap();
-        NtupleGenerator::new(spec, 2).populate_source(&mut b).unwrap();
+        NtupleGenerator::new(spec, 2)
+            .populate_source(&mut b)
+            .unwrap();
         assert_ne!(
             a.table("measurements").unwrap().rows(),
             b.table("measurements").unwrap().rows()

@@ -131,11 +131,7 @@ impl fmt::Display for Histogram1D {
             )?;
         }
         if self.underflow + self.overflow > 0 {
-            writeln!(
-                f,
-                "underflow={} overflow={}",
-                self.underflow, self.overflow
-            )?;
+            writeln!(f, "underflow={} overflow={}", self.underflow, self.overflow)?;
         }
         Ok(())
     }

@@ -301,7 +301,11 @@ mod tests {
         reg.register_server(SimServer::new(VendorKind::MsSql, "h", "m"));
         let pool = PoolRal::new(reg);
         assert!(matches!(
-            pool.initialize("mssql://h:1433;database=m;user=grid;password=grid", "grid", "grid"),
+            pool.initialize(
+                "mssql://h:1433;database=m;user=grid;password=grid",
+                "grid",
+                "grid"
+            ),
             Err(PoolError::Unsupported(_))
         ));
     }

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the `Bytes`/`BytesMut` pair plus the `Buf`/`BufMut` traits,
+//! restricted to the methods the clarens wire codec uses. `Bytes` is a
+//! cheaply-cloneable shared buffer with an internal read cursor — `get_*`
+//! methods advance it, matching the semantics the codec relies on.
+
+use std::sync::Arc;
+
+/// Read-side trait: a cursor over bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Read a big-endian i64.
+    fn get_i64(&mut self) -> i64;
+    /// Read a big-endian f64.
+    fn get_f64(&mut self) -> f64;
+    /// Split off the next `len` bytes as an owned `Bytes`.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+/// Write-side trait: append primitives to a growable buffer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian i64.
+    fn put_i64(&mut self, v: i64);
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Immutable shared byte buffer with a read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static slice.
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-range of the unread bytes as a new `Bytes` (shares storage).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        Bytes::from(self.take(len).to_vec())
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_i64(-5);
+        b.put_f64(1.5);
+        b.put_slice(b"xy");
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 1 + 4 + 8 + 8 + 2);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_i64(), -5);
+        assert_eq!(bytes.get_f64(), 1.5);
+        let tail = bytes.copy_to_bytes(2);
+        assert_eq!(tail.as_slice(), b"xy");
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slicing_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(s.slice(1..2).as_slice(), &[3]);
+    }
+}

@@ -61,7 +61,10 @@ impl Topology {
         if a == b {
             return Link::local();
         }
-        self.links.get(&key(a, b)).copied().unwrap_or(self.default_link)
+        self.links
+            .get(&key(a, b))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Transfer cost of moving `bytes` from node `a` to node `b`.

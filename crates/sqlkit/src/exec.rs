@@ -1,13 +1,18 @@
 //! Single-context SELECT execution.
 //!
-//! The executor runs a [`SelectStmt`] against any [`TableProvider`]: a local
-//! [`Database`], a vendor connection, or the mediator's set of already-fetched
-//! partial results. Joins use a hash join when the `ON` condition is a simple
-//! column equality, falling back to a nested loop otherwise.
+//! `SELECT` execution is plan-driven: the statement is lowered to a
+//! [`LogicalPlan`], optimized against the provider's schemas and statistics,
+//! and the optimized plan is interpreted node by node against any
+//! [`TableProvider`]: a local [`Database`], a vendor connection, or the
+//! mediator's set of already-fetched partial results. Joins use a hash join
+//! when the `ON` condition is a simple column equality, falling back to a
+//! nested loop otherwise.
 
 use crate::ast::{DeleteStmt, Expr, JoinKind, OrderItem, SelectItem, SelectStmt, UpdateStmt};
 use crate::error::SqlError;
 use crate::expr::{eval, eval_predicate, AggState, Bindings};
+use crate::optimize::{optimize, PlanCatalog};
+use crate::plan::{build_plan, LogicalPlan};
 use crate::render::render_expr_neutral;
 use crate::result::ResultSet;
 use crate::Result;
@@ -20,6 +25,10 @@ pub trait TableProvider {
     fn table_schema(&self, name: &str) -> Result<Schema>;
     /// All rows of a table.
     fn table_rows(&self, name: &str) -> Result<Vec<Row>>;
+    /// Row count, if cheaply known; feeds the optimizer's join ordering.
+    fn table_row_count(&self, _name: &str) -> Option<u64> {
+        None
+    }
 }
 
 /// [`TableProvider`] over a local storage [`Database`].
@@ -42,6 +51,24 @@ impl TableProvider for DatabaseProvider<'_> {
             .map_err(|_| SqlError::UnknownTable(name.to_string()))?
             .rows())
     }
+
+    fn table_row_count(&self, name: &str) -> Option<u64> {
+        self.0.table(name).ok().map(|t| t.len() as u64)
+    }
+}
+
+/// [`PlanCatalog`] view of a [`TableProvider`], so the optimizer can see the
+/// same schemas and statistics the executor will run against.
+pub struct ProviderCatalog<'a>(pub &'a dyn TableProvider);
+
+impl PlanCatalog for ProviderCatalog<'_> {
+    fn columns(&self, table: &str) -> Option<Vec<String>> {
+        self.0.table_schema(table).ok().map(|s| s.names())
+    }
+
+    fn row_count(&self, table: &str) -> Option<u64> {
+        self.0.table_row_count(table)
+    }
 }
 
 /// Intermediate relation: bindings + rows.
@@ -50,61 +77,188 @@ struct Relation {
     rows: Vec<Row>,
 }
 
-/// Execute a SELECT against a provider.
+/// Execute a SELECT against a provider: lower to a plan, optimize, run.
 pub fn execute_select(stmt: &SelectStmt, provider: &dyn TableProvider) -> Result<ResultSet> {
-    // FROM + JOINs.
-    let mut rel = load(provider, &stmt.from.name, stmt.from.binding())?;
-    for join in &stmt.joins {
-        let right = load(provider, &join.table.name, join.table.binding())?;
-        rel = join_relations(rel, right, join.kind, join.on.as_ref())?;
-    }
+    let plan = optimize(build_plan(stmt), &ProviderCatalog(provider));
+    execute_plan(&plan, provider)
+}
 
-    // WHERE.
-    if let Some(pred) = &stmt.where_clause {
-        let bindings = rel.bindings.clone();
-        let mut kept = Vec::with_capacity(rel.rows.len());
-        for row in rel.rows {
-            if eval_predicate(pred, row.values(), &bindings)? {
-                kept.push(row);
+/// Interpret a logical plan against a provider.
+///
+/// Plans produced by [`build_plan`] carry ORDER BY keys as hidden trailing
+/// columns: `Project`/`Aggregate` emit them, `Sort` orders on them
+/// positionally, and `Strip` drops them before `Distinct`/`Limit` see the
+/// rows. Running an *unoptimized* plan is the naive reference interpretation;
+/// both paths go through this function, so there is no separate direct-AST
+/// interpreter.
+pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<ResultSet> {
+    match plan {
+        LogicalPlan::Project { input, items, keys } => {
+            let rel = eval_relational(input, provider)?;
+            let plans = expand_items(items, &rel.bindings)?;
+            let columns: Vec<String> = plans.iter().map(|(n, _)| n.clone()).collect();
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for row in &rel.rows {
+                let mut values = Vec::with_capacity(plans.len() + keys.len());
+                for (_, plan) in &plans {
+                    match plan {
+                        ItemPlan::Position(p) => values.push(row.values()[*p].clone()),
+                        ItemPlan::Expr(e) => values.push(eval(e, row.values(), &rel.bindings)?),
+                    }
+                }
+                let sort_keys = order_keys(keys, row.values(), &rel.bindings, &columns, &values)?;
+                values.extend(sort_keys);
+                rows.push(Row::new(values));
+            }
+            Ok(ResultSet { columns, rows })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            items,
+            group_by,
+            having,
+            keys,
+        } => {
+            let rel = eval_relational(input, provider)?;
+            aggregate_node(&rel, items, group_by, having.as_ref(), keys)
+        }
+        LogicalPlan::Sort { input, ascending } => {
+            let mut rs = execute_plan(input, provider)?;
+            let k = ascending.len();
+            rs.rows.sort_by(|a, b| {
+                let (av, bv) = (a.values(), b.values());
+                let w = av.len() - k;
+                for (i, asc) in ascending.iter().enumerate() {
+                    let ord = av[w + i].index_cmp(&bv[w + i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rs)
+        }
+        LogicalPlan::Strip { input, drop } => {
+            let mut rs = execute_plan(input, provider)?;
+            rs.rows = rs
+                .rows
+                .into_iter()
+                .map(|r| {
+                    let mut values = r.values().to_vec();
+                    values.truncate(values.len() - drop);
+                    Row::new(values)
+                })
+                .collect();
+            Ok(rs)
+        }
+        LogicalPlan::Distinct { input } => {
+            let mut rs = execute_plan(input, provider)?;
+            // Order-preserving dedup keyed on the rendered row (numeric
+            // INT/FLOAT equality folds together, as in SQL DISTINCT).
+            let mut seen = std::collections::HashSet::new();
+            rs.rows.retain(|r| {
+                let key: Vec<Option<String>> = r.values().iter().map(hash_key).collect();
+                seen.insert(key)
+            });
+            Ok(rs)
+        }
+        LogicalPlan::Limit { input, limit } => {
+            let mut rs = execute_plan(input, provider)?;
+            rs.rows.truncate(*limit as usize);
+            Ok(rs)
+        }
+        relational => {
+            // A bare Scan/Filter/Join tree (e.g. a federated residual whose
+            // projection already happened remotely): emit every column.
+            let rel = eval_relational(relational, provider)?;
+            let columns = (0..rel.bindings.arity())
+                .map(|i| rel.bindings.name_at(i).expect("pos in range").to_string())
+                .collect();
+            Ok(ResultSet {
+                columns,
+                rows: rel.rows,
+            })
+        }
+    }
+}
+
+/// Evaluate the relational (Scan/Filter/Join) portion of a plan.
+fn eval_relational(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<Relation> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            filters,
+        } => {
+            let schema = provider.table_schema(table)?;
+            let names = schema.names();
+            let bindings = Bindings::for_table(binding, &names);
+            let mut rows = provider.table_rows(table)?;
+            // Pushed-down predicates run over the full-width row, before
+            // the scan's own projection narrows it.
+            for f in filters {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if eval_predicate(f, row.values(), &bindings)? {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+            match projection {
+                Some(cols) => {
+                    let mut positions = Vec::with_capacity(cols.len());
+                    let mut kept_names = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        let pos = names
+                            .iter()
+                            .position(|n| n.eq_ignore_ascii_case(c))
+                            .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
+                        positions.push(pos);
+                        kept_names.push(names[pos].clone());
+                    }
+                    let rows = rows
+                        .into_iter()
+                        .map(|r| {
+                            Row::new(positions.iter().map(|&p| r.values()[p].clone()).collect())
+                        })
+                        .collect();
+                    Ok(Relation {
+                        bindings: Bindings::for_table(binding, &kept_names),
+                        rows,
+                    })
+                }
+                None => Ok(Relation { bindings, rows }),
             }
         }
-        rel.rows = kept;
-    }
-
-    let (columns, mut keyed_rows) = if stmt.is_aggregate() {
-        aggregate_project(stmt, &rel)?
-    } else {
-        plain_project(stmt, &rel)?
-    };
-
-    // ORDER BY: sort on keys computed during projection.
-    if !stmt.order_by.is_empty() {
-        keyed_rows.sort_by(|a, b| {
-            for (i, item) in stmt.order_by.iter().enumerate() {
-                let ord = a.0[i].index_cmp(&b.0[i]);
-                let ord = if item.ascending { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
+        LogicalPlan::Filter { input, predicate } => {
+            let mut rel = eval_relational(input, provider)?;
+            let bindings = rel.bindings.clone();
+            let mut kept = Vec::with_capacity(rel.rows.len());
+            for row in rel.rows {
+                if eval_predicate(predicate, row.values(), &bindings)? {
+                    kept.push(row);
                 }
             }
-            std::cmp::Ordering::Equal
-        });
+            rel.rows = kept;
+            Ok(rel)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let l = eval_relational(left, provider)?;
+            let r = eval_relational(right, provider)?;
+            join_relations(l, r, *kind, on.as_ref())
+        }
+        other => Err(SqlError::Unsupported(format!(
+            "nested result-shaping node in relational position: {other}"
+        ))),
     }
-
-    let mut rows: Vec<Row> = keyed_rows.into_iter().map(|(_, r)| r).collect();
-    if stmt.distinct {
-        // Order-preserving dedup keyed on the rendered row (numeric
-        // INT/FLOAT equality folds together, as in SQL DISTINCT).
-        let mut seen = std::collections::HashSet::new();
-        rows.retain(|r| {
-            let key: Vec<Option<String>> = r.values().iter().map(hash_key).collect();
-            seen.insert(key)
-        });
-    }
-    if let Some(limit) = stmt.limit {
-        rows.truncate(limit as usize);
-    }
-    Ok(ResultSet { columns, rows })
 }
 
 /// Execute an UPDATE against a mutable database, returning the number of
@@ -208,15 +362,6 @@ fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
         }
     }
     Ok(())
-}
-
-fn load(provider: &dyn TableProvider, table: &str, binding: &str) -> Result<Relation> {
-    let schema = provider.table_schema(table)?;
-    let rows = provider.table_rows(table)?;
-    Ok(Relation {
-        bindings: Bindings::for_table(binding, &schema.names()),
-        rows,
-    })
 }
 
 /// If `on` is `left_col = right_col` with one side bound to each input,
@@ -328,10 +473,7 @@ fn item_name(item: &SelectItem) -> String {
 }
 
 /// Expand wildcards into concrete (name, position) pairs.
-fn expand_items(
-    items: &[SelectItem],
-    bindings: &Bindings,
-) -> Result<Vec<(String, ItemPlan)>> {
+fn expand_items(items: &[SelectItem], bindings: &Bindings) -> Result<Vec<(String, ItemPlan)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -368,28 +510,6 @@ enum ItemPlan {
     Expr(Expr),
 }
 
-type KeyedRows = Vec<(Vec<Value>, Row)>;
-
-/// Project a non-aggregate query; returns column names and rows paired with
-/// their ORDER BY sort keys (computed over the *input* row).
-fn plain_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, KeyedRows)> {
-    let plans = expand_items(&stmt.items, &rel.bindings)?;
-    let columns: Vec<String> = plans.iter().map(|(n, _)| n.clone()).collect();
-    let mut out = Vec::with_capacity(rel.rows.len());
-    for row in &rel.rows {
-        let mut values = Vec::with_capacity(plans.len());
-        for (_, plan) in &plans {
-            match plan {
-                ItemPlan::Position(p) => values.push(row.values()[*p].clone()),
-                ItemPlan::Expr(e) => values.push(eval(e, row.values(), &rel.bindings)?),
-            }
-        }
-        let keys = order_keys(&stmt.order_by, row.values(), &rel.bindings, &columns, &values)?;
-        out.push((keys, Row::new(values)));
-    }
-    Ok((columns, out))
-}
-
 /// Compute ORDER BY sort keys. Each key expression is resolved first against
 /// the output columns (so `ORDER BY alias` works), then against the input
 /// bindings.
@@ -418,15 +538,22 @@ fn order_keys(
     Ok(keys)
 }
 
-/// Group rows and evaluate aggregate projections.
-fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, KeyedRows)> {
+/// Execute an `Aggregate` plan node: group rows, filter groups with HAVING,
+/// and evaluate aggregate projections, appending hidden sort-key columns.
+fn aggregate_node(
+    rel: &Relation,
+    items: &[SelectItem],
+    group_by: &[Expr],
+    having: Option<&Expr>,
+    keys: &[OrderItem],
+) -> Result<ResultSet> {
     // Group key: rendered values of the GROUP BY expressions. With no GROUP
     // BY, everything lands in one global group.
     let mut groups: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
     for row in &rel.rows {
-        let mut key_vals = Vec::with_capacity(stmt.group_by.len());
-        for g in &stmt.group_by {
+        let mut key_vals = Vec::with_capacity(group_by.len());
+        for g in group_by {
             key_vals.push(eval(g, row.values(), &rel.bindings)?);
         }
         let key_str = key_vals
@@ -443,13 +570,16 @@ fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, 
         }
     }
     // A global aggregate over zero rows still yields one output row.
-    if groups.is_empty() && stmt.group_by.is_empty() {
+    if groups.is_empty() && group_by.is_empty() {
         groups.push((Vec::new(), Vec::new()));
     }
 
-    let columns: Vec<String> = stmt.items.iter().map(item_name).collect();
-    for item in &stmt.items {
-        if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+    let columns: Vec<String> = items.iter().map(item_name).collect();
+    for item in items {
+        if matches!(
+            item,
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)
+        ) {
             return Err(SqlError::Unsupported(
                 "wildcard projection in aggregate query".into(),
             ));
@@ -460,7 +590,7 @@ fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, 
     for (_, rows) in &groups {
         // HAVING: filter whole groups; the predicate may mix aggregates
         // and grouping expressions, with SQL's unknown-is-false rule.
-        if let Some(having) = &stmt.having {
+        if let Some(having) = having {
             let verdict = eval_aggregate_expr(having, rows, &rel.bindings)?;
             let keep = match verdict {
                 Value::Bool(b) => b,
@@ -477,8 +607,8 @@ fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, 
                 continue;
             }
         }
-        let mut values = Vec::with_capacity(stmt.items.len());
-        for item in &stmt.items {
+        let mut values = Vec::with_capacity(items.len() + keys.len());
+        for item in items {
             let expr = match item {
                 SelectItem::Expr { expr, .. } => expr,
                 _ => unreachable!("wildcards rejected above"),
@@ -486,11 +616,12 @@ fn aggregate_project(stmt: &SelectStmt, rel: &Relation) -> Result<(Vec<String>, 
             values.push(eval_aggregate_expr(expr, rows, &rel.bindings)?);
         }
         let sample: &[Value] = rows.first().map(|r| r.values()).unwrap_or(&[]);
-        let keys = order_keys(&stmt.order_by, sample, &rel.bindings, &columns, &values)
-            .unwrap_or_else(|_| vec![Value::Null; stmt.order_by.len()]);
-        out.push((keys, Row::new(values)));
+        let sort_keys = order_keys(keys, sample, &rel.bindings, &columns, &values)
+            .unwrap_or_else(|_| vec![Value::Null; keys.len()]);
+        values.extend(sort_keys);
+        out.push(Row::new(values));
     }
-    Ok((columns, out))
+    Ok(ResultSet { columns, rows: out })
 }
 
 /// Evaluate an expression that may contain aggregate calls over a group.
@@ -678,11 +809,10 @@ mod tests {
              GROUP BY det_id ORDER BY det_id",
         );
         assert_eq!(r.len(), 3);
-        assert_eq!(r.rows[0].values(), &[
-            Value::Int(10),
-            Value::Int(2),
-            Value::Float(10.0)
-        ]);
+        assert_eq!(
+            r.rows[0].values(),
+            &[Value::Int(10), Value::Int(2), Value::Float(10.0)]
+        );
     }
 
     #[test]
@@ -708,10 +838,8 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let r = run(
-            "SELECT det_id, COUNT(*) AS n FROM events GROUP BY det_id \
-             HAVING COUNT(*) > 1 ORDER BY det_id",
-        );
+        let r = run("SELECT det_id, COUNT(*) AS n FROM events GROUP BY det_id \
+             HAVING COUNT(*) > 1 ORDER BY det_id");
         assert_eq!(r.len(), 2); // det 30 has a single event
         let r = run(
             "SELECT det_id, AVG(energy) AS avg_e FROM events GROUP BY det_id \
@@ -719,10 +847,8 @@ mod tests {
         );
         assert_eq!(r.len(), 2);
         // HAVING mixing a grouping column and an aggregate.
-        let r = run(
-            "SELECT det_id FROM events GROUP BY det_id \
-             HAVING det_id > 10 AND COUNT(*) = 2",
-        );
+        let r = run("SELECT det_id FROM events GROUP BY det_id \
+             HAVING det_id > 10 AND COUNT(*) = 2");
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows[0].values()[0], Value::Int(20));
     }
@@ -757,14 +883,13 @@ mod tests {
             execute_update(&stmt, &mut d),
             Err(SqlError::UnknownColumn(_))
         ));
-        let stmt = match crate::parser::parse(
-            "UPDATE events SET energy = energy * 2 WHERE det_id = 10",
-        )
-        .unwrap()
-        {
-            crate::ast::Statement::Update(u) => u,
-            _ => panic!(),
-        };
+        let stmt =
+            match crate::parser::parse("UPDATE events SET energy = energy * 2 WHERE det_id = 10")
+                .unwrap()
+            {
+                crate::ast::Statement::Update(u) => u,
+                _ => panic!(),
+            };
         let n = execute_update(&stmt, &mut d).unwrap();
         assert_eq!(n, 2);
         let r = execute_select(
@@ -869,10 +994,9 @@ mod tests {
 
     #[test]
     fn ambiguous_column_in_join() {
-        let stmt = parse_select(
-            "SELECT det_id FROM events e JOIN detectors d ON e.det_id = d.det_id",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT det_id FROM events e JOIN detectors d ON e.det_id = d.det_id")
+                .unwrap();
         assert!(matches!(
             execute_select(&stmt, &DatabaseProvider(&db())),
             Err(SqlError::AmbiguousColumn(_))

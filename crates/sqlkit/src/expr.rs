@@ -458,16 +458,20 @@ impl AggState {
                 }
             },
             AggFunc::Min => {
-                if self.min.as_ref().is_none_or(|m| {
-                    v.sql_cmp(m) == Some(Ordering::Less)
-                }) {
+                if self
+                    .min
+                    .as_ref()
+                    .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less))
+                {
                     self.min = Some(v.clone());
                 }
             }
             AggFunc::Max => {
-                if self.max.as_ref().is_none_or(|m| {
-                    v.sql_cmp(m) == Some(Ordering::Greater)
-                }) {
+                if self
+                    .max
+                    .as_ref()
+                    .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater))
+                {
                     self.max = Some(v.clone());
                 }
             }
@@ -621,7 +625,11 @@ mod tests {
 
     #[test]
     fn scalar_functions() {
-        let row = vec![Value::Int(-7), Value::Float(2.345), Value::Text("Ecal".into())];
+        let row = vec![
+            Value::Int(-7),
+            Value::Float(2.345),
+            Value::Text("Ecal".into()),
+        ];
         assert_eq!(ev("ABS(a) = 7", &row), Value::Bool(true));
         assert_eq!(ev("ROUND(b) = 2.0", &row), Value::Bool(true));
         assert_eq!(ev("ROUND(b, 1) = 2.3", &row), Value::Bool(true));
@@ -644,7 +652,11 @@ mod tests {
 
     #[test]
     fn text_concat_with_plus() {
-        let row = vec![Value::Text("e".into()), Value::Text("cal".into()), Value::Null];
+        let row = vec![
+            Value::Text("e".into()),
+            Value::Text("cal".into()),
+            Value::Null,
+        ];
         assert_eq!(ev("a + b = 'ecal'", &row), Value::Bool(true));
     }
 

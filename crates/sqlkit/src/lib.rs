@@ -15,9 +15,14 @@
 //! - [`ast`] — the abstract syntax tree shared by the mediator, the vendor
 //!   dialect renderers, and the executor.
 //! - [`expr`] — SQL three-valued-logic expression evaluation.
+//! - [`plan`] — the logical query-plan IR built from a parsed `SELECT`;
+//!   shared by the executor, the optimizer, the mediator's decomposer, and
+//!   `EXPLAIN` rendering.
+//! - [`optimize`] — rule-based optimizer passes (constant folding, predicate
+//!   pushdown, join reordering, projection pruning) over the plan IR.
 //! - [`exec`] — a Volcano-ish executor over a [`exec::TableProvider`], used
 //!   for per-mart execution and for the mediator's post-merge residual
-//!   processing.
+//!   processing. Runs optimized plans, not raw ASTs.
 //! - [`render`] — AST → SQL text, parameterized by a [`render::SqlStyle`] so
 //!   vendor crates can impose their dialect quirks.
 //! - [`result`] — [`ResultSet`], the "single 2-D vector" of the paper.
@@ -27,14 +32,18 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
+pub mod plan;
 pub mod render;
 pub mod result;
 
 pub use ast::{Expr, SelectStmt, Statement};
 pub use error::SqlError;
 pub use exec::{execute_select, DatabaseProvider, TableProvider};
+pub use optimize::{optimize, optimize_with, NoCatalog, PassSet, PlanCatalog};
 pub use parser::parse;
+pub use plan::{build_plan, LogicalPlan};
 pub use render::{render_statement, NeutralStyle, SqlStyle};
 pub use result::ResultSet;
 

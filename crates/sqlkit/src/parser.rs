@@ -364,7 +364,11 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `t.*` (bare or quoted qualifier)
-        if let (Some(Token::Ident(q)) | Some(Token::QuotedIdent(q)), Some(Token::Dot), Some(Token::Star)) = (
+        if let (
+            Some(Token::Ident(q)) | Some(Token::QuotedIdent(q)),
+            Some(Token::Dot),
+            Some(Token::Star),
+        ) = (
             self.tokens.get(self.pos),
             self.tokens.get(self.pos + 1),
             self.tokens.get(self.pos + 2),
@@ -380,10 +384,12 @@ impl Parser {
             // Bare alias: an identifier that is not a clause keyword.
             match self.peek() {
                 Some(Token::Ident(s))
-                    if !["FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
-                        "CROSS", "ON", "AND", "OR", "AS", "ASC", "DESC"]
-                        .iter()
-                        .any(|k| s.eq_ignore_ascii_case(k)) =>
+                    if ![
+                        "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
+                        "CROSS", "ON", "AND", "OR", "AS", "ASC", "DESC",
+                    ]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)) =>
                 {
                     Some(self.ident()?)
                 }
@@ -401,10 +407,11 @@ impl Parser {
         } else {
             match self.peek() {
                 Some(Token::Ident(s))
-                    if !["WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "CROSS",
-                        "ON"]
-                        .iter()
-                        .any(|k| s.eq_ignore_ascii_case(k)) =>
+                    if ![
+                        "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "CROSS", "ON",
+                    ]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)) =>
                 {
                     Some(self.ident()?)
                 }
@@ -484,9 +491,11 @@ impl Parser {
         }
 
         let negated = if self.peek().is_some_and(|t| t.is_kw("NOT"))
-            && self.tokens.get(self.pos + 1).is_some_and(|t| {
-                t.is_kw("IN") || t.is_kw("BETWEEN") || t.is_kw("LIKE")
-            }) {
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.is_kw("IN") || t.is_kw("BETWEEN") || t.is_kw("LIKE"))
+        {
             self.pos += 1;
             true
         } else {
@@ -732,7 +741,9 @@ mod tests {
         // OR at top, AND below.
         match s.where_clause.unwrap() {
             Expr::Binary {
-                op: BinaryOp::Or, right, ..
+                op: BinaryOp::Or,
+                right,
+                ..
             } => match *right {
                 Expr::Binary {
                     op: BinaryOp::And, ..
@@ -749,7 +760,9 @@ mod tests {
         match &s.items[0] {
             SelectItem::Expr { expr, .. } => match expr {
                 Expr::Binary {
-                    op: BinaryOp::Add, right, ..
+                    op: BinaryOp::Add,
+                    right,
+                    ..
                 } => assert!(matches!(
                     **right,
                     Expr::Binary {

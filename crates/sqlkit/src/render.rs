@@ -90,11 +90,7 @@ pub fn render_select(stmt: &SelectStmt, style: &dyn SqlStyle) -> String {
     } else {
         "SELECT "
     });
-    let items: Vec<String> = stmt
-        .items
-        .iter()
-        .map(|it| render_item(it, style))
-        .collect();
+    let items: Vec<String> = stmt.items.iter().map(|it| render_item(it, style)).collect();
     sql.push_str(&items.join(", "));
     sql.push_str(" FROM ");
     sql.push_str(&render_table_ref(&stmt.from, style));
@@ -348,14 +344,16 @@ mod tests {
     fn round_trip(sql: &str) {
         let stmt = parse(sql).unwrap();
         let rendered = render_statement(&stmt, &NeutralStyle);
-        let reparsed = parse(&rendered)
-            .unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
+        let reparsed =
+            parse(&rendered).unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
         assert_eq!(stmt, reparsed, "round trip changed AST for `{rendered}`");
     }
 
     #[test]
     fn select_round_trips() {
-        round_trip("SELECT a, b AS bee, t.c FROM t WHERE a > 1 AND b = 'x' ORDER BY a DESC LIMIT 5");
+        round_trip(
+            "SELECT a, b AS bee, t.c FROM t WHERE a > 1 AND b = 'x' ORDER BY a DESC LIMIT 5",
+        );
         round_trip("SELECT * FROM t");
         round_trip("SELECT t.* FROM t");
         round_trip(

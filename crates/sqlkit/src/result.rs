@@ -87,7 +87,12 @@ impl fmt::Display for ResultSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let grid = self.to_vector();
         let widths: Vec<usize> = (0..self.columns.len())
-            .map(|c| grid.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+            .map(|c| {
+                grid.iter()
+                    .map(|r| r.get(c).map_or(0, String::len))
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for (i, row) in grid.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
@@ -98,7 +103,8 @@ impl fmt::Display for ResultSet {
             }
             writeln!(f)?;
             if i == 0 {
-                let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+                let total: usize =
+                    widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
                 writeln!(f, "{}", "-".repeat(total))?;
             }
         }

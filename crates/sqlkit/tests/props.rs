@@ -13,11 +13,13 @@ use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
-        !["select", "from", "where", "and", "or", "not", "in", "is", "null", "like",
-          "between", "group", "order", "by", "limit", "join", "on", "as", "asc",
-          "desc", "inner", "left", "cross", "true", "false", "values", "insert",
-          "into", "create", "table", "view", "key", "count", "sum", "avg", "min", "max"]
-            .contains(&s.as_str())
+        ![
+            "select", "from", "where", "and", "or", "not", "in", "is", "null", "like", "between",
+            "group", "order", "by", "limit", "join", "on", "as", "asc", "desc", "inner", "left",
+            "cross", "true", "false", "values", "insert", "into", "create", "table", "view", "key",
+            "count", "sum", "avg", "min", "max",
+        ]
+        .contains(&s.as_str())
     })
 }
 
@@ -43,13 +45,16 @@ fn arb_scalar_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Mul, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Eq, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::binary(a, BinaryOp::Or, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Or, b)),
             inner.clone().prop_map(|e| Expr::IsNull {
                 expr: Box::new(e),
                 negated: false
             }),
-            (inner.clone(), prop::collection::vec(arb_literal(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                prop::collection::vec(arb_literal(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -83,23 +88,22 @@ fn arb_select() -> impl Strategy<Value = SelectStmt> {
         prop::collection::vec((arb_scalar_expr(), any::<bool>()), 0..2),
         proptest::option::of(0u64..1000),
     )
-        .prop_map(|(distinct, items, table, alias, where_clause, order, limit)| SelectStmt {
-            distinct,
-            items,
-            from: TableRef {
-                name: table,
-                alias,
+        .prop_map(
+            |(distinct, items, table, alias, where_clause, order, limit)| SelectStmt {
+                distinct,
+                items,
+                from: TableRef { name: table, alias },
+                joins: Vec::new(),
+                where_clause,
+                group_by: Vec::new(),
+                having: None,
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, ascending)| OrderItem { expr, ascending })
+                    .collect(),
+                limit,
             },
-            joins: Vec::new(),
-            where_clause,
-            group_by: Vec::new(),
-            having: None,
-            order_by: order
-                .into_iter()
-                .map(|(expr, ascending)| OrderItem { expr, ascending })
-                .collect(),
-            limit,
-        })
+        )
 }
 
 // ---- properties ----

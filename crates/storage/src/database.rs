@@ -1,6 +1,7 @@
 //! Named databases: a collection of tables plus a queryable catalog.
 
 use crate::error::StorageError;
+use crate::normalize_ident;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::Result;
@@ -34,7 +35,7 @@ impl Database {
     /// Create a table with the given schema.
     pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
         let name = name.into();
-        let key = name.to_ascii_lowercase();
+        let key = normalize_ident(&name);
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(name));
         }
@@ -45,7 +46,7 @@ impl Database {
     /// Drop a table; errors if absent.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         self.tables
-            .remove(&name.to_ascii_lowercase())
+            .remove(&normalize_ident(name))
             .map(|_| ())
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
@@ -53,20 +54,20 @@ impl Database {
     /// Look up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
-            .get(&name.to_ascii_lowercase())
+            .get(&normalize_ident(name))
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     /// Mutable table lookup.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
-            .get_mut(&name.to_ascii_lowercase())
+            .get_mut(&normalize_ident(name))
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     /// True if a table exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables.contains_key(&name.to_ascii_lowercase())
+        self.tables.contains_key(&normalize_ident(name))
     }
 
     /// Names of all tables, sorted (original casing preserved).

@@ -56,7 +56,10 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
             StorageError::NoSuchColumn(c) => write!(f, "no such column `{c}`"),
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, got {got}"
+                )
             }
             StorageError::TypeMismatch {
                 column,

@@ -32,3 +32,11 @@ pub use value::{DataType, Value};
 
 /// Convenience result alias used throughout the storage engine.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Canonical form of an identifier (table or database name) for catalog
+/// lookups: SQL identifiers are case-insensitive, so every layer — storage
+/// catalog, data dictionary, query decomposer — keys on this one form
+/// instead of rolling its own lowercasing.
+pub fn normalize_ident(name: &str) -> String {
+    name.to_ascii_lowercase()
+}

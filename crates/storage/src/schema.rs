@@ -206,7 +206,10 @@ mod tests {
 
         assert!(matches!(
             s.check_row(vec![Value::Int(1)]),
-            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.check_row(vec![Value::Int(1), "no".into(), "x".into()]),

@@ -206,10 +206,8 @@ mod tests {
         let c1 = m1.connect("grid", "grid").unwrap().value;
         c1.execute("CREATE TABLE events (e_id INT PRIMARY KEY, run_id INT, energy FLOAT)")
             .unwrap();
-        c1.execute(
-            "INSERT INTO events (e_id, run_id, energy) VALUES (1, 1, 5.0), (2, 1, 15.0)",
-        )
-        .unwrap();
+        c1.execute("INSERT INTO events (e_id, run_id, energy) VALUES (1, 1, 5.0), (2, 1, 15.0)")
+            .unwrap();
         c1.execute("CREATE TABLE runs (run_id INT PRIMARY KEY, detector TEXT)")
             .unwrap();
         c1.execute("INSERT INTO runs (run_id, detector) VALUES (1, 'ecal')")
@@ -258,9 +256,7 @@ mod tests {
     fn single_database_join_works() {
         let (unity, _) = federation();
         let out = unity
-            .query(
-                "SELECT e.e_id, r.detector FROM events e JOIN runs r ON e.run_id = r.run_id",
-            )
+            .query("SELECT e.e_id, r.detector FROM events e JOIN runs r ON e.run_id = r.run_id")
             .unwrap();
         assert_eq!(out.value.len(), 2);
         assert_eq!(out.value.rows[0].values()[1], Value::Text("ecal".into()));
@@ -270,9 +266,7 @@ mod tests {
     fn cross_database_join_rejected() {
         let (unity, _) = federation();
         let err = unity
-            .query(
-                "SELECT e.e_id FROM events e JOIN conditions c ON e.run_id = c.run_id",
-            )
+            .query("SELECT e.e_id FROM events e JOIN conditions c ON e.run_id = c.run_id")
             .unwrap_err();
         assert!(matches!(err, UnityError::CrossDatabaseJoin(_)));
     }

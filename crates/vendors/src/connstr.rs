@@ -254,10 +254,9 @@ mod tests {
 
     #[test]
     fn mssql_grammar() {
-        let c = ConnectionString::parse(
-            "mssql://marts.fnal:1433;database=mart1;user=cms;password=pw",
-        )
-        .unwrap();
+        let c =
+            ConnectionString::parse("mssql://marts.fnal:1433;database=mart1;user=cms;password=pw")
+                .unwrap();
         assert_eq!(c.vendor, VendorKind::MsSql);
         assert_eq!(c.database, "mart1");
         assert_eq!(c.user, "cms");

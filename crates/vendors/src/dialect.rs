@@ -143,9 +143,7 @@ impl SqlStyle for VendorStyle {
     fn bool_literal(&self, b: bool) -> String {
         match self.vendor {
             // Oracle and MS-SQL have no boolean literals; use 1/0.
-            VendorKind::Oracle | VendorKind::MsSql => {
-                if b { "1" } else { "0" }.to_string()
-            }
+            VendorKind::Oracle | VendorKind::MsSql => if b { "1" } else { "0" }.to_string(),
             _ => if b { "TRUE" } else { "FALSE" }.to_string(),
         }
     }
@@ -162,8 +160,8 @@ impl SqlStyle for VendorStyle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gridfed_sqlkit::render::render_select;
     use gridfed_sqlkit::parser::parse_select;
+    use gridfed_sqlkit::render::render_select;
 
     #[test]
     fn type_names_round_trip_through_parse() {
@@ -225,7 +223,9 @@ mod tests {
 
         // SQLite accepts everything.
         let l = dialect_for(VendorKind::Sqlite);
-        assert!(l.check_text("SELECT `a`, [b], \"c\" FROM t LIMIT 1").is_ok());
+        assert!(l
+            .check_text("SELECT `a`, [b], \"c\" FROM t LIMIT 1")
+            .is_ok());
     }
 
     #[test]
@@ -242,7 +242,9 @@ mod tests {
             );
         }
         let mysql_text = render_select(&stmt, &dialect_for(VendorKind::MySql).style());
-        assert!(dialect_for(VendorKind::Oracle).check_text(&mysql_text).is_err());
+        assert!(dialect_for(VendorKind::Oracle)
+            .check_text(&mysql_text)
+            .is_err());
     }
 
     #[test]

@@ -21,8 +21,11 @@ pub trait Driver: Send + Sync {
     /// The vendor this driver serves.
     fn vendor(&self) -> VendorKind;
     /// Open a connection.
-    fn connect(&self, conn: &ConnectionString, registry: &DriverRegistry)
-        -> Result<Timed<Connection>>;
+    fn connect(
+        &self,
+        conn: &ConnectionString,
+        registry: &DriverRegistry,
+    ) -> Result<Timed<Connection>>;
 }
 
 /// Default driver implementation, shared by all four vendors: looks the
@@ -80,11 +83,11 @@ pub fn server_address(conn: &ConnectionString) -> (String, String) {
     }
     let path = conn.database.trim_start_matches('/');
     match path.split_once('/') {
-        Some((host, file)) => (
-            host.to_string(),
-            file.trim_end_matches(".db").to_string(),
+        Some((host, file)) => (host.to_string(), file.trim_end_matches(".db").to_string()),
+        None => (
+            "localfile".to_string(),
+            path.trim_end_matches(".db").to_string(),
         ),
-        None => ("localfile".to_string(), path.trim_end_matches(".db").to_string()),
     }
 }
 

@@ -90,16 +90,9 @@ impl SimServer {
     /// connect + auth cost — the dominant term in the paper's >10×
     /// distributed-query penalty.
     pub fn connect(self: &Arc<Self>, user: &str, password: &str) -> Result<Timed<Connection>> {
-        let cost = self
-            .params
-            .db_connect
-            .scale(self.kind.connect_multiplier())
-            + self.params.db_auth;
-        let ok = self
-            .users
-            .read()
-            .get(user)
-            .is_some_and(|p| p == password);
+        let cost =
+            self.params.db_connect.scale(self.kind.connect_multiplier()) + self.params.db_auth;
+        let ok = self.users.read().get(user).is_some_and(|p| p == password);
         if !ok {
             return Err(VendorError::AuthFailed {
                 user: user.to_string(),
@@ -390,9 +383,9 @@ fn reorder_insert_values(
     }
     let mut values = vec![Value::Null; schema.arity()];
     for (col, e) in columns.iter().zip(exprs) {
-        let idx = schema
-            .index_of(col)
-            .ok_or_else(|| VendorError::Storage(gridfed_storage::StorageError::NoSuchColumn(col.clone())))?;
+        let idx = schema.index_of(col).ok_or_else(|| {
+            VendorError::Storage(gridfed_storage::StorageError::NoSuchColumn(col.clone()))
+        })?;
         values[idx] = literal(e)?;
     }
     Ok(values)
@@ -519,7 +512,9 @@ mod tests {
         let conn = server.connect("grid", "grid").unwrap().value;
         conn.execute("INSERT INTO events (tag, e_id) VALUES ('late', 9)")
             .unwrap();
-        let r = conn.query("SELECT tag, energy FROM events WHERE e_id = 9").unwrap();
+        let r = conn
+            .query("SELECT tag, energy FROM events WHERE e_id = 9")
+            .unwrap();
         assert_eq!(r.value.rows[0].values()[0], Value::Text("late".into()));
         assert!(r.value.rows[0].values()[1].is_null());
     }

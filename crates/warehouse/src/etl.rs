@@ -170,21 +170,22 @@ impl EtlPipeline {
         // ---- Transform: denormalize into fact rows. ----
         let fact_rows = transform_to_fact(&runs, &variables, &events, &measurements, &keep)?;
         let rows = fact_rows.len();
-        let bytes: usize = fact_rows.iter().map(|r| Row::new(r.clone()).wire_size()).sum();
+        let bytes: usize = fact_rows
+            .iter()
+            .map(|r| Row::new(r.clone()).wire_size())
+            .sum();
 
         // ---- Cost model (Figure 4). ----
         // Extraction: open the source stream, read + transform per row,
         // then (staged mode) write the temp file.
         let p = &self.params;
-        let mut extract_cost =
-            p.etl_stream_setup + p.etl_extract_per_row.scale(rows as f64);
+        let mut extract_cost = p.etl_stream_setup + p.etl_extract_per_row.scale(rows as f64);
         // Loading: (staged mode) read the temp file back, move the payload
         // across the source→warehouse link, insert per row.
-        let link_cost = self
-            .topology
-            .transfer(source.server().host(), warehouse.server().host(), bytes);
-        let mut load_cost =
-            p.etl_stream_setup + link_cost + p.etl_load_per_row.scale(rows as f64);
+        let link_cost =
+            self.topology
+                .transfer(source.server().host(), warehouse.server().host(), bytes);
+        let mut load_cost = p.etl_stream_setup + link_cost + p.etl_load_per_row.scale(rows as f64);
         if self.mode == TransportMode::Staged {
             extract_cost += self.disk.write_file(bytes);
             load_cost += self.disk.read_file(bytes);
@@ -307,7 +308,9 @@ mod tests {
         let wh = warehouse_server();
         let sconn = src.connect("grid", "grid").unwrap().value;
         let wconn = wh.connect("grid", "grid").unwrap().value;
-        let report = EtlPipeline::paper().run_batch(&sconn, &wconn, None).unwrap();
+        let report = EtlPipeline::paper()
+            .run_batch(&sconn, &wconn, None)
+            .unwrap();
         assert_eq!(report.rows, spec.measurement_rows());
         assert_eq!(
             wh.with_db(|db| db.table(nschema::FACT_TABLE).unwrap().len()),
@@ -315,7 +318,10 @@ mod tests {
         );
         assert!(report.bytes > 0);
         assert!(report.extract_cost > Cost::ZERO);
-        assert!(report.load_cost > report.extract_cost, "load dominates (Fig 4 shape)");
+        assert!(
+            report.load_cost > report.extract_cost,
+            "load dominates (Fig 4 shape)"
+        );
     }
 
     #[test]
@@ -325,7 +331,9 @@ mod tests {
         let wh = warehouse_server();
         let sconn = src.connect("grid", "grid").unwrap().value;
         let wconn = wh.connect("grid", "grid").unwrap().value;
-        EtlPipeline::paper().run_batch(&sconn, &wconn, None).unwrap();
+        EtlPipeline::paper()
+            .run_batch(&sconn, &wconn, None)
+            .unwrap();
         wh.with_db(|db| {
             let fact = db.table(nschema::FACT_TABLE).unwrap();
             let row = &fact.rows()[0];
@@ -364,7 +372,10 @@ mod tests {
             .run_batch(&sconn, &wh2.connect("grid", "grid").unwrap().value, None)
             .unwrap();
         assert_eq!(staged.rows, direct.rows);
-        assert!(staged.total() > direct.total(), "staging file is the bottleneck");
+        assert!(
+            staged.total() > direct.total(),
+            "staging file is the bottleneck"
+        );
     }
 
     #[test]
@@ -410,11 +421,7 @@ mod tests {
             let events = db.table_mut("events").unwrap();
             for e in 60..100 {
                 events
-                    .insert(vec![
-                        Value::Int(e as i64),
-                        Value::Int(0),
-                        Value::Float(1.0),
-                    ])
+                    .insert(vec![Value::Int(e as i64), Value::Int(0), Value::Float(1.0)])
                     .unwrap();
             }
             db.table_mut("measurements")
@@ -456,7 +463,9 @@ mod tests {
         });
         let sconn = src.connect("grid", "grid").unwrap().value;
         let wconn = wh.connect("grid", "grid").unwrap().value;
-        let err = EtlPipeline::paper().run_batch(&sconn, &wconn, None).unwrap_err();
+        let err = EtlPipeline::paper()
+            .run_batch(&sconn, &wconn, None)
+            .unwrap_err();
         assert!(matches!(err, WarehouseError::Pipeline(_)));
     }
 }

@@ -66,8 +66,7 @@ pub fn materialize_into_mart(
     let rows = result.rows.len();
     let bytes: usize = result.rows.iter().map(Row::wire_size).sum();
 
-    let mut extract_cost = params.etl_stream_setup
-        + params.view_extract_per_row.scale(rows as f64);
+    let mut extract_cost = params.etl_stream_setup + params.view_extract_per_row.scale(rows as f64);
     let link = topology.transfer(warehouse.server().host(), mart.server().host(), bytes);
     let mut load_cost =
         params.etl_stream_setup + link + params.mart_load_per_row.scale(rows as f64);
@@ -88,7 +87,11 @@ pub fn materialize_into_mart(
     })?;
     mart.insert_rows(
         &table,
-        result.rows.into_iter().map(Row::into_values).collect::<Vec<Vec<Value>>>(),
+        result
+            .rows
+            .into_iter()
+            .map(Row::into_values)
+            .collect::<Vec<Vec<Value>>>(),
     )?;
 
     Ok(MartReport {
@@ -164,10 +167,22 @@ mod tests {
             name: "tiny_events".into(),
             spec: spec.clone(),
         };
-        materialize_into_mart(&view, &wconn, &mconn, &Topology::lan(), TransportMode::Staged)
-            .unwrap();
-        materialize_into_mart(&view, &wconn, &mconn, &Topology::lan(), TransportMode::Staged)
-            .unwrap();
+        materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
         assert_eq!(
             mart.with_db(|db| db.table("tiny_events").unwrap().len()),
             spec.events

@@ -89,10 +89,7 @@ pub fn evaluate_view(view: &ViewDef, warehouse: &Connection) -> Result<ResultSet
 }
 
 /// Pivot the fact table into the ntuple shape for `spec`.
-fn pivot_fact(
-    db: &gridfed_storage::Database,
-    spec: &NtupleSpec,
-) -> Result<ResultSet> {
+fn pivot_fact(db: &gridfed_storage::Database, spec: &NtupleSpec) -> Result<ResultSet> {
     let fact = db
         .table(nschema::FACT_TABLE)
         .map_err(WarehouseError::Storage)?;

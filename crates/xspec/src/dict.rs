@@ -9,6 +9,7 @@
 
 use crate::model::{LowerXSpec, UpperEntry, UpperXSpec, XTable};
 use crate::{Result, XSpecError};
+use gridfed_storage::normalize_ident;
 use std::collections::HashMap;
 
 /// Where a logical table physically lives.
@@ -49,10 +50,10 @@ impl DataDictionary {
     ) -> Result<DataDictionary> {
         let mut map = HashMap::new();
         for l in lowers {
-            map.insert(l.database.to_ascii_lowercase(), l);
+            map.insert(normalize_ident(&l.database), l);
         }
         for e in &upper.entries {
-            if !map.contains_key(&e.name.to_ascii_lowercase()) {
+            if !map.contains_key(&normalize_ident(&e.name)) {
                 return Err(XSpecError::Model(format!(
                     "upper entry `{}` has no lower-level XSpec",
                     e.name
@@ -64,14 +65,13 @@ impl DataDictionary {
 
     /// Register (or replace) a database at runtime — the plug-in path.
     pub fn register(&mut self, entry: UpperEntry, lower: LowerXSpec) {
-        self.lowers
-            .insert(entry.name.to_ascii_lowercase(), lower);
+        self.lowers.insert(normalize_ident(&entry.name), lower);
         self.upper.upsert(entry);
     }
 
     /// Remove a database from the dictionary.
     pub fn unregister(&mut self, database: &str) -> bool {
-        let key = database.to_ascii_lowercase();
+        let key = normalize_ident(database);
         let had = self.lowers.remove(&key).is_some();
         self.upper
             .entries
@@ -82,7 +82,7 @@ impl DataDictionary {
     /// Replace the Lower-Level XSpec of an already-registered database
     /// (what the schema-change tracker does on `Changed`).
     pub fn refresh_lower(&mut self, lower: LowerXSpec) -> Result<()> {
-        let key = lower.database.to_ascii_lowercase();
+        let key = normalize_ident(&lower.database);
         if !self.lowers.contains_key(&key) {
             return Err(XSpecError::Unknown(lower.database));
         }
@@ -107,7 +107,7 @@ impl DataDictionary {
     /// The Lower-Level spec for a database.
     pub fn lower(&self, database: &str) -> Result<&LowerXSpec> {
         self.lowers
-            .get(&database.to_ascii_lowercase())
+            .get(&normalize_ident(database))
             .ok_or_else(|| XSpecError::Unknown(database.to_string()))
     }
 
@@ -128,7 +128,7 @@ impl DataDictionary {
     pub fn resolve_table(&self, logical: &str) -> Vec<TableLocation> {
         let mut out = Vec::new();
         for e in &self.upper.entries {
-            if let Some(lower) = self.lowers.get(&e.name.to_ascii_lowercase()) {
+            if let Some(lower) = self.lowers.get(&normalize_ident(&e.name)) {
                 if let Some(t) = lower.table(logical) {
                     out.push(TableLocation {
                         database: e.name.clone(),
@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn register_and_unregister_runtime_plugin() {
         let mut d = dict();
-        d.register(entry("laptop", "sqlite"), lower("laptop", "SQLite", &["events"]));
+        d.register(
+            entry("laptop", "sqlite"),
+            lower("laptop", "SQLite", &["events"]),
+        );
         assert_eq!(d.resolve_table("events").len(), 3);
         assert!(d.unregister("laptop"));
         assert_eq!(d.resolve_table("events").len(), 2);
@@ -250,9 +253,7 @@ mod tests {
         d.refresh_lower(lower("mart1", "MySQL", &["events", "runs", "newtab"]))
             .unwrap();
         assert!(d.has_table("newtab"));
-        assert!(d
-            .refresh_lower(lower("unknown", "MySQL", &["x"]))
-            .is_err());
+        assert!(d.refresh_lower(lower("unknown", "MySQL", &["x"])).is_err());
     }
 
     #[test]

@@ -73,7 +73,8 @@ mod tests {
     fn xspec_survives_xml_round_trip() {
         let server = SimServer::new(VendorKind::MsSql, "t2", "mart");
         let conn = server.connect("grid", "grid").unwrap().value;
-        conn.execute("CREATE TABLE a (x INT, y TEXT NOT NULL)").unwrap();
+        conn.execute("CREATE TABLE a (x INT, y TEXT NOT NULL)")
+            .unwrap();
         conn.execute("CREATE TABLE b (z FLOAT)").unwrap();
         let spec = generate_lower_xspec(&conn).unwrap().value;
         let back = LowerXSpec::from_xml(&spec.to_xml()).unwrap();

@@ -35,7 +35,7 @@ impl XTable {
     /// Logical name of the table: lower-cased physical name. Clients query
     /// logical names; the mediator maps to physical per database.
     pub fn logical_name(&self) -> String {
-        self.name.to_ascii_lowercase()
+        gridfed_storage::normalize_ident(&self.name)
     }
 }
 

@@ -168,7 +168,9 @@ pub fn parse(input: &str) -> Result<XmlNode> {
     let root = p.element()?;
     p.skip_ws_and_comments()?;
     if p.pos != p.bytes.len() {
-        return Err(XSpecError::Xml("trailing content after root element".into()));
+        return Err(XSpecError::Xml(
+            "trailing content after root element".into(),
+        ));
     }
     Ok(root)
 }
@@ -223,9 +225,7 @@ impl XmlParser<'_> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(XSpecError::Xml(format!(
-                "expected name at byte {start}"
-            )));
+            return Err(XSpecError::Xml(format!("expected name at byte {start}")));
         }
         Ok(self.input[start..self.pos].to_string())
     }
@@ -266,7 +266,9 @@ impl XmlParser<'_> {
                     self.pos += 1;
                     self.skip_ws();
                     if self.bytes.get(self.pos) != Some(&b'"') {
-                        return Err(XSpecError::Xml("attribute value must be double-quoted".into()));
+                        return Err(XSpecError::Xml(
+                            "attribute value must be double-quoted".into(),
+                        ));
                     }
                     self.pos += 1;
                     let start = self.pos;
@@ -340,9 +342,11 @@ mod tests {
             .attr("database", "ntuples")
             .attr("vendor", "MySQL")
             .child(
-                XmlNode::new("table")
-                    .attr("name", "events")
-                    .child(XmlNode::new("column").attr("name", "e_id").attr("type", "BIGINT")),
+                XmlNode::new("table").attr("name", "events").child(
+                    XmlNode::new("column")
+                        .attr("name", "e_id")
+                        .attr("type", "BIGINT"),
+                ),
             )
             .child(XmlNode::new("note"));
         let text = doc.to_xml();

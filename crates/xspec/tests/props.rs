@@ -18,7 +18,10 @@ fn arb_attr_value() -> impl Strategy<Value = String> {
 }
 
 fn arb_xml(depth: u32) -> BoxedStrategy<XmlNode> {
-    let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_attr_value()), 0..3))
+    let leaf = (
+        arb_name(),
+        prop::collection::vec((arb_name(), arb_attr_value()), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut node = XmlNode::new(name);
             // Attribute keys must be unique for round-trip equality.
@@ -57,13 +60,16 @@ fn arb_lower() -> impl Strategy<Value = LowerXSpec> {
             unique,
         },
     );
-    let table = (arb_name(), prop::collection::vec(col, 0..4), 0usize..100_000).prop_map(
-        |(name, columns, row_count)| XTable {
+    let table = (
+        arb_name(),
+        prop::collection::vec(col, 0..4),
+        0usize..100_000,
+    )
+        .prop_map(|(name, columns, row_count)| XTable {
             name,
             columns,
             row_count,
-        },
-    );
+        });
     (arb_name(), prop::collection::vec(table, 0..4)).prop_map(|(database, tables)| LowerXSpec {
         database,
         vendor: "MySQL".into(),

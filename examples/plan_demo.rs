@@ -1,0 +1,65 @@
+use gridfed::sqlkit::exec::{DatabaseProvider, ProviderCatalog};
+use gridfed::sqlkit::parser::parse_select;
+use gridfed::sqlkit::{build_plan, optimize};
+use gridfed::storage::{ColumnDef, DataType, Database, Schema, Value};
+
+fn main() {
+    let mut db = Database::new("demo");
+    let schema = Schema::new(vec![
+        ColumnDef::new("e_id", DataType::Int).primary_key(),
+        ColumnDef::new("run_id", DataType::Int),
+        ColumnDef::new("det_id", DataType::Int),
+        ColumnDef::new("energy", DataType::Float),
+    ])
+    .unwrap();
+    let t = db.create_table("ntuple_events", schema).unwrap();
+    for i in 0..1000 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i % 8),
+            Value::Int(i % 4),
+            Value::Float(i as f64),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("run_id", DataType::Int).primary_key(),
+        ColumnDef::new("n_meas", DataType::Int),
+        ColumnDef::new("quality", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("run_summary", schema).unwrap();
+    for i in 0..8 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i * 10),
+            Value::Text("good".into()),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("det_id", DataType::Int).primary_key(),
+        ColumnDef::new("region", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("detector_summary", schema).unwrap();
+    for i in 0..4 {
+        t.insert(vec![Value::Int(i), Value::Text("barrel".into())])
+            .unwrap();
+    }
+
+    let sql = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+               JOIN run_summary s ON e.run_id = s.run_id \
+               JOIN detector_summary d ON e.det_id = d.det_id \
+               WHERE e.energy > 10.0 + 5.0 AND d.region = 'barrel' AND s.quality = 'good'";
+    let stmt = parse_select(sql).unwrap();
+    let provider = DatabaseProvider(&db);
+    let logical = build_plan(&stmt);
+    let mut out = String::new();
+    logical.render_tree(0, &mut out);
+    println!("== logical ==\n{out}");
+    let optimized = optimize(logical, &ProviderCatalog(&provider));
+    let mut out = String::new();
+    optimized.render_tree(0, &mut out);
+    println!("== optimized ==\n{out}");
+}

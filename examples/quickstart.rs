@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. A local single-table query: the POOL-RAL fast path.
     let out = grid.query("SELECT e_id, energy, detector FROM ntuple_events WHERE energy > 80.0 ORDER BY energy DESC LIMIT 5")?;
-    println!("High-energy events (local mart, POOL fast path, {}):", out.response_time);
+    println!(
+        "High-energy events (local mart, POOL fast path, {}):",
+        out.response_time
+    );
     println!("{}", out.result);
 
     // 2. A cross-database join: decomposed, scattered, re-joined by the

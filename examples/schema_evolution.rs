@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- A new database appears: a laptop SQLite mart ----
     let laptop = SimServer::new(VendorKind::Sqlite, "laptop", "fieldnotes");
     let conn = laptop.connect("grid", "grid")?.value;
-    conn.execute(
-        "CREATE TABLE beam_log (entry_id INT PRIMARY KEY, run_id INT, note TEXT)",
-    )?;
+    conn.execute("CREATE TABLE beam_log (entry_id INT PRIMARY KEY, run_id INT, note TEXT)")?;
     conn.execute(
         "INSERT INTO beam_log (entry_id, run_id, note) VALUES \
          (1, 0, 'beam ramped to 450 GeV'), \
@@ -94,11 +92,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Unregistering ----
     assert!(das2.unregister_database("fieldnotes"));
-    assert!(das2.query("SELECT note FROM beam_log").is_err() || {
-        // Other servers may still resolve it via stale RLS entries; the
-        // local dictionary, at least, no longer knows it.
-        !das2.local_tables().contains(&"beam_log".to_string())
-    });
+    assert!(
+        das2.query("SELECT note FROM beam_log").is_err() || {
+            // Other servers may still resolve it via stale RLS entries; the
+            // local dictionary, at least, no longer knows it.
+            !das2.local_tables().contains(&"beam_log".to_string())
+        }
+    );
     println!("\nlaptop database unregistered from server 2");
     Ok(())
 }

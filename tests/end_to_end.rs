@@ -175,5 +175,8 @@ fn deterministic_rebuild_produces_identical_answers() {
     let ra = a.query(sql).expect("a");
     let rb = b.query(sql).expect("b");
     assert_eq!(ra.result, rb.result);
-    assert_eq!(ra.response_time, rb.response_time, "virtual time is deterministic");
+    assert_eq!(
+        ra.response_time, rb.response_time,
+        "virtual time is deterministic"
+    );
 }

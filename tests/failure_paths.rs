@@ -8,7 +8,10 @@ use gridfed::prelude::*;
 use gridfed::vendors::{SimServer, VendorError};
 
 fn grid() -> Grid {
-    GridBuilder::new().with_seed(31).build().expect("grid builds")
+    GridBuilder::new()
+        .with_seed(31)
+        .build()
+        .expect("grid builds")
 }
 
 #[test]
@@ -79,7 +82,12 @@ fn rpc_without_session_is_refused() {
     let g = grid();
     let server = &g.servers[0];
     let err = server
-        .handle("forged-token", "das", "query", &[WireValue::Str("SELECT 1".into())])
+        .handle(
+            "forged-token",
+            "das",
+            "query",
+            &[WireValue::Str("SELECT 1".into())],
+        )
         .unwrap_err();
     assert!(matches!(err, ClarensError::NoSession));
 }
@@ -260,7 +268,8 @@ fn rogue_server_in_directory_is_isolated() {
     // to it must produce a clean RPC error, not a hang or panic.
     let ghost = gridfed::clarens::ClarensServer::new("clarens://ghost:8443/das", "ghost");
     g.directory.register(std::sync::Arc::clone(&ghost));
-    g.rls.publish("clarens://ghost:8443/das", &["phantom_table".into()]);
+    g.rls
+        .publish("clarens://ghost:8443/das", &["phantom_table".into()]);
     let err = g.query("SELECT x FROM phantom_table").unwrap_err();
     assert!(matches!(err, CoreError::Rpc(_)), "got {err:?}");
 }
@@ -271,5 +280,8 @@ fn sqlite_plugin_with_wrong_path_fails_cleanly() {
     let _unused = SimServer::new(VendorKind::Sqlite, "laptop", "notes");
     // Never registered with the driver registry → unknown server.
     let err = g.service(0).register_database("sqlite:/laptop/notes.db");
-    assert!(matches!(err, Err(CoreError::Vendor(VendorError::UnknownServer(_)))));
+    assert!(matches!(
+        err,
+        Err(CoreError::Vendor(VendorError::UnknownServer(_)))
+    ));
 }

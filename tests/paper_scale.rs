@@ -31,8 +31,7 @@ fn paper_inventory_scale() {
     );
 
     // Both Data Access Services carry the padded dictionaries.
-    let dict_tables = grid.service(0).local_tables().len()
-        + grid.service(1).local_tables().len();
+    let dict_tables = grid.service(0).local_tables().len() + grid.service(1).local_tables().len();
     assert!(dict_tables >= 1700, "dictionaries hold {dict_tables}");
 
     // The RLS knows every padded table.

@@ -50,7 +50,8 @@ fn build_fed(events: &[(i64, i64, f64)], runs: &[(i64, f64)]) -> Fed {
         .expect("schema");
         let t = db.create_table("runs", schema).expect("table");
         for (run, w) in runs {
-            t.insert(vec![Value::Int(*run), Value::Float(*w)]).expect("insert");
+            t.insert(vec![Value::Int(*run), Value::Float(*w)])
+                .expect("insert");
         }
     });
     registry.register_server(Arc::clone(&m1));
@@ -79,19 +80,14 @@ fn build_fed(events: &[(i64, i64, f64)], runs: &[(i64, f64)]) -> Fed {
 fn copy_tables(src: &Database, dst: &mut Database) {
     for name in src.table_names() {
         let t = src.table(&name).expect("listed");
-        let nt = dst
-            .create_table(name, t.schema().clone())
-            .expect("create");
+        let nt = dst.create_table(name, t.schema().clone()).expect("create");
         for row in t.rows() {
             nt.insert(row.into_values()).expect("insert");
         }
     }
 }
 
-fn dedup_by_key<T: Clone, K: std::hash::Hash + Eq>(
-    items: &[T],
-    key: impl Fn(&T) -> K,
-) -> Vec<T> {
+fn dedup_by_key<T: Clone, K: std::hash::Hash + Eq>(items: &[T], key: impl Fn(&T) -> K) -> Vec<T> {
     let mut seen = std::collections::HashSet::new();
     items
         .iter()
