@@ -1,9 +1,10 @@
 # Developer entry points. `make verify` is the full pre-merge gate:
-# tier-1 (release build + tests) plus lints and formatting.
+# tier-1 (release build + tests) plus lints, formatting, and a smoke run
+# of every criterion bench (one iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench
+.PHONY: verify build test lint fmt bench bench-smoke
 
-verify: build test lint fmt
+verify: build test lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -19,3 +20,8 @@ fmt:
 
 bench:
 	cargo bench -p gridfed-bench
+
+# Run each bench body exactly once (criterion `--test` mode): catches
+# benches that panic or no longer compile without paying measurement time.
+bench-smoke:
+	cargo bench -p gridfed-bench -- --test

@@ -1,0 +1,131 @@
+//! Executor hot-path bench (`exec_hotpath`): the per-row evaluation cost of
+//! the four query shapes that dominate Table 1's workload — a filter-heavy
+//! scan, a four-table join, a GROUP BY aggregation, and an ORDER BY sort.
+//! Each shape runs through the optimized plan executor; the numbers quantify
+//! what compile-once expression binding, `KeyValue` hashing, and the keyed
+//! sort fast path buy at steady state. Recorded before/after in
+//! `BENCH_exec_hotpath.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridfed_sqlkit::exec::{execute_plan, DatabaseProvider, ProviderCatalog};
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::plan::LogicalPlan;
+use gridfed_sqlkit::{build_plan, optimize};
+use gridfed_storage::{ColumnDef, DataType, Database, Schema, Value};
+use std::hint::black_box;
+
+/// Filter-heavy scan: five conjuncts, every one referencing columns by name.
+const FILTER_SCAN: &str = "SELECT e_id, energy FROM ntuple_events \
+     WHERE energy > 100.0 AND energy < 600.0 AND run_id >= 2 \
+     AND det_id <> 3 AND tag_id IN (1, 2, 3, 4, 5)";
+
+/// Table 1's wide shape: fact table joined to three dimensions.
+const JOIN4: &str = "SELECT e.e_id, s.n_meas, d.region, t.label FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     JOIN detector_summary d ON e.det_id = d.det_id \
+     JOIN tags t ON e.tag_id = t.tag_id \
+     WHERE e.energy > 15.0 AND d.region = 'barrel' AND s.quality = 'good'";
+
+/// GROUP BY aggregation with HAVING and grouped ordering.
+const GROUP_BY: &str = "SELECT run_id, COUNT(*) AS n, AVG(energy) AS avg_e, MAX(energy) AS max_e \
+     FROM ntuple_events GROUP BY run_id HAVING COUNT(*) > 10 ORDER BY run_id";
+
+/// ORDER BY over the full fact table (two keys, mixed direction).
+const ORDER_BY: &str =
+    "SELECT e_id, energy FROM ntuple_events ORDER BY energy DESC, e_id LIMIT 100";
+
+/// The `plan_opt` mart layout: a 20 000-row fact table, three dimensions.
+fn bench_db() -> Database {
+    let mut db = Database::new("exec_hotpath");
+    let schema = Schema::new(vec![
+        ColumnDef::new("e_id", DataType::Int).primary_key(),
+        ColumnDef::new("run_id", DataType::Int),
+        ColumnDef::new("det_id", DataType::Int),
+        ColumnDef::new("tag_id", DataType::Int),
+        ColumnDef::new("energy", DataType::Float),
+    ])
+    .unwrap();
+    let t = db.create_table("ntuple_events", schema).unwrap();
+    for i in 0..20_000i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i % 16),
+            Value::Int(i % 6),
+            Value::Int(i % 10),
+            Value::Float((i % 997) as f64 * 0.7),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("run_id", DataType::Int).primary_key(),
+        ColumnDef::new("n_meas", DataType::Int),
+        ColumnDef::new("quality", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("run_summary", schema).unwrap();
+    for i in 0..16i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i * 10),
+            Value::Text(if i % 4 == 0 {
+                "noisy".into()
+            } else {
+                "good".into()
+            }),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("det_id", DataType::Int).primary_key(),
+        ColumnDef::new("region", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("detector_summary", schema).unwrap();
+    for i in 0..6i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Text(if i % 2 == 0 {
+                "barrel".into()
+            } else {
+                "endcap".into()
+            }),
+        ])
+        .unwrap();
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("tag_id", DataType::Int).primary_key(),
+        ColumnDef::new("label", DataType::Text),
+    ])
+    .unwrap();
+    let t = db.create_table("tags", schema).unwrap();
+    for i in 0..10i64 {
+        t.insert(vec![Value::Int(i), Value::Text(format!("tag_{i}"))])
+            .unwrap();
+    }
+    db
+}
+
+fn exec_hotpath(c: &mut Criterion) {
+    let db = bench_db();
+    let provider = DatabaseProvider(&db);
+    let catalog = ProviderCatalog(&provider);
+
+    let mut g = c.benchmark_group("exec_hotpath");
+    g.sample_size(20);
+    for (shape, sql) in [
+        ("filter_scan", FILTER_SCAN),
+        ("join4", JOIN4),
+        ("group_by", GROUP_BY),
+        ("order_by", ORDER_BY),
+    ] {
+        let stmt = parse_select(sql).unwrap();
+        let plan: LogicalPlan = optimize(build_plan(&stmt), &catalog);
+        g.bench_function(shape, |b| {
+            b.iter(|| execute_plan(black_box(&plan), &provider).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, exec_hotpath);
+criterion_main!(benches);

@@ -24,6 +24,14 @@ pub enum CoreError {
         /// Configured ceiling.
         limit: usize,
     },
+    /// A scatter branch thread panicked during federated dispatch.
+    BranchPanic {
+        /// Human-readable label of the branch that died (database or
+        /// remote server).
+        branch: String,
+        /// Panic payload, when it was a string.
+        detail: String,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -43,6 +51,9 @@ impl fmt::Display for CoreError {
                 f,
                 "query needs {needed} bytes of partial results, over the {limit}-byte guard"
             ),
+            CoreError::BranchPanic { branch, detail } => {
+                write!(f, "scatter branch for {branch} panicked: {detail}")
+            }
             CoreError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -12,10 +12,11 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use gridfed_sqlkit::exec::{execute_plan, DatabaseProvider};
+use gridfed_sqlkit::exec::{execute_plan_metered, DatabaseProvider};
 use gridfed_sqlkit::plan::LogicalPlan;
 use gridfed_sqlkit::ResultSet;
 use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Value};
+use std::time::{Duration, Instant};
 
 /// One fetched partial result: the table name it answers for, plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,8 +76,29 @@ fn infer_schema(partial: &Partial) -> Result<Schema> {
     Schema::new(cols).map_err(CoreError::from)
 }
 
+/// Wall-clock split of one integration run: how long the residual plan's
+/// expressions took to compile (one-shot column binding, literal folding)
+/// versus everything else — staging-table load plus per-row evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrateMetrics {
+    /// Time inside `sqlkit::compile` lowering expressions to positions.
+    pub compile: Duration,
+    /// Remaining integration time (staging load + compiled evaluation).
+    pub eval: Duration,
+}
+
 /// Integrate partials by executing the residual `plan` over them.
 pub fn integrate(plan: &LogicalPlan, partials: &[Partial]) -> Result<ResultSet> {
+    integrate_metered(plan, partials).map(|(rs, _)| rs)
+}
+
+/// [`integrate`], additionally reporting the compile/eval wall-clock split
+/// so the service can surface it in `QueryStats`.
+pub fn integrate_metered(
+    plan: &LogicalPlan,
+    partials: &[Partial],
+) -> Result<(ResultSet, IntegrateMetrics)> {
+    let start = Instant::now();
     let mut staging = Database::new("mediator_staging");
     for p in partials {
         let schema = infer_schema(p)?;
@@ -87,7 +109,14 @@ pub fn integrate(plan: &LogicalPlan, partials: &[Partial]) -> Result<ResultSet> 
             table.insert(values)?;
         }
     }
-    execute_plan(plan, &DatabaseProvider(&staging)).map_err(CoreError::from)
+    let (rs, exec) =
+        execute_plan_metered(plan, &DatabaseProvider(&staging)).map_err(CoreError::from)?;
+    let total = start.elapsed();
+    let metrics = IntegrateMetrics {
+        compile: exec.compile,
+        eval: total.saturating_sub(exec.compile),
+    };
+    Ok((rs, metrics))
 }
 
 #[cfg(test)]

@@ -63,6 +63,90 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
 }
 
+/// Default number of outcomes the result cache retains.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Bounded LRU result cache. Each entry carries the tick of its last use;
+/// when the map is full, the entry with the smallest tick goes. A linear
+/// min-scan is O(capacity) but the capacity is small (256 by default) and
+/// eviction only runs on insert-when-full, so it is not worth an intrusive
+/// list here.
+struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, QueryOutcome)>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    fn get(&mut self, key: &str) -> Option<&QueryOutcome> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(used, outcome)| {
+            *used = tick;
+            &*outcome
+        })
+    }
+
+    /// Insert an outcome, evicting least-recently-used entries if the
+    /// cache is at capacity. Returns how many entries were evicted.
+    fn insert(&mut self, key: String, outcome: QueryOutcome) -> usize {
+        self.tick += 1;
+        let mut evicted = 0;
+        while self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&lru);
+            evicted += 1;
+        }
+        self.map.insert(key, (self.tick, outcome));
+        evicted
+    }
+}
+
+/// Canonical form of a SQL string for result-cache keying: trimmed, with
+/// runs of whitespace collapsed to single spaces — except inside
+/// single-quoted literals, where whitespace is significant.
+fn normalize_cache_key(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_quote = false;
+    let mut pending_space = false;
+    for ch in sql.chars() {
+        if in_quote {
+            out.push(ch);
+            if ch == '\'' {
+                in_quote = false;
+            }
+        } else if ch.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(ch);
+            if ch == '\'' {
+                in_quote = true;
+            }
+        }
+    }
+    out
+}
+
 /// The Data Access Service hosted inside a (J)Clarens server.
 pub struct DataAccessService {
     /// URL of the Clarens server hosting this service (published to RLS).
@@ -83,8 +167,9 @@ pub struct DataAccessService {
     remote_clients: Mutex<HashMap<String, ClarensClient>>,
     /// Result cache for repeated identical queries (the paper's
     /// "ensure the efficiency of the system" future-work item). Off by
-    /// default; invalidated whenever the dictionary changes.
-    cache: Mutex<Option<HashMap<String, QueryOutcome>>>,
+    /// default; invalidated whenever the dictionary changes. Bounded:
+    /// least-recently-used entries are evicted past the capacity.
+    cache: Mutex<Option<ResultCache>>,
     /// Optional ceiling on partial-result bytes per query (the guard
     /// against Unity's full-materialization memory overload).
     memory_limit: Mutex<Option<usize>>,
@@ -167,17 +252,28 @@ impl DataAccessService {
         Ok(())
     }
 
-    /// Enable or disable the result cache. Enabling starts empty;
-    /// disabling drops all cached results.
+    /// Enable or disable the result cache. Enabling starts empty at the
+    /// default capacity ([`DEFAULT_CACHE_CAPACITY`]); disabling drops all
+    /// cached results.
     pub fn set_cache_enabled(&self, enabled: bool) {
-        *self.cache.lock() = if enabled { Some(HashMap::new()) } else { None };
+        *self.cache.lock() = if enabled {
+            Some(ResultCache::new(DEFAULT_CACHE_CAPACITY))
+        } else {
+            None
+        };
+    }
+
+    /// Resize the result cache (entries; clamped to at least 1) and
+    /// enable it if it was off. The cache restarts empty.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        *self.cache.lock() = Some(ResultCache::new(capacity));
     }
 
     /// Drop every cached result (called automatically whenever the data
     /// dictionary changes underneath the cache).
     pub fn invalidate_cache(&self) {
         if let Some(c) = self.cache.lock().as_mut() {
-            c.clear();
+            c.map.clear();
         }
     }
 
@@ -376,9 +472,12 @@ impl DataAccessService {
 
     /// Execute a SQL query against the federation.
     pub fn query(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
-        // Result cache fast path: a hit costs one dictionary probe.
-        if let Some(cache) = self.cache.lock().as_ref() {
-            if let Some(hit) = cache.get(sql) {
+        // Result cache fast path: a hit costs one dictionary probe. Keys
+        // are whitespace-normalized so trivially reformatted repeats of
+        // the same query still hit.
+        let cache_key = normalize_cache_key(sql);
+        if let Some(cache) = self.cache.lock().as_mut() {
+            if let Some(hit) = cache.get(&cache_key) {
                 let mut outcome = hit.clone();
                 outcome.stats.cache_hit = true;
                 return Ok(Timed::new(outcome, Cost::from_micros(300)));
@@ -416,9 +515,11 @@ impl DataAccessService {
             .scale(result.rows.len() as f64);
         stats.breakdown = bd;
         let total = bd.total();
-        let outcome = QueryOutcome { result, stats };
+        let mut outcome = QueryOutcome { result, stats };
         if let Some(cache) = self.cache.lock().as_mut() {
-            cache.insert(sql.to_string(), outcome.clone());
+            // The cached copy keeps `cache_evictions: 0`; the returned
+            // outcome reports what storing it displaced.
+            outcome.stats.cache_evictions = cache.insert(cache_key, outcome.clone());
         }
         Ok(Timed::new(outcome, total))
     }
@@ -594,10 +695,14 @@ impl DataAccessService {
             },
         }
         let mut branches = Vec::new();
+        // Human-readable branch labels, parallel to `branches`, used to
+        // name the culprit if a scatter thread panics.
+        let mut labels: Vec<String> = Vec::new();
         let mut sorted_local: Vec<(String, (String, Vec<decompose::TableTask>))> =
             local_groups.into_iter().collect();
         sorted_local.sort_by(|a, b| a.0.cmp(&b.0));
-        for (_db, (url, tasks)) in sorted_local {
+        for (db, (url, tasks)) in sorted_local {
+            labels.push(format!("local database `{db}`"));
             let parsed = ConnectionString::parse(&url)?;
             let pooled = self.conn_policy == ConnectionPolicy::Pooled
                 && parsed.vendor.pool_supported()
@@ -627,6 +732,7 @@ impl DataAccessService {
             remote_groups.into_iter().collect();
         sorted_remote.sort_by(|a, b| a.0.cmp(&b.0));
         for (url, tasks) in sorted_remote {
+            labels.push(format!("remote server `{url}`"));
             stats.remote_forwards += tasks.len();
             let (client, login_cost) = self.remote_client(&url)?;
             bd.connect += login_cost;
@@ -686,7 +792,17 @@ impl DataAccessService {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("branch thread panicked"))
+                    .zip(&labels)
+                    .map(|(h, label)| {
+                        // A panicking branch becomes an error naming the
+                        // branch instead of tearing down the mediator.
+                        h.join().unwrap_or_else(|payload| {
+                            Err(CoreError::BranchPanic {
+                                branch: label.clone(),
+                                detail: panic_detail(payload.as_ref()),
+                            })
+                        })
+                    })
                     .collect()
             }),
             DispatchMode::Sequential => branches
@@ -719,7 +835,10 @@ impl DataAccessService {
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
         self.check_memory(stats.bytes_fetched)?;
         bd.integrate += self.params.per_row_merge.scale(stats.rows_fetched as f64);
-        federate::integrate(residual, &partials)
+        let (rs, metrics) = federate::integrate_metered(residual, &partials)?;
+        stats.compile += Cost::from_secs_f64(metrics.compile.as_secs_f64());
+        stats.eval += Cost::from_secs_f64(metrics.eval.as_secs_f64());
+        Ok(rs)
     }
 
     /// Get (or create + login) the pooled Clarens client for a remote
@@ -758,6 +877,19 @@ impl TableResolver for ResolvedTables {
 
     fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
         self.cols.get(logical).cloned().flatten()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message. `panic!` with a
+/// string literal yields `&str`; `panic!` with formatting yields `String`;
+/// anything else is opaque.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1046,6 +1178,92 @@ mod tests {
             .query("SELECT e_id FROM ntuple_events WHERE e_id < 2")
             .expect("off");
         assert!(!off.value.stats.cache_hit);
+    }
+
+    #[test]
+    fn cache_is_lru_bounded_and_counts_evictions() {
+        let grid = GridBuilder::new().with_seed(29).build().expect("grid");
+        let das = grid.service(0);
+        das.set_cache_capacity(2);
+        let q1 = "SELECT e_id FROM ntuple_events WHERE e_id < 2";
+        let q2 = "SELECT e_id FROM ntuple_events WHERE e_id < 3";
+        let q3 = "SELECT e_id FROM ntuple_events WHERE e_id < 4";
+
+        assert_eq!(das.query(q1).expect("q1").value.stats.cache_evictions, 0);
+        assert_eq!(das.query(q2).expect("q2").value.stats.cache_evictions, 0);
+        // Touch q1 so q2 becomes the least recently used…
+        assert!(das.query(q1).expect("q1 hit").value.stats.cache_hit);
+        // …then overflow: q3's insert must evict exactly one entry (q2).
+        let third = das.query(q3).expect("q3").value;
+        assert!(!third.stats.cache_hit);
+        assert_eq!(third.stats.cache_evictions, 1);
+        assert!(das.query(q1).expect("q1 kept").value.stats.cache_hit);
+        assert!(das.query(q3).expect("q3 kept").value.stats.cache_hit);
+        assert!(
+            !das.query(q2).expect("q2 evicted").value.stats.cache_hit,
+            "LRU entry should have been evicted"
+        );
+    }
+
+    #[test]
+    fn cache_key_ignores_insignificant_whitespace() {
+        let grid = GridBuilder::new().with_seed(29).build().expect("grid");
+        let das = grid.service(0);
+        das.set_cache_enabled(true);
+        let miss = das
+            .query("SELECT e_id FROM ntuple_events WHERE e_id < 5")
+            .expect("miss");
+        assert!(!miss.value.stats.cache_hit);
+        let hit = das
+            .query("  SELECT   e_id\n  FROM ntuple_events\tWHERE e_id < 5 ")
+            .expect("hit");
+        assert!(hit.value.stats.cache_hit, "reformatted query should hit");
+        assert_eq!(hit.value.result, miss.value.result);
+    }
+
+    #[test]
+    fn cache_key_normalization_preserves_quoted_literals() {
+        assert_eq!(
+            normalize_cache_key("  SELECT  a FROM t WHERE s = 'x   y'  "),
+            "SELECT a FROM t WHERE s = 'x   y'"
+        );
+        // Two queries differing only inside a literal stay distinct.
+        assert_ne!(
+            normalize_cache_key("SELECT a FROM t WHERE s = 'x  y'"),
+            normalize_cache_key("SELECT a FROM t WHERE s = 'x y'")
+        );
+    }
+
+    #[test]
+    fn panic_detail_extracts_string_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("kaput");
+        assert_eq!(panic_detail(s.as_ref()), "kaput");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("kaput 2"));
+        assert_eq!(panic_detail(owned.as_ref()), "kaput 2");
+        let other: Box<dyn std::any::Any + Send> = Box::new(42_i32);
+        assert_eq!(panic_detail(other.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn federated_query_reports_compile_eval_split() {
+        let grid = GridBuilder::new().with_seed(29).build().expect("grid");
+        let das = grid.service(0);
+        let out = das
+            .query(
+                "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 10",
+            )
+            .expect("federated")
+            .value;
+        assert!(out.stats.distributed);
+        // The split is informational and excluded from the virtual-time
+        // breakdown; eval covers staging + evaluation so it is non-zero.
+        assert!(out.stats.eval > Cost::ZERO);
+        let bd = out.stats.breakdown;
+        assert_eq!(
+            bd.total(),
+            bd.plan + bd.rls + bd.connect + bd.execute + bd.integrate + bd.serialize
+        );
     }
 
     #[test]

@@ -34,6 +34,17 @@ pub struct QueryStats {
     pub pooled_hits: usize,
     /// Whether this outcome was served from the mediator's result cache.
     pub cache_hit: bool,
+    /// Cached outcomes evicted (LRU) when this query's result was stored.
+    pub cache_evictions: usize,
+    /// Mediator-side integration time spent compiling residual-plan
+    /// expressions (one-shot column binding + literal folding). Measured
+    /// wall-clock and mapped onto virtual time; informational only — the
+    /// virtual `breakdown.integrate` term already covers integration, so
+    /// this split is *not* part of [`CostBreakdown::total`].
+    pub compile: Cost,
+    /// Mediator-side integration time spent evaluating the compiled
+    /// residual plan over fetched rows. Same caveats as `compile`.
+    pub eval: Cost,
     /// Virtual-time breakdown.
     pub breakdown: CostBreakdown,
 }

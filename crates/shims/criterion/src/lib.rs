@@ -27,6 +27,7 @@ pub enum BatchSize {
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -34,18 +35,21 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             filter: None,
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
-    /// Apply CLI args. Recognizes an optional positional substring filter and
+    /// Apply CLI args. Recognizes an optional positional substring filter,
+    /// `--test` (smoke mode: run each benchmark body once, no timing), and
     /// ignores harness flags like `--bench`.
     pub fn configure_from_args(mut self) -> Self {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--bench" | "--test" | "--nocapture" => {}
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" => {}
                 "--sample-size" => {
                     if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
                         self.sample_size = n;
@@ -83,7 +87,11 @@ impl Criterion {
             .as_deref()
             .is_some_and(|needle| !id.contains(needle));
         if !skip {
-            run_benchmark(id, sample_size, f);
+            if self.test_mode {
+                smoke_benchmark(id, f);
+            } else {
+                run_benchmark(id, sample_size, f);
+            }
         }
         self
     }
@@ -116,7 +124,11 @@ impl BenchmarkGroup<'_> {
             .as_deref()
             .is_some_and(|needle| !full.contains(needle));
         if !skip {
-            run_benchmark(&full, sample_size, f);
+            if self.criterion.test_mode {
+                smoke_benchmark(&full, f);
+            } else {
+                run_benchmark(&full, sample_size, f);
+            }
         }
         self
     }
@@ -159,6 +171,17 @@ impl Bencher {
         }
         self.samples.push(total);
     }
+}
+
+/// `--test` mode: execute the benchmark body exactly once so CI can verify
+/// every bench still runs, without paying for measurement.
+fn smoke_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    println!("test {id} ... ok");
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
@@ -253,5 +276,22 @@ mod tests {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 1, "smoke mode must run the body exactly once");
     }
 }

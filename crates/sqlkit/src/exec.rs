@@ -7,10 +7,18 @@
 //! mediator's set of already-fetched partial results. Joins use a hash join
 //! when the `ON` condition is a simple column equality, falling back to a
 //! nested loop otherwise.
+//!
+//! Every per-row expression site — scan filters, Filter predicates, Project
+//! items, join ON conditions, aggregate inputs, HAVING, and sort keys — is
+//! lowered once per node through [`crate::compile`], so steady-state row
+//! processing does no name resolution and no string comparison. The time
+//! spent in that lowering is accumulated in [`ExecMetrics`] for the
+//! mediator's compile/eval cost split.
 
 use crate::ast::{DeleteStmt, Expr, JoinKind, OrderItem, SelectItem, SelectStmt, UpdateStmt};
+use crate::compile::{compile, compile_group, CompiledAggregate, CompiledExpr, KeyValue};
 use crate::error::SqlError;
-use crate::expr::{eval, eval_predicate, AggState, Bindings};
+use crate::expr::{AggState, Bindings};
 use crate::optimize::{optimize, PlanCatalog};
 use crate::plan::{build_plan, LogicalPlan};
 use crate::render::render_expr_neutral;
@@ -18,6 +26,23 @@ use crate::result::ResultSet;
 use crate::Result;
 use gridfed_storage::{Database, Row, Schema, Value};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting for one plan execution: how much of it went into
+/// expression compilation (one-shot, per node) versus everything else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExecMetrics {
+    /// Total time spent lowering expressions to [`CompiledExpr`] form.
+    pub compile: Duration,
+}
+
+/// Run `f` and charge its wall time to the compile bucket.
+fn timed_compile<T>(m: &mut ExecMetrics, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    let t0 = Instant::now();
+    let out = f();
+    m.compile += t0.elapsed();
+    out
+}
 
 /// Source of tables for the executor.
 pub trait TableProvider {
@@ -92,10 +117,33 @@ pub fn execute_select(stmt: &SelectStmt, provider: &dyn TableProvider) -> Result
 /// both paths go through this function, so there is no separate direct-AST
 /// interpreter.
 pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<ResultSet> {
+    execute_plan_metered(plan, provider).map(|(rs, _)| rs)
+}
+
+/// [`execute_plan`], also returning the compile-time accounting.
+pub fn execute_plan_metered(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+) -> Result<(ResultSet, ExecMetrics)> {
+    let mut metrics = ExecMetrics::default();
+    let rs = execute_node(plan, provider, &mut metrics)?;
+    Ok((rs, metrics))
+}
+
+fn execute_node(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    m: &mut ExecMetrics,
+) -> Result<ResultSet> {
     match plan {
         LogicalPlan::Project { input, items, keys } => {
-            let rel = eval_relational(input, provider)?;
-            let plans = expand_items(items, &rel.bindings)?;
+            let rel = eval_relational(input, provider, m)?;
+            let (plans, key_plans) = timed_compile(m, || {
+                let plans = expand_items(items, &rel.bindings)?;
+                let columns: Vec<&str> = plans.iter().map(|(n, _)| n.as_str()).collect();
+                let key_plans = compile_order_keys(keys, &rel.bindings, &columns)?;
+                Ok((plans, key_plans))
+            })?;
             let columns: Vec<String> = plans.iter().map(|(n, _)| n.clone()).collect();
             let mut rows = Vec::with_capacity(rel.rows.len());
             for row in &rel.rows {
@@ -103,11 +151,16 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
                 for (_, plan) in &plans {
                     match plan {
                         ItemPlan::Position(p) => values.push(row.values()[*p].clone()),
-                        ItemPlan::Expr(e) => values.push(eval(e, row.values(), &rel.bindings)?),
+                        ItemPlan::Expr(e) => values.push(e.eval(row.values())?),
                     }
                 }
-                let sort_keys = order_keys(keys, row.values(), &rel.bindings, &columns, &values)?;
-                values.extend(sort_keys);
+                for kp in &key_plans {
+                    let key = match kp {
+                        SortKeyPlan::Output(p) => values[*p].clone(),
+                        SortKeyPlan::Input(e) => e.eval(row.values())?,
+                    };
+                    values.push(key);
+                }
                 rows.push(Row::new(values));
             }
             Ok(ResultSet { columns, rows })
@@ -119,11 +172,11 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
             having,
             keys,
         } => {
-            let rel = eval_relational(input, provider)?;
-            aggregate_node(&rel, items, group_by, having.as_ref(), keys)
+            let rel = eval_relational(input, provider, m)?;
+            aggregate_node(&rel, items, group_by, having.as_ref(), keys, m)
         }
         LogicalPlan::Sort { input, ascending } => {
-            let mut rs = execute_plan(input, provider)?;
+            let mut rs = execute_node(input, provider, m)?;
             let k = ascending.len();
             rs.rows.sort_by(|a, b| {
                 let (av, bv) = (a.values(), b.values());
@@ -140,12 +193,24 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
             Ok(rs)
         }
         LogicalPlan::Strip { input, drop } => {
-            let mut rs = execute_plan(input, provider)?;
+            // Fused fast path: `Strip { Sort }` where the stripped suffix is
+            // exactly the sort keys (the shape `build_plan` always emits).
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                ascending,
+            } = input.as_ref()
+            {
+                if *drop == ascending.len() && *drop > 0 {
+                    let rs = execute_node(sort_input, provider, m)?;
+                    return Ok(sort_strip_fused(rs, ascending, *drop, None));
+                }
+            }
+            let mut rs = execute_node(input, provider, m)?;
             rs.rows = rs
                 .rows
                 .into_iter()
                 .map(|r| {
-                    let mut values = r.values().to_vec();
+                    let mut values = r.into_values();
                     values.truncate(values.len() - drop);
                     Row::new(values)
                 })
@@ -153,25 +218,52 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
             Ok(rs)
         }
         LogicalPlan::Distinct { input } => {
-            let mut rs = execute_plan(input, provider)?;
-            // Order-preserving dedup keyed on the rendered row (numeric
+            let mut rs = execute_node(input, provider, m)?;
+            // Order-preserving dedup on the non-allocating key form (numeric
             // INT/FLOAT equality folds together, as in SQL DISTINCT).
             let mut seen = std::collections::HashSet::new();
-            rs.rows.retain(|r| {
-                let key: Vec<Option<String>> = r.values().iter().map(hash_key).collect();
-                seen.insert(key)
-            });
+            let keep: Vec<bool> = rs
+                .rows
+                .iter()
+                .map(|r| seen.insert(KeyValue::row_key(r.values())))
+                .collect();
+            drop(seen);
+            let mut it = keep.into_iter();
+            rs.rows.retain(|_| it.next().expect("mask covers rows"));
             Ok(rs)
         }
         LogicalPlan::Limit { input, limit } => {
-            let mut rs = execute_plan(input, provider)?;
+            // Fused fast path: `Limit { Strip { Sort } }` becomes a top-k
+            // selection — O(n + k log k) instead of sorting all n rows.
+            if let LogicalPlan::Strip {
+                input: strip_input,
+                drop,
+            } = input.as_ref()
+            {
+                if let LogicalPlan::Sort {
+                    input: sort_input,
+                    ascending,
+                } = strip_input.as_ref()
+                {
+                    if *drop == ascending.len() && *drop > 0 {
+                        let rs = execute_node(sort_input, provider, m)?;
+                        return Ok(sort_strip_fused(
+                            rs,
+                            ascending,
+                            *drop,
+                            Some(*limit as usize),
+                        ));
+                    }
+                }
+            }
+            let mut rs = execute_node(input, provider, m)?;
             rs.rows.truncate(*limit as usize);
             Ok(rs)
         }
         relational => {
             // A bare Scan/Filter/Join tree (e.g. a federated residual whose
             // projection already happened remotely): emit every column.
-            let rel = eval_relational(relational, provider)?;
+            let rel = eval_relational(relational, provider, m)?;
             let columns = (0..rel.bindings.arity())
                 .map(|i| rel.bindings.name_at(i).expect("pos in range").to_string())
                 .collect();
@@ -183,8 +275,58 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
     }
 }
 
+/// Decorate-sort-undecorate for a fused `Strip { Sort }` (optionally under a
+/// `Limit`): rows arrive with `ascending.len()` trailing key columns and
+/// leave sorted and stripped. Rows are decorated with their input index as
+/// the final tiebreaker, which makes the unstable sort (and the top-k
+/// selection under a LIMIT) reproduce stable-sort output exactly while the
+/// selection only fully orders the k survivors.
+fn sort_strip_fused(
+    mut rs: ResultSet,
+    ascending: &[bool],
+    drop: usize,
+    limit: Option<usize>,
+) -> ResultSet {
+    let k = ascending.len();
+    let mut decorated: Vec<(usize, Row)> = rs.rows.into_iter().enumerate().collect();
+    let cmp = |a: &(usize, Row), b: &(usize, Row)| {
+        let (av, bv) = (a.1.values(), b.1.values());
+        let w = av.len() - k;
+        for (i, asc) in ascending.iter().enumerate() {
+            let ord = av[w + i].index_cmp(&bv[w + i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.0.cmp(&b.0)
+    };
+    if let Some(n) = limit {
+        if n == 0 {
+            decorated.clear();
+        } else if n < decorated.len() {
+            decorated.select_nth_unstable_by(n - 1, cmp);
+            decorated.truncate(n);
+        }
+    }
+    decorated.sort_unstable_by(cmp);
+    rs.rows = decorated
+        .into_iter()
+        .map(|(_, r)| {
+            let mut values = r.into_values();
+            values.truncate(values.len() - drop);
+            Row::new(values)
+        })
+        .collect();
+    rs
+}
+
 /// Evaluate the relational (Scan/Filter/Join) portion of a plan.
-fn eval_relational(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<Relation> {
+fn eval_relational(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    m: &mut ExecMetrics,
+) -> Result<Relation> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -195,15 +337,22 @@ fn eval_relational(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<R
             let schema = provider.table_schema(table)?;
             let names = schema.names();
             let bindings = Bindings::for_table(binding, &names);
+            let compiled: Vec<CompiledExpr> = timed_compile(m, || {
+                filters.iter().map(|f| compile(f, &bindings)).collect()
+            })?;
             let mut rows = provider.table_rows(table)?;
             // Pushed-down predicates run over the full-width row, before
-            // the scan's own projection narrows it.
-            for f in filters {
+            // the scan's own projection narrows it. All filters apply in one
+            // pass, short-circuiting per row in pushdown order.
+            if !compiled.is_empty() {
                 let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    if eval_predicate(f, row.values(), &bindings)? {
-                        kept.push(row);
+                'row: for row in rows {
+                    for f in &compiled {
+                        if !f.eval_predicate(row.values())? {
+                            continue 'row;
+                        }
                     }
+                    kept.push(row);
                 }
                 rows = kept;
             }
@@ -234,11 +383,11 @@ fn eval_relational(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<R
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let mut rel = eval_relational(input, provider)?;
-            let bindings = rel.bindings.clone();
+            let mut rel = eval_relational(input, provider, m)?;
+            let compiled = timed_compile(m, || compile(predicate, &rel.bindings))?;
             let mut kept = Vec::with_capacity(rel.rows.len());
             for row in rel.rows {
-                if eval_predicate(predicate, row.values(), &bindings)? {
+                if compiled.eval_predicate(row.values())? {
                     kept.push(row);
                 }
             }
@@ -251,9 +400,9 @@ fn eval_relational(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<R
             kind,
             on,
         } => {
-            let l = eval_relational(left, provider)?;
-            let r = eval_relational(right, provider)?;
-            join_relations(l, r, *kind, on.as_ref())
+            let l = eval_relational(left, provider, m)?;
+            let r = eval_relational(right, provider, m)?;
+            join_relations(l, r, *kind, on.as_ref(), m)
         }
         other => Err(SqlError::Unsupported(format!(
             "nested result-shaping node in relational position: {other}"
@@ -274,28 +423,32 @@ pub fn execute_update(stmt: &UpdateStmt, db: &mut Database) -> Result<usize> {
     let schema = table.schema().clone();
     let bindings = Bindings::for_table(&stmt.table, &schema.names());
 
-    // Resolve assignment targets.
+    // Resolve assignment targets and compile their expressions once.
     let mut targets = Vec::with_capacity(stmt.assignments.len());
     for (col, expr) in &stmt.assignments {
         let idx = schema
             .index_of(col)
             .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
-        targets.push((idx, expr));
+        targets.push((idx, compile(expr, &bindings)?));
     }
+    let predicate = match &stmt.where_clause {
+        Some(pred) => Some(compile(pred, &bindings)?),
+        None => None,
+    };
 
     // Build the post-image, validating every row before touching the table.
     let snapshot = table.rows();
     let mut new_rows = Vec::with_capacity(snapshot.len());
     let mut changed = 0usize;
     for row in &snapshot {
-        let matches = match &stmt.where_clause {
-            Some(pred) => eval_predicate(pred, row.values(), &bindings)?,
+        let matches = match &predicate {
+            Some(pred) => pred.eval_predicate(row.values())?,
             None => true,
         };
         if matches {
             let mut values = row.values().to_vec();
             for (idx, expr) in &targets {
-                values[*idx] = eval(expr, row.values(), &bindings)?;
+                values[*idx] = expr.eval(row.values())?;
             }
             new_rows.push(schema.check_row(values)?);
             changed += 1;
@@ -320,12 +473,16 @@ pub fn execute_delete(stmt: &DeleteStmt, db: &mut Database) -> Result<usize> {
         .map_err(|_| SqlError::UnknownTable(stmt.table.clone()))?;
     let schema = table.schema().clone();
     let bindings = Bindings::for_table(&stmt.table, &schema.names());
+    let predicate = match &stmt.where_clause {
+        Some(pred) => Some(compile(pred, &bindings)?),
+        None => None,
+    };
     let snapshot = table.rows();
     let mut keep = Vec::with_capacity(snapshot.len());
     let mut removed = 0usize;
     for row in &snapshot {
-        let matches = match &stmt.where_clause {
-            Some(pred) => eval_predicate(pred, row.values(), &bindings)?,
+        let matches = match &predicate {
+            Some(pred) => pred.eval_predicate(row.values())?,
             None => true,
         };
         if matches {
@@ -349,7 +506,7 @@ fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
         }
         let mut seen = std::collections::HashSet::new();
         for values in rows {
-            if let Some(k) = hash_key(&values[idx]) {
+            if let Some(k) = KeyValue::of(&values[idx]) {
                 if !seen.insert(k) {
                     return Err(SqlError::Storage(
                         gridfed_storage::StorageError::UniqueViolation {
@@ -385,41 +542,31 @@ fn equi_join_keys(on: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize
     None
 }
 
-/// Hash key for a join value; groups numerically equal INT/FLOAT together.
-fn hash_key(v: &Value) -> Option<String> {
-    match v {
-        Value::Null => None,
-        Value::Int(i) => Some(format!("n{}", *i as f64)),
-        Value::Float(x) => Some(format!("n{x}")),
-        Value::Text(s) => Some(format!("t{s}")),
-        Value::Bool(b) => Some(format!("b{b}")),
-        Value::Bytes(b) => Some(format!("y{b:?}")),
-    }
-}
-
 fn join_relations(
     left: Relation,
     right: Relation,
     kind: JoinKind,
     on: Option<&Expr>,
+    m: &mut ExecMetrics,
 ) -> Result<Relation> {
     let bindings = left.bindings.concat(&right.bindings);
     let right_arity = right.bindings.arity();
     let mut rows = Vec::new();
 
-    // Fast path: hash join on a simple column equality.
+    // Fast path: hash join on a simple column equality, build/probe keyed on
+    // the borrowed, allocation-free `KeyValue` form.
     if kind != JoinKind::Cross {
         if let Some(on_expr) = on {
             if let Some((lk, rk)) = equi_join_keys(on_expr, &left.bindings, &right.bindings) {
-                let mut table: HashMap<String, Vec<&Row>> = HashMap::new();
+                let mut table: HashMap<KeyValue<'_>, Vec<&Row>> = HashMap::new();
                 for r in &right.rows {
-                    if let Some(k) = hash_key(&r.values()[rk]) {
+                    if let Some(k) = KeyValue::of(&r.values()[rk]) {
                         table.entry(k).or_default().push(r);
                     }
                 }
                 for l in &left.rows {
                     let mut matched = false;
-                    if let Some(k) = hash_key(&l.values()[lk]) {
+                    if let Some(k) = KeyValue::of(&l.values()[lk]) {
                         if let Some(matches) = table.get(&k) {
                             for r in matches {
                                 rows.push(l.concat(r));
@@ -436,17 +583,27 @@ fn join_relations(
         }
     }
 
-    // General nested loop.
+    // General nested loop; the ON condition compiles once against the
+    // concatenated layout, and candidate pairs are staged in a reusable
+    // scratch buffer so non-matching pairs allocate nothing.
+    let compiled_on = match on {
+        Some(cond) => Some(timed_compile(m, || compile(cond, &bindings))?),
+        None => None,
+    };
+    let mut scratch: Vec<Value> = Vec::with_capacity(bindings.arity());
     for l in &left.rows {
         let mut matched = false;
         for r in &right.rows {
-            let combined = l.concat(r);
-            let keep = match on {
-                Some(cond) => eval_predicate(cond, combined.values(), &bindings)?,
+            scratch.clear();
+            scratch.extend_from_slice(l.values());
+            scratch.extend_from_slice(r.values());
+            let keep = match &compiled_on {
+                Some(cond) => cond.eval_predicate(&scratch)?,
                 None => true,
             };
             if keep {
-                rows.push(combined);
+                rows.push(Row::new(std::mem::take(&mut scratch)));
+                scratch.reserve(bindings.arity());
                 matched = true;
             }
         }
@@ -498,7 +655,7 @@ fn expand_items(items: &[SelectItem], bindings: &Bindings) -> Result<Vec<(String
                 }
             }
             SelectItem::Expr { expr, .. } => {
-                out.push((item_name(item), ItemPlan::Expr(expr.clone())));
+                out.push((item_name(item), ItemPlan::Expr(compile(expr, bindings)?)));
             }
         }
     }
@@ -507,20 +664,26 @@ fn expand_items(items: &[SelectItem], bindings: &Bindings) -> Result<Vec<(String
 
 enum ItemPlan {
     Position(usize),
-    Expr(Expr),
+    Expr(CompiledExpr),
 }
 
-/// Compute ORDER BY sort keys. Each key expression is resolved first against
+/// How to produce one ORDER BY sort key per output row.
+enum SortKeyPlan {
+    /// Copy an already-computed output value (alias / output-column match).
+    Output(usize),
+    /// Evaluate a compiled expression over the input row.
+    Input(CompiledExpr),
+}
+
+/// Compile ORDER BY sort keys. Each key expression is resolved first against
 /// the output columns (so `ORDER BY alias` works), then against the input
 /// bindings.
-fn order_keys(
+fn compile_order_keys(
     order_by: &[OrderItem],
-    input: &[Value],
     bindings: &Bindings,
-    out_columns: &[String],
-    out_values: &[Value],
-) -> Result<Vec<Value>> {
-    let mut keys = Vec::with_capacity(order_by.len());
+    out_columns: &[&str],
+) -> Result<Vec<SortKeyPlan>> {
+    let mut plans = Vec::with_capacity(order_by.len());
     for item in order_by {
         if let Expr::Column(c) = &item.expr {
             if c.qualifier.is_none() {
@@ -528,53 +691,32 @@ fn order_keys(
                     .iter()
                     .position(|n| n.eq_ignore_ascii_case(&c.column))
                 {
-                    keys.push(out_values[pos].clone());
+                    plans.push(SortKeyPlan::Output(pos));
                     continue;
                 }
             }
         }
-        keys.push(eval(&item.expr, input, bindings)?);
+        plans.push(SortKeyPlan::Input(compile(&item.expr, bindings)?));
     }
-    Ok(keys)
+    Ok(plans)
 }
 
 /// Execute an `Aggregate` plan node: group rows, filter groups with HAVING,
 /// and evaluate aggregate projections, appending hidden sort-key columns.
+///
+/// Compile-once throughout: grouping expressions, each distinct aggregate
+/// call (deduplicated into shared slots across the item list and HAVING),
+/// item-level group expressions, and sort keys are all lowered before the
+/// first row is touched. Grouping itself hashes the evaluated key values in
+/// their borrowed [`KeyValue`] form — no rendered-string keys.
 fn aggregate_node(
     rel: &Relation,
     items: &[SelectItem],
     group_by: &[Expr],
     having: Option<&Expr>,
     keys: &[OrderItem],
+    m: &mut ExecMetrics,
 ) -> Result<ResultSet> {
-    // Group key: rendered values of the GROUP BY expressions. With no GROUP
-    // BY, everything lands in one global group.
-    let mut groups: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
-    let mut index: HashMap<String, usize> = HashMap::new();
-    for row in &rel.rows {
-        let mut key_vals = Vec::with_capacity(group_by.len());
-        for g in group_by {
-            key_vals.push(eval(g, row.values(), &rel.bindings)?);
-        }
-        let key_str = key_vals
-            .iter()
-            .map(|v| hash_key(v).unwrap_or_else(|| "∅".into()))
-            .collect::<Vec<_>>()
-            .join("\u{1}");
-        match index.get(&key_str) {
-            Some(&i) => groups[i].1.push(row),
-            None => {
-                index.insert(key_str, groups.len());
-                groups.push((key_vals, vec![row]));
-            }
-        }
-    }
-    // A global aggregate over zero rows still yields one output row.
-    if groups.is_empty() && group_by.is_empty() {
-        groups.push((Vec::new(), Vec::new()));
-    }
-
-    let columns: Vec<String> = items.iter().map(item_name).collect();
     for item in items {
         if matches!(
             item,
@@ -585,13 +727,83 @@ fn aggregate_node(
             ));
         }
     }
+    let columns: Vec<String> = items.iter().map(item_name).collect();
+
+    let (group_keys, aggs, item_exprs, having_expr, sort_plans) = timed_compile(m, || {
+        let group_keys: Vec<CompiledExpr> = group_by
+            .iter()
+            .map(|g| compile(g, &rel.bindings))
+            .collect::<Result<_>>()?;
+        let mut aggs: Vec<CompiledAggregate> = Vec::new();
+        let mut item_exprs = Vec::with_capacity(items.len());
+        for item in items {
+            let expr = match item {
+                SelectItem::Expr { expr, .. } => expr,
+                _ => unreachable!("wildcards rejected above"),
+            };
+            item_exprs.push(compile_group(expr, &rel.bindings, &mut aggs)?);
+        }
+        let having_expr = match having {
+            Some(h) => Some(compile_group(h, &rel.bindings, &mut aggs)?),
+            None => None,
+        };
+        // A sort key that fails to compile degrades every group's keys to
+        // NULL, matching the interpreter's per-group error fallback.
+        let out_cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let sort_plans = compile_order_keys(keys, &rel.bindings, &out_cols).ok();
+        Ok((group_keys, aggs, item_exprs, having_expr, sort_plans))
+    })?;
+
+    // Evaluate all grouping keys first (stable storage), then bucket rows by
+    // the borrowed key form. NULL keys pool together, per GROUP BY rules.
+    let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let mut kv = Vec::with_capacity(group_keys.len());
+        for g in &group_keys {
+            kv.push(g.eval(row.values())?);
+        }
+        row_keys.push(kv);
+    }
+    let mut groups: Vec<Vec<&Row>> = Vec::new();
+    {
+        let mut index: HashMap<Vec<Option<KeyValue<'_>>>, usize> = HashMap::new();
+        for (row, kv) in rel.rows.iter().zip(&row_keys) {
+            let key = KeyValue::row_key(kv);
+            match index.get(&key) {
+                Some(&i) => groups[i].push(row),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push(vec![row]);
+                }
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push(Vec::new());
+    }
+
+    // Aggregate slots HAVING reads: computed for every group; the remaining
+    // slots only for groups HAVING keeps (the interpreter's evaluation
+    // order, so errors in filtered-out projections never surface).
+    let mut having_slots = Vec::new();
+    if let Some(h) = &having_expr {
+        h.agg_slots(&mut having_slots);
+    }
 
     let mut out = Vec::with_capacity(groups.len());
-    for (_, rows) in &groups {
+    for rows in &groups {
+        let first_row = rows.first().map(|r| r.values());
+        let mut agg_values = vec![Value::Null; aggs.len()];
+        let mut computed = vec![false; aggs.len()];
         // HAVING: filter whole groups; the predicate may mix aggregates
         // and grouping expressions, with SQL's unknown-is-false rule.
-        if let Some(having) = having {
-            let verdict = eval_aggregate_expr(having, rows, &rel.bindings)?;
+        if let Some(h) = &having_expr {
+            for &slot in &having_slots {
+                agg_values[slot] = compute_aggregate(&aggs[slot], rows)?;
+                computed[slot] = true;
+            }
+            let verdict = h.eval(&agg_values, first_row)?;
             let keep = match verdict {
                 Value::Bool(b) => b,
                 Value::Int(i) => i != 0,
@@ -607,101 +819,69 @@ fn aggregate_node(
                 continue;
             }
         }
-        let mut values = Vec::with_capacity(items.len() + keys.len());
-        for item in items {
-            let expr = match item {
-                SelectItem::Expr { expr, .. } => expr,
-                _ => unreachable!("wildcards rejected above"),
-            };
-            values.push(eval_aggregate_expr(expr, rows, &rel.bindings)?);
+        for (slot, agg) in aggs.iter().enumerate() {
+            if !computed[slot] {
+                agg_values[slot] = compute_aggregate(agg, rows)?;
+            }
         }
-        let sample: &[Value] = rows.first().map(|r| r.values()).unwrap_or(&[]);
-        let sort_keys = order_keys(keys, sample, &rel.bindings, &columns, &values)
-            .unwrap_or_else(|_| vec![Value::Null; keys.len()]);
-        values.extend(sort_keys);
+        let mut values = Vec::with_capacity(items.len() + keys.len());
+        for ge in &item_exprs {
+            values.push(ge.eval(&agg_values, first_row)?);
+        }
+        append_group_sort_keys(&mut values, &sort_plans, first_row, keys.len());
         out.push(Row::new(values));
     }
     Ok(ResultSet { columns, rows: out })
 }
 
-/// Evaluate an expression that may contain aggregate calls over a group.
-fn eval_aggregate_expr(expr: &Expr, rows: &[&Row], bindings: &Bindings) -> Result<Value> {
-    match expr {
-        Expr::Aggregate {
-            func,
-            arg,
-            distinct,
-        } => {
-            let mut state = AggState::new(*func, *distinct);
-            for row in rows {
-                match arg {
-                    None => state.update(None)?,
-                    Some(a) => {
-                        let v = eval(a, row.values(), bindings)?;
-                        state.update(Some(&v))?;
-                    }
+/// Run one compiled aggregate over a group's rows.
+fn compute_aggregate(agg: &CompiledAggregate, rows: &[&Row]) -> Result<Value> {
+    let mut state = AggState::new(agg.func, agg.distinct);
+    for row in rows {
+        match &agg.arg {
+            None => state.update(None)?,
+            Some(a) => {
+                let v = a.eval(row.values())?;
+                state.update(Some(&v))?;
+            }
+        }
+    }
+    Ok(state.finish())
+}
+
+/// Append a group's hidden sort-key columns to `values`. Any evaluation
+/// failure (or an earlier compile failure, `plans == None`) degrades that
+/// group's keys to NULL, preserving the interpreter's fallback.
+fn append_group_sort_keys(
+    values: &mut Vec<Value>,
+    plans: &Option<Vec<SortKeyPlan>>,
+    first_row: Option<&[Value]>,
+    n_keys: usize,
+) {
+    if let Some(plans) = plans {
+        let start = values.len();
+        let mut ok = true;
+        for kp in plans {
+            let key = match kp {
+                SortKeyPlan::Output(p) => Ok(values[*p].clone()),
+                // The interpreter evaluated sort keys against the group's
+                // first row, or an empty row for an empty global group.
+                SortKeyPlan::Input(e) => e.eval(first_row.unwrap_or(&[])),
+            };
+            match key {
+                Ok(k) => values.push(k),
+                Err(_) => {
+                    ok = false;
+                    break;
                 }
             }
-            Ok(state.finish())
         }
-        _ if !expr.contains_aggregate() => {
-            // A grouping expression: evaluate on the group's first row.
-            match rows.first() {
-                Some(row) => eval(expr, row.values(), bindings),
-                None => Ok(Value::Null),
-            }
+        if ok {
+            return;
         }
-        Expr::Binary { left, op, right } => {
-            let l = eval_aggregate_expr(left, rows, bindings)?;
-            let r = eval_aggregate_expr(right, rows, bindings)?;
-            let e = Expr::binary(Expr::Literal(l), *op, Expr::Literal(r));
-            eval(&e, &[], &Bindings::default())
-        }
-        Expr::Unary { op, expr } => {
-            let v = eval_aggregate_expr(expr, rows, bindings)?;
-            let e = Expr::Unary {
-                op: *op,
-                expr: Box::new(Expr::Literal(v)),
-            };
-            eval(&e, &[], &Bindings::default())
-        }
-        Expr::IsNull { expr, negated } => {
-            let v = eval_aggregate_expr(expr, rows, bindings)?;
-            Ok(Value::Bool(v.is_null() != *negated))
-        }
-        Expr::Between {
-            expr,
-            lo,
-            hi,
-            negated,
-        } => {
-            let e = Expr::Between {
-                expr: Box::new(Expr::Literal(eval_aggregate_expr(expr, rows, bindings)?)),
-                lo: Box::new(Expr::Literal(eval_aggregate_expr(lo, rows, bindings)?)),
-                hi: Box::new(Expr::Literal(eval_aggregate_expr(hi, rows, bindings)?)),
-                negated: *negated,
-            };
-            eval(&e, &[], &Bindings::default())
-        }
-        Expr::InList {
-            expr,
-            list,
-            negated,
-        } => {
-            let e = Expr::InList {
-                expr: Box::new(Expr::Literal(eval_aggregate_expr(expr, rows, bindings)?)),
-                list: list
-                    .iter()
-                    .map(|i| eval_aggregate_expr(i, rows, bindings).map(Expr::Literal))
-                    .collect::<Result<_>>()?,
-                negated: *negated,
-            };
-            eval(&e, &[], &Bindings::default())
-        }
-        other => Err(SqlError::Unsupported(format!(
-            "aggregate expression shape: {other:?}"
-        ))),
+        values.truncate(start);
     }
+    values.extend(std::iter::repeat_n(Value::Null, n_keys));
 }
 
 #[cfg(test)]

@@ -48,12 +48,18 @@ impl Bindings {
     }
 
     /// The positions bound to `qualifier` (for `t.*` expansion).
+    ///
+    /// Qualifiers are stored lower-cased at construction, so the match is a
+    /// case-insensitive comparison with no per-call allocation.
     pub fn positions_of_qualifier(&self, qualifier: &str) -> Vec<usize> {
-        let q = qualifier.to_ascii_lowercase();
         self.cols
             .iter()
             .enumerate()
-            .filter(|(_, (binding, _))| binding.as_deref() == Some(q.as_str()))
+            .filter(|(_, (binding, _))| {
+                binding
+                    .as_deref()
+                    .is_some_and(|b| b.eq_ignore_ascii_case(qualifier))
+            })
             .map(|(i, _)| i)
             .collect()
     }
@@ -64,11 +70,16 @@ impl Bindings {
     }
 
     /// Resolve a column reference to a position.
+    ///
+    /// Allocation-free: both the column name and the (pre-lowercased)
+    /// qualifier compare case-insensitively in place.
     pub fn resolve(&self, cref: &ColumnRef) -> Result<usize> {
         let mut hits = self.cols.iter().enumerate().filter(|(_, (binding, name))| {
             name.eq_ignore_ascii_case(&cref.column)
                 && match &cref.qualifier {
-                    Some(q) => binding.as_deref() == Some(q.to_ascii_lowercase().as_str()),
+                    Some(q) => binding
+                        .as_deref()
+                        .is_some_and(|b| b.eq_ignore_ascii_case(q)),
                     None => true,
                 }
         });
@@ -198,7 +209,7 @@ pub fn eval_predicate(expr: &Expr, row: &[Value], bindings: &Bindings) -> Result
 }
 
 /// Three-valued truth of a value: NULL → unknown.
-fn truth(v: &Value) -> Result<Option<bool>> {
+pub(crate) fn truth(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -241,7 +252,7 @@ fn eval_logical(
     Ok(out.map_or(Value::Null, Value::Bool))
 }
 
-fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
+pub(crate) fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     match op {
         BinaryOp::Eq => ord == Ordering::Equal,
         BinaryOp::NotEq => ord != Ordering::Equal,
@@ -253,7 +264,7 @@ fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     }
 }
 
-fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -380,6 +391,13 @@ pub fn eval_scalar_func(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
 /// SQL LIKE matching: `%` matches any run (including empty), `_` matches
 /// exactly one character. Matching is case-sensitive, as in Oracle.
 pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    like_match_chars(&p, s)
+}
+
+/// LIKE against a pre-split pattern, so compiled expressions split the
+/// pattern once instead of on every row.
+pub fn like_match_chars(pattern: &[char], s: &str) -> bool {
     fn rec(p: &[char], s: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
@@ -388,9 +406,8 @@ pub fn like_match(pattern: &str, s: &str) -> bool {
             Some((c, rest)) => s.first() == Some(c) && rec(rest, &s[1..]),
         }
     }
-    let p: Vec<char> = pattern.chars().collect();
     let sc: Vec<char> = s.chars().collect();
-    rec(&p, &sc)
+    rec(pattern, &sc)
 }
 
 /// Streaming aggregate accumulator used by the executor's GROUP BY.

@@ -15,6 +15,10 @@
 //! - [`ast`] — the abstract syntax tree shared by the mediator, the vendor
 //!   dialect renderers, and the executor.
 //! - [`expr`] — SQL three-valued-logic expression evaluation.
+//! - [`compile`] — compile-once/execute-many lowering of expressions against
+//!   a fixed row layout: columns resolved to positions, literals pre-folded,
+//!   plus the non-allocating [`compile::KeyValue`] hash key used by joins,
+//!   GROUP BY, and DISTINCT.
 //! - [`plan`] — the logical query-plan IR built from a parsed `SELECT`;
 //!   shared by the executor, the optimizer, the mediator's decomposer, and
 //!   `EXPLAIN` rendering.
@@ -28,6 +32,7 @@
 //! - [`result`] — [`ResultSet`], the "single 2-D vector" of the paper.
 
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -39,6 +44,7 @@ pub mod render;
 pub mod result;
 
 pub use ast::{Expr, SelectStmt, Statement};
+pub use compile::{compile, CompiledExpr, KeyValue};
 pub use error::SqlError;
 pub use exec::{execute_select, DatabaseProvider, TableProvider};
 pub use optimize::{optimize, optimize_with, NoCatalog, PassSet, PlanCatalog};
