@@ -1,10 +1,11 @@
 # Developer entry points. `make verify` is the full pre-merge gate:
-# tier-1 (release build + tests) plus lints, formatting, and a smoke run
-# of every criterion bench (one iteration each, no timing).
+# tier-1 (release build + tests) plus the deterministic chaos suite,
+# lints, formatting, and a smoke run of every criterion bench (one
+# iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke
+.PHONY: verify build test lint fmt bench bench-smoke chaos
 
-verify: build test lint fmt bench-smoke
+verify: build test chaos lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -25,3 +26,8 @@ bench:
 # benches that panic or no longer compile without paying measurement time.
 bench-smoke:
 	cargo bench -p gridfed-bench -- --test
+
+# Deterministic fault-injection suite: the resilience integration tests
+# and the 256-seed chaos property (fixed seeds — reproduces bit-for-bit).
+chaos:
+	cargo test -q --test failure_paths --test prop_chaos

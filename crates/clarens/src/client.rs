@@ -64,6 +64,7 @@ impl ClarensClient {
     /// Log in and store the session. The cost includes the certificate
     /// handshake and its network round trips.
     pub fn login(&mut self, user: &str, password: &str) -> Result<Timed<()>> {
+        self.check_reachable()?;
         let link = self.topology.link(&self.from_host, self.server.host());
         // Certificate exchange: a couple of kB each way.
         let wire = link.round_trip(2048, 2048);
@@ -83,6 +84,7 @@ impl ClarensClient {
             .session
             .as_deref()
             .ok_or(crate::ClarensError::NoSession)?;
+        self.check_reachable()?;
         // Request: session + routing + encoded params.
         let req_bytes: usize = 64
             + service.len()
@@ -93,6 +95,19 @@ impl ClarensClient {
         let resp_bytes = 32 + result.value.wire_size();
         let wire = link.round_trip(req_bytes, resp_bytes);
         Ok(Timed::new(result.value, result.cost + wire))
+    }
+
+    /// A partitioned link means no request can even reach the server.
+    fn check_reachable(&self) -> Result<()> {
+        if self.topology.reachable(&self.from_host, self.server.host()) {
+            Ok(())
+        } else {
+            Err(crate::ClarensError::Unavailable(format!(
+                "{} (no route from {})",
+                self.server.url(),
+                self.from_host
+            )))
+        }
     }
 }
 
@@ -145,6 +160,37 @@ mod tests {
             remote_cost > local_cost,
             "LAN hop must cost more than loopback"
         );
+    }
+
+    #[test]
+    fn partitioned_link_makes_server_unreachable() {
+        use gridfed_faults::FaultPlan;
+
+        let (dir, topo) = setup();
+        let mut client =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", Arc::clone(&topo), "laptop")
+                .unwrap();
+        client.login("grid", "grid").unwrap();
+        assert!(client.call("system", "ping", &[]).is_ok());
+
+        let plan = Arc::new(FaultPlan::new(3).partition("laptop", "srv", Cost::ZERO, None));
+        topo.set_conditions(plan);
+        assert!(matches!(
+            client.call("system", "ping", &[]),
+            Err(crate::ClarensError::Unavailable(_))
+        ));
+        let mut fresh =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", Arc::clone(&topo), "laptop")
+                .unwrap();
+        assert!(matches!(
+            fresh.login("grid", "grid"),
+            Err(crate::ClarensError::Unavailable(_))
+        ));
+        // a co-located client is unaffected
+        let mut local =
+            ClarensClient::connect(&dir, "clarens://srv:8443/das", topo, "srv").unwrap();
+        local.login("grid", "grid").unwrap();
+        assert!(local.call("system", "ping", &[]).is_ok());
     }
 
     #[test]

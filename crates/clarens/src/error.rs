@@ -24,6 +24,9 @@ pub enum ClarensError {
     ServiceFault(String),
     /// No server at this URL.
     UnknownServer(String),
+    /// The server is down (crash window) or unreachable (partitioned
+    /// link). Retry later or fail over to a replica.
+    Unavailable(String),
     /// The session's user is not on the service's access control list.
     AccessDenied {
         /// Authenticated user.
@@ -47,6 +50,7 @@ impl fmt::Display for ClarensError {
             ClarensError::BadParams(m) => write!(f, "bad parameters: {m}"),
             ClarensError::ServiceFault(m) => write!(f, "service fault: {m}"),
             ClarensError::UnknownServer(u) => write!(f, "unknown server `{u}`"),
+            ClarensError::Unavailable(u) => write!(f, "server `{u}` is unavailable"),
             ClarensError::AccessDenied { user, service } => {
                 write!(
                     f,

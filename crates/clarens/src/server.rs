@@ -2,6 +2,7 @@
 
 use crate::codec::WireValue;
 use crate::{ClarensError, Result};
+use gridfed_faults::{FaultPlan, Injected};
 use gridfed_simnet::cost::{Cost, Timed};
 use gridfed_simnet::params::CostParams;
 use parking_lot::RwLock;
@@ -38,6 +39,7 @@ pub struct ClarensServer {
     acls: RwLock<HashMap<String, HashSet<String>>>,
     next_session: AtomicU64,
     params: CostParams,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl ClarensServer {
@@ -54,7 +56,33 @@ impl ClarensServer {
             acls: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             params: CostParams::paper_2005(),
+            faults: RwLock::new(None),
         })
+    }
+
+    /// Install a fault plan; logins and request handling consult it.
+    /// Matched against the server URL and host.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write() = None;
+    }
+
+    fn fault_check(&self) -> Result<f64> {
+        let guard = self.faults.read();
+        let Some(plan) = guard.as_ref() else {
+            return Ok(1.0);
+        };
+        let check = plan.check_op(&[&self.url, &self.host]);
+        match check.fault {
+            Some(Injected::Crash) | Some(Injected::Transient) => {
+                Err(ClarensError::Unavailable(self.url.clone()))
+            }
+            None => Ok(check.slow_factor),
+        }
     }
 
     /// Server URL (published to the RLS).
@@ -94,6 +122,7 @@ impl ClarensServer {
     /// Authenticate and mint a session token. Models Clarens' certificate
     /// handshake (one-time cost per client session).
     pub fn login(&self, user: &str, password: &str) -> Result<Timed<String>> {
+        let slow = self.fault_check()?;
         let ok = self.users.read().get(user).is_some_and(|p| p == password);
         if !ok {
             return Err(ClarensError::AuthFailed(user.to_string()));
@@ -103,7 +132,10 @@ impl ClarensServer {
         self.sessions
             .write()
             .insert(token.clone(), user.to_string());
-        Ok(Timed::new(token, self.params.clarens_session_setup))
+        Ok(Timed::new(
+            token,
+            self.params.clarens_session_setup.scale(slow),
+        ))
     }
 
     /// Invalidate a session token.
@@ -136,6 +168,7 @@ impl ClarensServer {
         method: &str,
         params: &[WireValue],
     ) -> Result<Timed<WireValue>> {
+        let slow = self.fault_check()?;
         let user = self
             .sessions
             .read()
@@ -159,7 +192,7 @@ impl ClarensServer {
         let body = svc.call(method, params)?;
         Ok(Timed::new(
             body.value,
-            self.params.clarens_request + body.cost + self.params.clarens_response,
+            (self.params.clarens_request + body.cost + self.params.clarens_response).scale(slow),
         ))
     }
 }
@@ -294,6 +327,30 @@ mod tests {
         assert!(s.clear_acl("system"));
         assert!(!s.clear_acl("system"));
         assert!(s.handle(&bob, "system", "ping", &[]).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_gates_logins_and_requests() {
+        let s = server_with_system();
+        let t = s.login("grid", "grid").unwrap().value;
+        let plan = Arc::new(gridfed_faults::FaultPlan::new(9).crash(
+            "clarens://h:8443/s",
+            Cost::ZERO,
+            Some(Cost::from_millis(50)),
+        ));
+        s.set_fault_plan(Arc::clone(&plan));
+        assert!(matches!(
+            s.login("grid", "grid"),
+            Err(ClarensError::Unavailable(_))
+        ));
+        assert!(matches!(
+            s.handle(&t, "system", "ping", &[]),
+            Err(ClarensError::Unavailable(_))
+        ));
+        // sessions survive the outage; the server answers after restart
+        plan.set_now(Cost::from_millis(50));
+        assert!(s.handle(&t, "system", "ping", &[]).is_ok());
+        s.clear_fault_plan();
     }
 
     #[test]

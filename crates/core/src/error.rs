@@ -32,6 +32,30 @@ pub enum CoreError {
         /// Panic payload, when it was a string.
         detail: String,
     },
+    /// A branch stayed down through every retry and failover candidate
+    /// (Strict degradation policy).
+    BranchUnavailable {
+        /// Human-readable label of the branch.
+        branch: String,
+        /// Attempts made against the primary target.
+        attempts: u32,
+        /// Last underlying error, rendered.
+        detail: String,
+    },
+    /// A branch could not finish within its per-branch deadline.
+    DeadlineExceeded {
+        /// Human-readable label of the branch.
+        branch: String,
+        /// The configured deadline.
+        deadline: gridfed_simnet::Cost,
+    },
+    /// The per-server circuit breaker is open: recent failures exceeded
+    /// the threshold and the cooldown has not elapsed, so the dispatch was
+    /// refused without touching the server.
+    CircuitOpen {
+        /// Server URL the breaker guards.
+        target: String,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -53,6 +77,22 @@ impl fmt::Display for CoreError {
             ),
             CoreError::BranchPanic { branch, detail } => {
                 write!(f, "scatter branch for {branch} panicked: {detail}")
+            }
+            CoreError::BranchUnavailable {
+                branch,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "branch for {branch} unavailable after {attempts} attempt(s): {detail}"
+                )
+            }
+            CoreError::DeadlineExceeded { branch, deadline } => {
+                write!(f, "branch for {branch} missed its {deadline} deadline")
+            }
+            CoreError::CircuitOpen { target } => {
+                write!(f, "circuit breaker open for `{target}`")
             }
             CoreError::Internal(m) => write!(f, "internal error: {m}"),
         }

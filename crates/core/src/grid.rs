@@ -9,11 +9,13 @@
 
 use crate::error::CoreError;
 use crate::placement::ReplicaPolicy;
+use crate::resilience::ResilienceConfig;
 use crate::service::{ConnectionPolicy, DataAccessService, DispatchMode, QueryOutcome};
 use crate::Result;
 use gridfed_clarens::client::ClarensClient;
 use gridfed_clarens::directory::Directory;
 use gridfed_clarens::server::ClarensServer;
+use gridfed_faults::FaultPlan;
 use gridfed_ntuple::spec::NtupleSpec;
 use gridfed_ntuple::NtupleGenerator;
 use gridfed_rls::RlsServer;
@@ -54,6 +56,8 @@ pub struct GridBuilder {
     replicate_events: bool,
     catalog_padding: usize,
     transport: TransportMode,
+    fault_plan: Option<Arc<FaultPlan>>,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl Default for GridBuilder {
@@ -69,6 +73,8 @@ impl Default for GridBuilder {
             replicate_events: false,
             catalog_padding: 0,
             transport: TransportMode::Staged,
+            fault_plan: None,
+            resilience: None,
         }
     }
 }
@@ -144,6 +150,22 @@ impl GridBuilder {
     /// ETL transport mode (staging file vs direct streaming).
     pub fn with_transport(mut self, transport: TransportMode) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Install a seeded fault plan on the assembled grid: every mart,
+    /// source, warehouse, Clarens server, the RLS, and the topology
+    /// consult it, and the services share its virtual clock. Wired in at
+    /// the *end* of assembly, so ETL and materialization run fault-free.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Configure branch resilience (retry/backoff, failover, breakers,
+    /// hedging, degradation) on every Data Access Service.
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
         self
     }
 
@@ -341,6 +363,27 @@ impl GridBuilder {
         )?;
         client.login("grid", "grid")?;
 
+        // ---- faults + resilience (after assembly: ETL, materialization,
+        // registration, and login all ran on a healthy grid) ----
+        if let Some(config) = &self.resilience {
+            for das in &services {
+                das.set_resilience_config(config.clone());
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            topology.set_conditions(Arc::clone(plan) as _);
+            rls.set_fault_plan(Arc::clone(plan));
+            for server in sources.iter().chain([&warehouse]).chain(&marts) {
+                server.set_fault_plan(Arc::clone(plan));
+            }
+            for clarens in &servers {
+                clarens.set_fault_plan(Arc::clone(plan));
+            }
+            for das in &services {
+                das.set_clock(plan.clock());
+            }
+        }
+
         Ok(Grid {
             topology,
             registry,
@@ -355,6 +398,7 @@ impl GridBuilder {
             spec,
             etl_reports,
             mart_reports,
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -448,6 +492,9 @@ pub struct Grid {
     pub etl_reports: Vec<EtlReport>,
     /// Stage-2 materialization reports (one per view placement).
     pub mart_reports: Vec<MartReport>,
+    /// The installed fault plan, when the grid was built with one
+    /// (its clock drives fault windows; its stats count injections).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Grid {

@@ -34,6 +34,9 @@
 //! - [`grid`] — [`grid::GridBuilder`]: one-call assembly of a complete
 //!   simulated grid (sources, warehouse, marts, Clarens servers, RLS) for
 //!   examples, tests, and benchmarks.
+//! - [`resilience`] — the branch supervision loop (deadlines, retry with
+//!   backoff, replica failover, circuit breakers, hedged requests,
+//!   graceful degradation) that every scatter branch runs through.
 
 pub mod decompose;
 pub mod error;
@@ -41,14 +44,16 @@ pub mod federate;
 pub mod grid;
 pub mod jas;
 pub mod placement;
+pub mod resilience;
 pub mod service;
 pub mod stats;
 
 pub use error::CoreError;
 pub use grid::{Grid, GridBuilder};
 pub use placement::ReplicaPolicy;
+pub use resilience::{DegradationPolicy, Resilience, ResilienceConfig};
 pub use service::{DataAccessService, DispatchMode, QueryOutcome};
-pub use stats::QueryStats;
+pub use stats::{BranchDrop, QueryStats};
 
 /// Result alias for the mediator.
 pub type Result<T> = std::result::Result<T, CoreError>;

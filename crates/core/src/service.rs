@@ -4,19 +4,21 @@ use crate::decompose::{self, Home, QueryPlan, TableResolver};
 use crate::error::CoreError;
 use crate::federate::{self, Partial};
 use crate::placement::ReplicaPolicy;
-use crate::stats::{CostBreakdown, QueryStats};
+use crate::resilience::{BranchReport, BranchYield, Resilience, ResilienceConfig};
+use crate::stats::{BranchDrop, CostBreakdown, QueryStats};
 use crate::Result;
 use gridfed_clarens::client::ClarensClient;
 use gridfed_clarens::codec::WireValue;
 use gridfed_clarens::directory::Directory;
 use gridfed_clarens::server::Service;
 use gridfed_clarens::ClarensError;
+use gridfed_faults::VirtualClock;
 use gridfed_poolral::PoolRal;
 use gridfed_rls::RlsServer;
 use gridfed_simnet::cost::{Cost, Timed};
 use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
-use gridfed_sqlkit::ast::SelectStmt;
+use gridfed_sqlkit::ast::{Expr, SelectItem, SelectStmt};
 use gridfed_sqlkit::parser::parse_select;
 use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
 use gridfed_sqlkit::render::{render_select, NeutralStyle};
@@ -173,6 +175,13 @@ pub struct DataAccessService {
     /// Optional ceiling on partial-result bytes per query (the guard
     /// against Unity's full-materialization memory overload).
     memory_limit: Mutex<Option<usize>>,
+    /// Branch supervision: retry/backoff, failover, breakers, hedging,
+    /// degradation. Defaults to a passthrough config.
+    resilience: Resilience,
+    /// The virtual clock branches consult for backoff "sleeps" and fault
+    /// windows. Replaced with the fault plan's shared clock when one is
+    /// installed on the grid.
+    clock: RwLock<Arc<VirtualClock>>,
     /// Backend credentials used for all database connections.
     creds: (String, String),
 }
@@ -204,6 +213,8 @@ impl DataAccessService {
             remote_clients: Mutex::new(HashMap::new()),
             cache: Mutex::new(None),
             memory_limit: Mutex::new(None),
+            resilience: Resilience::new(),
+            clock: RwLock::new(Arc::new(VirtualClock::new())),
             creds: ("grid".to_string(), "grid".to_string()),
         }
     }
@@ -240,6 +251,29 @@ impl DataAccessService {
     /// instead of an overloaded server.
     pub fn set_memory_limit(&self, limit: Option<usize>) {
         *self.memory_limit.lock() = limit;
+    }
+
+    /// Configure branch supervision (retries, failover, breakers,
+    /// hedging, degradation). The default is a passthrough.
+    pub fn set_resilience_config(&self, config: ResilienceConfig) {
+        self.resilience.set_config(config);
+    }
+
+    /// The branch supervisor (config snapshot, breaker states).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Share a virtual clock with this service (normally the fault plan's
+    /// clock, so retries observe crash windows).
+    pub fn set_clock(&self, clock: Arc<VirtualClock>) {
+        *self.clock.write() = clock;
+    }
+
+    /// The service's virtual clock. Advanced by each query's total cost,
+    /// so back-to-back queries see virtual time pass.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock.read())
     }
 
     /// Enforce the per-query memory guard.
@@ -404,6 +438,8 @@ impl DataAccessService {
         }
 
         // Layer 3: federated placement — where each scan's sub-query runs.
+        // Branch (label, breaker-target) pairs feed the resilience section.
+        let mut branch_targets: Vec<(String, String)> = Vec::new();
         match plan {
             QueryPlan::SingleDatabase { location, .. } => {
                 let vendor = VendorKind::from_scheme(&location.driver);
@@ -421,6 +457,7 @@ impl DataAccessService {
                         "Unity/JDBC (fresh connection)"
                     }
                 ));
+                branch_targets.push((format!("database `{}`", location.database), location.url));
             }
             QueryPlan::ForwardAll { server_url, .. } => {
                 out.push_str(&format!(
@@ -428,6 +465,7 @@ impl DataAccessService {
   forward entire statement to remote server {server_url}
 "
                 ));
+                branch_targets.push((format!("remote server `{server_url}`"), server_url));
             }
             QueryPlan::Federated {
                 tasks, residual, ..
@@ -440,16 +478,28 @@ impl DataAccessService {
                 for task in &tasks {
                     let sub = render_select(&task.subquery, &NeutralStyle);
                     match &task.home {
-                        Home::Local(loc) => out.push_str(&format!(
-                            "  fetch `{}` from `{}` ({}): {sub}
+                        Home::Local(loc) => {
+                            out.push_str(&format!(
+                                "  fetch `{}` from `{}` ({}): {sub}
 ",
-                            task.table, loc.database, loc.vendor
-                        )),
-                        Home::Remote { server_url } => out.push_str(&format!(
-                            "  fetch `{}` via RLS from {server_url}: {sub}
+                                task.table, loc.database, loc.vendor
+                            ));
+                            let label = format!("local database `{}`", loc.database);
+                            if !branch_targets.iter().any(|(l, _)| l == &label) {
+                                branch_targets.push((label, loc.url.clone()));
+                            }
+                        }
+                        Home::Remote { server_url } => {
+                            out.push_str(&format!(
+                                "  fetch `{}` via RLS from {server_url}: {sub}
 ",
-                            task.table
-                        )),
+                                task.table
+                            ));
+                            let label = format!("remote server `{server_url}`");
+                            if !branch_targets.iter().any(|(l, _)| l == &label) {
+                                branch_targets.push((label, server_url.clone()));
+                            }
+                        }
                     }
                 }
                 out.push_str(
@@ -466,6 +516,39 @@ impl DataAccessService {
 ",
                 stats.rls_lookups
             ));
+        }
+
+        // Layer 4: resilience placement — only when any knob is on.
+        let cfg = self.resilience.config();
+        if cfg.enabled() {
+            out.push_str(&format!(
+                "resilience: retries={} backoff={}..{} deadline={} hedge={} breaker={} degradation={:?} failover={}
+",
+                cfg.max_retries,
+                cfg.base_backoff,
+                cfg.max_backoff,
+                cfg.branch_deadline
+                    .map_or_else(|| "none".to_string(), |d| d.to_string()),
+                cfg.hedge_after
+                    .map_or_else(|| "none".to_string(), |h| h.to_string()),
+                if cfg.breaker_threshold == 0 {
+                    "off".to_string()
+                } else {
+                    format!(
+                        "{} fails/{} cooldown",
+                        cfg.breaker_threshold, cfg.breaker_cooldown
+                    )
+                },
+                cfg.degradation,
+                if cfg.failover { "on" } else { "off" },
+            ));
+            for (label, target) in branch_targets {
+                out.push_str(&format!(
+                    "  supervise {label} -> `{target}` [breaker: {}]
+",
+                    self.resilience.breaker_state(&target)
+                ));
+            }
         }
         Ok(out)
     }
@@ -496,17 +579,33 @@ impl DataAccessService {
         bd.plan += self.params.plan_decompose;
         let plan = decompose::plan(&stmt, &resolved)?;
 
-        let result = match plan {
+        let executed = match plan {
             QueryPlan::SingleDatabase { location, stmt } => {
-                self.exec_single(&location, &stmt, &mut stats, &mut bd)?
+                self.exec_single(&location, &stmt, &mut stats, &mut bd)
             }
             QueryPlan::ForwardAll { server_url, stmt } => {
-                self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd)?
+                self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd)
             }
             QueryPlan::Federated {
                 tasks, residual, ..
-            } => self.exec_federated(tasks, &residual, &mut stats, &mut bd)?,
+            } => self.exec_federated(tasks, &residual, &mut stats, &mut bd),
         };
+        let result = match executed {
+            Ok(result) => result,
+            Err(e) => {
+                // A failed query still consumed virtual time — at least the
+                // supervision overhead of its failed branches. Advance the
+                // shared clock so fault windows keep moving and an open
+                // breaker can reach its cooldown; a frozen clock would turn
+                // one exhausted query into a permanent outage.
+                bd.resilience += self.resilience.take_wasted();
+                self.clock.read().advance(bd.total());
+                return Err(e);
+            }
+        };
+        // Branches that failed but recovered (failover, Partial placeholder)
+        // already charged their supervision time through their reports.
+        let _ = self.resilience.take_wasted();
 
         stats.rows_returned = result.rows.len();
         bd.serialize += self
@@ -516,11 +615,17 @@ impl DataAccessService {
         stats.breakdown = bd;
         let total = bd.total();
         let mut outcome = QueryOutcome { result, stats };
-        if let Some(cache) = self.cache.lock().as_mut() {
-            // The cached copy keeps `cache_evictions: 0`; the returned
-            // outcome reports what storing it displaced.
-            outcome.stats.cache_evictions = cache.insert(cache_key, outcome.clone());
+        // Degraded (Partial-policy) results are honest but incomplete —
+        // never cache them, or a healed federation would keep serving the
+        // holes. Failed queries never reach this point at all.
+        if !outcome.stats.is_degraded() {
+            if let Some(cache) = self.cache.lock().as_mut() {
+                // The cached copy keeps `cache_evictions: 0`; the returned
+                // outcome reports what storing it displaced.
+                outcome.stats.cache_evictions = cache.insert(cache_key, outcome.clone());
+            }
         }
+        self.clock.read().advance(total);
         Ok(Timed::new(outcome, total))
     }
 
@@ -583,7 +688,10 @@ impl DataAccessService {
         Ok(ResolvedTables { homes, cols })
     }
 
-    /// Fast path: the whole statement runs in one local database.
+    /// Fast path: the whole statement runs in one local database. The
+    /// single branch is still supervised: a crashed or flaky backend is
+    /// retried, and on exhaustion the statement fails over to another
+    /// database replica hosting every referenced table.
     fn exec_single(
         &self,
         location: &gridfed_xspec::dict::TableLocation,
@@ -592,51 +700,34 @@ impl DataAccessService {
         bd: &mut CostBreakdown,
     ) -> Result<ResultSet> {
         stats.subqueries = 1;
-        let vendor = VendorKind::from_scheme(&location.driver)
-            .ok_or_else(|| CoreError::Internal(format!("unknown driver {}", location.driver)))?;
-        let (result, exec_cost, db_host) = if vendor.pool_supported()
-            && self.pool.has_handle(&location.url)
-        {
-            // POOL-RAL path over the pooled handle: no connection setup.
-            stats.pooled_hits += 1;
-            let t = self.pool.execute_stmt(&location.url, stmt)?;
-            let (host, _) =
-                gridfed_vendors::driver::server_address(&ConnectionString::parse(&location.url)?);
-            (t.value, t.cost, host)
-        } else {
-            // Unity/JDBC path: fresh connection.
-            let conn = self.registry.connect(&location.url)?;
-            stats.connections_opened += 1;
-            bd.connect += conn.cost;
-            let t = conn.value.query_stmt(stmt)?;
-            (t.value, t.cost, conn.value.server().host().to_string())
+        let clock = self.clock();
+        let label = format!("database `{}`", location.database);
+        let mut attempt = || self.single_attempt(location, stmt);
+        let mut failover = || {
+            let alt = self
+                .single_failover_location(stmt, &location.database)
+                .ok_or_else(|| CoreError::BranchUnavailable {
+                    branch: label.clone(),
+                    attempts: 0,
+                    detail: "no replica hosts every referenced table".into(),
+                })?;
+            self.single_attempt(&alt, stmt)
         };
-        stats.rows_fetched = result.rows.len();
-        stats.bytes_fetched = result.wire_size();
-        self.check_memory(stats.bytes_fetched)?;
-        let transfer = self
-            .topology
-            .transfer(&db_host, &self.host, result.wire_size());
-        bd.execute += exec_cost + transfer;
-        Ok(result)
-    }
-
-    /// Forward the entire statement to one remote Clarens server.
-    fn exec_forward_all(
-        &self,
-        server_url: &str,
-        stmt: &SelectStmt,
-        stats: &mut QueryStats,
-        bd: &mut CostBreakdown,
-    ) -> Result<ResultSet> {
-        stats.subqueries = 1;
-        stats.remote_forwards = 1;
-        let (client, login_cost) = self.remote_client(server_url)?;
-        bd.connect += login_cost;
-        let sql = render_select(stmt, &NeutralStyle);
-        let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
-        bd.execute += t.cost + self.params.remote_forward;
-        let partial = wire_to_partial("forwarded", &t.value)?;
+        let placeholder =
+            stmt_output_columns(stmt).map(|columns| vec![empty_partial("single", columns)]);
+        let report = self.resilience.run_branch(
+            &clock,
+            &label,
+            &location.url,
+            &mut attempt,
+            Some(&mut failover),
+            placeholder,
+        )?;
+        self.absorb_report(&report, &label, stats, bd);
+        let partial =
+            report.output.partials.into_iter().next().ok_or_else(|| {
+                CoreError::Internal("single-database branch yielded nothing".into())
+            })?;
         stats.rows_fetched = partial.rows.len();
         stats.bytes_fetched = partial.wire_size();
         self.check_memory(stats.bytes_fetched)?;
@@ -646,8 +737,247 @@ impl DataAccessService {
         })
     }
 
+    /// One attempt of a single-database statement against one location.
+    fn single_attempt(
+        &self,
+        location: &gridfed_xspec::dict::TableLocation,
+        stmt: &SelectStmt,
+    ) -> Result<BranchYield> {
+        let vendor = VendorKind::from_scheme(&location.driver)
+            .ok_or_else(|| CoreError::Internal(format!("unknown driver {}", location.driver)))?;
+        let mut out = BranchYield::default();
+        let (result, exec_cost, db_host) = if vendor.pool_supported()
+            && self.pool.has_handle(&location.url)
+        {
+            // POOL-RAL path over the pooled handle: no connection setup.
+            out.pooled_hits = 1;
+            let t = self.pool.execute_stmt(&location.url, stmt)?;
+            let (host, _) =
+                gridfed_vendors::driver::server_address(&ConnectionString::parse(&location.url)?);
+            (t.value, t.cost, host)
+        } else {
+            // Unity/JDBC path: fresh connection.
+            let conn = self.registry.connect(&location.url)?;
+            out.connections_opened = 1;
+            out.connect_cost = conn.cost;
+            let t = conn.value.query_stmt(stmt)?;
+            (t.value, t.cost, conn.value.server().host().to_string())
+        };
+        let transfer = self
+            .topology
+            .transfer(&db_host, &self.host, result.wire_size());
+        out.exec_cost = exec_cost + transfer;
+        out.partials
+            .push(Partial::from_result("single".to_string(), result));
+        Ok(out)
+    }
+
+    /// Another local database hosting *every* table of the statement, for
+    /// single-database failover.
+    fn single_failover_location(
+        &self,
+        stmt: &SelectStmt,
+        exclude_db: &str,
+    ) -> Option<gridfed_xspec::dict::TableLocation> {
+        let dict = self.dict.read();
+        let tables: Vec<String> = stmt
+            .table_refs()
+            .iter()
+            .map(|t| normalize_ident(&t.name))
+            .collect();
+        let first = tables.first()?;
+        dict.resolve_table(first).into_iter().find(|loc| {
+            loc.database != exclude_db
+                && tables.iter().all(|t| {
+                    dict.resolve_table(t)
+                        .iter()
+                        .any(|l| l.database == loc.database)
+                })
+        })
+    }
+
+    /// Fold one branch report's events and costs into the query's stats.
+    /// Correct for serially-composed (single-branch) plans; the federated
+    /// path composes exec/resilience costs across branches itself.
+    fn absorb_report(
+        &self,
+        report: &BranchReport,
+        label: &str,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) {
+        stats.retries += report.events.retries;
+        stats.failovers += report.events.failovers;
+        stats.hedges += report.events.hedges;
+        stats.breaker_opens += report.events.breaker_opens;
+        stats.breaker_rejections += report.events.breaker_rejections;
+        if let Some(reason) = &report.events.dropped {
+            stats.branches_dropped.push(BranchDrop {
+                branch: label.to_string(),
+                reason: reason.clone(),
+            });
+        }
+        stats.connections_opened += report.output.connections_opened;
+        stats.pooled_hits += report.output.pooled_hits;
+        stats.remote_forwards += report.output.remote_forwards;
+        stats.rls_lookups += report.output.rls_lookups;
+        bd.connect += report.output.connect_cost;
+        bd.execute += report.output.exec_cost;
+        bd.rls += report.output.rls_cost;
+        bd.resilience += report.resilience_cost;
+    }
+
+    /// Forward the entire statement to one remote Clarens server, under
+    /// branch supervision: retries ride out transient faults, and on
+    /// exhaustion the RLS is re-consulted for another server hosting every
+    /// referenced table.
+    fn exec_forward_all(
+        &self,
+        server_url: &str,
+        stmt: &SelectStmt,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) -> Result<ResultSet> {
+        stats.subqueries = 1;
+        let clock = self.clock();
+        let label = format!("remote server `{server_url}`");
+        let tables: Vec<String> = stmt
+            .table_refs()
+            .iter()
+            .map(|t| normalize_ident(&t.name))
+            .collect();
+        let mut attempt = || self.forward_attempt(server_url, stmt);
+        let mut failover = || {
+            let (alt, rls_cost, lookups) = self.rls_alternate(&tables, &[server_url], &label)?;
+            let mut out = self.forward_attempt(&alt, stmt)?;
+            out.rls_cost += rls_cost;
+            out.rls_lookups += lookups;
+            Ok(out)
+        };
+        let placeholder =
+            stmt_output_columns(stmt).map(|columns| vec![empty_partial("forwarded", columns)]);
+        let outcome = self.resilience.run_branch(
+            &clock,
+            &label,
+            server_url,
+            &mut attempt,
+            Some(&mut failover),
+            placeholder,
+        );
+        self.report_reachability(&outcome, server_url, stats, bd);
+        let report = outcome?;
+        self.absorb_report(&report, &label, stats, bd);
+        let partial = report
+            .output
+            .partials
+            .into_iter()
+            .next()
+            .ok_or_else(|| CoreError::Internal("forwarded branch yielded nothing".into()))?;
+        stats.rows_fetched = partial.rows.len();
+        stats.bytes_fetched = partial.wire_size();
+        self.check_memory(stats.bytes_fetched)?;
+        Ok(ResultSet {
+            columns: partial.columns,
+            rows: partial.rows,
+        })
+    }
+
+    /// One attempt at forwarding a whole statement to a remote server.
+    fn forward_attempt(&self, server_url: &str, stmt: &SelectStmt) -> Result<BranchYield> {
+        let (client, login_cost) = self.remote_client(server_url)?;
+        let sql = render_select(stmt, &NeutralStyle);
+        let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+        let partial = wire_to_partial("forwarded", &t.value)?;
+        Ok(BranchYield {
+            partials: vec![partial],
+            connect_cost: login_cost,
+            exec_cost: t.cost + self.params.remote_forward,
+            remote_forwards: 1,
+            ..BranchYield::default()
+        })
+    }
+
+    /// Re-consult the RLS for another server (not this one, not the
+    /// excluded ones) hosting *every* listed table. Returns the chosen
+    /// URL plus the lookup cost/count incurred.
+    fn rls_alternate(
+        &self,
+        tables: &[String],
+        exclude: &[&str],
+        branch: &str,
+    ) -> Result<(String, Cost, usize)> {
+        let rls = self
+            .rls
+            .as_ref()
+            .ok_or_else(|| CoreError::BranchUnavailable {
+                branch: branch.to_string(),
+                attempts: 0,
+                detail: "no RLS configured for failover".into(),
+            })?;
+        let mut cost = Cost::ZERO;
+        let mut lookups = 0;
+        let mut candidates: Option<Vec<String>> = None;
+        for table in tables {
+            let found = rls.lookup_from(&self.host, &self.topology, table);
+            cost += found.cost;
+            lookups += 1;
+            let urls: Vec<String> = found
+                .value
+                .into_iter()
+                .filter(|u| u != &self.url && !exclude.contains(&u.as_str()))
+                .collect();
+            candidates = Some(match candidates {
+                None => urls,
+                Some(prev) => prev.into_iter().filter(|u| urls.contains(u)).collect(),
+            });
+        }
+        match candidates.and_then(|c| c.into_iter().next()) {
+            Some(url) => Ok((url, cost, lookups)),
+            None => Err(CoreError::BranchUnavailable {
+                branch: branch.to_string(),
+                attempts: 0,
+                detail: "RLS knows no other server hosting every branch table".into(),
+            }),
+        }
+    }
+
+    /// Tell the RLS how the remote server behaved: repeated unreachable
+    /// reports expire its catalog entries (failure-driven expiry), a
+    /// success clears the streak.
+    fn report_reachability(
+        &self,
+        outcome: &Result<BranchReport>,
+        server_url: &str,
+        stats: &mut QueryStats,
+        bd: &mut CostBreakdown,
+    ) {
+        let Some(rls) = &self.rls else { return };
+        let unreachable = match outcome {
+            Ok(report) => report.events.exhausted_target.as_deref() == Some(server_url),
+            // Exhausted retryable failures: the server never answered.
+            Err(CoreError::BranchUnavailable { .. }) => true,
+            // Breaker rejections, deadlines, and application errors carry
+            // no fresh evidence about the server's reachability.
+            Err(_) => return,
+        };
+        if unreachable {
+            let t = rls.report_unreachable(server_url);
+            stats.rls_lookups += 1;
+            bd.rls += t.cost
+                + self
+                    .topology
+                    .link(&self.host, rls.host())
+                    .round_trip(128, 16);
+        } else {
+            rls.report_reachable(server_url);
+        }
+    }
+
     /// The general federated path: scatter sub-queries, gather partials,
-    /// integrate.
+    /// integrate. Every branch runs through the resilience supervisor
+    /// ([`Resilience::run_branch`]): retry with backoff, failover to the
+    /// next replica, circuit breakers, optional hedging, and Strict vs
+    /// Partial degradation.
     fn exec_federated(
         &self,
         tasks: Vec<decompose::TableTask>,
@@ -659,7 +989,11 @@ impl DataAccessService {
         stats.subqueries = tasks.len();
 
         // Group tasks into branches: one per local database, one per
-        // remote server.
+        // remote server. Connections are opened *inside* each branch so a
+        // dead server's connect failure is retryable/failover-able; the
+        // winning attempt's connect costs are still summed across branches
+        // (the 2005 serialized-DriverManager model — the dominant term of
+        // Table 1's >10× penalty).
         let mut local_groups: HashMap<String, (String, Vec<decompose::TableTask>)> = HashMap::new();
         let mut remote_groups: HashMap<String, Vec<decompose::TableTask>> = HashMap::new();
         for task in tasks {
@@ -680,115 +1014,82 @@ impl DataAccessService {
             }
         }
 
-        // Connection establishment. The 2005 JDBC DriverManager serializes
-        // connection setup, so the distributed path pays the *sum* of
-        // connect+auth costs — the dominant term of Table 1's >10× penalty.
-        enum Branch {
+        enum Spec {
             Local {
-                conn: gridfed_vendors::Connection,
-                pooled_url: Option<String>,
+                db: String,
+                url: String,
                 tasks: Vec<decompose::TableTask>,
             },
             Remote {
-                client: ClarensClient,
+                url: String,
                 tasks: Vec<decompose::TableTask>,
             },
         }
-        let mut branches = Vec::new();
-        // Human-readable branch labels, parallel to `branches`, used to
-        // name the culprit if a scatter thread panics.
+        let mut specs = Vec::new();
+        // Human-readable branch labels, parallel to `specs`, used to name
+        // the culprit on panic or drop.
         let mut labels: Vec<String> = Vec::new();
         let mut sorted_local: Vec<(String, (String, Vec<decompose::TableTask>))> =
             local_groups.into_iter().collect();
         sorted_local.sort_by(|a, b| a.0.cmp(&b.0));
         for (db, (url, tasks)) in sorted_local {
             labels.push(format!("local database `{db}`"));
-            let parsed = ConnectionString::parse(&url)?;
-            let pooled = self.conn_policy == ConnectionPolicy::Pooled
-                && parsed.vendor.pool_supported()
-                && self.pool.has_handle(&url);
-            if pooled {
-                stats.pooled_hits += 1;
-                // Reuse the pooled handle: no connect cost; route through
-                // POOL-RAL in the branch below.
-                let conn = self.registry.connect_parsed(&parsed)?.value;
-                branches.push(Branch::Local {
-                    conn,
-                    pooled_url: Some(url),
-                    tasks,
-                });
-            } else {
-                let conn = self.registry.connect_parsed(&parsed)?;
-                stats.connections_opened += 1;
-                bd.connect += conn.cost;
-                branches.push(Branch::Local {
-                    conn: conn.value,
-                    pooled_url: None,
-                    tasks,
-                });
-            }
+            specs.push(Spec::Local { db, url, tasks });
         }
         let mut sorted_remote: Vec<(String, Vec<decompose::TableTask>)> =
             remote_groups.into_iter().collect();
         sorted_remote.sort_by(|a, b| a.0.cmp(&b.0));
         for (url, tasks) in sorted_remote {
             labels.push(format!("remote server `{url}`"));
-            stats.remote_forwards += tasks.len();
-            let (client, login_cost) = self.remote_client(&url)?;
-            bd.connect += login_cost;
-            branches.push(Branch::Remote { client, tasks });
+            specs.push(Spec::Remote { url, tasks });
         }
 
-        // Scatter: really-parallel dispatch with crossbeam scoped threads.
-        type BranchOut = Result<(Vec<Partial>, Cost)>;
-        let run_local = |conn: &gridfed_vendors::Connection,
-                         pooled_url: &Option<String>,
-                         tasks: &[decompose::TableTask]|
-         -> BranchOut {
-            let mut cost = Cost::ZERO;
-            let mut partials = Vec::with_capacity(tasks.len());
-            for task in tasks {
-                let t = match pooled_url {
-                    Some(url) => self.pool.execute_stmt(url, &task.subquery)?,
-                    None => {
-                        let t = conn.query_stmt(&task.subquery)?;
-                        Timed::new(t.value, t.cost)
-                    }
-                };
-                let transfer =
-                    self.topology
-                        .transfer(conn.server().host(), &self.host, t.value.wire_size());
-                cost += t.cost + transfer;
-                partials.push(Partial::from_result(task.table.clone(), t.value));
+        // Scatter: each branch is supervised end-to-end by run_branch.
+        let clock = self.clock();
+        let run_spec = |spec: &Spec, label: &str| -> Result<BranchReport> {
+            match spec {
+                Spec::Local { db, url, tasks } => {
+                    let mut attempt = || self.local_branch_attempt(url, tasks);
+                    let mut failover = || self.local_branch_failover(db, url, tasks, label);
+                    self.resilience.run_branch(
+                        &clock,
+                        label,
+                        url,
+                        &mut attempt,
+                        Some(&mut failover),
+                        placeholder_partials(tasks),
+                    )
+                }
+                Spec::Remote { url, tasks } => {
+                    let mut attempt = || self.remote_branch_attempt(url, tasks);
+                    let mut failover = || {
+                        let tables: Vec<String> =
+                            tasks.iter().map(|t| normalize_ident(&t.table)).collect();
+                        let (alt, rls_cost, lookups) =
+                            self.rls_alternate(&tables, &[url.as_str()], label)?;
+                        let mut out = self.remote_branch_attempt(&alt, tasks)?;
+                        out.rls_cost += rls_cost;
+                        out.rls_lookups += lookups;
+                        Ok(out)
+                    };
+                    self.resilience.run_branch(
+                        &clock,
+                        label,
+                        url,
+                        &mut attempt,
+                        Some(&mut failover),
+                        placeholder_partials(tasks),
+                    )
+                }
             }
-            Ok((partials, cost))
-        };
-        let run_remote = |client: &ClarensClient, tasks: &[decompose::TableTask]| -> BranchOut {
-            let mut cost = Cost::ZERO;
-            let mut partials = Vec::with_capacity(tasks.len());
-            for task in tasks {
-                let sql = render_select(&task.subquery, &NeutralStyle);
-                let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
-                cost += t.cost + self.params.remote_forward;
-                partials.push(wire_to_partial(&task.table, &t.value)?);
-            }
-            Ok((partials, cost))
         };
 
-        let outcomes: Vec<BranchOut> = match self.dispatch {
+        let outcomes: Vec<Result<BranchReport>> = match self.dispatch {
             DispatchMode::Parallel => std::thread::scope(|scope| {
-                let handles: Vec<_> = branches
+                let handles: Vec<_> = specs
                     .iter()
-                    .map(|b| {
-                        scope.spawn(move || match b {
-                            Branch::Local {
-                                conn,
-                                pooled_url,
-                                tasks,
-                            } => run_local(conn, pooled_url, tasks),
-                            Branch::Remote { client, tasks } => run_remote(client, tasks),
-                        })
-                    })
+                    .zip(&labels)
+                    .map(|(spec, label)| scope.spawn(move || run_spec(spec, label)))
                     .collect();
                 handles
                     .into_iter()
@@ -805,31 +1106,45 @@ impl DataAccessService {
                     })
                     .collect()
             }),
-            DispatchMode::Sequential => branches
+            DispatchMode::Sequential => specs
                 .iter()
-                .map(|b| match b {
-                    Branch::Local {
-                        conn,
-                        pooled_url,
-                        tasks,
-                    } => run_local(conn, pooled_url, tasks),
-                    Branch::Remote { client, tasks } => run_remote(client, tasks),
-                })
+                .zip(&labels)
+                .map(|(spec, label)| run_spec(spec, label))
                 .collect(),
         };
 
-        // Gather.
+        // Gather: fold events, split each branch's time into useful work
+        // (exec, par-composed) vs supervision overhead (resilience = the
+        // extra critical-path time the slowest branch spent on backoff,
+        // penalties, and hedge waits).
         let mut partials = Vec::new();
-        let mut branch_costs = Vec::new();
-        for out in outcomes {
-            let (p, c) = out?;
-            partials.extend(p);
-            branch_costs.push(c);
+        let mut exec_costs = Vec::new();
+        let mut full_costs = Vec::new();
+        for (outcome, (spec, label)) in outcomes.into_iter().zip(specs.iter().zip(&labels)) {
+            if let Spec::Remote { url, .. } = spec {
+                self.report_reachability(&outcome, url, stats, bd);
+            }
+            let report = outcome?;
+            self.absorb_branch_events(&report, label, stats);
+            bd.connect += report.output.connect_cost;
+            bd.rls += report.output.rls_cost;
+            exec_costs.push(report.output.exec_cost);
+            full_costs.push(report.output.exec_cost + report.resilience_cost);
+            partials.extend(report.output.partials);
         }
-        bd.execute += match self.dispatch {
-            DispatchMode::Parallel => Cost::par_all(branch_costs),
-            DispatchMode::Sequential => branch_costs.into_iter().sum(),
-        };
+        match self.dispatch {
+            DispatchMode::Parallel => {
+                let exec = Cost::par_all(exec_costs);
+                bd.execute += exec;
+                bd.resilience += Cost::par_all(full_costs).saturating_sub(exec);
+            }
+            DispatchMode::Sequential => {
+                let exec: Cost = exec_costs.into_iter().sum();
+                let full: Cost = full_costs.into_iter().sum();
+                bd.execute += exec;
+                bd.resilience += full.saturating_sub(exec);
+            }
+        }
 
         stats.rows_fetched = partials.iter().map(|p| p.rows.len()).sum();
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
@@ -839,6 +1154,123 @@ impl DataAccessService {
         stats.compile += Cost::from_secs_f64(metrics.compile.as_secs_f64());
         stats.eval += Cost::from_secs_f64(metrics.eval.as_secs_f64());
         Ok(rs)
+    }
+
+    /// Fold one federated branch's events and counters (not costs — those
+    /// are par-composed across branches by the caller) into the stats.
+    fn absorb_branch_events(&self, report: &BranchReport, label: &str, stats: &mut QueryStats) {
+        stats.retries += report.events.retries;
+        stats.failovers += report.events.failovers;
+        stats.hedges += report.events.hedges;
+        stats.breaker_opens += report.events.breaker_opens;
+        stats.breaker_rejections += report.events.breaker_rejections;
+        if let Some(reason) = &report.events.dropped {
+            stats.branches_dropped.push(BranchDrop {
+                branch: label.to_string(),
+                reason: reason.clone(),
+            });
+        }
+        stats.connections_opened += report.output.connections_opened;
+        stats.pooled_hits += report.output.pooled_hits;
+        stats.remote_forwards += report.output.remote_forwards;
+        stats.rls_lookups += report.output.rls_lookups;
+    }
+
+    /// One attempt of a local federated branch: connect (or reuse the
+    /// pooled handle), run every sub-query, pull the partials back.
+    fn local_branch_attempt(
+        &self,
+        url: &str,
+        tasks: &[decompose::TableTask],
+    ) -> Result<BranchYield> {
+        let parsed = ConnectionString::parse(url)?;
+        let pooled = self.conn_policy == ConnectionPolicy::Pooled
+            && parsed.vendor.pool_supported()
+            && self.pool.has_handle(url);
+        let mut out = BranchYield::default();
+        let conn = if pooled {
+            out.pooled_hits = 1;
+            // Reuse the pooled handle: no connect cost; queries route
+            // through POOL-RAL below.
+            self.registry.connect_parsed(&parsed)?.value
+        } else {
+            let conn = self.registry.connect_parsed(&parsed)?;
+            out.connections_opened = 1;
+            out.connect_cost = conn.cost;
+            conn.value
+        };
+        for task in tasks {
+            let t = if pooled {
+                self.pool.execute_stmt(url, &task.subquery)?
+            } else {
+                let t = conn.query_stmt(&task.subquery)?;
+                Timed::new(t.value, t.cost)
+            };
+            let transfer =
+                self.topology
+                    .transfer(conn.server().host(), &self.host, t.value.wire_size());
+            out.exec_cost += t.cost + transfer;
+            out.partials
+                .push(Partial::from_result(task.table.clone(), t.value));
+        }
+        Ok(out)
+    }
+
+    /// Failover for a local branch: prefer another local database hosting
+    /// every table of the branch (replica marts); otherwise re-consult the
+    /// RLS for a remote server that does.
+    fn local_branch_failover(
+        &self,
+        primary_db: &str,
+        primary_url: &str,
+        tasks: &[decompose::TableTask],
+        label: &str,
+    ) -> Result<BranchYield> {
+        let tables: Vec<String> = tasks.iter().map(|t| normalize_ident(&t.table)).collect();
+        let local_alt = {
+            let dict = self.dict.read();
+            tables.first().and_then(|first| {
+                dict.resolve_table(first).into_iter().find(|loc| {
+                    loc.database != primary_db
+                        && loc.url != primary_url
+                        && tables.iter().all(|t| {
+                            dict.resolve_table(t)
+                                .iter()
+                                .any(|l| l.database == loc.database)
+                        })
+                })
+            })
+        };
+        if let Some(loc) = local_alt {
+            return self.local_branch_attempt(&loc.url, tasks);
+        }
+        let (alt, rls_cost, lookups) = self.rls_alternate(&tables, &[primary_url], label)?;
+        let mut out = self.remote_branch_attempt(&alt, tasks)?;
+        out.rls_cost += rls_cost;
+        out.rls_lookups += lookups;
+        Ok(out)
+    }
+
+    /// One attempt of a remote federated branch: login (or reuse the
+    /// session) and forward each sub-query.
+    fn remote_branch_attempt(
+        &self,
+        url: &str,
+        tasks: &[decompose::TableTask],
+    ) -> Result<BranchYield> {
+        let (client, login_cost) = self.remote_client(url)?;
+        let mut out = BranchYield {
+            connect_cost: login_cost,
+            remote_forwards: tasks.len(),
+            ..BranchYield::default()
+        };
+        for task in tasks {
+            let sql = render_select(&task.subquery, &NeutralStyle);
+            let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+            out.exec_cost += t.cost + self.params.remote_forward;
+            out.partials.push(wire_to_partial(&task.table, &t.value)?);
+        }
+        Ok(out)
     }
 
     /// Get (or create + login) the pooled Clarens client for a remote
@@ -878,6 +1310,46 @@ impl TableResolver for ResolvedTables {
     fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
         self.cols.get(logical).cloned().flatten()
     }
+}
+
+/// Output column names of a statement's projection, when they are all
+/// statically knowable (no wildcards). Used to build honest empty
+/// placeholders for dropped branches under the Partial policy.
+fn stmt_output_columns(stmt: &SelectStmt) -> Option<Vec<String>> {
+    stmt.items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr {
+                alias: Some(alias), ..
+            } => Some(alias.clone()),
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => Some(c.column.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A zero-row partial with the given columns.
+fn empty_partial(table: &str, columns: Vec<String>) -> Partial {
+    Partial {
+        table: table.to_string(),
+        columns,
+        rows: Vec::new(),
+    }
+}
+
+/// Empty placeholder partials for every task of a branch — `None` if any
+/// sub-query's output columns cannot be determined statically (the Partial
+/// policy then falls back to a hard error for that branch).
+fn placeholder_partials(tasks: &[decompose::TableTask]) -> Option<Vec<Partial>> {
+    tasks
+        .iter()
+        .map(|task| {
+            stmt_output_columns(&task.subquery).map(|cols| empty_partial(&task.table, cols))
+        })
+        .collect()
 }
 
 /// Best-effort extraction of a panic payload's message. `panic!` with a
@@ -985,6 +1457,25 @@ fn wire_to_value(w: &WireValue) -> Result<Value> {
 
 // ---- Clarens service binding ----
 
+/// A degraded result must never cross the wire: the RPC result carries no
+/// dropped-branch annotation, so the caller would mistake it for the
+/// complete answer. Refuse instead — the caller's own resilience layer
+/// decides whether to retry, fail over, or degrade with annotation.
+fn degraded_guard(stats: &QueryStats) -> gridfed_clarens::Result<()> {
+    if stats.is_degraded() {
+        let reasons: Vec<&str> = stats
+            .branches_dropped
+            .iter()
+            .map(|d| d.reason.as_str())
+            .collect();
+        return Err(ClarensError::ServiceFault(format!(
+            "degraded result withheld from remote caller: {}",
+            reasons.join("; ")
+        )));
+    }
+    Ok(())
+}
+
 impl Service for DataAccessService {
     fn name(&self) -> &str {
         "das"
@@ -1016,6 +1507,7 @@ impl Service for DataAccessService {
                     .ok_or_else(|| ClarensError::BadParams("query(sql) needs 1 param".into()))?
                     .as_str()?;
                 let t = self.query(sql).map_err(fault)?;
+                degraded_guard(&t.value.stats)?;
                 Ok(Timed::new(
                     WireValue::Grid(t.value.result.to_vector()),
                     t.cost,
@@ -1030,6 +1522,7 @@ impl Service for DataAccessService {
                     })?
                     .as_str()?;
                 let t = self.query(sql).map_err(fault)?;
+                degraded_guard(&t.value.stats)?;
                 Ok(Timed::new(result_to_wire(&t.value.result), t.cost))
             }
             "explain" => {
@@ -1262,7 +1755,18 @@ mod tests {
         let bd = out.stats.breakdown;
         assert_eq!(
             bd.total(),
-            bd.plan + bd.rls + bd.connect + bd.execute + bd.integrate + bd.serialize
+            bd.plan
+                + bd.rls
+                + bd.connect
+                + bd.execute
+                + bd.integrate
+                + bd.serialize
+                + bd.resilience
+        );
+        assert_eq!(
+            bd.resilience,
+            Cost::ZERO,
+            "passthrough config charges nothing"
         );
     }
 

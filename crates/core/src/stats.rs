@@ -45,8 +45,41 @@ pub struct QueryStats {
     /// Mediator-side integration time spent evaluating the compiled
     /// residual plan over fetched rows. Same caveats as `compile`.
     pub eval: Cost,
+    /// Failed branch attempts that were retried (after backoff).
+    pub retries: usize,
+    /// Branches re-routed to another replica after retry exhaustion.
+    pub failovers: usize,
+    /// Hedged duplicate requests whose result was preferred.
+    pub hedges: usize,
+    /// Circuit breakers tripped open by this query's failures.
+    pub breaker_opens: usize,
+    /// Branch dispatches refused outright by an open circuit breaker.
+    pub breaker_rejections: usize,
+    /// Branches dropped under [`DegradationPolicy::Partial`], with the
+    /// reason each was dropped. Empty for a complete (non-degraded)
+    /// result.
+    ///
+    /// [`DegradationPolicy::Partial`]: crate::resilience::DegradationPolicy::Partial
+    pub branches_dropped: Vec<BranchDrop>,
     /// Virtual-time breakdown.
     pub breakdown: CostBreakdown,
+}
+
+impl QueryStats {
+    /// Whether the result is honest-but-incomplete (some branches were
+    /// dropped under the Partial degradation policy).
+    pub fn is_degraded(&self) -> bool {
+        !self.branches_dropped.is_empty()
+    }
+}
+
+/// One branch dropped from a degraded (Partial-policy) result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchDrop {
+    /// Human-readable branch label (database or remote server).
+    pub branch: String,
+    /// Why the branch was dropped (last error after retries/failover).
+    pub reason: String,
 }
 
 /// Where the virtual time went.
@@ -64,12 +97,22 @@ pub struct CostBreakdown {
     pub integrate: Cost,
     /// Final serialization to the client.
     pub serialize: Cost,
+    /// Resilience overhead: backoff waits, failed attempts, failover
+    /// detours, hedge waits — the extra critical-path time beyond the
+    /// winning attempts' own execution.
+    pub resilience: Cost,
 }
 
 impl CostBreakdown {
     /// Total virtual time.
     pub fn total(&self) -> Cost {
-        self.plan + self.rls + self.connect + self.execute + self.integrate + self.serialize
+        self.plan
+            + self.rls
+            + self.connect
+            + self.execute
+            + self.integrate
+            + self.serialize
+            + self.resilience
     }
 }
 
@@ -86,8 +129,20 @@ mod tests {
             execute: Cost::from_millis(40),
             integrate: Cost::from_millis(10),
             serialize: Cost::from_millis(3),
+            resilience: Cost::from_millis(20),
         };
-        assert_eq!(b.total().as_millis_f64(), 380.0);
+        assert_eq!(b.total().as_millis_f64(), 400.0);
+    }
+
+    #[test]
+    fn degraded_flag_tracks_dropped_branches() {
+        let mut s = QueryStats::default();
+        assert!(!s.is_degraded());
+        s.branches_dropped.push(BranchDrop {
+            branch: "database `mart_mssql`".into(),
+            reason: "server `mart_mssql` is unavailable".into(),
+        });
+        assert!(s.is_degraded());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! A shared virtual clock for fault scheduling.
+//!
+//! The cost model (`gridfed-simnet`) composes durations but has no notion
+//! of "now" — every query starts at time zero. Fault plans need an epoch:
+//! a crash window `[2 s, 5 s)` is meaningless without a clock that moves.
+//! [`VirtualClock`] supplies one without making anything slower or
+//! nondeterministic:
+//!
+//! - a **base** instant, advanced explicitly (the mediator advances it by
+//!   each query's total virtual cost, so back-to-back queries see time
+//!   pass), and
+//! - a **thread-local offset**, set scopewise by the resilience layer so a
+//!   retry loop inside one scatter branch observes its own accrued backoff
+//!   ("virtual sleep") without racing sibling branches.
+//!
+//! Reads are `base + offset`. Branch threads never write the base, so the
+//! fault schedule a branch observes depends only on its own deterministic
+//! attempt sequence — never on OS thread interleaving.
+
+use gridfed_simnet::Cost;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static OFFSET: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A monotonic virtual clock in microseconds. Cheap to share (`Arc`), cheap
+/// to read (one atomic load), deterministic by construction.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    base_micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time: the shared base plus this thread's scoped
+    /// offset (zero outside [`VirtualClock::with_offset`]).
+    pub fn now(&self) -> Cost {
+        let base = self.base_micros.load(Ordering::Relaxed);
+        Cost::from_micros(base.saturating_add(OFFSET.with(Cell::get)))
+    }
+
+    /// Advance the shared base by `delta`.
+    pub fn advance(&self, delta: Cost) {
+        self.base_micros
+            .fetch_add(delta.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Jump the shared base to an absolute instant. Test/driver control —
+    /// ordinary code should only [`VirtualClock::advance`].
+    pub fn set(&self, instant: Cost) {
+        self.base_micros
+            .store(instant.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Run `f` with this thread's clock offset set to `offset` (absolute
+    /// for the scope, previous value restored on exit — including on
+    /// panic). The resilience layer wraps each retry attempt in this so
+    /// the attempt observes `base + accrued backoff` as "now".
+    pub fn with_offset<R>(&self, offset: Cost, f: impl FnOnce() -> R) -> R {
+        struct Restore(u64);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OFFSET.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(OFFSET.with(|c| {
+            let prev = c.get();
+            c.set(offset.as_micros());
+            prev
+        }));
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Cost::ZERO);
+        c.advance(Cost::from_millis(5));
+        c.advance(Cost::from_millis(7));
+        assert_eq!(c.now(), Cost::from_millis(12));
+        c.set(Cost::from_millis(3));
+        assert_eq!(c.now(), Cost::from_millis(3));
+    }
+
+    #[test]
+    fn offset_is_scoped_and_restored() {
+        let c = VirtualClock::new();
+        c.advance(Cost::from_millis(10));
+        let inner = c.with_offset(Cost::from_millis(4), || {
+            // nested scopes are absolute, not additive
+            let nested = c.with_offset(Cost::from_millis(1), || c.now());
+            assert_eq!(nested, Cost::from_millis(11));
+            c.now()
+        });
+        assert_eq!(inner, Cost::from_millis(14));
+        assert_eq!(c.now(), Cost::from_millis(10));
+    }
+
+    #[test]
+    fn offset_is_per_thread() {
+        let c = std::sync::Arc::new(VirtualClock::new());
+        c.advance(Cost::from_millis(100));
+        c.with_offset(Cost::from_millis(50), || {
+            let c2 = std::sync::Arc::clone(&c);
+            let other = std::thread::spawn(move || c2.now()).join().unwrap();
+            // the spawned thread does not inherit this thread's offset
+            assert_eq!(other, Cost::from_millis(100));
+            assert_eq!(c.now(), Cost::from_millis(150));
+        });
+    }
+
+    #[test]
+    fn offset_restored_on_panic() {
+        let c = VirtualClock::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.with_offset(Cost::from_millis(9), || panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(c.now(), Cost::ZERO);
+    }
+}

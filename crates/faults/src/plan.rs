@@ -1,0 +1,530 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures over virtual time:
+//! server crash/restart windows, transient error rates, slow servers, slow
+//! or partitioned links, and RLS staleness windows. Infrastructure
+//! components (`SimServer`, `ClarensServer`, `Topology`, `RlsServer`)
+//! consult the plan at each operation; the plan answers from the shared
+//! [`VirtualClock`] plus a seeded hash, so the same plan + seed + operation
+//! sequence always injects the same faults — chaos tests reproduce
+//! exactly, bit for bit.
+//!
+//! Determinism under parallel scatter branches: transient rolls are keyed
+//! by `(seed, target, per-target operation counter)`. Each scatter branch
+//! talks to its own targets, so each counter is bumped from exactly one
+//! thread per query and the draw sequence is independent of OS thread
+//! interleaving.
+
+use crate::clock::VirtualClock;
+use gridfed_simnet::{Cost, LinkCondition, LinkConditions};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A half-open window `[from, until)` of virtual time; `until = None`
+/// means "forever after `from`".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Start of the window (inclusive).
+    pub from: Cost,
+    /// End of the window (exclusive); `None` = never ends.
+    pub until: Option<Cost>,
+}
+
+impl Window {
+    /// The window `[from, until)`.
+    pub fn new(from: Cost, until: Option<Cost>) -> Window {
+        Window { from, until }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Cost) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ServerFault {
+    Crash,
+    Transient { rate: f64 },
+    Slow { factor: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ServerRule {
+    target: String,
+    fault: ServerFault,
+    window: Window,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LinkFault {
+    Partition,
+    Slow { factor: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LinkRule {
+    a: String,
+    b: String,
+    fault: LinkFault,
+    window: Window,
+}
+
+/// What a consulted component should do for the current operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Injected {
+    /// The target is down for the whole window: fail every operation.
+    Crash,
+    /// This particular operation fails; the next may succeed.
+    Transient,
+}
+
+/// Verdict for one operation against one target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCheck {
+    /// Fault to inject, if any. Crash outranks transient.
+    pub fault: Option<Injected>,
+    /// Multiplier for the operation's virtual cost (1.0 = unaffected).
+    pub slow_factor: f64,
+}
+
+impl OpCheck {
+    /// An unaffected operation.
+    pub fn clean() -> OpCheck {
+        OpCheck {
+            fault: None,
+            slow_factor: 1.0,
+        }
+    }
+}
+
+/// Counters of injections actually performed, for test assertions and
+/// experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Operations refused because the target was inside a crash window.
+    pub crashes: u64,
+    /// Operations failed by a transient-rate roll.
+    pub transients: u64,
+    /// Operations that ran with a slow factor > 1.
+    pub slow_ops: u64,
+    /// Link-condition queries answered "partitioned".
+    pub partitions: u64,
+    /// RLS staleness checks answered "stale".
+    pub rls_stale_hits: u64,
+}
+
+/// A seeded, deterministic fault schedule on virtual time.
+///
+/// Build one with the chainable constructors, hand it to
+/// `GridBuilder::with_fault_plan`, and every layer of the stack consults
+/// it:
+///
+/// ```
+/// use gridfed_faults::FaultPlan;
+/// use gridfed_simnet::Cost;
+///
+/// let plan = FaultPlan::new(42)
+///     .crash("mart_mysql", Cost::ZERO, Some(Cost::from_millis(20)))
+///     .transient("*", 0.2)
+///     .slow("mart_oracle", 3.0, Cost::ZERO, None)
+///     .partition("node1", "node2", Cost::from_secs_f64(1.0), None);
+/// assert!(plan.check_op(&["mart_mysql"]).fault.is_some());
+/// ```
+///
+/// Targets are matched against whatever identity strings the consulting
+/// component supplies (database name, host, `host/db`, or a Clarens URL);
+/// `"*"` matches everything.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    clock: Arc<VirtualClock>,
+    server_rules: Vec<ServerRule>,
+    link_rules: Vec<LinkRule>,
+    stale_windows: Vec<Window>,
+    counters: Mutex<HashMap<String, u64>>,
+    stats: Mutex<FaultStats>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed and a fresh
+    /// clock at time zero.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            clock: Arc::new(VirtualClock::new()),
+            server_rules: Vec::new(),
+            link_rules: Vec::new(),
+            stale_windows: Vec::new(),
+            counters: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Crash `target` for the window `[from, until)` (`until = None` =
+    /// never restarts). Every operation against it fails while crashed.
+    pub fn crash(mut self, target: impl Into<String>, from: Cost, until: Option<Cost>) -> Self {
+        self.server_rules.push(ServerRule {
+            target: target.into(),
+            fault: ServerFault::Crash,
+            window: Window::new(from, until),
+        });
+        self
+    }
+
+    /// Fail each operation against `target` independently with
+    /// probability `rate` (clamped to `[0, 1]`), forever.
+    pub fn transient(self, target: impl Into<String>, rate: f64) -> Self {
+        self.transient_during(target, rate, Cost::ZERO, None)
+    }
+
+    /// Like [`FaultPlan::transient`], limited to a window.
+    pub fn transient_during(
+        mut self,
+        target: impl Into<String>,
+        rate: f64,
+        from: Cost,
+        until: Option<Cost>,
+    ) -> Self {
+        self.server_rules.push(ServerRule {
+            target: target.into(),
+            fault: ServerFault::Transient {
+                rate: rate.clamp(0.0, 1.0),
+            },
+            window: Window::new(from, until),
+        });
+        self
+    }
+
+    /// Multiply the virtual cost of operations against `target` by
+    /// `factor` during the window.
+    pub fn slow(
+        mut self,
+        target: impl Into<String>,
+        factor: f64,
+        from: Cost,
+        until: Option<Cost>,
+    ) -> Self {
+        self.server_rules.push(ServerRule {
+            target: target.into(),
+            fault: ServerFault::Slow {
+                factor: factor.max(1.0),
+            },
+            window: Window::new(from, until),
+        });
+        self
+    }
+
+    /// Partition the (symmetric) link between nodes `a` and `b` during the
+    /// window: no traffic passes.
+    pub fn partition(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        from: Cost,
+        until: Option<Cost>,
+    ) -> Self {
+        self.link_rules.push(LinkRule {
+            a: a.into(),
+            b: b.into(),
+            fault: LinkFault::Partition,
+            window: Window::new(from, until),
+        });
+        self
+    }
+
+    /// Degrade the link between `a` and `b` by `factor` during the window.
+    pub fn slow_link(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        factor: f64,
+        from: Cost,
+        until: Option<Cost>,
+    ) -> Self {
+        self.link_rules.push(LinkRule {
+            a: a.into(),
+            b: b.into(),
+            fault: LinkFault::Slow {
+                factor: factor.max(1.0),
+            },
+            window: Window::new(from, until),
+        });
+        self
+    }
+
+    /// Mark the RLS catalog stale during the window: lookups still answer
+    /// (from the stale snapshot) but failure-driven expiry is suppressed,
+    /// modeling a replica catalog lagging behind reality.
+    pub fn rls_stale(mut self, from: Cost, until: Option<Cost>) -> Self {
+        self.stale_windows.push(Window::new(from, until));
+        self
+    }
+
+    /// The shared virtual clock rules are evaluated against.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Cost {
+        self.clock.now()
+    }
+
+    /// Advance virtual time (driver/test control).
+    pub fn advance(&self, delta: Cost) {
+        self.clock.advance(delta);
+    }
+
+    /// Jump virtual time to an absolute instant (driver/test control).
+    pub fn set_now(&self, instant: Cost) {
+        self.clock.set(instant);
+    }
+
+    /// Snapshot of injection counters.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock()
+    }
+
+    /// Consult the plan for one operation against a target identified by
+    /// any of `keys` (db name, host, `host/db`, URL). Components call this
+    /// once per connect/query/RPC; the per-target counter that drives
+    /// transient rolls advances exactly once per call.
+    pub fn check_op(&self, keys: &[&str]) -> OpCheck {
+        if self.server_rules.is_empty() {
+            return OpCheck::clean();
+        }
+        let now = self.clock.now();
+        let mut fault = None;
+        let mut slow_factor = 1.0;
+        for rule in &self.server_rules {
+            if !matches_target(&rule.target, keys) || !rule.window.contains(now) {
+                continue;
+            }
+            match rule.fault {
+                ServerFault::Crash => fault = Some(Injected::Crash),
+                ServerFault::Transient { rate } => {
+                    // Always bump the counter so the draw sequence does not
+                    // depend on which other rules matched.
+                    let n = self.bump_counter(keys.first().copied().unwrap_or("*"));
+                    if fault.is_none() && self.roll(keys.first().copied().unwrap_or("*"), n) < rate
+                    {
+                        fault = Some(Injected::Transient);
+                    }
+                }
+                ServerFault::Slow { factor } => slow_factor *= factor,
+            }
+        }
+        {
+            let mut stats = self.stats.lock();
+            match fault {
+                Some(Injected::Crash) => stats.crashes += 1,
+                Some(Injected::Transient) => stats.transients += 1,
+                None => {}
+            }
+            if slow_factor > 1.0 {
+                stats.slow_ops += 1;
+            }
+        }
+        OpCheck { fault, slow_factor }
+    }
+
+    /// Whether the RLS catalog is inside a staleness window right now.
+    pub fn rls_is_stale(&self) -> bool {
+        let now = self.clock.now();
+        let stale = self.stale_windows.iter().any(|w| w.contains(now));
+        if stale {
+            self.stats.lock().rls_stale_hits += 1;
+        }
+        stale
+    }
+
+    fn bump_counter(&self, key: &str) -> u64 {
+        let mut counters = self.counters.lock();
+        let n = counters.entry(key.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Uniform draw in `[0, 1)` from `(seed, key, n)` — splitmix64 over an
+    /// FNV-mixed key. No shared RNG state, so parallel branches cannot
+    /// perturb each other's sequences.
+    fn roll(&self, key: &str, n: u64) -> f64 {
+        let mut h = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in key.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // splitmix64 finalizer
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl LinkConditions for FaultPlan {
+    fn condition(&self, a: &str, b: &str) -> LinkCondition {
+        if self.link_rules.is_empty() {
+            return LinkCondition::Normal;
+        }
+        let now = self.clock.now();
+        let mut slow = 1.0;
+        let mut partitioned = false;
+        for rule in &self.link_rules {
+            let pair_matches = (rule.a == a && rule.b == b) || (rule.a == b && rule.b == a);
+            if !pair_matches || !rule.window.contains(now) {
+                continue;
+            }
+            match rule.fault {
+                LinkFault::Partition => partitioned = true,
+                LinkFault::Slow { factor } => slow *= factor,
+            }
+        }
+        if partitioned {
+            self.stats.lock().partitions += 1;
+            LinkCondition::Partitioned
+        } else if slow > 1.0 {
+            LinkCondition::Slow(slow)
+        } else {
+            LinkCondition::Normal
+        }
+    }
+}
+
+fn matches_target(target: &str, keys: &[&str]) -> bool {
+    target == "*" || keys.contains(&target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new(1);
+        assert_eq!(plan.check_op(&["anything"]), OpCheck::clean());
+        assert!(!plan.rls_is_stale());
+        assert_eq!(plan.condition("a", "b"), LinkCondition::Normal);
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn crash_window_opens_and_closes() {
+        let plan =
+            FaultPlan::new(1).crash("db1", Cost::from_millis(10), Some(Cost::from_millis(20)));
+        assert_eq!(plan.check_op(&["db1"]).fault, None);
+        plan.set_now(Cost::from_millis(10));
+        assert_eq!(plan.check_op(&["db1"]).fault, Some(Injected::Crash));
+        assert_eq!(plan.check_op(&["db2"]).fault, None);
+        plan.set_now(Cost::from_millis(20));
+        assert_eq!(plan.check_op(&["db1"]).fault, None);
+        assert_eq!(plan.stats().crashes, 1);
+    }
+
+    #[test]
+    fn crash_matches_any_supplied_key() {
+        let plan = FaultPlan::new(1).crash("node1/db1", Cost::ZERO, None);
+        assert_eq!(
+            plan.check_op(&["db1", "node1", "node1/db1"]).fault,
+            Some(Injected::Crash)
+        );
+        assert_eq!(plan.check_op(&["db1", "node2"]).fault, None);
+    }
+
+    #[test]
+    fn transient_rate_is_respected_and_deterministic() {
+        let run = |seed| {
+            let plan = FaultPlan::new(seed).transient("db1", 0.3);
+            (0..1000)
+                .map(|_| plan.check_op(&["db1"]).fault.is_some())
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the same fault sequence");
+        let hits = a.iter().filter(|x| **x).count();
+        assert!(
+            (200..400).contains(&hits),
+            "30% rate drew {hits} faults out of 1000"
+        );
+        let c = run(8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn transient_rate_zero_and_one() {
+        let never = FaultPlan::new(3).transient("db", 0.0);
+        let always = FaultPlan::new(3).transient("db", 1.0);
+        for _ in 0..50 {
+            assert_eq!(never.check_op(&["db"]).fault, None);
+            assert_eq!(always.check_op(&["db"]).fault, Some(Injected::Transient));
+        }
+    }
+
+    #[test]
+    fn crash_outranks_transient() {
+        let plan = FaultPlan::new(1)
+            .transient("db", 1.0)
+            .crash("db", Cost::ZERO, None);
+        assert_eq!(plan.check_op(&["db"]).fault, Some(Injected::Crash));
+        assert_eq!(plan.stats().crashes, 1);
+        assert_eq!(plan.stats().transients, 0);
+    }
+
+    #[test]
+    fn slow_factors_compose() {
+        let plan =
+            FaultPlan::new(1)
+                .slow("db", 2.0, Cost::ZERO, None)
+                .slow("*", 3.0, Cost::ZERO, None);
+        let check = plan.check_op(&["db"]);
+        assert_eq!(check.fault, None);
+        assert!((check.slow_factor - 6.0).abs() < 1e-9);
+        assert_eq!(plan.stats().slow_ops, 1);
+        // untargeted server only gets the wildcard factor
+        assert!((plan.check_op(&["other"]).slow_factor - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_rules_are_symmetric_and_windowed() {
+        let plan = FaultPlan::new(1)
+            .partition("n1", "n2", Cost::from_millis(5), Some(Cost::from_millis(9)))
+            .slow_link("n1", "n3", 4.0, Cost::ZERO, None);
+        assert_eq!(plan.condition("n1", "n2"), LinkCondition::Normal);
+        plan.set_now(Cost::from_millis(5));
+        assert_eq!(plan.condition("n2", "n1"), LinkCondition::Partitioned);
+        assert_eq!(plan.condition("n3", "n1"), LinkCondition::Slow(4.0));
+        plan.set_now(Cost::from_millis(9));
+        assert_eq!(plan.condition("n1", "n2"), LinkCondition::Normal);
+        assert_eq!(plan.stats().partitions, 1);
+    }
+
+    #[test]
+    fn staleness_window() {
+        let plan = FaultPlan::new(1).rls_stale(Cost::ZERO, Some(Cost::from_millis(1)));
+        assert!(plan.rls_is_stale());
+        plan.set_now(Cost::from_millis(1));
+        assert!(!plan.rls_is_stale());
+        assert_eq!(plan.stats().rls_stale_hits, 1);
+    }
+
+    #[test]
+    fn clock_offset_shifts_windows_per_thread() {
+        let plan = FaultPlan::new(1).crash("db", Cost::ZERO, Some(Cost::from_millis(10)));
+        let clock = plan.clock();
+        assert_eq!(plan.check_op(&["db"]).fault, Some(Injected::Crash));
+        // A branch that has accrued 12 ms of backoff sees the restart.
+        let after = clock.with_offset(Cost::from_millis(12), || plan.check_op(&["db"]).fault);
+        assert_eq!(after, None);
+        // Back in the unshifted scope the crash is still on.
+        assert_eq!(plan.check_op(&["db"]).fault, Some(Injected::Crash));
+    }
+}

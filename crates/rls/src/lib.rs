@@ -11,11 +11,12 @@
 //! collectively cover the full database collection instead of one server
 //! registering everything — quantified by the `ablation_rls` bench.
 
+use gridfed_faults::FaultPlan;
 use gridfed_simnet::cost::Timed;
 use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Running statistics of an RLS server.
@@ -29,6 +30,10 @@ pub struct RlsStats {
     pub misses: u64,
     /// Publish calls handled.
     pub publishes: u64,
+    /// Unreachability reports received from clients.
+    pub unreachable_reports: u64,
+    /// Servers unpublished because clients kept reporting them dead.
+    pub expirations: u64,
 }
 
 /// The central RLS server.
@@ -49,7 +54,16 @@ pub struct RlsServer {
     mappings: RwLock<BTreeMap<String, BTreeSet<String>>>,
     stats: RwLock<RlsStats>,
     params: CostParams,
+    /// server URL → consecutive unreachability reports.
+    unreachable_counts: RwLock<HashMap<String, u32>>,
+    /// Consecutive reports after which a server is expired.
+    expiry_threshold: RwLock<u32>,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
+
+/// Default number of consecutive unreachability reports before the RLS
+/// expires a server's mappings (R-GMA-style failure-driven expiry).
+pub const DEFAULT_EXPIRY_THRESHOLD: u32 = 3;
 
 impl RlsServer {
     /// Create an RLS server on a topology node.
@@ -59,7 +73,63 @@ impl RlsServer {
             mappings: RwLock::new(BTreeMap::new()),
             stats: RwLock::new(RlsStats::default()),
             params: CostParams::paper_2005(),
+            unreachable_counts: RwLock::new(HashMap::new()),
+            expiry_threshold: RwLock::new(DEFAULT_EXPIRY_THRESHOLD),
+            faults: RwLock::new(None),
         })
+    }
+
+    /// Set how many consecutive unreachability reports expire a server
+    /// (minimum 1).
+    pub fn set_expiry_threshold(&self, threshold: u32) {
+        *self.expiry_threshold.write() = threshold.max(1);
+    }
+
+    /// Install a fault plan. During an RLS staleness window the catalog
+    /// stops reacting to unreachability reports (the replica catalog lags
+    /// reality), modeling the stale-registry hazard grid deployments hit.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Report that a client could not reach `server_url`. After the
+    /// configured number of *consecutive* reports the RLS expires every
+    /// mapping for that server so dead replicas stop being handed out.
+    /// Returns whether this report triggered the expiry.
+    pub fn report_unreachable(&self, server_url: &str) -> Timed<bool> {
+        self.stats.write().unreachable_reports += 1;
+        if let Some(plan) = self.faults.read().as_ref() {
+            if plan.rls_is_stale() {
+                // Stale catalog: the report lands on a lagging snapshot
+                // and is lost.
+                return Timed::new(false, self.params.rls_lookup);
+            }
+        }
+        let threshold = *self.expiry_threshold.read();
+        let count = {
+            let mut counts = self.unreachable_counts.write();
+            let c = counts.entry(server_url.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count >= threshold {
+            self.unreachable_counts.write().remove(server_url);
+            let removed = self.unpublish_server(server_url);
+            let mut stats = self.stats.write();
+            if removed.value > 0 {
+                stats.expirations += 1;
+            }
+            Timed::new(removed.value > 0, self.params.rls_lookup + removed.cost)
+        } else {
+            Timed::new(false, self.params.rls_lookup)
+        }
+    }
+
+    /// Report that a client reached `server_url` successfully, resetting
+    /// its consecutive-failure count (reports must be *consecutive* to
+    /// expire a server).
+    pub fn report_reachable(&self, server_url: &str) {
+        self.unreachable_counts.write().remove(server_url);
     }
 
     /// The node hosting this RLS.
@@ -233,6 +303,57 @@ mod tests {
         let stats = rls.stats();
         assert_eq!(stats.lookups, 4);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn failure_reports_expire_a_server() {
+        let rls = RlsServer::new("rls");
+        rls.publish("dead", &["t1".into(), "t2".into()]);
+        rls.publish("alive", &["t1".into()]);
+        rls.set_expiry_threshold(3);
+        assert!(!rls.report_unreachable("dead").value);
+        assert!(!rls.report_unreachable("dead").value);
+        assert!(rls.report_unreachable("dead").value);
+        assert_eq!(rls.lookup("t1").value, vec!["alive"]);
+        assert!(rls.lookup("t2").value.is_empty());
+        let stats = rls.stats();
+        assert_eq!(stats.unreachable_reports, 3);
+        assert_eq!(stats.expirations, 1);
+        // further reports about an already-expired server do nothing new
+        assert!(!rls.report_unreachable("dead").value);
+        assert!(!rls.report_unreachable("dead").value);
+        assert!(!rls.report_unreachable("dead").value);
+        assert_eq!(rls.stats().expirations, 1);
+    }
+
+    #[test]
+    fn reachable_report_resets_the_streak() {
+        let rls = RlsServer::new("rls");
+        rls.publish("flaky", &["t".into()]);
+        rls.set_expiry_threshold(2);
+        rls.report_unreachable("flaky");
+        rls.report_reachable("flaky");
+        assert!(!rls.report_unreachable("flaky").value);
+        assert_eq!(rls.lookup("t").value, vec!["flaky"], "still published");
+        assert!(rls.report_unreachable("flaky").value, "streak completes");
+        assert!(rls.lookup("t").value.is_empty());
+    }
+
+    #[test]
+    fn stale_catalog_suppresses_expiry() {
+        use gridfed_faults::FaultPlan;
+        use gridfed_simnet::Cost;
+
+        let rls = RlsServer::new("rls");
+        rls.publish("dead", &["t".into()]);
+        rls.set_expiry_threshold(1);
+        let plan = Arc::new(FaultPlan::new(1).rls_stale(Cost::ZERO, Some(Cost::from_millis(5))));
+        rls.set_fault_plan(Arc::clone(&plan));
+        assert!(!rls.report_unreachable("dead").value);
+        assert_eq!(rls.lookup("t").value, vec!["dead"], "stale: not expired");
+        plan.set_now(Cost::from_millis(5));
+        assert!(rls.report_unreachable("dead").value, "fresh: expiry works");
+        assert!(plan.stats().rls_stale_hits >= 1);
     }
 
     #[test]

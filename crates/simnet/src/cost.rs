@@ -83,6 +83,15 @@ impl Cost {
             micros: (self.micros as f64 * factor.max(0.0)) as u64,
         }
     }
+
+    /// Saturating difference: how much longer `self` took than `other`,
+    /// or zero. Used to split a branch's wall time into "useful work" vs
+    /// "resilience overhead" buckets without ever going negative.
+    pub fn saturating_sub(self, other: Cost) -> Cost {
+        Cost {
+            micros: self.micros.saturating_sub(other.micros),
+        }
+    }
 }
 
 impl Add for Cost {

@@ -30,4 +30,4 @@ pub use cost::Cost;
 pub use disk::DiskProfile;
 pub use link::Link;
 pub use params::CostParams;
-pub use topology::Topology;
+pub use topology::{LinkCondition, LinkConditions, Topology};

@@ -48,6 +48,19 @@ impl Link {
         }
     }
 
+    /// A degraded copy of this link: latency and framing overhead scaled
+    /// up by `factor`, bandwidth divided by it. Fault plans use this to
+    /// model congested or flapping paths without touching the topology's
+    /// base link table.
+    pub fn slowed(&self, factor: f64) -> Link {
+        let factor = factor.max(1.0);
+        Link {
+            latency: self.latency.scale(factor),
+            bandwidth_bps: self.bandwidth_bps / factor,
+            per_message: self.per_message.scale(factor),
+        }
+    }
+
     /// Virtual time to move `bytes` across the link in one message.
     pub fn transfer(&self, bytes: usize) -> Cost {
         self.latency + self.per_message + Cost::from_secs_f64(bytes as f64 / self.bandwidth_bps)

@@ -36,6 +36,19 @@ pub enum VendorError {
     Storage(StorageError),
     /// The connection was closed.
     ConnectionClosed,
+    /// The server is down (crash window of an active fault plan, or an
+    /// unreachable host). Retrying against the same server may succeed
+    /// once it restarts; failing over to a replica is the faster cure.
+    Unavailable {
+        /// Server (or link) that is down.
+        server: String,
+    },
+    /// A transient fault hit this one operation (lost packet, dropped
+    /// backend worker, lock timeout). The very next attempt may succeed.
+    Transient {
+        /// Server that glitched.
+        server: String,
+    },
 }
 
 impl fmt::Display for VendorError {
@@ -57,6 +70,12 @@ impl fmt::Display for VendorError {
             VendorError::Sql(e) => write!(f, "SQL error: {e}"),
             VendorError::Storage(e) => write!(f, "storage error: {e}"),
             VendorError::ConnectionClosed => write!(f, "connection is closed"),
+            VendorError::Unavailable { server } => {
+                write!(f, "server `{server}` is unavailable")
+            }
+            VendorError::Transient { server } => {
+                write!(f, "transient fault talking to server `{server}`")
+            }
         }
     }
 }

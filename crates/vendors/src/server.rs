@@ -4,6 +4,7 @@ use crate::dialect::{dialect_for, Dialect};
 use crate::error::VendorError;
 use crate::kind::VendorKind;
 use crate::Result;
+use gridfed_faults::{FaultPlan, Injected};
 use gridfed_simnet::cost::Timed;
 use gridfed_simnet::params::CostParams;
 use gridfed_sqlkit::ast::Statement;
@@ -37,6 +38,7 @@ pub struct SimServer {
     users: RwLock<HashMap<String, String>>,
     db: RwLock<Database>,
     params: CostParams,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl SimServer {
@@ -53,7 +55,40 @@ impl SimServer {
             users: RwLock::new(users),
             db: RwLock::new(Database::new(db_name)),
             params: CostParams::paper_2005(),
+            faults: RwLock::new(None),
         })
+    }
+
+    /// Install a fault plan; every subsequent connect/query/DML consults
+    /// it. Matched against the database name, host, and `host/db`.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// Consult the fault plan for one operation: `Err` when the plan says
+    /// this operation fails, otherwise the slow factor to apply to its
+    /// virtual cost.
+    fn fault_check(&self) -> Result<f64> {
+        let guard = self.faults.read();
+        let Some(plan) = guard.as_ref() else {
+            return Ok(1.0);
+        };
+        let host_db = format!("{}/{}", self.host, self.db_name);
+        let check = plan.check_op(&[&self.db_name, &self.host, &host_db]);
+        match check.fault {
+            Some(Injected::Crash) => Err(VendorError::Unavailable {
+                server: self.db_name.clone(),
+            }),
+            Some(Injected::Transient) => Err(VendorError::Transient {
+                server: self.db_name.clone(),
+            }),
+            None => Ok(check.slow_factor),
+        }
     }
 
     /// Vendor product.
@@ -90,8 +125,10 @@ impl SimServer {
     /// connect + auth cost — the dominant term in the paper's >10×
     /// distributed-query penalty.
     pub fn connect(self: &Arc<Self>, user: &str, password: &str) -> Result<Timed<Connection>> {
-        let cost =
-            self.params.db_connect.scale(self.kind.connect_multiplier()) + self.params.db_auth;
+        let slow = self.fault_check()?;
+        let cost = (self.params.db_connect.scale(self.kind.connect_multiplier())
+            + self.params.db_auth)
+            .scale(slow);
         let ok = self.users.read().get(user).is_some_and(|p| p == password);
         if !ok {
             return Err(VendorError::AuthFailed {
@@ -189,6 +226,7 @@ impl Connection {
     }
 
     fn run_select(&self, sel: &gridfed_sqlkit::ast::SelectStmt) -> Result<Timed<ResultSet>> {
+        let slow = self.server.fault_check()?;
         let db = self.server.db.read();
         let result = execute_select(sel, &DatabaseProvider(&db))?;
         // Rows examined: sum of the cardinalities of every referenced table
@@ -204,18 +242,20 @@ impl Connection {
         let cost = (p.per_subquery
             + p.per_row_scan.scale(scanned as f64)
             + p.per_row_fetch.scale(result.rows.len() as f64))
-        .scale(perf);
+        .scale(perf)
+        .scale(slow);
         Ok(Timed::new(result, cost))
     }
 
     /// Execute DDL / DML text (CREATE TABLE, INSERT).
     pub fn execute(&self, sql: &str) -> Result<Timed<usize>> {
         self.check_open()?;
+        let slow = self.server.fault_check()?;
         self.server.dialect().check_text(sql)?;
         let stmt = gridfed_sqlkit::parser::parse(sql)?;
         let mut db = self.server.db.write();
         let (n, cost) = apply_statement(&mut db, stmt, &self.server.params)?;
-        Ok(Timed::new(n, cost))
+        Ok(Timed::new(n, cost.scale(slow)))
     }
 
     /// Execute several DDL/DML statements **atomically**: either every
@@ -225,6 +265,7 @@ impl Connection {
     /// snapshot that replaces the live database only on full success.
     pub fn execute_atomic(&self, sqls: &[&str]) -> Result<Timed<usize>> {
         self.check_open()?;
+        self.server.fault_check()?;
         for sql in sqls {
             self.server.dialect().check_text(sql)?;
         }
@@ -256,6 +297,7 @@ impl Connection {
     /// Fetch all rows of a table (ETL extraction primitive).
     pub fn dump_table(&self, table: &str) -> Result<Timed<Vec<Row>>> {
         self.check_open()?;
+        let slow = self.server.fault_check()?;
         let db = self.server.db.read();
         let t = db.table(table)?;
         let rows = t.rows();
@@ -264,7 +306,8 @@ impl Connection {
             .params
             .per_row_fetch
             .scale(rows.len() as f64)
-            .scale(self.server.kind.perf_multiplier());
+            .scale(self.server.kind.perf_multiplier())
+            .scale(slow);
         Ok(Timed::new(rows, cost))
     }
 
@@ -598,6 +641,63 @@ mod tests {
         assert_eq!(server.with_db(|db| db.table("events").unwrap().len()), 1);
         // dialect check still applies to DML
         assert!(conn.execute("DELETE FROM [events]").is_err());
+    }
+
+    #[test]
+    fn fault_plan_crashes_and_slows_operations() {
+        use gridfed_faults::FaultPlan;
+
+        let server = fixture(VendorKind::MySql);
+        let conn = server.connect("grid", "grid").unwrap().value;
+        let clean_cost = conn.query("SELECT `e_id` FROM `events`").unwrap().cost;
+
+        let plan =
+            Arc::new(FaultPlan::new(5).crash("ntuples", Cost::ZERO, Some(Cost::from_millis(10))));
+        server.set_fault_plan(Arc::clone(&plan));
+        assert!(matches!(
+            server.connect("grid", "grid"),
+            Err(VendorError::Unavailable { .. })
+        ));
+        // existing connections hit the same wall
+        assert!(matches!(
+            conn.query("SELECT `e_id` FROM `events`"),
+            Err(VendorError::Unavailable { .. })
+        ));
+        assert!(conn
+            .execute("DELETE FROM `events` WHERE `e_id` = 1")
+            .is_err());
+        assert!(conn.dump_table("events").is_err());
+
+        // the server restarts when the window closes
+        plan.set_now(Cost::from_millis(10));
+        assert!(conn.query("SELECT `e_id` FROM `events`").is_ok());
+        assert!(plan.stats().crashes >= 4);
+
+        // slow factor inflates cost without failing
+        let slow_plan = Arc::new(FaultPlan::new(5).slow("tier2.test", 4.0, Cost::ZERO, None));
+        server.set_fault_plan(slow_plan);
+        let slowed = conn.query("SELECT `e_id` FROM `events`").unwrap().cost;
+        assert_eq!(slowed, clean_cost.scale(4.0));
+
+        server.clear_fault_plan();
+        assert_eq!(
+            conn.query("SELECT `e_id` FROM `events`").unwrap().cost,
+            clean_cost
+        );
+    }
+
+    #[test]
+    fn transient_faults_hit_some_operations() {
+        use gridfed_faults::FaultPlan;
+
+        let server = fixture(VendorKind::Sqlite);
+        let conn = server.connect("grid", "grid").unwrap().value;
+        server.set_fault_plan(Arc::new(FaultPlan::new(11).transient("ntuples", 0.5)));
+        let outcomes: Vec<bool> = (0..40)
+            .map(|_| conn.query("SELECT e_id FROM events").is_ok())
+            .collect();
+        assert!(outcomes.iter().any(|ok| *ok), "some operations succeed");
+        assert!(outcomes.iter().any(|ok| !*ok), "some operations fail");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   change tracking, runtime plug-in registration.
 //! - [`warehouse`] — ETL "data streaming" into the star-schema warehouse,
 //!   warehouse views, and data-mart materialization.
+//! - [`faults`] — seeded deterministic fault injection (server crash
+//!   windows, transient error rates, slow/partitioned links, RLS
+//!   staleness) on a shared virtual clock.
 //! - [`rls`] — Replica Location Service.
 //! - [`poolral`] — POOL-RAL-style vendor-neutral access layer.
 //! - [`unity`] — the Unity baseline federated driver.
@@ -50,6 +53,7 @@
 
 pub use gridfed_clarens as clarens;
 pub use gridfed_core as core;
+pub use gridfed_faults as faults;
 pub use gridfed_ntuple as ntuple;
 pub use gridfed_poolral as poolral;
 pub use gridfed_rls as rls;
@@ -64,7 +68,9 @@ pub use gridfed_xspec as xspec;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use gridfed_core::grid::{Grid, GridBuilder};
+    pub use gridfed_core::resilience::{DegradationPolicy, ResilienceConfig};
     pub use gridfed_core::service::{DataAccessService, QueryOutcome};
+    pub use gridfed_faults::FaultPlan;
     pub use gridfed_simnet::cost::Cost;
     pub use gridfed_sqlkit::ResultSet;
     pub use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Table, Value};

@@ -285,3 +285,305 @@ fn sqlite_plugin_with_wrong_path_fails_cleanly() {
         Err(CoreError::Vendor(VendorError::UnknownServer(_)))
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Resilience layer: retry, failover, breakers, hedging, degradation.
+// ---------------------------------------------------------------------------
+
+const JOIN_SQL: &str = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     WHERE e.e_id < 5 ORDER BY e.e_id";
+
+/// ISSUE acceptance criterion: 20% transient branch failures plus one
+/// crashed replica; a multi-mart join must return the *exact* fault-free
+/// answer via retry + failover, and the stats must say how.
+#[test]
+fn acceptance_retry_and_failover_recover_exact_result() {
+    let reference = GridBuilder::new()
+        .with_seed(31)
+        .replicate_events(true)
+        .build()
+        .expect("reference grid")
+        .query(JOIN_SQL)
+        .expect("fault-free reference");
+
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .replicate_events(true)
+        .with_resilience(ResilienceConfig {
+            max_retries: 6,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(
+            FaultPlan::new(1905)
+                .crash("mart_mysql", Cost::ZERO, None)
+                .transient("*", 0.2),
+        )
+        .build()
+        .expect("faulted grid");
+
+    let out = g.query(JOIN_SQL).expect("resilient query answers");
+    assert_eq!(out.result, reference.result, "exact fault-free answer");
+    assert!(!out.stats.is_degraded(), "no branch was dropped");
+    assert!(out.stats.retries >= 1, "stats: {:?}", out.stats);
+    assert!(out.stats.failovers >= 1, "stats: {:?}", out.stats);
+    let fstats = g.fault_plan.as_ref().unwrap().stats();
+    assert!(fstats.crashes >= 1, "crash faults fired: {fstats:?}");
+}
+
+#[test]
+fn retry_rides_out_a_crash_window() {
+    // The mart is down for the first 40 virtual milliseconds; exponential
+    // backoff pushes a later attempt past the window without failing over.
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig {
+            max_retries: 4,
+            base_backoff: Cost::from_millis(25),
+            max_backoff: Cost::from_millis(100),
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(5).crash(
+            "mart_mysql",
+            Cost::ZERO,
+            Some(Cost::from_millis(40)),
+        ))
+        .build()
+        .expect("grid");
+    let out = g
+        .query("SELECT e_id FROM ntuple_events WHERE e_id < 3")
+        .expect("rides out the outage");
+    assert_eq!(out.result.len(), 3);
+    assert!(out.stats.retries >= 1, "stats: {:?}", out.stats);
+    assert_eq!(out.stats.failovers, 0, "stats: {:?}", out.stats);
+    assert!(out.stats.breakdown.resilience > Cost::ZERO);
+}
+
+#[test]
+fn partial_degradation_drops_branch_honestly() {
+    // run_summary has no replica anywhere: under Partial policy the branch
+    // is dropped and the result is annotated, never silently wrong.
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig {
+            max_retries: 1,
+            degradation: DegradationPolicy::Partial,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(3).crash("mart_mssql", Cost::ZERO, None))
+        .build()
+        .expect("grid");
+    let out = g.query(JOIN_SQL).expect("degraded but answers");
+    assert!(out.stats.is_degraded());
+    assert_eq!(out.stats.branches_dropped.len(), 1);
+    let dropped = &out.stats.branches_dropped[0];
+    assert!(dropped.branch.contains("mart_mssql"), "{dropped:?}");
+    assert!(!dropped.reason.is_empty(), "{dropped:?}");
+    assert!(
+        out.result.is_empty(),
+        "inner join against the dropped side yields no rows"
+    );
+}
+
+#[test]
+fn degraded_results_are_never_cached() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig {
+            max_retries: 0,
+            degradation: DegradationPolicy::Partial,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(3).crash(
+            "mart_mssql",
+            Cost::ZERO,
+            Some(Cost::from_secs_f64(10.0)),
+        ))
+        .build()
+        .expect("grid");
+    g.service(0).set_cache_enabled(true);
+
+    let degraded = g.query(JOIN_SQL).expect("degraded answer");
+    assert!(degraded.stats.is_degraded());
+
+    // Heal the outage and ask again: a cached degraded result would be a
+    // correctness bug — we must get the complete answer, uncached.
+    g.fault_plan
+        .as_ref()
+        .unwrap()
+        .set_now(Cost::from_secs_f64(60.0));
+    let healed = g.query(JOIN_SQL).expect("healed answer");
+    assert!(
+        !healed.stats.cache_hit,
+        "degraded result must not be cached"
+    );
+    assert!(!healed.stats.is_degraded());
+    assert!(!healed.result.is_empty());
+
+    // The complete result, on the other hand, is cacheable as usual.
+    let hit = g.query(JOIN_SQL).expect("cache hit");
+    assert!(hit.stats.cache_hit);
+    assert_eq!(hit.result, healed.result);
+}
+
+#[test]
+fn failed_queries_are_not_cached() {
+    // Passthrough resilience: the crash surfaces as a typed error. Once the
+    // server returns, the same query must hit the backend, not a poisoned
+    // cache entry.
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_fault_plan(FaultPlan::new(3).crash(
+            "mart_mysql",
+            Cost::ZERO,
+            Some(Cost::from_secs_f64(10.0)),
+        ))
+        .build()
+        .expect("grid");
+    g.service(0).set_cache_enabled(true);
+    let sql = "SELECT e_id FROM ntuple_events WHERE e_id < 3";
+    let err = g.query(sql).unwrap_err();
+    assert!(
+        matches!(err, CoreError::BranchUnavailable { .. }),
+        "got {err:?}"
+    );
+
+    g.fault_plan
+        .as_ref()
+        .unwrap()
+        .set_now(Cost::from_secs_f64(60.0));
+    let fixed = g.query(sql).expect("after the outage");
+    assert!(!fixed.stats.cache_hit, "errors must not poison the cache");
+    assert_eq!(fixed.result.len(), 3);
+}
+
+#[test]
+fn circuit_breaker_opens_rejects_and_recovers() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig {
+            max_retries: 0,
+            breaker_threshold: 2,
+            breaker_cooldown: Cost::from_millis(100),
+            failover: false,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(3).crash(
+            "mart_mysql",
+            Cost::ZERO,
+            Some(Cost::from_secs_f64(5.0)),
+        ))
+        .build()
+        .expect("grid");
+    let sql = "SELECT e_id FROM ntuple_events WHERE e_id < 3";
+    let target = mart_url(&g.marts[0]);
+
+    assert!(g.query(sql).is_err(), "first failure counted");
+    assert!(g.query(sql).is_err(), "second failure trips the breaker");
+    assert_eq!(g.service(0).resilience().breaker_state(&target), "open");
+
+    let rejected = g.query(sql).unwrap_err();
+    assert!(
+        matches!(rejected, CoreError::CircuitOpen { .. }),
+        "got {rejected:?}"
+    );
+
+    // EXPLAIN reports the live breaker state per supervised branch.
+    let plan = g.service(0).explain(sql).expect("explain");
+    assert!(plan.contains("[breaker: open]"), "{plan}");
+
+    // Past the outage and the cooldown, the half-open probe succeeds and
+    // the breaker closes again.
+    g.fault_plan
+        .as_ref()
+        .unwrap()
+        .set_now(Cost::from_secs_f64(30.0));
+    let ok = g.query(sql).expect("half-open probe succeeds");
+    assert_eq!(ok.result.len(), 3);
+    assert_eq!(g.service(0).resilience().breaker_state(&target), "closed");
+}
+
+#[test]
+fn hedged_request_prefers_faster_replica() {
+    // mart_mysql is 60x slow; with hedging enabled the duplicate sent to
+    // the Oracle replica (via the RLS) wins the race.
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .replicate_events(true)
+        .with_resilience(ResilienceConfig {
+            hedge_after: Some(Cost::from_millis(10)),
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(3).slow("mart_mysql", 60.0, Cost::ZERO, None))
+        .build()
+        .expect("grid");
+    let reference = GridBuilder::new()
+        .with_seed(31)
+        .replicate_events(true)
+        .build()
+        .expect("reference grid")
+        .query(JOIN_SQL)
+        .expect("reference");
+    let out = g.query(JOIN_SQL).expect("hedged query");
+    assert_eq!(out.result, reference.result);
+    assert!(out.stats.hedges >= 1, "stats: {:?}", out.stats);
+}
+
+#[test]
+fn repeated_unreachable_reports_expire_rls_entries() {
+    // The remote Clarens server is dead. Every exhausted forward reports it
+    // unreachable; after the expiry threshold the RLS unpublishes it, so
+    // later queries fail fast with TableNotFound instead of timing out.
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_fault_plan(FaultPlan::new(3).crash("clarens://node2:8443/das", Cost::ZERO, None))
+        .build()
+        .expect("grid");
+    let sql = "SELECT detector, mean_value FROM detector_summary";
+    for round in 0..3 {
+        let err = g.query(sql).unwrap_err();
+        assert!(
+            matches!(err, CoreError::BranchUnavailable { .. }),
+            "round {round}: got {err:?}"
+        );
+    }
+    let stats = g.rls.stats();
+    assert!(stats.unreachable_reports >= 3, "{stats:?}");
+    assert_eq!(stats.expirations, 1, "{stats:?}");
+    let err = g.query(sql).unwrap_err();
+    assert!(matches!(err, CoreError::TableNotFound(_)), "got {err:?}");
+}
+
+#[test]
+fn partitioned_remote_server_fails_cleanly() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_fault_plan(FaultPlan::new(3).partition("node1", "node2", Cost::ZERO, None))
+        .build()
+        .expect("grid");
+    let err = g
+        .query("SELECT detector, mean_value FROM detector_summary")
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::BranchUnavailable { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn explain_shows_resilience_placement() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig::standard())
+        .build()
+        .expect("grid");
+    let plan = g.service(0).explain(JOIN_SQL).expect("explain");
+    assert!(plan.contains("resilience:"), "{plan}");
+    assert!(plan.contains("supervise"), "{plan}");
+    assert!(plan.contains("[breaker: closed]"), "{plan}");
+
+    // A passthrough configuration adds no resilience layer to the plan.
+    let quiet = grid();
+    let plan = quiet.service(0).explain(JOIN_SQL).expect("explain");
+    assert!(!plan.contains("resilience:"), "{plan}");
+}
