@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs
 
-verify: build test chaos lint fmt bench-smoke
+verify: build test chaos obs lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -31,3 +31,9 @@ bench-smoke:
 # and the 256-seed chaos property (fixed seeds — reproduces bit-for-bit).
 chaos:
 	cargo test -q --test failure_paths --test prop_chaos
+
+# Observability suite: stitched-trace acceptance, the gridfed_monitor.*
+# relational surface, and the EXPLAIN / EXPLAIN ANALYZE golden files
+# (regenerate the goldens with UPDATE_GOLDEN=1).
+obs:
+	cargo test -q --test observability --test golden_explain

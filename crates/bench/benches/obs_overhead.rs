@@ -1,0 +1,64 @@
+//! Observability overhead bench (`obs_overhead`): the four exec-hotpath
+//! query shapes (filter scan, dimension join, GROUP BY, ORDER BY) run
+//! through the full mediator query path on a single-server grid, with
+//! tracing+metrics disabled vs enabled. The disabled path must be free —
+//! one relaxed atomic load gates all instrumentation — and the enabled
+//! path buys a full span tree plus counters/histograms per query.
+//! Recorded in `BENCH_obs.json` at the repo root, alongside a baseline
+//! taken at the pre-observability commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridfed_core::grid::{Grid, GridBuilder};
+use std::hint::black_box;
+
+const SHAPES: [(&str, &str); 4] = [
+    (
+        "filter_scan",
+        "SELECT e_id, energy FROM ntuple_events \
+         WHERE energy > 20.0 AND energy < 90.0 AND run_id >= 1 AND detector <> 'ecal'",
+    ),
+    (
+        "join3",
+        "SELECT e.e_id, s.n_meas, d.mean_value FROM ntuple_events e \
+         JOIN run_summary s ON e.run_id = s.run_id \
+         JOIN detector_summary d ON e.detector = d.detector \
+         WHERE e.energy > 15.0",
+    ),
+    (
+        "group_by",
+        "SELECT run_id, COUNT(*) AS n, AVG(energy) AS avg_e FROM ntuple_events \
+         GROUP BY run_id HAVING COUNT(*) > 1 ORDER BY run_id",
+    ),
+    (
+        "order_by",
+        "SELECT e_id, energy FROM ntuple_events ORDER BY energy DESC, e_id LIMIT 100",
+    ),
+];
+
+fn grid(observability: bool) -> Grid {
+    GridBuilder::new()
+        .with_seed(31)
+        .single_server()
+        .with_observability(observability)
+        .build()
+        .expect("grid")
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let off = grid(false);
+    let on = grid(true);
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20);
+    for (shape, sql) in SHAPES {
+        g.bench_function(format!("off/{shape}").as_str(), |b| {
+            b.iter(|| off.service(0).query(black_box(sql)).unwrap())
+        });
+        g.bench_function(format!("on/{shape}").as_str(), |b| {
+            b.iter(|| on.service(0).query(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -17,18 +17,22 @@
 //!   topology node, paying request/response transfer costs.
 //! - [`directory`] — URL → server directory (the DNS of the simulation),
 //!   used by the mediator to reach remote JClarens instances found via RLS.
+//! - [`trace`] — the trace-context field a calling mediator attaches to
+//!   remote calls so spans from the far side stitch into its own tree.
 
 pub mod client;
 pub mod codec;
 pub mod directory;
 pub mod error;
 pub mod server;
+pub mod trace;
 
 pub use client::ClarensClient;
 pub use codec::WireValue;
 pub use directory::Directory;
 pub use error::ClarensError;
 pub use server::{ClarensServer, Service};
+pub use trace::TraceContext;
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, ClarensError>;

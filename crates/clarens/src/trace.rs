@@ -1,0 +1,74 @@
+//! Trace-context propagation across the Clarens wire.
+//!
+//! When a mediator forwards part of a query to a remote JClarens server it
+//! attaches a [`TraceContext`] parameter; the remote mediator returns its
+//! own span list in the response, and the caller grafts those spans into
+//! its tree so one federated query reads as a single stitched trace. The
+//! context is deliberately tiny — just enough for the remote side to know
+//! it should collect spans and which caller trace spawned it.
+
+use crate::codec::WireValue;
+
+/// The caller's trace coordinates, carried as one wire parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The caller's trace id (unique per originating mediator).
+    pub trace_id: u64,
+    /// The caller-side span the remote work will be grafted under
+    /// (0 when the caller has not allocated it yet).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Encode as a wire value. Absent contexts travel as [`WireValue::Null`].
+    pub fn to_wire(self) -> WireValue {
+        WireValue::List(vec![
+            WireValue::Int(self.trace_id as i64),
+            WireValue::Int(self.span_id as i64),
+        ])
+    }
+
+    /// Encode an optional context ([`WireValue::Null`] when `None`).
+    pub fn wire_opt(ctx: Option<TraceContext>) -> WireValue {
+        ctx.map(TraceContext::to_wire).unwrap_or(WireValue::Null)
+    }
+
+    /// Decode a wire value; `Null` or malformed payloads decode as `None`.
+    pub fn from_wire(v: &WireValue) -> Option<TraceContext> {
+        let WireValue::List(items) = v else {
+            return None;
+        };
+        match items.as_slice() {
+            [WireValue::Int(trace), WireValue::Int(span)] => Some(TraceContext {
+                trace_id: *trace as u64,
+                span_id: *span as u64,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_wire() {
+        let ctx = TraceContext {
+            trace_id: 42,
+            span_id: 7,
+        };
+        assert_eq!(TraceContext::from_wire(&ctx.to_wire()), Some(ctx));
+    }
+
+    #[test]
+    fn null_and_malformed_decode_as_none() {
+        assert_eq!(TraceContext::from_wire(&WireValue::Null), None);
+        assert_eq!(TraceContext::from_wire(&WireValue::Int(3)), None);
+        assert_eq!(
+            TraceContext::from_wire(&WireValue::List(vec![WireValue::Int(1)])),
+            None
+        );
+        assert_eq!(TraceContext::wire_opt(None), WireValue::Null);
+    }
+}

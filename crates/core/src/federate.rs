@@ -92,13 +92,9 @@ pub fn integrate(plan: &LogicalPlan, partials: &[Partial]) -> Result<ResultSet> 
     integrate_metered(plan, partials).map(|(rs, _)| rs)
 }
 
-/// [`integrate`], additionally reporting the compile/eval wall-clock split
-/// so the service can surface it in `QueryStats`.
-pub fn integrate_metered(
-    plan: &LogicalPlan,
-    partials: &[Partial],
-) -> Result<(ResultSet, IntegrateMetrics)> {
-    let start = Instant::now();
+/// Load partials into the in-memory staging database the residual plan
+/// runs over.
+fn stage(partials: &[Partial]) -> Result<Database> {
     let mut staging = Database::new("mediator_staging");
     for p in partials {
         let schema = infer_schema(p)?;
@@ -109,6 +105,17 @@ pub fn integrate_metered(
             table.insert(values)?;
         }
     }
+    Ok(staging)
+}
+
+/// [`integrate`], additionally reporting the compile/eval wall-clock split
+/// so the service can surface it in `QueryStats`.
+pub fn integrate_metered(
+    plan: &LogicalPlan,
+    partials: &[Partial],
+) -> Result<(ResultSet, IntegrateMetrics)> {
+    let start = Instant::now();
+    let staging = stage(partials)?;
     let (rs, exec) =
         execute_plan_metered(plan, &DatabaseProvider(&staging)).map_err(CoreError::from)?;
     let total = start.elapsed();
@@ -117,6 +124,30 @@ pub fn integrate_metered(
         eval: total.saturating_sub(exec.compile),
     };
     Ok((rs, metrics))
+}
+
+/// [`integrate_metered`] with `EXPLAIN ANALYZE` profiling: also returns
+/// the residual tree annotated per node with row estimates (from the
+/// staged partials' real cardinalities) and actual rows/loops/time.
+pub fn integrate_analyzed(
+    plan: &LogicalPlan,
+    partials: &[Partial],
+) -> Result<(ResultSet, IntegrateMetrics, String)> {
+    use gridfed_sqlkit::exec::ProviderCatalog;
+
+    let start = Instant::now();
+    let staging = stage(partials)?;
+    let provider = DatabaseProvider(&staging);
+    let (rs, exec, profile) =
+        gridfed_sqlkit::analyze::execute_plan_analyzed(plan, &provider).map_err(CoreError::from)?;
+    let catalog = ProviderCatalog(&provider);
+    let annotated = gridfed_sqlkit::analyze::annotate(plan, Some(&catalog), Some(&profile));
+    let total = start.elapsed();
+    let metrics = IntegrateMetrics {
+        compile: exec.compile,
+        eval: total.saturating_sub(exec.compile),
+    };
+    Ok((rs, metrics, annotated))
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub struct GridBuilder {
     transport: TransportMode,
     fault_plan: Option<Arc<FaultPlan>>,
     resilience: Option<ResilienceConfig>,
+    observability: bool,
 }
 
 impl Default for GridBuilder {
@@ -75,6 +76,7 @@ impl Default for GridBuilder {
             transport: TransportMode::Staged,
             fault_plan: None,
             resilience: None,
+            observability: false,
         }
     }
 }
@@ -124,6 +126,12 @@ impl GridBuilder {
     /// to the far server (the paper's wide-area future-work test).
     pub fn with_wan(mut self, wan: bool) -> Self {
         self.wan = wan;
+        self
+    }
+
+    /// Enable query tracing and metrics on every mediator in the grid.
+    pub fn with_observability(mut self, on: bool) -> Self {
+        self.observability = on;
         self
     }
 
@@ -368,6 +376,11 @@ impl GridBuilder {
         if let Some(config) = &self.resilience {
             for das in &services {
                 das.set_resilience_config(config.clone());
+            }
+        }
+        if self.observability {
+            for das in &services {
+                das.observability().set_enabled(true);
             }
         }
         if let Some(plan) = &self.fault_plan {

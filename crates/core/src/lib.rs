@@ -43,6 +43,7 @@ pub mod error;
 pub mod federate;
 pub mod grid;
 pub mod jas;
+pub mod obswire;
 pub mod placement;
 pub mod resilience;
 pub mod service;

@@ -1,0 +1,228 @@
+//! Wire codecs for observability payloads on the Clarens RPC boundary.
+//!
+//! The `query_federated` mediator-to-mediator method returns
+//! `List([typed result, stats, spans])`: the partial result, the remote
+//! mediator's work counters (so the caller can fold them into its own
+//! [`QueryStats`] via `absorb_remote` — work behind an RPC hop must not be
+//! lost), and the remote span list (grafted into the caller's trace so a
+//! federated query reads as one stitched tree).
+//!
+//! Both codecs are forward-tolerant: the stats decoder zero-fills missing
+//! counters, and the span decoder accepts (and ignores) trailing fields, so
+//! mediators running different revisions can still talk.
+
+use crate::error::CoreError;
+use crate::stats::QueryStats;
+use crate::Result;
+use gridfed_clarens::codec::WireValue;
+use gridfed_clarens::ClarensError;
+use gridfed_obs::{Span, SpanKind};
+
+fn bad(msg: &str) -> CoreError {
+    CoreError::Rpc(ClarensError::BadParams(msg.to_string()))
+}
+
+/// Encode the work counters a caller merges through
+/// [`QueryStats::absorb_remote`] as a fixed-order integer list.
+pub fn stats_to_wire(stats: &QueryStats) -> WireValue {
+    WireValue::List(
+        [
+            stats.connections_opened,
+            stats.pooled_hits,
+            stats.rls_lookups,
+            stats.remote_forwards,
+            stats.retries,
+            stats.failovers,
+            stats.hedges,
+            stats.breaker_opens,
+            stats.breaker_rejections,
+        ]
+        .into_iter()
+        .map(|n| WireValue::Int(n as i64))
+        .collect(),
+    )
+}
+
+/// Decode remote work counters. Missing or malformed positions read as
+/// zero, so a shorter list from an older mediator still decodes.
+pub fn wire_to_stats(v: &WireValue) -> QueryStats {
+    let mut out = QueryStats::default();
+    let WireValue::List(items) = v else {
+        return out;
+    };
+    let get = |i: usize| -> usize {
+        match items.get(i) {
+            Some(WireValue::Int(n)) => (*n).max(0) as usize,
+            _ => 0,
+        }
+    };
+    out.connections_opened = get(0);
+    out.pooled_hits = get(1);
+    out.rls_lookups = get(2);
+    out.remote_forwards = get(3);
+    out.retries = get(4);
+    out.failovers = get(5);
+    out.hedges = get(6);
+    out.breaker_opens = get(7);
+    out.breaker_rejections = get(8);
+    out
+}
+
+/// Encode one span as a fixed-order list:
+/// `[id, parent (0 = root), name, kind, target, start_us, duration_us,
+/// error (Null = none), remote, parallel]`.
+pub fn span_to_wire(span: &Span) -> WireValue {
+    WireValue::List(vec![
+        WireValue::Int(span.id as i64),
+        WireValue::Int(span.parent.map_or(0, |p| p as i64)),
+        WireValue::Str(span.name.clone()),
+        WireValue::Str(span.kind.as_str().to_string()),
+        WireValue::Str(span.target.clone()),
+        WireValue::Int(span.start_us as i64),
+        WireValue::Int(span.duration_us as i64),
+        span.error
+            .clone()
+            .map(WireValue::Str)
+            .unwrap_or(WireValue::Null),
+        WireValue::Bool(span.remote),
+        WireValue::Bool(span.parallel),
+    ])
+}
+
+/// Encode a span list (parent-before-child order is preserved, which the
+/// caller-side graft relies on).
+pub fn spans_to_wire(spans: &[Span]) -> WireValue {
+    WireValue::List(spans.iter().map(span_to_wire).collect())
+}
+
+fn field_int(items: &[WireValue], i: usize, what: &str) -> Result<u64> {
+    match items.get(i) {
+        Some(WireValue::Int(n)) => Ok((*n).max(0) as u64),
+        _ => Err(bad(&format!("span field {i} ({what}) must be an int"))),
+    }
+}
+
+fn field_str(items: &[WireValue], i: usize, what: &str) -> Result<String> {
+    match items.get(i) {
+        Some(WireValue::Str(s)) => Ok(s.clone()),
+        _ => Err(bad(&format!("span field {i} ({what}) must be a string"))),
+    }
+}
+
+fn field_bool(items: &[WireValue], i: usize) -> bool {
+    matches!(items.get(i), Some(WireValue::Bool(true)))
+}
+
+/// Decode one span. Trailing fields beyond the known ten are ignored.
+pub fn wire_to_span(v: &WireValue) -> Result<Span> {
+    let WireValue::List(items) = v else {
+        return Err(bad("span must be a list"));
+    };
+    let parent = field_int(items, 1, "parent")?;
+    let error = match items.get(7) {
+        Some(WireValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Ok(Span {
+        id: field_int(items, 0, "id")?,
+        parent: (parent != 0).then_some(parent),
+        name: field_str(items, 2, "name")?,
+        kind: SpanKind::parse(&field_str(items, 3, "kind")?),
+        target: field_str(items, 4, "target")?,
+        start_us: field_int(items, 5, "start_us")?,
+        duration_us: field_int(items, 6, "duration_us")?,
+        error,
+        remote: field_bool(items, 8),
+        parallel: field_bool(items, 9),
+    })
+}
+
+/// Decode a span list.
+pub fn wire_to_spans(v: &WireValue) -> Result<Vec<Span>> {
+    let WireValue::List(items) = v else {
+        return Err(bad("spans must be a list"));
+    };
+    items.iter().map(wire_to_span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip() {
+        let s = QueryStats {
+            connections_opened: 3,
+            pooled_hits: 1,
+            rls_lookups: 2,
+            remote_forwards: 4,
+            retries: 5,
+            failovers: 1,
+            hedges: 2,
+            breaker_opens: 1,
+            breaker_rejections: 6,
+            ..Default::default()
+        };
+        let back = wire_to_stats(&stats_to_wire(&s));
+        assert_eq!(back.connections_opened, 3);
+        assert_eq!(back.pooled_hits, 1);
+        assert_eq!(back.rls_lookups, 2);
+        assert_eq!(back.remote_forwards, 4);
+        assert_eq!(back.retries, 5);
+        assert_eq!(back.failovers, 1);
+        assert_eq!(back.hedges, 2);
+        assert_eq!(back.breaker_opens, 1);
+        assert_eq!(back.breaker_rejections, 6);
+    }
+
+    #[test]
+    fn stats_decode_is_pad_tolerant() {
+        let short = WireValue::List(vec![WireValue::Int(7), WireValue::Int(2)]);
+        let s = wire_to_stats(&short);
+        assert_eq!(s.connections_opened, 7);
+        assert_eq!(s.pooled_hits, 2);
+        assert_eq!(s.retries, 0);
+        assert_eq!(wire_to_stats(&WireValue::Null), QueryStats::default());
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let spans = vec![
+            Span {
+                id: 1,
+                parent: None,
+                name: "query".into(),
+                kind: SpanKind::Query,
+                target: "clarens://node2:8443/das".into(),
+                start_us: 0,
+                duration_us: 1500,
+                error: None,
+                remote: false,
+                parallel: false,
+            },
+            Span {
+                id: 2,
+                parent: Some(1),
+                name: "retry".into(),
+                kind: SpanKind::Attempt,
+                target: "mart_sqlite".into(),
+                start_us: 100,
+                duration_us: 400,
+                error: Some("transient fault".into()),
+                remote: false,
+                parallel: true,
+            },
+        ];
+        let back = wire_to_spans(&spans_to_wire(&spans)).expect("decode");
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn malformed_span_rejected() {
+        assert!(wire_to_span(&WireValue::Int(3)).is_err());
+        assert!(wire_to_spans(&WireValue::List(vec![WireValue::List(vec![
+            WireValue::Int(1)
+        ])]))
+        .is_err());
+    }
+}

@@ -146,6 +146,15 @@ pub struct BranchYield {
     pub pooled_hits: usize,
     /// Sub-queries forwarded to remote Clarens servers.
     pub remote_forwards: usize,
+    /// Per-hop [`QueryStats`] reported by remote mediators this branch
+    /// called, merged into the caller's counters at gather time so work
+    /// behind the RPC boundary is not lost.
+    ///
+    /// [`QueryStats`]: crate::stats::QueryStats
+    pub remote_stats: Vec<crate::stats::QueryStats>,
+    /// Span lists returned by remote mediators (one per RPC hop), grafted
+    /// into the caller's trace when tracing is on.
+    pub remote_traces: Vec<Vec<gridfed_obs::Span>>,
 }
 
 /// Resilience events observed while supervising one branch.
@@ -169,6 +178,49 @@ pub struct BranchEvents {
     pub exhausted_target: Option<String>,
 }
 
+/// What kind of physical attempt a branch made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// First dispatch to the primary target.
+    Primary,
+    /// A re-dispatch after backoff (primary or failover target).
+    Retry,
+    /// A dispatch to the failover replica after primary exhaustion.
+    Failover,
+    /// The hedged duplicate that won the tail-latency race.
+    Hedge,
+    /// Dispatch refused outright by an open circuit breaker.
+    BreakerRejected,
+}
+
+impl AttemptKind {
+    /// Stable lowercase name (span names, monitor tables).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttemptKind::Primary => "primary",
+            AttemptKind::Retry => "retry",
+            AttemptKind::Failover => "failover",
+            AttemptKind::Hedge => "hedge",
+            AttemptKind::BreakerRejected => "breaker-rejected",
+        }
+    }
+}
+
+/// One physical attempt on a branch's timeline, in branch-relative virtual
+/// time: failed attempts consume their failure penalty + backoff, the
+/// winning attempt consumes its connect + execute time.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// What kind of attempt this was.
+    pub kind: AttemptKind,
+    /// Offset from the branch start.
+    pub start: Cost,
+    /// Virtual time this attempt occupied on the branch timeline.
+    pub duration: Cost,
+    /// The error that ended the attempt, `None` for the winner.
+    pub error: Option<String>,
+}
+
 /// The supervised outcome of one branch.
 #[derive(Debug, Clone, Default)]
 pub struct BranchReport {
@@ -179,6 +231,9 @@ pub struct BranchReport {
     pub resilience_cost: Cost,
     /// What happened along the way.
     pub events: BranchEvents,
+    /// Every physical attempt in timeline order — the child spans of the
+    /// branch in a query trace.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -261,15 +316,23 @@ impl Resilience {
     ) -> Result<BranchReport> {
         let cfg = self.config();
         let mut events = BranchEvents::default();
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
         let mut resil = Cost::ZERO;
         let mut last_err: Option<CoreError> = None;
         let mut attempts_made: u32 = 0;
 
         if !self.admit(&cfg, target, clock.now()) {
             events.breaker_rejections += 1;
-            last_err = Some(CoreError::CircuitOpen {
+            let err = CoreError::CircuitOpen {
                 target: target.to_string(),
+            };
+            attempts.push(AttemptRecord {
+                kind: AttemptKind::BreakerRejected,
+                start: Cost::ZERO,
+                duration: Cost::ZERO,
+                error: Some(err.to_string()),
             });
+            last_err = Some(err);
         } else {
             let max_attempts = cfg.max_retries.saturating_add(1);
             while attempts_made < max_attempts {
@@ -283,6 +346,12 @@ impl Resilience {
                     }
                 }
                 attempts_made += 1;
+                let attempt_kind = if attempts_made == 1 {
+                    AttemptKind::Primary
+                } else {
+                    AttemptKind::Retry
+                };
+                let attempt_start = resil;
                 match clock.with_offset(resil, &mut *attempt) {
                     Ok(mut output) => {
                         if let Some(deadline) = cfg.branch_deadline {
@@ -296,6 +365,12 @@ impl Resilience {
                             }
                         }
                         self.record_success(&cfg, target);
+                        attempts.push(AttemptRecord {
+                            kind: attempt_kind,
+                            start: attempt_start,
+                            duration: output.connect_cost + output.exec_cost,
+                            error: None,
+                        });
                         if let (Some(hedge_after), Some(alt)) = (cfg.hedge_after, failover.as_mut())
                         {
                             let primary = output.connect_cost + output.exec_cost;
@@ -308,6 +383,20 @@ impl Resilience {
                                         hedge_after + hedged.connect_cost + hedged.exec_cost;
                                     if alternate < primary {
                                         events.hedges += 1;
+                                        // The abandoned primary occupies the
+                                        // branch timeline only until the race
+                                        // was decided.
+                                        if let Some(rec) = attempts.last_mut() {
+                                            rec.duration = alternate;
+                                            rec.error =
+                                                Some("superseded by faster hedge".to_string());
+                                        }
+                                        attempts.push(AttemptRecord {
+                                            kind: AttemptKind::Hedge,
+                                            start: resil + hedge_after,
+                                            duration: hedged.connect_cost + hedged.exec_cost,
+                                            error: None,
+                                        });
                                         resil += hedge_after;
                                         output = hedged;
                                     }
@@ -318,17 +407,26 @@ impl Resilience {
                             output,
                             resilience_cost: resil,
                             events,
+                            attempts,
                         });
                     }
                     Err(e) if is_retryable(&e) => {
                         if self.record_failure(&cfg, target, clock.now() + resil) {
                             events.breaker_opens += 1;
                         }
-                        last_err = Some(e);
+                        let mut spent = Cost::ZERO;
                         if attempts_made < max_attempts {
                             events.retries += 1;
-                            resil += cfg.failure_penalty + backoff(&cfg, target, attempts_made);
+                            spent = cfg.failure_penalty + backoff(&cfg, target, attempts_made);
                         }
+                        attempts.push(AttemptRecord {
+                            kind: attempt_kind,
+                            start: attempt_start,
+                            duration: spent,
+                            error: Some(e.to_string()),
+                        });
+                        last_err = Some(e);
+                        resil += spent;
                     }
                     // Application-level error (bad SQL, auth, dialect):
                     // retrying cannot help and degradation must not hide
@@ -351,20 +449,41 @@ impl Resilience {
                 let mut alt_attempts: u32 = 0;
                 while alt_attempts < max_attempts {
                     alt_attempts += 1;
+                    let attempt_start = resil;
                     match clock.with_offset(resil, &mut **alt) {
                         Ok(output) => {
+                            attempts.push(AttemptRecord {
+                                kind: AttemptKind::Failover,
+                                start: attempt_start,
+                                duration: output.connect_cost + output.exec_cost,
+                                error: None,
+                            });
                             return Ok(BranchReport {
                                 output,
                                 resilience_cost: resil,
                                 events,
-                            })
+                                attempts,
+                            });
                         }
                         Err(e) if is_retryable(&e) && alt_attempts < max_attempts => {
                             events.retries += 1;
-                            resil += cfg.failure_penalty + backoff(&cfg, target, alt_attempts);
+                            let spent = cfg.failure_penalty + backoff(&cfg, target, alt_attempts);
+                            attempts.push(AttemptRecord {
+                                kind: AttemptKind::Failover,
+                                start: attempt_start,
+                                duration: spent,
+                                error: Some(e.to_string()),
+                            });
+                            resil += spent;
                             last_err = Some(e);
                         }
                         Err(e) => {
+                            attempts.push(AttemptRecord {
+                                kind: AttemptKind::Failover,
+                                start: attempt_start,
+                                duration: Cost::ZERO,
+                                error: Some(e.to_string()),
+                            });
                             last_err = Some(e);
                             break;
                         }
@@ -387,6 +506,7 @@ impl Resilience {
                     },
                     resilience_cost: resil,
                     events,
+                    attempts,
                 });
             }
         }

@@ -3,27 +3,30 @@
 use crate::decompose::{self, Home, QueryPlan, TableResolver};
 use crate::error::CoreError;
 use crate::federate::{self, Partial};
+use crate::obswire::{spans_to_wire, stats_to_wire, wire_to_spans, wire_to_stats};
 use crate::placement::ReplicaPolicy;
-use crate::resilience::{BranchReport, BranchYield, Resilience, ResilienceConfig};
+use crate::resilience::{AttemptKind, BranchReport, BranchYield, Resilience, ResilienceConfig};
 use crate::stats::{BranchDrop, CostBreakdown, QueryStats};
 use crate::Result;
 use gridfed_clarens::client::ClarensClient;
 use gridfed_clarens::codec::WireValue;
 use gridfed_clarens::directory::Directory;
 use gridfed_clarens::server::Service;
-use gridfed_clarens::ClarensError;
+use gridfed_clarens::{ClarensError, TraceContext};
 use gridfed_faults::VirtualClock;
+use gridfed_obs::{Observability, Span, SpanKind, Trace, TraceBuilder};
 use gridfed_poolral::PoolRal;
 use gridfed_rls::RlsServer;
 use gridfed_simnet::cost::{Cost, Timed};
 use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
-use gridfed_sqlkit::ast::{Expr, SelectItem, SelectStmt};
-use gridfed_sqlkit::parser::parse_select;
+use gridfed_sqlkit::ast::{Expr, SelectItem, SelectStmt, Statement};
+use gridfed_sqlkit::exec::{execute_plan_metered, DatabaseProvider};
+use gridfed_sqlkit::parser::{parse, parse_select};
 use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
 use gridfed_sqlkit::render::{render_select, NeutralStyle};
 use gridfed_sqlkit::ResultSet;
-use gridfed_storage::{normalize_ident, Row, Value};
+use gridfed_storage::{normalize_ident, ColumnDef, DataType, Database, Row, Schema, Value};
 use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
 use gridfed_xspec::dict::DataDictionary;
 use gridfed_xspec::generate_lower_xspec;
@@ -184,6 +187,11 @@ pub struct DataAccessService {
     clock: RwLock<Arc<VirtualClock>>,
     /// Backend credentials used for all database connections.
     creds: (String, String),
+    /// Observability: the tracing gate, the bounded trace ring, and the
+    /// metrics registry — projected into the `gridfed_monitor.*` virtual
+    /// tables. Disabled by default; the query path then pays one relaxed
+    /// atomic load.
+    obs: Arc<Observability>,
 }
 
 impl DataAccessService {
@@ -216,7 +224,14 @@ impl DataAccessService {
             resilience: Resilience::new(),
             clock: RwLock::new(Arc::new(VirtualClock::new())),
             creds: ("grid".to_string(), "grid".to_string()),
+            obs: Observability::new(),
         }
+    }
+
+    /// This mediator's observability handle: the tracing/metrics gate, the
+    /// bounded ring of recent query traces, and the metrics registry.
+    pub fn observability(&self) -> Arc<Observability> {
+        Arc::clone(&self.obs)
     }
 
     /// This service's Clarens URL.
@@ -416,7 +431,13 @@ impl DataAccessService {
     /// tables resolve where, what gets pushed down, and which sub-queries
     /// would be dispatched (an `EXPLAIN` for the federation).
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let stmt = parse_select(sql)?;
+        self.explain_stmt(&parse_select(sql)?)
+    }
+
+    /// [`DataAccessService::explain`] over an already-parsed statement
+    /// (shared by the `EXPLAIN` / `EXPLAIN ANALYZE` SQL routing).
+    fn explain_stmt(&self, stmt: &SelectStmt) -> Result<String> {
+        let stmt = stmt.clone();
         let mut stats = QueryStats::default();
         let mut bd = CostBreakdown::default();
         let resolved = self.resolve_tables(&stmt, &mut stats, &mut bd)?;
@@ -553,43 +574,121 @@ impl DataAccessService {
         Ok(out)
     }
 
-    /// Execute a SQL query against the federation.
+    /// Execute a SQL query against the federation. Routes three statement
+    /// families: `EXPLAIN [ANALYZE] SELECT …` renders the plan (ANALYZE
+    /// also executes it and annotates actuals), queries over the
+    /// `gridfed_monitor.*` virtual tables answer from this mediator's own
+    /// observability state, and everything else is a federated SELECT.
     pub fn query(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
+        self.query_entry(sql, None).map(|ex| ex.outcome)
+    }
+
+    /// Full entry point: [`DataAccessService::query`] plus the recorded
+    /// trace handle, for the RPC layer to ship spans back to a remote
+    /// caller. `origin` is the caller's trace context when this query is
+    /// one hop of a remote mediator's federated query.
+    fn query_entry(&self, sql: &str, origin: Option<TraceContext>) -> Result<Executed> {
+        let trimmed = sql.trim_start();
+        if trimmed
+            .get(..7)
+            .is_some_and(|p| p.eq_ignore_ascii_case("EXPLAIN"))
+        {
+            return self.query_explain(sql).map(Executed::plain);
+        }
+        if sql.to_ascii_lowercase().contains("gridfed_monitor.") {
+            return self.query_monitor(sql).map(Executed::plain);
+        }
+        self.run_select(sql, &parse_select(sql)?, origin, false)
+    }
+
+    /// Execute one SELECT: cache probe, resolve, decompose, scatter,
+    /// gather, integrate — recording a trace and metrics when the
+    /// observability gate is on (or a remote caller sent a trace context).
+    /// `want_profile` (EXPLAIN ANALYZE) bypasses the cache and runs the
+    /// residual plan with per-node profiling.
+    fn run_select(
+        &self,
+        sql: &str,
+        stmt: &SelectStmt,
+        origin: Option<TraceContext>,
+        want_profile: bool,
+    ) -> Result<Executed> {
+        let obs = self.observability();
+        let tracing = obs.enabled() || origin.is_some();
+
         // Result cache fast path: a hit costs one dictionary probe. Keys
         // are whitespace-normalized so trivially reformatted repeats of
-        // the same query still hit.
-        let cache_key = normalize_cache_key(sql);
-        if let Some(cache) = self.cache.lock().as_mut() {
-            if let Some(hit) = cache.get(&cache_key) {
-                let mut outcome = hit.clone();
-                outcome.stats.cache_hit = true;
-                return Ok(Timed::new(outcome, Cost::from_micros(300)));
+        // the same query still hit. EXPLAIN ANALYZE always executes.
+        let cache_key = (!want_profile).then(|| normalize_cache_key(sql));
+        if let Some(key) = &cache_key {
+            if let Some(cache) = self.cache.lock().as_mut() {
+                if let Some(hit) = cache.get(key) {
+                    let mut outcome = hit.clone();
+                    outcome.stats.cache_hit = true;
+                    let cost = Cost::from_micros(300);
+                    let trace = tracing
+                        .then(|| self.record_cache_hit_trace(&obs, sql, origin, cost, &outcome));
+                    if obs.enabled() {
+                        obs.metrics.inc("queries", &self.url, 1);
+                        obs.metrics.inc("cache_hits", &self.url, 1);
+                        obs.metrics
+                            .observe_us("query_latency_us", &self.url, cost.as_micros());
+                    }
+                    return Ok(Executed {
+                        outcome: Timed::new(outcome, cost),
+                        trace,
+                        analyzed: None,
+                    });
+                }
             }
         }
+
         let mut stats = QueryStats::default();
         let mut bd = CostBreakdown {
             plan: self.params.sql_parse,
             ..CostBreakdown::default()
         };
-        let stmt = parse_select(sql)?;
         stats.tables = stmt.table_refs().len();
-
-        // Resolve every unique table up front, charging RLS lookups.
-        let resolved = self.resolve_tables(&stmt, &mut stats, &mut bd)?;
-        bd.plan += self.params.plan_decompose;
-        let plan = decompose::plan(&stmt, &resolved)?;
-
-        let executed = match plan {
-            QueryPlan::SingleDatabase { location, stmt } => {
-                self.exec_single(&location, &stmt, &mut stats, &mut bd)
-            }
-            QueryPlan::ForwardAll { server_url, stmt } => {
-                self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd)
-            }
-            QueryPlan::Federated {
-                tasks, residual, ..
-            } => self.exec_federated(tasks, &residual, &mut stats, &mut bd),
+        let mut probe = QueryProbe {
+            active: tracing,
+            want_profile,
+            ..QueryProbe::default()
         };
+        let started_us = self.clock.read().now().as_micros();
+        let trace_id = if tracing {
+            obs.traces.next_trace_id()
+        } else {
+            0
+        };
+        let ctx = tracing.then_some(TraceContext {
+            trace_id,
+            span_id: 0,
+        });
+
+        // Resolve every unique table up front (charging RLS lookups),
+        // decompose, and execute — any error on the way is traced below.
+        let executed = (|| {
+            let resolved = self.resolve_tables(stmt, &mut stats, &mut bd)?;
+            bd.plan += self.params.plan_decompose;
+            let plan = decompose::plan(stmt, &resolved)?;
+            if obs.enabled() {
+                match &plan {
+                    QueryPlan::Federated { optimized, .. } => record_plan_nodes(&obs, optimized),
+                    _ => record_plan_nodes(&obs, &decompose::optimized_plan(stmt, &resolved)),
+                }
+            }
+            match plan {
+                QueryPlan::SingleDatabase { location, stmt } => {
+                    self.exec_single(&location, &stmt, &mut stats, &mut bd, &mut probe)
+                }
+                QueryPlan::ForwardAll { server_url, stmt } => {
+                    self.exec_forward_all(&server_url, &stmt, &mut stats, &mut bd, &mut probe, ctx)
+                }
+                QueryPlan::Federated {
+                    tasks, residual, ..
+                } => self.exec_federated(tasks, &residual, &mut stats, &mut bd, &mut probe, ctx),
+            }
+        })();
         let result = match executed {
             Ok(result) => result,
             Err(e) => {
@@ -600,6 +699,23 @@ impl DataAccessService {
                 // one exhausted query into a permanent outage.
                 bd.resilience += self.resilience.take_wasted();
                 self.clock.read().advance(bd.total());
+                if tracing {
+                    stats.breakdown = bd;
+                    let trace = self.assemble_trace(
+                        trace_id,
+                        sql,
+                        origin,
+                        started_us,
+                        &stats,
+                        &probe,
+                        Some(&e.to_string()),
+                        0,
+                    );
+                    obs.traces.record(trace);
+                }
+                if obs.enabled() {
+                    obs.metrics.inc("query_errors", &self.url, 1);
+                }
                 return Err(e);
             }
         };
@@ -619,14 +735,236 @@ impl DataAccessService {
         // never cache them, or a healed federation would keep serving the
         // holes. Failed queries never reach this point at all.
         if !outcome.stats.is_degraded() {
-            if let Some(cache) = self.cache.lock().as_mut() {
+            if let (Some(key), Some(cache)) = (cache_key, self.cache.lock().as_mut()) {
                 // The cached copy keeps `cache_evictions: 0`; the returned
                 // outcome reports what storing it displaced.
-                outcome.stats.cache_evictions = cache.insert(cache_key, outcome.clone());
+                outcome.stats.cache_evictions = cache.insert(key, outcome.clone());
             }
         }
         self.clock.read().advance(total);
-        Ok(Timed::new(outcome, total))
+        let trace = if tracing {
+            let trace = self.assemble_trace(
+                trace_id,
+                sql,
+                origin,
+                started_us,
+                &outcome.stats,
+                &probe,
+                None,
+                outcome.result.rows.len() as u64,
+            );
+            Some(obs.traces.record(trace))
+        } else {
+            None
+        };
+        if obs.enabled() {
+            self.record_query_metrics(&obs, &outcome.stats, &probe, total);
+        }
+        Ok(Executed {
+            outcome: Timed::new(outcome, total),
+            trace,
+            analyzed: probe.analyzed,
+        })
+    }
+
+    /// Record a minimal trace for a result-cache hit.
+    fn record_cache_hit_trace(
+        &self,
+        obs: &Observability,
+        sql: &str,
+        origin: Option<TraceContext>,
+        cost: Cost,
+        outcome: &QueryOutcome,
+    ) -> Arc<Trace> {
+        let mut tb = TraceBuilder::new(obs.traces.next_trace_id());
+        let root = tb.span(None, "query", SpanKind::Query, &self.url, Cost::ZERO, cost);
+        tb.span(
+            Some(root),
+            "cache-hit",
+            SpanKind::Phase,
+            &self.url,
+            Cost::ZERO,
+            cost,
+        );
+        let started_us = self.clock.read().now().as_micros();
+        let mut trace = tb.finish(
+            sql,
+            &self.url,
+            origin.map(|c| c.trace_id),
+            started_us,
+            cost,
+            "ok",
+            outcome.result.rows.len() as u64,
+        );
+        trace.cache_hit = true;
+        obs.traces.record(trace)
+    }
+
+    /// Assemble the hierarchical trace of one query from its cost
+    /// breakdown and the probe's branch observations. The root's phase
+    /// children tile it exactly (plan → rls → scatter → integrate →
+    /// serialize sums to the breakdown total); the scatter phase and each
+    /// branch are parallel-composed, so only containment is asserted for
+    /// them.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_trace(
+        &self,
+        trace_id: u64,
+        sql: &str,
+        origin: Option<TraceContext>,
+        started_us: u64,
+        stats: &QueryStats,
+        probe: &QueryProbe,
+        error: Option<&str>,
+        rows: u64,
+    ) -> Trace {
+        let bd = &stats.breakdown;
+        let total = bd.total();
+        let mut tb = TraceBuilder::new(trace_id);
+        let root = tb.span(None, "query", SpanKind::Query, &self.url, Cost::ZERO, total);
+        if let Some(e) = error {
+            tb.mark_error(root, e);
+        }
+        let mut at = Cost::ZERO;
+        tb.span(Some(root), "plan", SpanKind::Phase, &self.url, at, bd.plan);
+        at += bd.plan;
+        if bd.rls > Cost::ZERO {
+            let rls_host = self.rls.as_ref().map_or("", |r| r.host());
+            tb.span(Some(root), "rls", SpanKind::Phase, rls_host, at, bd.rls);
+            at += bd.rls;
+        }
+        let scatter_dur = bd.connect + bd.execute + bd.resilience;
+        if scatter_dur > Cost::ZERO || !probe.branches.is_empty() {
+            let scatter = tb.span(
+                Some(root),
+                "scatter",
+                SpanKind::Phase,
+                &self.url,
+                at,
+                scatter_dur,
+            );
+            tb.mark_parallel(scatter);
+            for b in &probe.branches {
+                let bdur = b.connect + b.exec + b.resil;
+                let branch = tb.span(
+                    Some(scatter),
+                    &b.label,
+                    SpanKind::Branch,
+                    &b.target,
+                    at,
+                    bdur,
+                );
+                tb.mark_parallel(branch);
+                if let Some(reason) = &b.dropped {
+                    tb.mark_error(branch, reason);
+                }
+                for rec in &b.attempts {
+                    let aid = tb.span(
+                        Some(branch),
+                        rec.kind.as_str(),
+                        SpanKind::Attempt,
+                        &b.target,
+                        at + rec.start,
+                        rec.duration,
+                    );
+                    if let Some(err) = &rec.error {
+                        tb.mark_error(aid, err);
+                    }
+                }
+                // Remote hops: one RPC span per remote trace, covering the
+                // branch's execute window, with the remote mediator's spans
+                // grafted underneath (start offsets rebased to this trace).
+                for spans in &b.remote_traces {
+                    let rpc = tb.span(
+                        Some(branch),
+                        "rpc query_federated",
+                        SpanKind::Rpc,
+                        &b.target,
+                        at + b.connect,
+                        b.exec,
+                    );
+                    tb.mark_parallel(rpc);
+                    tb.graft_remote(rpc, at + b.connect, spans);
+                }
+            }
+            at += scatter_dur;
+        }
+        if bd.integrate > Cost::ZERO {
+            tb.span(
+                Some(root),
+                "integrate",
+                SpanKind::Phase,
+                &self.url,
+                at,
+                bd.integrate,
+            );
+            at += bd.integrate;
+        }
+        if bd.serialize > Cost::ZERO {
+            tb.span(
+                Some(root),
+                "serialize",
+                SpanKind::Phase,
+                &self.url,
+                at,
+                bd.serialize,
+            );
+        }
+        let status = error.map_or_else(|| "ok".to_string(), |e| format!("error: {e}"));
+        let mut trace = tb.finish(
+            sql,
+            &self.url,
+            origin.map(|c| c.trace_id),
+            started_us,
+            total,
+            status,
+            rows,
+        );
+        trace.cache_hit = stats.cache_hit;
+        trace.distributed = stats.distributed;
+        trace.degraded = stats.is_degraded();
+        trace.retries = stats.retries as u64;
+        trace.failovers = stats.failovers as u64;
+        trace
+    }
+
+    /// Record one successful query's metric families.
+    fn record_query_metrics(
+        &self,
+        obs: &Observability,
+        stats: &QueryStats,
+        probe: &QueryProbe,
+        total: Cost,
+    ) {
+        let m = &obs.metrics;
+        m.inc("queries", &self.url, 1);
+        m.observe_us("query_latency_us", &self.url, total.as_micros());
+        m.inc("rows_returned", &self.url, stats.rows_returned as u64);
+        m.inc("rows_fetched", &self.url, stats.rows_fetched as u64);
+        m.inc("bytes_fetched", &self.url, stats.bytes_fetched as u64);
+        if stats.cache_evictions > 0 {
+            m.inc("cache_evictions", &self.url, stats.cache_evictions as u64);
+        }
+        if stats.breaker_opens > 0 {
+            m.inc("breaker_opens", &self.url, stats.breaker_opens as u64);
+        }
+        for b in &probe.branches {
+            m.observe_us(
+                "branch_latency_us",
+                &b.target,
+                (b.connect + b.exec + b.resil).as_micros(),
+            );
+            for rec in &b.attempts {
+                let family = match rec.kind {
+                    AttemptKind::Retry => "retries",
+                    AttemptKind::Failover => "failovers",
+                    AttemptKind::Hedge => "hedges",
+                    AttemptKind::BreakerRejected => "breaker_rejections",
+                    AttemptKind::Primary => continue,
+                };
+                m.inc(family, &b.target, 1);
+            }
+        }
     }
 
     /// Resolve the tables of a statement: dictionary first, RLS fallback.
@@ -698,6 +1036,7 @@ impl DataAccessService {
         stmt: &SelectStmt,
         stats: &mut QueryStats,
         bd: &mut CostBreakdown,
+        probe: &mut QueryProbe,
     ) -> Result<ResultSet> {
         stats.subqueries = 1;
         let clock = self.clock();
@@ -724,6 +1063,11 @@ impl DataAccessService {
             placeholder,
         )?;
         self.absorb_report(&report, &label, stats, bd);
+        if probe.active {
+            probe
+                .branches
+                .push(branch_obs(&label, &location.url, &report));
+        }
         let partial =
             report.output.partials.into_iter().next().ok_or_else(|| {
                 CoreError::Internal("single-database branch yielded nothing".into())
@@ -821,6 +1165,12 @@ impl DataAccessService {
         stats.pooled_hits += report.output.pooled_hits;
         stats.remote_forwards += report.output.remote_forwards;
         stats.rls_lookups += report.output.rls_lookups;
+        // Work counters the remote mediator reported for its own hop —
+        // without this merge, retries and connections behind the RPC
+        // boundary would vanish from the caller's stats.
+        for remote in &report.output.remote_stats {
+            stats.absorb_remote(remote);
+        }
         bd.connect += report.output.connect_cost;
         bd.execute += report.output.exec_cost;
         bd.rls += report.output.rls_cost;
@@ -837,6 +1187,8 @@ impl DataAccessService {
         stmt: &SelectStmt,
         stats: &mut QueryStats,
         bd: &mut CostBreakdown,
+        probe: &mut QueryProbe,
+        ctx: Option<TraceContext>,
     ) -> Result<ResultSet> {
         stats.subqueries = 1;
         let clock = self.clock();
@@ -846,10 +1198,10 @@ impl DataAccessService {
             .iter()
             .map(|t| normalize_ident(&t.name))
             .collect();
-        let mut attempt = || self.forward_attempt(server_url, stmt);
+        let mut attempt = || self.forward_attempt(server_url, stmt, ctx);
         let mut failover = || {
             let (alt, rls_cost, lookups) = self.rls_alternate(&tables, &[server_url], &label)?;
-            let mut out = self.forward_attempt(&alt, stmt)?;
+            let mut out = self.forward_attempt(&alt, stmt, ctx)?;
             out.rls_cost += rls_cost;
             out.rls_lookups += lookups;
             Ok(out)
@@ -867,6 +1219,9 @@ impl DataAccessService {
         self.report_reachability(&outcome, server_url, stats, bd);
         let report = outcome?;
         self.absorb_report(&report, &label, stats, bd);
+        if probe.active {
+            probe.branches.push(branch_obs(&label, server_url, &report));
+        }
         let partial = report
             .output
             .partials
@@ -883,18 +1238,32 @@ impl DataAccessService {
     }
 
     /// One attempt at forwarding a whole statement to a remote server.
-    fn forward_attempt(&self, server_url: &str, stmt: &SelectStmt) -> Result<BranchYield> {
+    fn forward_attempt(
+        &self,
+        server_url: &str,
+        stmt: &SelectStmt,
+        ctx: Option<TraceContext>,
+    ) -> Result<BranchYield> {
         let (client, login_cost) = self.remote_client(server_url)?;
         let sql = render_select(stmt, &NeutralStyle);
-        let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
-        let partial = wire_to_partial("forwarded", &t.value)?;
-        Ok(BranchYield {
+        let t = client.call(
+            "das",
+            "query_federated",
+            &[WireValue::Str(sql), TraceContext::wire_opt(ctx)],
+        )?;
+        let (partial, remote_stats, remote_spans) = decode_federated("forwarded", &t.value)?;
+        let mut out = BranchYield {
             partials: vec![partial],
             connect_cost: login_cost,
             exec_cost: t.cost + self.params.remote_forward,
             remote_forwards: 1,
             ..BranchYield::default()
-        })
+        };
+        out.remote_stats.push(remote_stats);
+        if !remote_spans.is_empty() {
+            out.remote_traces.push(remote_spans);
+        }
+        Ok(out)
     }
 
     /// Re-consult the RLS for another server (not this one, not the
@@ -984,6 +1353,8 @@ impl DataAccessService {
         residual: &LogicalPlan,
         stats: &mut QueryStats,
         bd: &mut CostBreakdown,
+        probe: &mut QueryProbe,
+        ctx: Option<TraceContext>,
     ) -> Result<ResultSet> {
         stats.distributed = true;
         stats.subqueries = tasks.len();
@@ -1050,7 +1421,7 @@ impl DataAccessService {
             match spec {
                 Spec::Local { db, url, tasks } => {
                     let mut attempt = || self.local_branch_attempt(url, tasks);
-                    let mut failover = || self.local_branch_failover(db, url, tasks, label);
+                    let mut failover = || self.local_branch_failover(db, url, tasks, label, ctx);
                     self.resilience.run_branch(
                         &clock,
                         label,
@@ -1061,13 +1432,13 @@ impl DataAccessService {
                     )
                 }
                 Spec::Remote { url, tasks } => {
-                    let mut attempt = || self.remote_branch_attempt(url, tasks);
+                    let mut attempt = || self.remote_branch_attempt(url, tasks, ctx);
                     let mut failover = || {
                         let tables: Vec<String> =
                             tasks.iter().map(|t| normalize_ident(&t.table)).collect();
                         let (alt, rls_cost, lookups) =
                             self.rls_alternate(&tables, &[url.as_str()], label)?;
-                        let mut out = self.remote_branch_attempt(&alt, tasks)?;
+                        let mut out = self.remote_branch_attempt(&alt, tasks, ctx)?;
                         out.rls_cost += rls_cost;
                         out.rls_lookups += lookups;
                         Ok(out)
@@ -1126,6 +1497,12 @@ impl DataAccessService {
             }
             let report = outcome?;
             self.absorb_branch_events(&report, label, stats);
+            if probe.active {
+                let target = match spec {
+                    Spec::Local { url, .. } | Spec::Remote { url, .. } => url.as_str(),
+                };
+                probe.branches.push(branch_obs(label, target, &report));
+            }
             bd.connect += report.output.connect_cost;
             bd.rls += report.output.rls_cost;
             exec_costs.push(report.output.exec_cost);
@@ -1150,7 +1527,16 @@ impl DataAccessService {
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
         self.check_memory(stats.bytes_fetched)?;
         bd.integrate += self.params.per_row_merge.scale(stats.rows_fetched as f64);
-        let (rs, metrics) = federate::integrate_metered(residual, &partials)?;
+        let (rs, metrics) = if probe.want_profile {
+            // EXPLAIN ANALYZE: profile the residual plan per node and keep
+            // the annotated rendering (the staging database only lives
+            // inside the integration call).
+            let (rs, metrics, annotated) = federate::integrate_analyzed(residual, &partials)?;
+            probe.analyzed = Some(annotated);
+            (rs, metrics)
+        } else {
+            federate::integrate_metered(residual, &partials)?
+        };
         stats.compile += Cost::from_secs_f64(metrics.compile.as_secs_f64());
         stats.eval += Cost::from_secs_f64(metrics.eval.as_secs_f64());
         Ok(rs)
@@ -1174,6 +1560,9 @@ impl DataAccessService {
         stats.pooled_hits += report.output.pooled_hits;
         stats.remote_forwards += report.output.remote_forwards;
         stats.rls_lookups += report.output.rls_lookups;
+        for remote in &report.output.remote_stats {
+            stats.absorb_remote(remote);
+        }
     }
 
     /// One attempt of a local federated branch: connect (or reuse the
@@ -1225,6 +1614,7 @@ impl DataAccessService {
         primary_url: &str,
         tasks: &[decompose::TableTask],
         label: &str,
+        ctx: Option<TraceContext>,
     ) -> Result<BranchYield> {
         let tables: Vec<String> = tasks.iter().map(|t| normalize_ident(&t.table)).collect();
         let local_alt = {
@@ -1245,7 +1635,7 @@ impl DataAccessService {
             return self.local_branch_attempt(&loc.url, tasks);
         }
         let (alt, rls_cost, lookups) = self.rls_alternate(&tables, &[primary_url], label)?;
-        let mut out = self.remote_branch_attempt(&alt, tasks)?;
+        let mut out = self.remote_branch_attempt(&alt, tasks, ctx)?;
         out.rls_cost += rls_cost;
         out.rls_lookups += lookups;
         Ok(out)
@@ -1257,6 +1647,7 @@ impl DataAccessService {
         &self,
         url: &str,
         tasks: &[decompose::TableTask],
+        ctx: Option<TraceContext>,
     ) -> Result<BranchYield> {
         let (client, login_cost) = self.remote_client(url)?;
         let mut out = BranchYield {
@@ -1266,9 +1657,18 @@ impl DataAccessService {
         };
         for task in tasks {
             let sql = render_select(&task.subquery, &NeutralStyle);
-            let t = client.call("das", "query_typed", &[WireValue::Str(sql)])?;
+            let t = client.call(
+                "das",
+                "query_federated",
+                &[WireValue::Str(sql), TraceContext::wire_opt(ctx)],
+            )?;
+            let (partial, remote_stats, remote_spans) = decode_federated(&task.table, &t.value)?;
             out.exec_cost += t.cost + self.params.remote_forward;
-            out.partials.push(wire_to_partial(&task.table, &t.value)?);
+            out.partials.push(partial);
+            out.remote_stats.push(remote_stats);
+            if !remote_spans.is_empty() {
+                out.remote_traces.push(remote_spans);
+            }
         }
         Ok(out)
     }
@@ -1291,6 +1691,368 @@ impl DataAccessService {
         clients.insert(server_url.to_string(), client.clone());
         Ok((client, login.cost))
     }
+
+    // ---- EXPLAIN / EXPLAIN ANALYZE routing ----
+
+    /// Handle `EXPLAIN [ANALYZE] SELECT …`: render the four-layer plan
+    /// description as a one-column result set (one row per line). ANALYZE
+    /// additionally executes the statement — bypassing the result cache —
+    /// and appends actual rows, the virtual-time breakdown, resilience
+    /// events, and (on the federated path) the residual plan annotated
+    /// per node with estimated vs actual rows, loops, and time.
+    fn query_explain(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
+        let Statement::Explain { analyze, stmt } = parse(sql)? else {
+            return Err(CoreError::Internal(
+                "EXPLAIN routing expected an EXPLAIN statement".into(),
+            ));
+        };
+        let mut text = self.explain_stmt(&stmt)?;
+        let mut stats = QueryStats::default();
+        let mut cost = Cost::from_millis(2);
+        if analyze {
+            let executed = self.run_select(sql, &stmt, None, true)?;
+            let outcome = executed.outcome.value;
+            let bd = outcome.stats.breakdown;
+            text.push_str("analyze:\n");
+            text.push_str(&format!(
+                "  actual rows returned: {}  (rows fetched: {}, bytes fetched: {})\n",
+                outcome.stats.rows_returned,
+                outcome.stats.rows_fetched,
+                outcome.stats.bytes_fetched
+            ));
+            text.push_str(&format!(
+                "  virtual time: {} (plan={} rls={} connect={} execute={} integrate={} serialize={} resilience={})\n",
+                bd.total(), bd.plan, bd.rls, bd.connect, bd.execute,
+                bd.integrate, bd.serialize, bd.resilience
+            ));
+            if outcome.stats.retries
+                + outcome.stats.failovers
+                + outcome.stats.hedges
+                + outcome.stats.breaker_rejections
+                > 0
+            {
+                text.push_str(&format!(
+                    "  resilience events: retries={} failovers={} hedges={} breaker_rejections={}\n",
+                    outcome.stats.retries,
+                    outcome.stats.failovers,
+                    outcome.stats.hedges,
+                    outcome.stats.breaker_rejections
+                ));
+            }
+            if let Some(annotated) = &executed.analyzed {
+                text.push_str("analyzed residual plan (mediator side):\n");
+                for line in annotated.lines() {
+                    text.push_str("  ");
+                    text.push_str(line);
+                    text.push('\n');
+                }
+            }
+            stats = outcome.stats;
+            cost += executed.outcome.cost;
+        }
+        let result = ResultSet {
+            columns: vec!["plan".into()],
+            rows: text
+                .lines()
+                .map(|l| Row::new(vec![Value::Text(l.to_string())]))
+                .collect(),
+        };
+        stats.rows_returned = result.rows.len();
+        Ok(Timed::new(QueryOutcome { result, stats }, cost))
+    }
+
+    // ---- the gridfed_monitor.* relational monitoring surface ----
+
+    /// Answer a query over the `gridfed_monitor.*` virtual tables from
+    /// this mediator's own observability state — the R-GMA idea that grid
+    /// monitoring data is itself best published relationally, served by
+    /// the same SQL engine that powers the federation. Monitor queries are
+    /// never cached (the data changes under them) and never traced (the
+    /// observer should not flood its own ring).
+    fn query_monitor(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
+        let stmt = parse_select(sql)?;
+        for tref in stmt.table_refs() {
+            let key = normalize_ident(&tref.name);
+            if !key.starts_with("gridfed_monitor.") {
+                return Err(CoreError::Internal(format!(
+                    "monitor queries must reference gridfed_monitor.* tables only, \
+                     found `{}`",
+                    tref.name
+                )));
+            }
+        }
+        let db = self.monitor_database()?;
+        let plan = build_plan(&stmt);
+        let (result, _) =
+            execute_plan_metered(&plan, &DatabaseProvider(&db)).map_err(CoreError::from)?;
+        let stats = QueryStats {
+            tables: stmt.table_refs().len(),
+            rows_returned: result.rows.len(),
+            ..Default::default()
+        };
+        let cost = Cost::from_micros(500)
+            + self
+                .params
+                .per_row_serialize
+                .scale(result.rows.len() as f64);
+        self.clock.read().advance(cost);
+        Ok(Timed::new(QueryOutcome { result, stats }, cost))
+    }
+
+    /// Materialize the four monitor tables from live observability state.
+    fn monitor_database(&self) -> Result<Database> {
+        let obs = self.observability();
+        let mut db = Database::new("gridfed_monitor");
+
+        // gridfed_monitor.queries — one row per retained trace.
+        let queries = db.create_table(
+            "gridfed_monitor.queries",
+            Schema::new(vec![
+                ColumnDef::new("trace_id", DataType::Int),
+                ColumnDef::new("origin", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
+                ColumnDef::new("sql", DataType::Text),
+                ColumnDef::new("status", DataType::Text),
+                ColumnDef::new("started_us", DataType::Int),
+                ColumnDef::new("duration_us", DataType::Int),
+                ColumnDef::new("rows_returned", DataType::Int),
+                ColumnDef::new("distributed", DataType::Bool),
+                ColumnDef::new("cache_hit", DataType::Bool),
+                ColumnDef::new("degraded", DataType::Bool),
+                ColumnDef::new("retries", DataType::Int),
+                ColumnDef::new("failovers", DataType::Int),
+            ])?,
+        )?;
+        let traces = obs.traces.snapshot();
+        for t in &traces {
+            queries.insert(vec![
+                Value::Int(t.trace_id as i64),
+                t.origin.map_or(Value::Null, |o| Value::Int(o as i64)),
+                Value::Text(t.server.clone()),
+                Value::Text(t.sql.clone()),
+                Value::Text(t.status.clone()),
+                Value::Int(t.started_us as i64),
+                Value::Int(t.duration_us as i64),
+                Value::Int(t.rows_returned as i64),
+                Value::Bool(t.distributed),
+                Value::Bool(t.cache_hit),
+                Value::Bool(t.degraded),
+                Value::Int(t.retries as i64),
+                Value::Int(t.failovers as i64),
+            ])?;
+        }
+
+        // gridfed_monitor.spans — every span of every retained trace.
+        let spans = db.create_table(
+            "gridfed_monitor.spans",
+            Schema::new(vec![
+                ColumnDef::new("trace_id", DataType::Int),
+                ColumnDef::new("span_id", DataType::Int),
+                ColumnDef::new("parent_id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("kind", DataType::Text),
+                ColumnDef::new("target", DataType::Text),
+                ColumnDef::new("start_us", DataType::Int),
+                ColumnDef::new("duration_us", DataType::Int),
+                ColumnDef::new("error", DataType::Text),
+                ColumnDef::new("remote", DataType::Bool),
+                ColumnDef::new("parallel", DataType::Bool),
+            ])?,
+        )?;
+        for t in &traces {
+            for s in &t.spans {
+                spans.insert(vec![
+                    Value::Int(t.trace_id as i64),
+                    Value::Int(s.id as i64),
+                    s.parent.map_or(Value::Null, |p| Value::Int(p as i64)),
+                    Value::Text(s.name.clone()),
+                    Value::Text(s.kind.as_str().to_string()),
+                    Value::Text(s.target.clone()),
+                    Value::Int(s.start_us as i64),
+                    Value::Int(s.duration_us as i64),
+                    s.error
+                        .as_ref()
+                        .map_or(Value::Null, |e| Value::Text(e.clone())),
+                    Value::Bool(s.remote),
+                    Value::Bool(s.parallel),
+                ])?;
+            }
+        }
+
+        // gridfed_monitor.metrics — counters and latency histograms.
+        let metrics = db.create_table(
+            "gridfed_monitor.metrics",
+            Schema::new(vec![
+                ColumnDef::new("family", DataType::Text),
+                ColumnDef::new("label", DataType::Text),
+                ColumnDef::new("kind", DataType::Text),
+                ColumnDef::new("value", DataType::Int),
+                ColumnDef::new("sum_us", DataType::Int),
+                ColumnDef::new("p50_us", DataType::Int),
+                ColumnDef::new("p95_us", DataType::Int),
+                ColumnDef::new("p99_us", DataType::Int),
+            ])?,
+        )?;
+        for c in obs.metrics.counters() {
+            metrics.insert(vec![
+                Value::Text(c.family),
+                Value::Text(c.label),
+                Value::Text("counter".into()),
+                Value::Int(c.value as i64),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ])?;
+        }
+        for h in obs.metrics.histograms() {
+            metrics.insert(vec![
+                Value::Text(h.family),
+                Value::Text(h.label),
+                Value::Text("histogram".into()),
+                Value::Int(h.snapshot.count as i64),
+                Value::Int(h.snapshot.sum_us as i64),
+                Value::Int(h.snapshot.quantile_us(0.50) as i64),
+                Value::Int(h.snapshot.quantile_us(0.95) as i64),
+                Value::Int(h.snapshot.quantile_us(0.99) as i64),
+            ])?;
+        }
+
+        // gridfed_monitor.servers — every server the RLS catalog knows
+        // (plus this mediator), with this mediator's local view of it:
+        // breaker state and query-latency quantiles.
+        let servers = db.create_table(
+            "gridfed_monitor.servers",
+            Schema::new(vec![
+                ColumnDef::new("url", DataType::Text),
+                ColumnDef::new("rls_tables", DataType::Int),
+                ColumnDef::new("unreachable_streak", DataType::Int),
+                ColumnDef::new("breaker", DataType::Text),
+                ColumnDef::new("queries", DataType::Int),
+                ColumnDef::new("p50_us", DataType::Int),
+                ColumnDef::new("p95_us", DataType::Int),
+                ColumnDef::new("p99_us", DataType::Int),
+            ])?,
+        )?;
+        let mut infos = self
+            .rls
+            .as_ref()
+            .map(|r| r.server_snapshot())
+            .unwrap_or_default();
+        if !infos.iter().any(|i| i.url == self.url) {
+            infos.push(gridfed_rls::RlsServerInfo {
+                url: self.url.clone(),
+                tables: self.local_tables().len(),
+                unreachable_streak: 0,
+            });
+            infos.sort_by(|a, b| a.url.cmp(&b.url));
+        }
+        for info in infos {
+            let lat = obs.metrics.histogram("query_latency_us", &info.url);
+            servers.insert(vec![
+                Value::Text(info.url.clone()),
+                Value::Int(info.tables as i64),
+                Value::Int(info.unreachable_streak as i64),
+                Value::Text(self.resilience.breaker_state(&info.url).to_string()),
+                Value::Int(obs.metrics.counter("queries", &info.url) as i64),
+                lat.as_ref()
+                    .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.50) as i64)),
+                lat.as_ref()
+                    .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.95) as i64)),
+                lat.as_ref()
+                    .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.99) as i64)),
+            ])?;
+        }
+        Ok(db)
+    }
+}
+
+/// One executed SELECT: the outcome, the recorded trace (when tracing was
+/// on), and the annotated residual plan (EXPLAIN ANALYZE, federated path).
+struct Executed {
+    outcome: Timed<QueryOutcome>,
+    trace: Option<Arc<Trace>>,
+    analyzed: Option<String>,
+}
+
+impl Executed {
+    /// Wrap an outcome that carries no trace (EXPLAIN, monitor queries).
+    fn plain(outcome: Timed<QueryOutcome>) -> Executed {
+        Executed {
+            outcome,
+            trace: None,
+            analyzed: None,
+        }
+    }
+}
+
+/// Live observation collected while one query executes, consumed when the
+/// trace is assembled.
+#[derive(Default)]
+struct QueryProbe {
+    /// Tracing gate snapshot for this query.
+    active: bool,
+    /// EXPLAIN ANALYZE: profile the residual plan and keep the annotated
+    /// rendering.
+    want_profile: bool,
+    /// One record per scatter branch, in gather order.
+    branches: Vec<BranchObs>,
+    /// Annotated residual plan (federated EXPLAIN ANALYZE only).
+    analyzed: Option<String>,
+}
+
+/// One branch's observed timeline.
+struct BranchObs {
+    label: String,
+    target: String,
+    connect: Cost,
+    exec: Cost,
+    resil: Cost,
+    attempts: Vec<crate::resilience::AttemptRecord>,
+    remote_traces: Vec<Vec<Span>>,
+    dropped: Option<String>,
+}
+
+/// Snapshot one branch report into the probe's shape.
+fn branch_obs(label: &str, target: &str, report: &BranchReport) -> BranchObs {
+    BranchObs {
+        label: label.to_string(),
+        target: target.to_string(),
+        connect: report.output.connect_cost,
+        exec: report.output.exec_cost,
+        resil: report.resilience_cost,
+        attempts: report.attempts.clone(),
+        remote_traces: report.output.remote_traces.clone(),
+        dropped: report.events.dropped.clone(),
+    }
+}
+
+/// Count each optimized-plan node kind into the `plan_nodes` metric family.
+fn record_plan_nodes(obs: &Observability, plan: &LogicalPlan) {
+    obs.metrics.inc("plan_nodes", plan.kind_name(), 1);
+    for child in plan.children() {
+        record_plan_nodes(obs, child);
+    }
+}
+
+/// Decode a `query_federated` response: `List([typed result, stats,
+/// spans])`.
+fn decode_federated(table: &str, wire: &WireValue) -> Result<(Partial, QueryStats, Vec<Span>)> {
+    let WireValue::List(parts) = wire else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "query_federated response must be a list".into(),
+        )));
+    };
+    let [result, stats, spans] = parts.as_slice() else {
+        return Err(CoreError::Rpc(ClarensError::BadParams(
+            "query_federated response must have three parts".into(),
+        )));
+    };
+    Ok((
+        wire_to_partial(table, result)?,
+        wire_to_stats(stats),
+        wire_to_spans(spans)?,
+    ))
 }
 
 /// Pre-resolved tables handed to the decomposer.
@@ -1485,6 +2247,7 @@ impl Service for DataAccessService {
         vec![
             "query".into(),
             "query_typed".into(),
+            "query_federated".into(),
             "explain".into(),
             "tables".into(),
             "databases".into(),
@@ -1524,6 +2287,35 @@ impl Service for DataAccessService {
                 let t = self.query(sql).map_err(fault)?;
                 degraded_guard(&t.value.stats)?;
                 Ok(Timed::new(result_to_wire(&t.value.result), t.cost))
+            }
+            // Mediator-to-mediator form with observability: typed rows
+            // plus the remote mediator's work counters and span list, so
+            // the caller can absorb the stats and graft the spans into one
+            // stitched trace. The optional second param carries the
+            // caller's trace context.
+            "query_federated" => {
+                let sql = params
+                    .first()
+                    .ok_or_else(|| {
+                        ClarensError::BadParams("query_federated(sql, ctx?) needs sql".into())
+                    })?
+                    .as_str()?;
+                let ctx = params.get(1).and_then(TraceContext::from_wire);
+                let ex = self.query_entry(sql, ctx).map_err(fault)?;
+                degraded_guard(&ex.outcome.value.stats)?;
+                let spans = ex
+                    .trace
+                    .as_ref()
+                    .map(|t| spans_to_wire(&t.spans))
+                    .unwrap_or(WireValue::List(Vec::new()));
+                Ok(Timed::new(
+                    WireValue::List(vec![
+                        result_to_wire(&ex.outcome.value.result),
+                        stats_to_wire(&ex.outcome.value.stats),
+                        spans,
+                    ]),
+                    ex.outcome.cost,
+                ))
             }
             "explain" => {
                 let sql = params

@@ -71,6 +71,23 @@ impl QueryStats {
     pub fn is_degraded(&self) -> bool {
         !self.branches_dropped.is_empty()
     }
+
+    /// Fold the counters a *remote mediator* reported for its share of a
+    /// federated query into this (caller-side) record, so physical work
+    /// done behind an RPC hop is not lost at the wire boundary. Only
+    /// work counters merge: virtual-time breakdown, cache flags, and
+    /// result-size fields describe the caller's own run.
+    pub fn absorb_remote(&mut self, remote: &QueryStats) {
+        self.connections_opened += remote.connections_opened;
+        self.pooled_hits += remote.pooled_hits;
+        self.rls_lookups += remote.rls_lookups;
+        self.remote_forwards += remote.remote_forwards;
+        self.retries += remote.retries;
+        self.failovers += remote.failovers;
+        self.hedges += remote.hedges;
+        self.breaker_opens += remote.breaker_opens;
+        self.breaker_rejections += remote.breaker_rejections;
+    }
 }
 
 /// One branch dropped from a degraded (Partial-policy) result.

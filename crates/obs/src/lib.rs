@@ -1,0 +1,70 @@
+//! `gridfed-obs`: observability for the federation.
+//!
+//! R-GMA (Cooke et al.) argued that grid monitoring data is itself best
+//! exposed *relationally*; this crate provides the stores behind that idea
+//! for the 2005 Data Access Service reproduction: a bounded ring of
+//! hierarchical query [`Trace`]s, and a [`MetricsRegistry`] of counters and
+//! latency histograms. The service layer projects both into the virtual
+//! `gridfed_monitor.*` tables so the grid can be inspected through its own
+//! SQL federation.
+//!
+//! Everything hangs off an [`Observability`] handle with a single atomic
+//! on/off gate: when disabled (the default), the query path performs one
+//! relaxed load and skips all collection, so the hot path stays unchanged.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{CounterSample, HistogramSample, HistogramSnapshot, MetricsRegistry};
+pub use span::{Span, SpanKind, Trace, TraceBuilder, TraceStore};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Default number of traces retained per mediator.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// One mediator's observability state: the gate, the trace ring, and the
+/// metrics registry.
+#[derive(Debug)]
+pub struct Observability {
+    enabled: AtomicBool,
+    pub traces: TraceStore,
+    pub metrics: MetricsRegistry,
+}
+
+impl Observability {
+    /// A disabled instance (collection off until [`Observability::set_enabled`]).
+    pub fn new() -> Arc<Observability> {
+        Arc::new(Observability {
+            enabled: AtomicBool::new(false),
+            traces: TraceStore::new(DEFAULT_TRACE_CAPACITY),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// Whether collection is on. One relaxed atomic load — this is the
+    /// entire overhead of the subsystem when tracing is off.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_defaults_off_and_toggles() {
+        let obs = Observability::new();
+        assert!(!obs.enabled());
+        obs.set_enabled(true);
+        assert!(obs.enabled());
+        obs.set_enabled(false);
+        assert!(!obs.enabled());
+    }
+}

@@ -1,0 +1,300 @@
+//! Lock-cheap metrics: named counters and fixed-bucket latency histograms.
+//!
+//! Every metric is addressed by a `(family, label)` pair — e.g. family
+//! `"branch_latency_us"`, label `"clarens://node2:8443/das"`. The hot path
+//! is a read-lock + `HashMap` lookup + one atomic add; the write lock is
+//! only taken the first time a pair is seen. Histograms use fixed
+//! logarithmic-ish bucket bounds in microseconds so p50/p95/p99 extraction
+//! needs no per-sample storage.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bounds (inclusive) of the histogram buckets, in microseconds.
+/// A final overflow bucket catches everything beyond the last bound.
+pub const LATENCY_BOUNDS_US: [u64; 16] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+const BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+
+#[derive(Debug, Default)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (0 < q <= 1) by linear interpolation
+    /// inside the bucket holding the target rank.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if i == 0 { 0 } else { LATENCY_BOUNDS_US[i - 1] };
+                let upper = LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_US[BUCKETS - 2] * 2);
+                let frac = (rank - seen) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * frac) as u64;
+            }
+            seen += n;
+        }
+        LATENCY_BOUNDS_US[BUCKETS - 2]
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    family: String,
+    label: String,
+}
+
+/// One exported counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub family: String,
+    pub label: String,
+    pub value: u64,
+}
+
+/// One exported histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    pub family: String,
+    pub label: String,
+    pub snapshot: HistogramSnapshot,
+}
+
+/// The process-wide registry of counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<Key, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<Key, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn counter_handle(&self, family: &str, label: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(&Key {
+            family: family.into(),
+            label: label.into(),
+        }) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write();
+        Arc::clone(
+            map.entry(Key {
+                family: family.into(),
+                label: label.into(),
+            })
+            .or_default(),
+        )
+    }
+
+    /// Add `by` to the counter `(family, label)`.
+    pub fn inc(&self, family: &str, label: &str, by: u64) {
+        self.counter_handle(family, label)
+            .fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Record a latency observation into the histogram `(family, label)`.
+    pub fn observe_us(&self, family: &str, label: &str, us: u64) {
+        if let Some(h) = self.histograms.read().get(&Key {
+            family: family.into(),
+            label: label.into(),
+        }) {
+            h.observe(us);
+            return;
+        }
+        let handle = {
+            let mut map = self.histograms.write();
+            Arc::clone(
+                map.entry(Key {
+                    family: family.into(),
+                    label: label.into(),
+                })
+                .or_default(),
+            )
+        };
+        handle.observe(us);
+    }
+
+    /// Current value of one counter (0 when never incremented).
+    pub fn counter(&self, family: &str, label: &str) -> u64 {
+        self.counters
+            .read()
+            .get(&Key {
+                family: family.into(),
+                label: label.into(),
+            })
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// All counters, sorted by (family, label) for stable output.
+    pub fn counters(&self) -> Vec<CounterSample> {
+        let mut out: Vec<CounterSample> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| CounterSample {
+                family: k.family.clone(),
+                label: k.label.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.family, &a.label).cmp(&(&b.family, &b.label)));
+        out
+    }
+
+    /// All histograms, sorted by (family, label) for stable output.
+    pub fn histograms(&self) -> Vec<HistogramSample> {
+        let mut out: Vec<HistogramSample> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| HistogramSample {
+                family: k.family.clone(),
+                label: k.label.clone(),
+                snapshot: v.snapshot(),
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.family, &a.label).cmp(&(&b.family, &b.label)));
+        out
+    }
+
+    /// Snapshot of one histogram, if it exists.
+    pub fn histogram(&self, family: &str, label: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .read()
+            .get(&Key {
+                family: family.into(),
+                label: label.into(),
+            })
+            .map(|h| h.snapshot())
+    }
+
+    /// Drop all recorded metrics.
+    pub fn clear(&self) {
+        self.counters.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let m = MetricsRegistry::new();
+        m.inc("queries", "srv-a", 1);
+        m.inc("queries", "srv-a", 2);
+        m.inc("queries", "srv-b", 5);
+        assert_eq!(m.counter("queries", "srv-a"), 3);
+        assert_eq!(m.counter("queries", "srv-b"), 5);
+        assert_eq!(m.counter("queries", "srv-c"), 0);
+        let all = m.counters();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].label, "srv-a");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let m = MetricsRegistry::new();
+        // 90 fast observations and 10 slow ones.
+        for _ in 0..90 {
+            m.observe_us("lat", "x", 400);
+        }
+        for _ in 0..10 {
+            m.observe_us("lat", "x", 80_000);
+        }
+        let h = m.histogram("lat", "x").unwrap();
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!((250..=500).contains(&p50), "p50={p50}");
+        assert!((50_000..=100_000).contains(&p99), "p99={p99}");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let m = MetricsRegistry::new();
+        m.observe_us("lat", "x", 1);
+        let h = m.histogram("lat", "x").unwrap();
+        assert!(h.quantile_us(0.99) > 0);
+        assert_eq!(m.histogram("lat", "missing").map(|h| h.count), None);
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum_us: 0,
+            buckets: [0; BUCKETS],
+        };
+        assert_eq!(empty.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let m = MetricsRegistry::new();
+        m.observe_us("lat", "x", 60_000_000);
+        let h = m.histogram("lat", "x").unwrap();
+        assert!(h.quantile_us(0.5) >= LATENCY_BOUNDS_US[BUCKETS - 2]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Hierarchical query traces on virtual time.
+//!
+//! A [`Trace`] is one query's span tree: a root `query` span whose children
+//! partition its duration into phases (plan, RLS, scatter, integrate,
+//! serialize), with one child span per scatter branch and grandchildren for
+//! each retry / failover / hedge attempt. Spans returned by a remote
+//! mediator over the Clarens wire are grafted into the caller's tree with
+//! the `remote` flag set, so one federated query reads as a single tree no
+//! matter how many servers it touched.
+//!
+//! All timestamps are offsets (in virtual microseconds) from the trace
+//! start; when a fault plan is active these come from the shared
+//! `VirtualClock`, otherwise from the same cost algebra accumulated against
+//! wall-clock-free virtual time — either way the numbers are deterministic
+//! under a fixed seed.
+
+use gridfed_simnet::cost::Cost;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What layer of the query path a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Root span: the whole query at the mediator.
+    Query,
+    /// A sequential phase of the mediator pipeline (plan, integrate, ...).
+    Phase,
+    /// One scatter branch (all work against one physical target).
+    Branch,
+    /// One physical attempt inside a branch (primary, retry, failover...).
+    Attempt,
+    /// A remote-mediator hop over the Clarens wire.
+    Rpc,
+}
+
+impl SpanKind {
+    /// Stable lowercase name, used on the wire and in `gridfed_monitor.spans`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Phase => "phase",
+            SpanKind::Branch => "branch",
+            SpanKind::Attempt => "attempt",
+            SpanKind::Rpc => "rpc",
+        }
+    }
+
+    /// Parse a wire name back; unknown kinds decode as `Phase`.
+    pub fn parse(s: &str) -> SpanKind {
+        match s {
+            "query" => SpanKind::Query,
+            "branch" => SpanKind::Branch,
+            "attempt" => SpanKind::Attempt,
+            "rpc" => SpanKind::Rpc,
+            _ => SpanKind::Phase,
+        }
+    }
+}
+
+/// One timed node in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Identifier, unique within the trace.
+    pub id: u64,
+    /// Parent span id; `None` only for the root.
+    pub parent: Option<u64>,
+    /// Human-readable name ("plan", "database `mart_mysql`", "retry#2"...).
+    pub name: String,
+    pub kind: SpanKind,
+    /// Physical target (server URL or database URL), when one applies.
+    pub target: String,
+    /// Offset from the trace start, virtual microseconds.
+    pub start_us: u64,
+    pub duration_us: u64,
+    /// Empty for success, otherwise the error rendering.
+    pub error: Option<String>,
+    /// Span executed on a remote mediator and was stitched in over the wire.
+    pub remote: bool,
+    /// Direct children compose in parallel (`max`), not sequentially (`sum`).
+    pub parallel: bool,
+}
+
+impl Span {
+    /// End offset in virtual microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.duration_us
+    }
+}
+
+/// A completed query trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub trace_id: u64,
+    pub sql: String,
+    /// URL of the mediator that ran the query.
+    pub server: String,
+    /// Caller's trace id when this query was spawned by a remote mediator.
+    pub origin: Option<u64>,
+    /// Absolute virtual-clock reading when the query started.
+    pub started_us: u64,
+    pub duration_us: u64,
+    /// "ok" or "error: ...".
+    pub status: String,
+    pub rows_returned: u64,
+    pub cache_hit: bool,
+    pub distributed: bool,
+    pub degraded: bool,
+    pub retries: u64,
+    pub failovers: u64,
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The root span, if the trace recorded any spans at all.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Direct children of `id`, in recording order.
+    pub fn children_of(&self, id: u64) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Check the timing algebra of the tree: every child lies within its
+    /// parent's bounds, and for sequential parents the children exactly
+    /// partition the parent's duration (within `tolerance_us`). Parallel
+    /// parents only require containment — their duration is the `par`
+    /// (max-based) composition of racing children.
+    pub fn check_composition(&self, tolerance_us: u64) -> Result<(), String> {
+        let Some(root) = self.root() else {
+            return Err("trace has no root span".into());
+        };
+        if root.duration_us.abs_diff(self.duration_us) > tolerance_us {
+            return Err(format!(
+                "root span {}us != trace duration {}us",
+                root.duration_us, self.duration_us
+            ));
+        }
+        for span in &self.spans {
+            if let Some(pid) = span.parent {
+                let Some(parent) = self.spans.iter().find(|s| s.id == pid) else {
+                    return Err(format!("span {} has dangling parent {pid}", span.id));
+                };
+                if span.start_us + tolerance_us < parent.start_us
+                    || span.end_us() > parent.end_us() + tolerance_us
+                {
+                    return Err(format!(
+                        "span {} `{}` [{}, {}] escapes parent {} [{}, {}]",
+                        span.id,
+                        span.name,
+                        span.start_us,
+                        span.end_us(),
+                        parent.id,
+                        parent.start_us,
+                        parent.end_us()
+                    ));
+                }
+            }
+            let children = self.children_of(span.id);
+            if !children.is_empty() && !span.parallel {
+                let sum: u64 = children.iter().map(|c| c.duration_us).sum();
+                if sum.abs_diff(span.duration_us) > tolerance_us {
+                    return Err(format!(
+                        "sequential span {} `{}` duration {}us != children sum {}us",
+                        span.id, span.name, span.duration_us, sum
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the span tree as an indented listing.
+    pub fn render_tree(&self) -> String {
+        let mut out = format!(
+            "trace {} on {} — {} ({:.3}ms, {})\n",
+            self.trace_id,
+            self.server,
+            self.sql,
+            self.duration_us as f64 / 1_000.0,
+            self.status
+        );
+        if let Some(root) = self.root() {
+            self.render_span(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_span(&self, span: &Span, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "[{}] {} @{:.3}ms +{:.3}ms",
+            span.kind.as_str(),
+            span.name,
+            span.start_us as f64 / 1_000.0,
+            span.duration_us as f64 / 1_000.0
+        );
+        if !span.target.is_empty() {
+            let _ = write!(out, " -> {}", span.target);
+        }
+        if span.parallel {
+            out.push_str(" (parallel)");
+        }
+        if span.remote {
+            out.push_str(" (remote)");
+        }
+        if let Some(err) = &span.error {
+            let _ = write!(out, " (error: {err})");
+        }
+        out.push('\n');
+        for child in self.children_of(span.id) {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+}
+
+/// Incremental builder used by the service while a query runs.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace_id: u64,
+    next_id: u64,
+    spans: Vec<Span>,
+}
+
+impl TraceBuilder {
+    pub fn new(trace_id: u64) -> TraceBuilder {
+        TraceBuilder {
+            trace_id,
+            next_id: 1,
+            spans: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Record a span; returns its id for use as a parent.
+    pub fn span(
+        &mut self,
+        parent: Option<u64>,
+        name: impl Into<String>,
+        kind: SpanKind,
+        target: impl Into<String>,
+        start: Cost,
+        duration: Cost,
+    ) -> u64 {
+        let id = self.alloc();
+        self.spans.push(Span {
+            id,
+            parent,
+            name: name.into(),
+            kind,
+            target: target.into(),
+            start_us: start.as_micros(),
+            duration_us: duration.as_micros(),
+            error: None,
+            remote: false,
+            parallel: false,
+        });
+        id
+    }
+
+    /// Mark a recorded span's children as racing in parallel.
+    pub fn mark_parallel(&mut self, id: u64) {
+        if let Some(s) = self.spans.iter_mut().find(|s| s.id == id) {
+            s.parallel = true;
+        }
+    }
+
+    /// Attach an error rendering to a recorded span.
+    pub fn mark_error(&mut self, id: u64, error: impl Into<String>) {
+        if let Some(s) = self.spans.iter_mut().find(|s| s.id == id) {
+            s.error = Some(error.into());
+        }
+    }
+
+    /// Graft a remote mediator's span list under `parent`, re-identifying
+    /// every span into this trace's id space, shifting starts so the remote
+    /// root begins at `base`, and flagging everything as remote. Remote
+    /// span lists are recorded in parent-before-child order, which the
+    /// re-identification relies on.
+    pub fn graft_remote(&mut self, parent: u64, base: Cost, remote: &[Span]) {
+        let mut ids = std::collections::HashMap::new();
+        for span in remote {
+            let id = self.alloc();
+            ids.insert(span.id, id);
+            let mapped_parent = span.parent.and_then(|p| ids.get(&p).copied());
+            self.spans.push(Span {
+                id,
+                parent: Some(mapped_parent.unwrap_or(parent)),
+                start_us: span.start_us + base.as_micros(),
+                remote: true,
+                ..span.clone()
+            });
+        }
+    }
+
+    /// Spans recorded so far (for wire export without finishing a trace).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Seal the builder into a [`Trace`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        self,
+        sql: impl Into<String>,
+        server: impl Into<String>,
+        origin: Option<u64>,
+        started_us: u64,
+        duration: Cost,
+        status: impl Into<String>,
+        rows_returned: u64,
+    ) -> Trace {
+        Trace {
+            trace_id: self.trace_id,
+            sql: sql.into(),
+            server: server.into(),
+            origin,
+            started_us,
+            duration_us: duration.as_micros(),
+            status: status.into(),
+            rows_returned,
+            cache_hit: false,
+            distributed: false,
+            degraded: false,
+            retries: 0,
+            failovers: 0,
+            spans: self.spans,
+        }
+    }
+}
+
+/// Bounded in-memory store of recent traces (a ring: oldest evicted first).
+#[derive(Debug)]
+pub struct TraceStore {
+    next_id: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Arc<Trace>>>,
+}
+
+impl TraceStore {
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Allocate the next trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a completed trace, evicting the oldest past capacity.
+    /// Returns the stored handle (for callers that export it right away,
+    /// e.g. the RPC layer shipping spans back to a remote caller).
+    pub fn record(&self, trace: Trace) -> Arc<Trace> {
+        let trace = Arc::new(trace);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::clone(&trace));
+        trace
+    }
+
+    /// All retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<Arc<Trace>> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// The most recent trace.
+    pub fn latest(&self) -> Option<Arc<Trace>> {
+        self.ring.lock().back().cloned()
+    }
+
+    /// Look a retained trace up by id.
+    pub fn get(&self, trace_id: u64) -> Option<Arc<Trace>> {
+        self.ring
+            .lock()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Cost {
+        Cost::from_millis(n)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(7);
+        let root = b.span(None, "query", SpanKind::Query, "", Cost::ZERO, ms(100));
+        b.span(Some(root), "plan", SpanKind::Phase, "", Cost::ZERO, ms(10));
+        let scatter = b.span(Some(root), "scatter", SpanKind::Phase, "", ms(10), ms(80));
+        b.mark_parallel(scatter);
+        b.span(
+            Some(scatter),
+            "branch a",
+            SpanKind::Branch,
+            "mysql://a",
+            ms(10),
+            ms(80),
+        );
+        b.span(
+            Some(scatter),
+            "branch b",
+            SpanKind::Branch,
+            "oracle://b",
+            ms(10),
+            ms(40),
+        );
+        b.span(Some(root), "integrate", SpanKind::Phase, "", ms(90), ms(10));
+        b.finish("SELECT 1", "clarens://x/das", None, 0, ms(100), "ok", 1)
+    }
+
+    #[test]
+    fn composition_holds_for_well_formed_tree() {
+        sample_trace().check_composition(0).unwrap();
+    }
+
+    #[test]
+    fn composition_catches_sequential_gap() {
+        let mut t = sample_trace();
+        // Shrink a sequential child of the root: the sum no longer matches.
+        t.spans[1].duration_us -= 5_000;
+        assert!(t.check_composition(100).is_err());
+        assert!(t.check_composition(10_000).is_ok());
+    }
+
+    #[test]
+    fn composition_catches_escaping_child() {
+        let mut t = sample_trace();
+        t.spans[3].duration_us += 50_000; // branch a now outlives scatter
+        assert!(t.check_composition(100).is_err());
+    }
+
+    #[test]
+    fn graft_rebases_and_flags_remote() {
+        let mut remote = TraceBuilder::new(99);
+        let r = remote.span(None, "query", SpanKind::Query, "", Cost::ZERO, ms(30));
+        remote.span(Some(r), "plan", SpanKind::Phase, "", Cost::ZERO, ms(5));
+        let remote_spans = remote.spans().to_vec();
+
+        let mut b = TraceBuilder::new(1);
+        let root = b.span(None, "query", SpanKind::Query, "", Cost::ZERO, ms(100));
+        let rpc = b.span(
+            Some(root),
+            "rpc",
+            SpanKind::Rpc,
+            "clarens://y",
+            ms(20),
+            ms(40),
+        );
+        b.graft_remote(rpc, ms(20), &remote_spans);
+        let t = b.finish("SELECT 1", "srv", None, 0, ms(100), "ok", 0);
+
+        let grafted: Vec<&Span> = t.spans.iter().filter(|s| s.remote).collect();
+        assert_eq!(grafted.len(), 2);
+        assert_eq!(grafted[0].parent, Some(rpc));
+        assert_eq!(grafted[0].start_us, 20_000);
+        assert_eq!(grafted[1].parent, Some(grafted[0].id));
+        // ids re-allocated into the caller's space, no collisions
+        let mut ids: Vec<u64> = t.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.spans.len());
+    }
+
+    #[test]
+    fn store_is_a_bounded_ring() {
+        let store = TraceStore::new(2);
+        for i in 0..4 {
+            let id = store.next_trace_id();
+            assert_eq!(id, i + 1);
+            let b = TraceBuilder::new(id);
+            store.record(b.finish(format!("q{i}"), "srv", None, 0, ms(1), "ok", 0));
+        }
+        let kept = store.snapshot();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].sql, "q2");
+        assert_eq!(kept[1].sql, "q3");
+        assert!(store.get(3).is_some());
+        assert!(store.get(1).is_none());
+        assert_eq!(store.latest().unwrap().trace_id, 4);
+    }
+
+    #[test]
+    fn render_tree_shows_structure() {
+        let out = sample_trace().render_tree();
+        assert!(out.contains("[query] query"));
+        assert!(out.contains("  [phase] plan"));
+        assert!(out.contains("(parallel)"));
+        assert!(out.contains("-> mysql://a"));
+    }
+}

@@ -235,6 +235,43 @@ impl RlsServer {
     pub fn stats(&self) -> RlsStats {
         *self.stats.read()
     }
+
+    /// Every server the catalog knows about, sorted by URL — the data
+    /// behind the `gridfed_monitor.servers` virtual table. Servers whose
+    /// mappings were expired but that still have an unreachability streak
+    /// on record appear with zero tables.
+    pub fn server_snapshot(&self) -> Vec<RlsServerInfo> {
+        let mappings = self.mappings.read();
+        let streaks = self.unreachable_counts.read();
+        let mut per: BTreeMap<String, usize> = BTreeMap::new();
+        for urls in mappings.values() {
+            for url in urls {
+                *per.entry(url.clone()).or_default() += 1;
+            }
+        }
+        for url in streaks.keys() {
+            per.entry(url.clone()).or_default();
+        }
+        per.into_iter()
+            .map(|(url, tables)| RlsServerInfo {
+                unreachable_streak: streaks.get(&url).copied().unwrap_or(0),
+                url,
+                tables,
+            })
+            .collect()
+    }
+}
+
+/// One server's standing in the RLS catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RlsServerInfo {
+    /// Clarens server URL.
+    pub url: String,
+    /// Logical tables the catalog currently maps to this server.
+    pub tables: usize,
+    /// Consecutive unreachability reports (mappings expire at the
+    /// configured threshold).
+    pub unreachable_streak: u32,
 }
 
 #[cfg(test)]

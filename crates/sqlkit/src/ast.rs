@@ -21,6 +21,14 @@ pub enum Statement {
     Update(UpdateStmt),
     /// A DELETE statement.
     Delete(DeleteStmt),
+    /// An `EXPLAIN [ANALYZE]` wrapper around a SELECT: render the plan,
+    /// and with ANALYZE also execute it and annotate actual rows/time.
+    Explain {
+        /// `EXPLAIN ANALYZE` — execute and annotate with actuals.
+        analyze: bool,
+        /// The wrapped SELECT.
+        stmt: SelectStmt,
+    },
 }
 
 /// `SELECT ... FROM ... [JOIN ...] [WHERE] [GROUP BY] [ORDER BY] [LIMIT]`.

@@ -130,7 +130,34 @@ pub fn execute_plan_metered(
     Ok((rs, metrics))
 }
 
+/// Node dispatcher plus the `EXPLAIN ANALYZE` profiling hook. When
+/// profiling is off (the common case) this is one thread-local flag read;
+/// when on, each result-shaping node records output rows and inclusive
+/// wall time. Relational nodes (Scan/Filter/Join) are recorded by
+/// [`eval_relational`] instead, so every node is profiled exactly once.
 fn execute_node(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    m: &mut ExecMetrics,
+) -> Result<ResultSet> {
+    if !crate::analyze::profiling()
+        || matches!(
+            plan,
+            LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Join { .. }
+        )
+    {
+        return execute_node_inner(plan, provider, m);
+    }
+    let t0 = Instant::now();
+    let out = execute_node_inner(plan, provider, m);
+    let elapsed = t0.elapsed();
+    if let Ok(rs) = &out {
+        crate::analyze::record(plan, rs.rows.len() as u64, elapsed);
+    }
+    out
+}
+
+fn execute_node_inner(
     plan: &LogicalPlan,
     provider: &dyn TableProvider,
     m: &mut ExecMetrics,
@@ -201,6 +228,9 @@ fn execute_node(
             } = input.as_ref()
             {
                 if *drop == ascending.len() && *drop > 0 {
+                    if crate::analyze::profiling() {
+                        crate::analyze::record_fused(input);
+                    }
                     let rs = execute_node(sort_input, provider, m)?;
                     return Ok(sort_strip_fused(rs, ascending, *drop, None));
                 }
@@ -246,6 +276,10 @@ fn execute_node(
                 } = strip_input.as_ref()
                 {
                     if *drop == ascending.len() && *drop > 0 {
+                        if crate::analyze::profiling() {
+                            crate::analyze::record_fused(input);
+                            crate::analyze::record_fused(strip_input);
+                        }
                         let rs = execute_node(sort_input, provider, m)?;
                         return Ok(sort_strip_fused(
                             rs,
@@ -321,8 +355,26 @@ fn sort_strip_fused(
     rs
 }
 
-/// Evaluate the relational (Scan/Filter/Join) portion of a plan.
+/// Evaluate the relational (Scan/Filter/Join) portion of a plan, recording
+/// the profile of every relational node when `EXPLAIN ANALYZE` is active.
 fn eval_relational(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    m: &mut ExecMetrics,
+) -> Result<Relation> {
+    if !crate::analyze::profiling() {
+        return eval_relational_inner(plan, provider, m);
+    }
+    let t0 = Instant::now();
+    let out = eval_relational_inner(plan, provider, m);
+    let elapsed = t0.elapsed();
+    if let Ok(rel) = &out {
+        crate::analyze::record(plan, rel.rows.len() as u64, elapsed);
+    }
+    out
+}
+
+fn eval_relational_inner(
     plan: &LogicalPlan,
     provider: &dyn TableProvider,
     m: &mut ExecMetrics,

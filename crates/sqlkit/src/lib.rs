@@ -27,10 +27,14 @@
 //! - [`exec`] — a Volcano-ish executor over a [`exec::TableProvider`], used
 //!   for per-mart execution and for the mediator's post-merge residual
 //!   processing. Runs optimized plans, not raw ASTs.
+//! - [`analyze`] — `EXPLAIN ANALYZE`: per-node execution profiles
+//!   (actual rows, loops, inclusive time) rendered next to the optimizer's
+//!   row estimates.
 //! - [`render`] — AST → SQL text, parameterized by a [`render::SqlStyle`] so
 //!   vendor crates can impose their dialect quirks.
 //! - [`result`] — [`ResultSet`], the "single 2-D vector" of the paper.
 
+pub mod analyze;
 pub mod ast;
 pub mod compile;
 pub mod error;
@@ -43,6 +47,10 @@ pub mod plan;
 pub mod render;
 pub mod result;
 
+pub use analyze::{
+    annotate, estimate_rows, execute_plan_analyzed, explain_analyze_select, explain_select,
+    NodeProfile, PlanProfile,
+};
 pub use ast::{Expr, SelectStmt, Statement};
 pub use compile::{compile, CompiledExpr, KeyValue};
 pub use error::SqlError;

@@ -120,12 +120,20 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement> {
         match self.peek() {
             Some(t) if t.is_kw("SELECT") => Ok(Statement::Select(self.select()?)),
+            Some(t) if t.is_kw("EXPLAIN") => {
+                self.expect_kw("EXPLAIN")?;
+                let analyze = self.eat_kw("ANALYZE");
+                Ok(Statement::Explain {
+                    analyze,
+                    stmt: self.select()?,
+                })
+            }
             Some(t) if t.is_kw("CREATE") => self.create(),
             Some(t) if t.is_kw("INSERT") => self.insert(),
             Some(t) if t.is_kw("UPDATE") => self.update(),
             Some(t) if t.is_kw("DELETE") => self.delete(),
             other => Err(self.err(format!(
-                "expected SELECT/CREATE/INSERT/UPDATE/DELETE, found {}",
+                "expected SELECT/EXPLAIN/CREATE/INSERT/UPDATE/DELETE, found {}",
                 other.map_or("end of input".into(), Token::describe)
             ))),
         }
@@ -401,7 +409,12 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
-        let name = self.ident()?;
+        // A table name may be schema-qualified (`gridfed_monitor.spans`);
+        // the dotted pair is kept as one name the resolver sees verbatim.
+        let mut name = self.ident()?;
+        if self.eat_tok(&Token::Dot) {
+            name = format!("{name}.{}", self.ident()?);
+        }
         let alias = if self.eat_kw("AS") {
             Some(self.ident()?)
         } else {

@@ -146,10 +146,27 @@ impl LogicalPlan {
         }
     }
 
-    /// Render the tree as an indented outline (used by EXPLAIN).
-    pub fn render_tree(&self, indent: usize, out: &mut String) {
+    /// Short lowercase node kind ("scan", "join", ...): the metric label
+    /// for per-plan-node-kind counters and a stable grouping key.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "scan",
+            LogicalPlan::Filter { .. } => "filter",
+            LogicalPlan::Join { .. } => "join",
+            LogicalPlan::Project { .. } => "project",
+            LogicalPlan::Aggregate { .. } => "aggregate",
+            LogicalPlan::Sort { .. } => "sort",
+            LogicalPlan::Strip { .. } => "strip",
+            LogicalPlan::Distinct { .. } => "distinct",
+            LogicalPlan::Limit { .. } => "limit",
+        }
+    }
+
+    /// One-line description of this node alone (no indentation, no
+    /// children) — the unit EXPLAIN and EXPLAIN ANALYZE annotate.
+    pub fn node_label(&self) -> String {
         use std::fmt::Write;
-        let pad = "  ".repeat(indent);
+        let mut out = String::new();
         match self {
             LogicalPlan::Scan {
                 table,
@@ -157,7 +174,7 @@ impl LogicalPlan {
                 projection,
                 filters,
             } => {
-                let _ = write!(out, "{pad}Scan {table}");
+                let _ = write!(out, "Scan {table}");
                 if binding != table {
                     let _ = write!(out, " AS {binding}");
                 }
@@ -176,53 +193,41 @@ impl LogicalPlan {
                         .collect();
                     let _ = write!(out, " where {}", rendered.join(" AND "));
                 }
-                let _ = writeln!(out);
             }
-            LogicalPlan::Filter { input, predicate } => {
-                let _ = writeln!(
+            LogicalPlan::Filter { predicate, .. } => {
+                let _ = write!(
                     out,
-                    "{pad}Filter {}",
+                    "Filter {}",
                     crate::render::render_expr_neutral(predicate)
                 );
-                input.render_tree(indent + 1, out);
             }
-            LogicalPlan::Join {
-                left,
-                right,
-                kind,
-                on,
-            } => {
+            LogicalPlan::Join { kind, on, .. } => {
                 let kind_txt = match kind {
                     JoinKind::Inner => "Inner",
                     JoinKind::LeftOuter => "LeftOuter",
                     JoinKind::Cross => "Cross",
                 };
-                let _ = write!(out, "{pad}Join {kind_txt}");
+                let _ = write!(out, "Join {kind_txt}");
                 if let Some(cond) = on {
                     let _ = write!(out, " on {}", crate::render::render_expr_neutral(cond));
                 }
-                let _ = writeln!(out);
-                left.render_tree(indent + 1, out);
-                right.render_tree(indent + 1, out);
             }
-            LogicalPlan::Project { input, items, keys } => {
+            LogicalPlan::Project { items, keys, .. } => {
                 let rendered: Vec<String> = items.iter().map(render_item).collect();
-                let _ = write!(out, "{pad}Project [{}]", rendered.join(", "));
+                let _ = write!(out, "Project [{}]", rendered.join(", "));
                 if !keys.is_empty() {
                     let _ = write!(out, " +{} sort key(s)", keys.len());
                 }
-                let _ = writeln!(out);
-                input.render_tree(indent + 1, out);
             }
             LogicalPlan::Aggregate {
-                input,
                 items,
                 group_by,
                 having,
                 keys,
+                ..
             } => {
                 let rendered: Vec<String> = items.iter().map(render_item).collect();
-                let _ = write!(out, "{pad}Aggregate [{}]", rendered.join(", "));
+                let _ = write!(out, "Aggregate [{}]", rendered.join(", "));
                 if !group_by.is_empty() {
                     let groups: Vec<String> = group_by
                         .iter()
@@ -236,29 +241,31 @@ impl LogicalPlan {
                 if !keys.is_empty() {
                     let _ = write!(out, " +{} sort key(s)", keys.len());
                 }
-                let _ = writeln!(out);
-                input.render_tree(indent + 1, out);
             }
-            LogicalPlan::Sort { input, ascending } => {
+            LogicalPlan::Sort { ascending, .. } => {
                 let dirs: Vec<&str> = ascending
                     .iter()
                     .map(|asc| if *asc { "asc" } else { "desc" })
                     .collect();
-                let _ = writeln!(out, "{pad}Sort [{}]", dirs.join(", "));
-                input.render_tree(indent + 1, out);
+                let _ = write!(out, "Sort [{}]", dirs.join(", "));
             }
-            LogicalPlan::Strip { input, drop } => {
-                let _ = writeln!(out, "{pad}Strip {drop} sort key(s)");
-                input.render_tree(indent + 1, out);
+            LogicalPlan::Strip { drop, .. } => {
+                let _ = write!(out, "Strip {drop} sort key(s)");
             }
-            LogicalPlan::Distinct { input } => {
-                let _ = writeln!(out, "{pad}Distinct");
-                input.render_tree(indent + 1, out);
+            LogicalPlan::Distinct { .. } => out.push_str("Distinct"),
+            LogicalPlan::Limit { limit, .. } => {
+                let _ = write!(out, "Limit {limit}");
             }
-            LogicalPlan::Limit { input, limit } => {
-                let _ = writeln!(out, "{pad}Limit {limit}");
-                input.render_tree(indent + 1, out);
-            }
+        }
+        out
+    }
+
+    /// Render the tree as an indented outline (used by EXPLAIN).
+    pub fn render_tree(&self, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), self.node_label());
+        for child in self.children() {
+            child.render_tree(indent + 1, out);
         }
     }
 }

@@ -48,6 +48,11 @@ impl SqlStyle for NeutralStyle {}
 pub fn render_statement(stmt: &Statement, style: &dyn SqlStyle) -> String {
     match stmt {
         Statement::Select(s) => render_select(s, style),
+        Statement::Explain { analyze, stmt } => format!(
+            "EXPLAIN {}{}",
+            if *analyze { "ANALYZE " } else { "" },
+            render_select(stmt, style)
+        ),
         Statement::CreateTable(ct) => render_create_table(ct, style),
         Statement::Insert(ins) => render_insert(ins, style),
         Statement::CreateView(v) => format!(

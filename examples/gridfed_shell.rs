@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                      .databases  databases registered on server 1\n\
                      .servers    Clarens servers in the directory\n\
                      .refresh    run the schema-change tracker\n\
-                     EXPLAIN <sql>  show the federation plan without running\n\
+                     EXPLAIN <sql>          show the federation plan without running\n\
+                     EXPLAIN ANALYZE <sql>  run the query and annotate the plan with actuals\n\
                      .quit       leave"
                 )?;
             }
@@ -75,8 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 writeln!(out, "unknown command `{dot}` — try .help")?;
             }
             sql if sql.to_ascii_lowercase().starts_with("explain ") => {
-                match grid.service(0).explain(&sql[8..]) {
-                    Ok(plan) => write!(out, "{plan}")?,
+                // The service's SQL entry point routes EXPLAIN and
+                // EXPLAIN ANALYZE itself; the plan comes back as one
+                // text row per line.
+                match grid.service(0).query(sql) {
+                    Ok(t) => {
+                        for row in &t.value.result.rows {
+                            match &row.values()[0] {
+                                Value::Text(line) => writeln!(out, "{line}")?,
+                                other => writeln!(out, "{}", other.render())?,
+                            }
+                        }
+                    }
                     Err(e) => writeln!(out, "error: {e}")?,
                 }
             }

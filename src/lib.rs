@@ -55,6 +55,7 @@ pub use gridfed_clarens as clarens;
 pub use gridfed_core as core;
 pub use gridfed_faults as faults;
 pub use gridfed_ntuple as ntuple;
+pub use gridfed_obs as obs;
 pub use gridfed_poolral as poolral;
 pub use gridfed_rls as rls;
 pub use gridfed_simnet as simnet;

@@ -1,0 +1,278 @@
+//! Observability integration tests: hierarchical query traces stitched
+//! across RPC hops, the metrics registry, and the R-GMA-style
+//! `gridfed_monitor.*` relational monitoring surface.
+
+use gridfed::core::grid::GridBuilder;
+use gridfed::obs::SpanKind;
+use gridfed::prelude::*;
+
+const JOIN_SQL: &str = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     WHERE e.e_id < 5 ORDER BY e.e_id";
+
+const FOUR_TABLE_SQL: &str = "SELECT e.e_id, s.n_meas, c.avg_weight, d.mean_value \
+     FROM ntuple_events e \
+     JOIN run_summary s ON e.run_id = s.run_id \
+     JOIN run_conditions c ON s.run_id = c.run_id \
+     JOIN detector_summary d ON c.detector = d.detector \
+     ORDER BY e.e_id";
+
+/// ISSUE acceptance criterion: a federated query that survives at least
+/// one retry and one failover under a seeded fault plan must produce a
+/// *single* stitched span tree — remote mediator spans grafted in via
+/// wire-propagated trace context — that passes the composition checks and
+/// is retrievable through the system's own SQL engine.
+#[test]
+fn acceptance_stitched_trace_under_faults() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .replicate_events(true)
+        .with_observability(true)
+        .with_resilience(ResilienceConfig {
+            max_retries: 6,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(
+            FaultPlan::new(1905)
+                .crash("mart_mysql", Cost::ZERO, None)
+                .transient("*", 0.2),
+        )
+        .build()
+        .expect("faulted grid");
+
+    let out = g.query(FOUR_TABLE_SQL).expect("resilient query answers");
+    assert!(out.stats.retries >= 1, "stats: {:?}", out.stats);
+    assert!(out.stats.failovers >= 1, "stats: {:?}", out.stats);
+
+    let das = g.service(0);
+    let trace = das
+        .observability()
+        .traces
+        .latest()
+        .expect("query was traced");
+    assert_eq!(trace.sql, FOUR_TABLE_SQL);
+    assert_eq!(trace.status, "ok");
+    assert!(trace.distributed);
+    assert!(trace.retries >= 1 && trace.failovers >= 1);
+
+    // One tree: exactly one root, every span reachable from it, timing
+    // algebra holds (sequential phases tile, parallel branches contained).
+    trace.check_composition(5).expect("composition holds");
+    assert_eq!(
+        trace.spans.iter().filter(|s| s.parent.is_none()).count(),
+        1,
+        "single root"
+    );
+
+    // The resilience story is visible as attempt spans...
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"retry"), "spans: {names:?}");
+    assert!(names.contains(&"failover"), "spans: {names:?}");
+    // ...and the remote hop as an RPC span with grafted remote spans.
+    assert!(
+        trace.spans.iter().any(|s| s.kind == SpanKind::Rpc),
+        "rpc span present:\n{}",
+        trace.render_tree()
+    );
+    let remote: Vec<_> = trace.spans.iter().filter(|s| s.remote).collect();
+    assert!(!remote.is_empty(), "remote spans grafted in");
+    assert!(
+        remote.iter().any(|s| s.kind == SpanKind::Query),
+        "the remote mediator's own root query span is part of the tree"
+    );
+
+    // R-GMA surface: the same trace is retrievable relationally, through
+    // the mediator's own SQL engine.
+    let spans_sql = format!(
+        "SELECT span_id, name, kind FROM gridfed_monitor.spans \
+         WHERE trace_id = {} ORDER BY span_id",
+        trace.trace_id
+    );
+    let rows = das.query(&spans_sql).expect("monitor query");
+    assert_eq!(rows.value.result.len(), trace.spans.len());
+
+    let queries_sql = format!(
+        "SELECT sql, status, retries, failovers FROM gridfed_monitor.queries \
+         WHERE trace_id = {}",
+        trace.trace_id
+    );
+    let q = das.query(&queries_sql).expect("monitor query");
+    assert_eq!(q.value.result.len(), 1);
+    assert_eq!(q.value.result.rows[0].values()[1], Value::Text("ok".into()));
+}
+
+/// Satellite (a): work done by a *remote* mediator on a forwarded branch
+/// — retries, connections opened — must be absorbed into the caller's
+/// stats instead of being lost at the RPC boundary.
+#[test]
+fn remote_resilience_work_is_absorbed_into_caller_stats() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_resilience(ResilienceConfig {
+            max_retries: 6,
+            ..ResilienceConfig::standard()
+        })
+        .with_fault_plan(FaultPlan::new(7).transient_during(
+            "mart_sqlite",
+            1.0,
+            Cost::ZERO,
+            Some(Cost::from_millis(5)),
+        ))
+        .build()
+        .expect("grid");
+    // detector_summary lives in mart_sqlite on node2: das0 forwards the
+    // whole query, and the *remote* mediator retries through the fault
+    // window.
+    let out = g
+        .query("SELECT detector, mean_value FROM detector_summary")
+        .expect("forwarded query answers");
+    assert!(out.stats.remote_forwards >= 1, "stats: {:?}", out.stats);
+    assert!(
+        out.stats.retries >= 1,
+        "remote retries visible to the caller: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.connections_opened + out.stats.pooled_hits >= 1,
+        "remote connection work visible to the caller: {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn monitor_metrics_and_servers_are_queryable() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_observability(true)
+        .build()
+        .expect("grid");
+    let das = g.service(0);
+    g.query(JOIN_SQL).expect("query 1");
+    g.query("SELECT e_id FROM ntuple_events WHERE e_id < 3")
+        .expect("query 2");
+
+    // Counters and latency histograms, relationally.
+    let m = das
+        .query(
+            "SELECT family, label, value FROM gridfed_monitor.metrics \
+             WHERE kind = 'counter' AND family = 'queries'",
+        )
+        .expect("metrics query");
+    assert_eq!(m.value.result.len(), 1);
+    assert_eq!(
+        m.value.result.rows[0].values()[2],
+        Value::Int(2),
+        "two queries counted"
+    );
+    let h = das
+        .query(
+            "SELECT p50_us, p95_us FROM gridfed_monitor.metrics \
+             WHERE kind = 'histogram' AND family = 'query_latency_us'",
+        )
+        .expect("histogram query");
+    assert_eq!(h.value.result.len(), 1);
+    assert!(matches!(h.value.result.rows[0].values()[0], Value::Int(p) if p > 0));
+
+    // Every server the RLS knows shows up with breaker state and load.
+    let s = das
+        .query("SELECT url, breaker, queries FROM gridfed_monitor.servers ORDER BY url")
+        .expect("servers query");
+    assert!(s.value.result.len() >= 2, "{:?}", s.value.result.rows);
+    for row in &s.value.result.rows {
+        assert_eq!(row.values()[1], Value::Text("closed".into()));
+    }
+
+    // Monitor tables cannot be mixed with federation tables.
+    let err = das
+        .query("SELECT q.sql FROM gridfed_monitor.queries q JOIN ntuple_events e ON q.trace_id = e.e_id")
+        .unwrap_err();
+    assert!(err.to_string().contains("gridfed_monitor"), "{err}");
+}
+
+#[test]
+fn tracing_off_by_default_records_nothing() {
+    let g = GridBuilder::new().with_seed(31).build().expect("grid");
+    g.query(JOIN_SQL).expect("query");
+    let obs = g.service(0).observability();
+    assert!(!obs.enabled());
+    assert!(obs.traces.snapshot().is_empty());
+    assert!(obs.metrics.counters().is_empty());
+}
+
+#[test]
+fn cache_hits_and_errors_are_traced() {
+    let g = GridBuilder::new()
+        .with_seed(31)
+        .with_observability(true)
+        .build()
+        .expect("grid");
+    let das = g.service(0);
+    das.set_cache_enabled(true);
+
+    g.query(JOIN_SQL).expect("miss");
+    g.query(JOIN_SQL).expect("hit");
+    let trace = das.observability().traces.latest().expect("hit traced");
+    assert!(trace.cache_hit);
+    assert!(trace.spans.iter().any(|s| s.name == "cache-hit"));
+
+    let _ = g.query("SELECT x FROM no_such_table").unwrap_err();
+    let trace = das.observability().traces.latest().expect("error traced");
+    assert!(trace.status.starts_with("error:"), "{}", trace.status);
+    assert_eq!(
+        das.observability()
+            .metrics
+            .counter("query_errors", das.url()),
+        1
+    );
+}
+
+#[test]
+fn explain_analyze_executes_and_reports_actuals() {
+    let g = GridBuilder::new().with_seed(31).build().expect("grid");
+    let das = g.service(0);
+
+    // Plain EXPLAIN returns the plan as a one-column result set and does
+    // not execute.
+    let plain = das.query(&format!("EXPLAIN {JOIN_SQL}")).expect("explain");
+    assert_eq!(plain.value.result.columns, vec!["plan".to_string()]);
+    let text = render_plan(&plain.value.result);
+    assert!(text.contains("logical plan:"), "{text}");
+    assert!(text.contains("optimized plan:"), "{text}");
+    assert!(!text.contains("analyze:"), "{text}");
+
+    // EXPLAIN ANALYZE executes and appends actuals: row counts, the
+    // virtual-time breakdown, and the annotated residual plan.
+    let analyzed = das
+        .query(&format!("EXPLAIN ANALYZE {JOIN_SQL}"))
+        .expect("explain analyze");
+    let text = render_plan(&analyzed.value.result);
+    assert!(text.contains("analyze:"), "{text}");
+    assert!(text.contains("actual rows returned: 5"), "{text}");
+    assert!(text.contains("virtual time:"), "{text}");
+    assert!(
+        text.contains("analyzed residual plan (mediator side):"),
+        "{text}"
+    );
+    assert!(text.contains("act rows="), "{text}");
+
+    // ANALYZE must bypass the result cache — actuals reflect a real run.
+    das.set_cache_enabled(true);
+    g.query(JOIN_SQL).expect("prime the cache");
+    let again = das
+        .query(&format!("EXPLAIN ANALYZE {JOIN_SQL}"))
+        .expect("analyze again");
+    let text = render_plan(&again.value.result);
+    assert!(text.contains("actual rows returned: 5"), "{text}");
+}
+
+fn render_plan(result: &ResultSet) -> String {
+    result
+        .rows
+        .iter()
+        .map(|r| match &r.values()[0] {
+            Value::Text(t) => t.clone(),
+            other => other.render(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
