@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos obs
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts
 
-verify: build test chaos obs lint fmt bench-smoke
+verify: build test chaos obs marts lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -37,3 +37,9 @@ chaos:
 # (regenerate the goldens with UPDATE_GOLDEN=1).
 obs:
 	cargo test -q --test observability --test golden_explain
+
+# Mart-refresh suite: incremental/versioned refresh through the full
+# stack (delta ETL, atomic swap, RLS freshness, placement, cache
+# invalidation) plus the snapshot-isolation concurrency hammering.
+marts:
+	cargo test -q --test mart_refresh --test concurrency

@@ -1,0 +1,147 @@
+//! Mart-refresh benchmarks: incremental (hwm-delta merge + atomic swap)
+//! vs full rebuild, across view sizes and delta sizes. The claim under
+//! test: delta-refresh data movement and virtual cost scale with the
+//! delta, not with the size of the materialized view.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_ntuple::NtupleGenerator;
+use gridfed_simnet::topology::Topology;
+use gridfed_vendors::{Connection, SimServer, VendorKind};
+use gridfed_warehouse::etl::{EtlPipeline, TransportMode};
+use gridfed_warehouse::marts::{materialize_into_mart, refresh_mart};
+use gridfed_warehouse::views::ViewDef;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A stale/full warehouse pair: `stale` holds the first `base` events,
+/// `full` holds all `base + delta` of them.
+struct Fixture {
+    view: ViewDef,
+    stale: Connection,
+    full: Connection,
+    topology: Topology,
+}
+
+fn fixture(base: usize, delta: usize) -> Fixture {
+    let spec = NtupleSpec::physics("ntuple", base + delta);
+    let source = SimServer::new(VendorKind::MySql, "t2", "ntuples");
+    source.with_db_mut(|db| {
+        NtupleGenerator::new(spec.clone(), 7)
+            .populate_source(db)
+            .unwrap()
+    });
+    let sconn = source.connect("grid", "grid").unwrap().value;
+    let pipeline = EtlPipeline::paper().with_mode(TransportMode::Staged);
+
+    let wh = |name: &str, range: Option<(i64, i64)>| {
+        let server = SimServer::new(VendorKind::Oracle, "t0", name);
+        let conn = server.connect("grid", "grid").unwrap().value;
+        pipeline.run_batch(&sconn, &conn, range).unwrap();
+        conn
+    };
+    Fixture {
+        view: ViewDef::Pivot {
+            name: "ntuple_events".into(),
+            spec,
+        },
+        stale: wh("wh_stale", Some((0, base as i64))),
+        full: wh("wh_full", None),
+        topology: Topology::lan(),
+    }
+}
+
+/// A mart materialized from the stale warehouse: its meta hwm trails the
+/// full warehouse by exactly `delta` events' worth of measurements.
+fn stale_mart(f: &Fixture) -> Connection {
+    let mart: Arc<SimServer> = SimServer::new(VendorKind::MySql, "node1", "mart");
+    let conn = mart.connect("grid", "grid").unwrap().value;
+    materialize_into_mart(&f.view, &f.stale, &conn, &f.topology, TransportMode::Staged).unwrap();
+    conn
+}
+
+/// Fixed view size, growing delta: refresh work should grow with the
+/// delta. Printed sizes pair with the virtual costs in BENCH_marts.json.
+fn delta_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mart_refresh_delta");
+    g.sample_size(10);
+    for delta in [50usize, 200, 800] {
+        let f = fixture(2000, delta);
+        g.bench_function(&format!("view2000_delta{delta}"), |b| {
+            b.iter_batched(
+                || stale_mart(&f),
+                |mart| {
+                    let report = refresh_mart(
+                        &f.view,
+                        &f.full,
+                        &mart,
+                        &f.topology,
+                        TransportMode::Staged,
+                        0,
+                    )
+                    .unwrap();
+                    assert_eq!(report.rows, delta);
+                    black_box(report)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Fixed delta, growing view: the moved bytes (and their virtual cost)
+/// should stay flat while a full rebuild grows with the view.
+fn view_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mart_refresh_view");
+    g.sample_size(10);
+    for base in [500usize, 1000, 2000] {
+        let f = fixture(base, 50);
+        g.bench_function(&format!("incremental_view{base}_delta50"), |b| {
+            b.iter_batched(
+                || stale_mart(&f),
+                |mart| {
+                    let report = refresh_mart(
+                        &f.view,
+                        &f.full,
+                        &mart,
+                        &f.topology,
+                        TransportMode::Staged,
+                        0,
+                    )
+                    .unwrap();
+                    assert_eq!(report.rows, 50);
+                    black_box(report)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(&format!("full_rebuild_view{base}"), |b| {
+            b.iter_batched(
+                || {
+                    SimServer::new(VendorKind::MySql, "node1", "mart")
+                        .connect("grid", "grid")
+                        .unwrap()
+                        .value
+                },
+                |mart| {
+                    black_box(
+                        materialize_into_mart(
+                            &f.view,
+                            &f.full,
+                            &mart,
+                            &f.topology,
+                            TransportMode::Staged,
+                        )
+                        .unwrap(),
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, delta_scaling, view_scaling);
+criterion_main!(benches);

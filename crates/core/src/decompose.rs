@@ -36,6 +36,12 @@ pub trait TableResolver {
     /// Column names of a logical table, when known locally (used for
     /// predicate push-down and column pruning; `None` disables both).
     fn columns_of(&self, logical: &str) -> Option<Vec<String>>;
+    /// Data version of the chosen replica, when the table has version
+    /// bookkeeping (versioned mart). `None` for unversioned tables —
+    /// EXPLAIN annotates versioned fetches with `[data vN]`.
+    fn version_of(&self, _logical: &str) -> Option<u64> {
+        None
+    }
 }
 
 /// One per-table fetch task.
@@ -47,6 +53,8 @@ pub struct TableTask {
     pub home: Home,
     /// The single-table sub-query to run at the backend.
     pub subquery: SelectStmt,
+    /// Data version of the chosen replica (versioned marts only).
+    pub version: Option<u64>,
 }
 
 /// The decomposed plan.
@@ -240,6 +248,7 @@ pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan
             table: t.clone(),
             home,
             subquery,
+            version: resolver.version_of(t),
         });
     }
     let residual = residual_plan(&optimized);

@@ -25,12 +25,12 @@ use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
 use gridfed_sqlkit::parser::parse_select;
 use gridfed_sqlkit::ResultSet;
-use gridfed_storage::{ColumnDef, DataType, Schema};
+use gridfed_storage::{ColumnDef, DataType, Schema, Value};
 use gridfed_vendors::{DriverRegistry, SimServer, VendorKind};
 use gridfed_warehouse::etl::{EtlPipeline, EtlReport, TransportMode};
-use gridfed_warehouse::marts::{materialize_into_mart, MartReport};
+use gridfed_warehouse::marts::{materialize_into_mart, refresh_mart, MartReport};
 use gridfed_warehouse::views::ViewDef;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One normalized source database.
 #[derive(Debug, Clone)]
@@ -397,6 +397,11 @@ impl GridBuilder {
             }
         }
 
+        let refresh_plan = mart_plan
+            .iter()
+            .map(|(_, _, _, view_ids)| view_ids.clone())
+            .collect();
+
         Ok(Grid {
             topology,
             registry,
@@ -408,6 +413,9 @@ impl GridBuilder {
             servers,
             services,
             client,
+            next_event: Mutex::new(total_events),
+            transport: self.transport,
+            refresh_plan,
             spec,
             etl_reports,
             mart_reports,
@@ -499,6 +507,14 @@ pub struct Grid {
     /// The Data Access Service behind each server.
     pub services: Vec<Arc<DataAccessService>>,
     client: ClarensClient,
+    /// Next unused event id (sources were seeded with `[0, next_event)`);
+    /// advanced by [`Grid::extend_sources`].
+    next_event: Mutex<usize>,
+    /// ETL/materialization transport mode the grid was built with.
+    transport: TransportMode,
+    /// View indices (into [`standard_views`]) hosted by each mart, aligned
+    /// with `marts` — the plan [`Grid::refresh_marts`] replays.
+    refresh_plan: Vec<Vec<usize>>,
     /// The shared ntuple dataset shape.
     pub spec: NtupleSpec,
     /// Stage-1 ETL reports (one per source).
@@ -545,6 +561,95 @@ impl Grid {
     /// The Data Access Service on a given server index.
     pub fn service(&self, idx: usize) -> &Arc<DataAccessService> {
         &self.services[idx]
+    }
+
+    /// Append `extra` new events (run 0) with full measurement rows to the
+    /// first source database — the upstream change an incremental-ETL +
+    /// mart-refresh cycle then propagates downstream. Returns the first
+    /// new event id.
+    pub fn extend_sources(&self, extra: usize) -> Result<usize> {
+        let mut next = self.next_event.lock().expect("event counter poisoned");
+        let first = *next;
+        self.sources[0].with_db_mut(|db| -> gridfed_storage::Result<()> {
+            // Seed varies per extension so repeated extensions draw
+            // different values, deterministically.
+            let mut generator = NtupleGenerator::new(self.spec.clone(), first as u64);
+            let batch = generator.measurement_batch(first, extra);
+            let events = db.table_mut("events")?;
+            for e in first..first + extra {
+                events.insert(vec![Value::Int(e as i64), Value::Int(0), Value::Float(1.0)])?;
+            }
+            db.table_mut("measurements")?.insert_many(batch)?;
+            Ok(())
+        })?;
+        *next = first + extra;
+        Ok(first)
+    }
+
+    /// Incremental ETL sweep: move only measurements beyond the warehouse
+    /// high-water mark from every source into the warehouse fact table.
+    pub fn run_incremental_etl(&self) -> Result<Vec<EtlReport>> {
+        let pipeline = EtlPipeline::paper().with_mode(self.transport);
+        let wconn = self
+            .warehouse
+            .connect("grid", "grid")
+            .map_err(CoreError::Vendor)?
+            .value;
+        let mut reports = Vec::new();
+        for src in &self.sources {
+            let sconn = src
+                .connect("grid", "grid")
+                .map_err(CoreError::Vendor)?
+                .value;
+            let report = pipeline
+                .run_incremental(&sconn, &wconn)
+                .map_err(|e| CoreError::Internal(format!("incremental ETL failed: {e}")))?;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Staleness-aware refresh of every mart from the warehouse: marts
+    /// whose views have nothing new upstream are skipped, pivot marts
+    /// merge only the delta, and each refresh swaps in atomically and
+    /// bumps the table's data version. Each refresh is reported to the
+    /// mart's owning mediator, which publishes freshness to the RLS,
+    /// records refresh metrics and a refresh trace, and invalidates
+    /// exactly the cached results the refresh staled.
+    pub fn refresh_marts(&self) -> Result<Vec<MartReport>> {
+        let views = standard_views(&self.spec);
+        let wconn = self
+            .warehouse
+            .connect("grid", "grid")
+            .map_err(CoreError::Vendor)?
+            .value;
+        let mut reports = Vec::new();
+        for (mart, view_ids) in self.marts.iter().zip(&self.refresh_plan) {
+            let das = self
+                .services
+                .iter()
+                .find(|s| s.host() == mart.host())
+                .unwrap_or(&self.services[0]);
+            let mconn = mart
+                .connect("grid", "grid")
+                .map_err(CoreError::Vendor)?
+                .value;
+            for &vi in view_ids {
+                let now_us = das.clock().now().as_micros();
+                let report = refresh_mart(
+                    &views[vi],
+                    &wconn,
+                    &mconn,
+                    &self.topology,
+                    self.transport,
+                    now_us,
+                )
+                .map_err(|e| CoreError::Internal(format!("mart refresh failed: {e}")))?;
+                das.note_mart_refresh(mart.db_name(), &report, now_us);
+                reports.push(report);
+            }
+        }
+        Ok(reports)
     }
 }
 

@@ -5,6 +5,9 @@
 //! paper's future work asks for "a system that could decide the closest
 //! available database (in terms of network connectivity) from a set of
 //! replicated databases" — implemented here as [`ReplicaPolicy::Closest`].
+//! With versioned mart refresh, replicas of the same mart table can also
+//! disagree on *data version*; [`ReplicaPolicy::Freshest`] routes to the
+//! highest version (ties broken by network proximity).
 
 use gridfed_simnet::topology::Topology;
 use gridfed_vendors::ConnectionString;
@@ -18,23 +21,48 @@ pub enum ReplicaPolicy {
     First,
     /// Future-work extension: cheapest network path from the service host.
     Closest,
+    /// Staleness-aware: highest data version wins; proximity breaks ties.
+    /// Replicas without version bookkeeping count as version 0.
+    Freshest,
+}
+
+fn host_of(loc: &TableLocation) -> String {
+    ConnectionString::parse(&loc.url)
+        .map(|c| gridfed_vendors::driver::server_address(&c).0)
+        .unwrap_or_else(|_| "unknown-host".to_string())
 }
 
 impl ReplicaPolicy {
-    /// Pick one location from a non-empty candidate list.
+    /// Pick one location from a non-empty candidate list, ignoring data
+    /// versions ([`ReplicaPolicy::Freshest`] degrades to `Closest` here).
     pub fn choose<'a>(
         &self,
         candidates: &'a [TableLocation],
         from_host: &str,
         topology: &Topology,
     ) -> Option<&'a TableLocation> {
+        self.choose_versioned(candidates, from_host, topology, |_| 0)
+    }
+
+    /// Pick one location, consulting `version_of` for each candidate's
+    /// current data version.
+    pub fn choose_versioned<'a>(
+        &self,
+        candidates: &'a [TableLocation],
+        from_host: &str,
+        topology: &Topology,
+        version_of: impl Fn(&TableLocation) -> u64,
+    ) -> Option<&'a TableLocation> {
         match self {
             ReplicaPolicy::First => candidates.first(),
-            ReplicaPolicy::Closest => candidates.iter().min_by_key(|loc| {
-                let host = ConnectionString::parse(&loc.url)
-                    .map(|c| gridfed_vendors::driver::server_address(&c).0)
-                    .unwrap_or_else(|_| "unknown-host".to_string());
-                topology.transfer(from_host, &host, 1024)
+            ReplicaPolicy::Closest => candidates
+                .iter()
+                .min_by_key(|loc| topology.transfer(from_host, &host_of(loc), 1024)),
+            ReplicaPolicy::Freshest => candidates.iter().min_by_key(|loc| {
+                (
+                    std::cmp::Reverse(version_of(loc)),
+                    topology.transfer(from_host, &host_of(loc), 1024),
+                )
             }),
         }
     }
@@ -84,9 +112,44 @@ mod tests {
     }
 
     #[test]
+    fn freshest_policy_prefers_higher_version() {
+        // The fresher replica wins even across a worse link…
+        let candidates = vec![loc("stale", "near"), loc("fresh", "far")];
+        let mut topo = Topology::lan();
+        topo.set_link("near", "far", Link::wan());
+        let chosen = ReplicaPolicy::Freshest
+            .choose_versioned(&candidates, "near", &topo, |l| {
+                if l.database == "fresh" {
+                    2
+                } else {
+                    1
+                }
+            })
+            .unwrap();
+        assert_eq!(chosen.database, "fresh");
+        // …and proximity breaks version ties.
+        let chosen = ReplicaPolicy::Freshest
+            .choose_versioned(&candidates, "near", &topo, |_| 3)
+            .unwrap();
+        assert_eq!(chosen.database, "stale");
+    }
+
+    #[test]
+    fn freshest_without_versions_degrades_to_closest() {
+        let candidates = vec![loc("a", "far"), loc("b", "near")];
+        let mut topo = Topology::lan();
+        topo.set_link("client", "far", Link::wan());
+        let chosen = ReplicaPolicy::Freshest
+            .choose(&candidates, "client", &topo)
+            .unwrap();
+        assert_eq!(chosen.database, "b");
+    }
+
+    #[test]
     fn empty_candidates_yield_none() {
         let topo = Topology::lan();
         assert!(ReplicaPolicy::First.choose(&[], "x", &topo).is_none());
         assert!(ReplicaPolicy::Closest.choose(&[], "x", &topo).is_none());
+        assert!(ReplicaPolicy::Freshest.choose(&[], "x", &topo).is_none());
     }
 }

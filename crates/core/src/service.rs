@@ -6,7 +6,7 @@ use crate::federate::{self, Partial};
 use crate::obswire::{spans_to_wire, stats_to_wire, wire_to_spans, wire_to_stats};
 use crate::placement::ReplicaPolicy;
 use crate::resilience::{AttemptKind, BranchReport, BranchYield, Resilience, ResilienceConfig};
-use crate::stats::{BranchDrop, CostBreakdown, QueryStats};
+use crate::stats::{BranchDrop, CostBreakdown, QueryStats, TableVersion};
 use crate::Result;
 use gridfed_clarens::client::ClarensClient;
 use gridfed_clarens::codec::WireValue;
@@ -16,7 +16,7 @@ use gridfed_clarens::{ClarensError, TraceContext};
 use gridfed_faults::VirtualClock;
 use gridfed_obs::{Observability, Span, SpanKind, Trace, TraceBuilder};
 use gridfed_poolral::PoolRal;
-use gridfed_rls::RlsServer;
+use gridfed_rls::{RlsServer, TableFreshness};
 use gridfed_simnet::cost::{Cost, Timed};
 use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
@@ -28,6 +28,7 @@ use gridfed_sqlkit::render::{render_select, NeutralStyle};
 use gridfed_sqlkit::ResultSet;
 use gridfed_storage::{normalize_ident, ColumnDef, DataType, Database, Row, Schema, Value};
 use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
+use gridfed_warehouse::{read_all_mart_meta, MartReport, RefreshKind};
 use gridfed_xspec::dict::DataDictionary;
 use gridfed_xspec::generate_lower_xspec;
 use gridfed_xspec::model::UpperEntry;
@@ -121,6 +122,11 @@ impl ResultCache {
         self.map.insert(key, (self.tick, outcome));
         evicted
     }
+
+    /// Drop one entry (a version-check found it stale).
+    fn remove(&mut self, key: &str) {
+        self.map.remove(key);
+    }
 }
 
 /// Canonical form of a SQL string for result-cache keying: trimmed, with
@@ -185,6 +191,13 @@ pub struct DataAccessService {
     /// windows. Replaced with the fault plan's shared clock when one is
     /// installed on the grid.
     clock: RwLock<Arc<VirtualClock>>,
+    /// Data versions of registered mart tables: normalized table name →
+    /// database → (version, refreshed_us). Seeded from each mart's
+    /// `gridfed_mart_meta` table at registration and bumped by
+    /// [`DataAccessService::note_mart_refresh`]. Drives `Freshest`
+    /// placement, result-cache version validation, and the
+    /// `gridfed_monitor.marts` surface.
+    mart_versions: RwLock<MartVersionMap>,
     /// Backend credentials used for all database connections.
     creds: (String, String),
     /// Observability: the tracing gate, the bounded trace ring, and the
@@ -193,6 +206,9 @@ pub struct DataAccessService {
     /// atomic load.
     obs: Arc<Observability>,
 }
+
+/// Normalized table name → database → (version, refreshed_us).
+type MartVersionMap = HashMap<String, HashMap<String, (u64, u64)>>;
 
 impl DataAccessService {
     /// Create a service bound to a Clarens server URL and host node.
@@ -223,6 +239,7 @@ impl DataAccessService {
             memory_limit: Mutex::new(None),
             resilience: Resilience::new(),
             clock: RwLock::new(Arc::new(VirtualClock::new())),
+            mart_versions: RwLock::new(HashMap::new()),
             creds: ("grid".to_string(), "grid".to_string()),
             obs: Observability::new(),
         }
@@ -355,6 +372,28 @@ impl DataAccessService {
         self.tracker.lock().check(&lower);
         self.dict.write().register(entry, lower);
         self.invalidate_cache();
+        // A versioned mart carries its refresh history in
+        // `gridfed_mart_meta`: seed this mediator's version map from it so
+        // freshness routing and cache validation work from the first query.
+        let metas = conn.value.server().with_db(read_all_mart_meta);
+        let mut freshness: Vec<(String, TableFreshness)> = Vec::new();
+        if !metas.is_empty() {
+            let mut versions = self.mart_versions.write();
+            for m in &metas {
+                let table = m.table.to_lowercase();
+                versions
+                    .entry(table.clone())
+                    .or_default()
+                    .insert(db_name.clone(), (m.version, m.refreshed_us));
+                freshness.push((
+                    table,
+                    TableFreshness {
+                        version: m.version,
+                        refreshed_us: m.refreshed_us,
+                    },
+                ));
+            }
+        }
         if let Some(rls) = &self.rls {
             let t = rls.publish(&self.url, &tables);
             cost += t.cost
@@ -362,6 +401,9 @@ impl DataAccessService {
                     .topology
                     .link(&self.host, rls.host())
                     .round_trip(256, 64);
+            if !freshness.is_empty() {
+                cost += rls.publish_freshness(&self.url, &freshness).cost;
+            }
         }
         if parsed.vendor.pool_supported() {
             let t = self.pool.initialize(url, &self.creds.0, &self.creds.1)?;
@@ -425,6 +467,127 @@ impl DataAccessService {
         Ok(Timed::new(changed, cost))
     }
 
+    /// Current data version of `table` in `database` (0 = unversioned).
+    pub fn mart_version(&self, table: &str, database: &str) -> u64 {
+        self.mart_versions
+            .read()
+            .get(&normalize_ident(table))
+            .and_then(|per| per.get(database))
+            .map(|(v, _)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all known mart versions:
+    /// `(table, database, version, refreshed_us)`, sorted.
+    pub fn mart_versions_snapshot(&self) -> Vec<(String, String, u64, u64)> {
+        let versions = self.mart_versions.read();
+        let mut out: Vec<(String, String, u64, u64)> = versions
+            .iter()
+            .flat_map(|(table, per)| {
+                per.iter()
+                    .map(|(db, (v, at))| (table.clone(), db.clone(), *v, *at))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Record the outcome of a mart refresh against a database registered
+    /// with this service: bump the local version map, publish the new
+    /// freshness to the RLS, update refresh metrics (refresh count, rows
+    /// moved, refresh lag, cross-replica version skew), and record a
+    /// refresh trace. Skipped refreshes only count a metric — the version
+    /// did not move, so cached results over the table stay valid.
+    pub fn note_mart_refresh(&self, database: &str, report: &MartReport, now_us: u64) {
+        let obs = self.observability();
+        if report.kind == RefreshKind::Skipped {
+            if obs.enabled() {
+                obs.metrics.inc("mart_refresh_skips", &self.url, 1);
+            }
+            return;
+        }
+        let table = normalize_ident(&report.table);
+        let prev_refreshed = {
+            let mut versions = self.mart_versions.write();
+            let slot = versions.entry(table.clone()).or_default();
+            let prev = slot.get(database).map(|(_, at)| *at);
+            slot.insert(database.to_string(), (report.version, now_us));
+            prev
+        };
+        if let Some(rls) = &self.rls {
+            rls.publish_freshness(
+                &self.url,
+                &[(
+                    table.clone(),
+                    TableFreshness {
+                        version: report.version,
+                        refreshed_us: now_us,
+                    },
+                )],
+            );
+        }
+        if obs.enabled() {
+            let m = &obs.metrics;
+            m.inc("mart_refreshes", &self.url, 1);
+            m.inc("mart_refresh_rows", &table, report.rows as u64);
+            // Refresh lag: how stale the previous snapshot had become by
+            // the time this refresh landed.
+            if let Some(prev) = prev_refreshed {
+                m.observe_us("mart_refresh_lag_us", &table, now_us.saturating_sub(prev));
+            }
+            if let Some(rls) = &self.rls {
+                m.observe_us("mart_version_skew", &table, rls.version_skew(&table));
+            }
+            // A refresh trace: root refresh span tiled (staged) or
+            // overlapped (direct) by its extract and load phases.
+            let total = report.total();
+            let mut tb = TraceBuilder::new(obs.traces.next_trace_id());
+            let root = tb.span(
+                None,
+                format!("refresh `{table}`"),
+                SpanKind::Refresh,
+                &self.url,
+                Cost::ZERO,
+                total,
+            );
+            let extract = tb.span(
+                Some(root),
+                "extract",
+                SpanKind::Phase,
+                &self.url,
+                Cost::ZERO,
+                report.extract_cost,
+            );
+            let load_start = if report.overlapped {
+                Cost::ZERO
+            } else {
+                report.extract_cost
+            };
+            let load = tb.span(
+                Some(root),
+                "load+swap",
+                SpanKind::Phase,
+                &self.url,
+                load_start,
+                report.load_cost,
+            );
+            if report.overlapped {
+                tb.mark_parallel(extract);
+                tb.mark_parallel(load);
+            }
+            let trace = tb.finish(
+                format!("REFRESH MART `{}` (v{})", report.table, report.version),
+                &self.url,
+                None,
+                now_us,
+                total,
+                "ok",
+                report.rows as u64,
+            );
+            obs.traces.record(trace);
+        }
+    }
+
     // ---- query path ----
 
     /// Describe how a query would execute, without executing it — which
@@ -478,6 +641,13 @@ impl DataAccessService {
                         "Unity/JDBC (fresh connection)"
                     }
                 ));
+                for tref in stmt.table_refs() {
+                    let key = normalize_ident(&tref.name);
+                    let v = self.mart_version(&key, &location.database);
+                    if v > 0 {
+                        out.push_str(&format!("  table `{key}` [data v{v}]\n"));
+                    }
+                }
                 branch_targets.push((format!("database `{}`", location.database), location.url));
             }
             QueryPlan::ForwardAll { server_url, .. } => {
@@ -500,8 +670,12 @@ impl DataAccessService {
                     let sub = render_select(&task.subquery, &NeutralStyle);
                     match &task.home {
                         Home::Local(loc) => {
+                            let ver = task
+                                .version
+                                .map(|v| format!(" [data v{v}]"))
+                                .unwrap_or_default();
                             out.push_str(&format!(
-                                "  fetch `{}` from `{}` ({}): {sub}
+                                "  fetch `{}` from `{}` ({}){ver}: {sub}
 ",
                                 task.table, loc.database, loc.vendor
                             ));
@@ -511,8 +685,12 @@ impl DataAccessService {
                             }
                         }
                         Home::Remote { server_url } => {
+                            let ver = task
+                                .version
+                                .map(|v| format!(" [data v{v}]"))
+                                .unwrap_or_default();
                             out.push_str(&format!(
-                                "  fetch `{}` via RLS from {server_url}: {sub}
+                                "  fetch `{}` via RLS from {server_url}{ver}: {sub}
 ",
                                 task.table
                             ));
@@ -623,22 +801,33 @@ impl DataAccessService {
         if let Some(key) = &cache_key {
             if let Some(cache) = self.cache.lock().as_mut() {
                 if let Some(hit) = cache.get(key) {
-                    let mut outcome = hit.clone();
-                    outcome.stats.cache_hit = true;
-                    let cost = Cost::from_micros(300);
-                    let trace = tracing
-                        .then(|| self.record_cache_hit_trace(&obs, sql, origin, cost, &outcome));
-                    if obs.enabled() {
-                        obs.metrics.inc("queries", &self.url, 1);
-                        obs.metrics.inc("cache_hits", &self.url, 1);
-                        obs.metrics
-                            .observe_us("query_latency_us", &self.url, cost.as_micros());
+                    if !self.versions_current(&hit.stats.versions) {
+                        // A mart refresh bumped a version this entry
+                        // observed: drop it and re-execute instead of
+                        // serving stale rows.
+                        cache.remove(key);
+                        if obs.enabled() {
+                            obs.metrics.inc("cache_stale_drops", &self.url, 1);
+                        }
+                    } else {
+                        let mut outcome = hit.clone();
+                        outcome.stats.cache_hit = true;
+                        let cost = Cost::from_micros(300);
+                        let trace = tracing.then(|| {
+                            self.record_cache_hit_trace(&obs, sql, origin, cost, &outcome)
+                        });
+                        if obs.enabled() {
+                            obs.metrics.inc("queries", &self.url, 1);
+                            obs.metrics.inc("cache_hits", &self.url, 1);
+                            obs.metrics
+                                .observe_us("query_latency_us", &self.url, cost.as_micros());
+                        }
+                        return Ok(Executed {
+                            outcome: Timed::new(outcome, cost),
+                            trace,
+                            analyzed: None,
+                        });
                     }
-                    return Ok(Executed {
-                        outcome: Timed::new(outcome, cost),
-                        trace,
-                        analyzed: None,
-                    });
                 }
             }
         }
@@ -977,6 +1166,7 @@ impl DataAccessService {
         let dict = self.dict.read();
         let mut homes = HashMap::new();
         let mut cols = HashMap::new();
+        let mut versions = HashMap::new();
         let mut servers: Vec<String> = vec![self.url.clone()];
         let mut databases: Vec<String> = Vec::new();
         for tref in stmt.table_refs() {
@@ -988,12 +1178,21 @@ impl DataAccessService {
             if !locations.is_empty() {
                 let loc = self
                     .policy
-                    .choose(&locations, &self.host, &self.topology)
+                    .choose_versioned(&locations, &self.host, &self.topology, |loc| {
+                        self.mart_version(&key, &loc.database)
+                    })
                     .expect("non-empty candidates")
                     .clone();
                 if !databases.contains(&loc.database) {
                     databases.push(loc.database.clone());
                 }
+                let version = self.mart_version(&key, &loc.database);
+                stats.versions.push(TableVersion {
+                    table: key.clone(),
+                    database: Some(loc.database.clone()),
+                    version,
+                });
+                versions.insert(key.clone(), (version > 0).then_some(version));
                 cols.insert(key.clone(), dict.columns_of(&key).ok());
                 homes.insert(key, Home::Local(loc));
                 continue;
@@ -1014,6 +1213,22 @@ impl DataAccessService {
             if !servers.contains(&url) {
                 servers.push(url.clone());
             }
+            // For remote tables the recorded version is the highest one
+            // any replica has published to the RLS — the global version
+            // state the cache validates against.
+            let version = rls
+                .freshness(&key)
+                .value
+                .iter()
+                .map(|(_, f)| f.version)
+                .max()
+                .unwrap_or(0);
+            stats.versions.push(TableVersion {
+                table: key.clone(),
+                database: None,
+                version,
+            });
+            versions.insert(key.clone(), (version > 0).then_some(version));
             cols.insert(key.clone(), None);
             homes.insert(key, Home::Remote { server_url: url });
         }
@@ -1023,7 +1238,36 @@ impl DataAccessService {
                 .values()
                 .filter(|h| matches!(h, Home::Remote { .. }))
                 .count();
-        Ok(ResolvedTables { homes, cols })
+        Ok(ResolvedTables {
+            homes,
+            cols,
+            versions,
+        })
+    }
+
+    /// Whether every table version a cached outcome observed still matches
+    /// the current state — local versions from this mediator's map, remote
+    /// versions from the RLS freshness registry. Any mismatch means a
+    /// refresh landed since the entry was stored: the entry is stale.
+    fn versions_current(&self, versions: &[TableVersion]) -> bool {
+        versions.iter().all(|tv| {
+            let current = match &tv.database {
+                Some(db) => self.mart_version(&tv.table, db),
+                None => self
+                    .rls
+                    .as_ref()
+                    .map(|rls| {
+                        rls.freshness(&tv.table)
+                            .value
+                            .iter()
+                            .map(|(_, f)| f.version)
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0),
+            };
+            current == tv.version
+        })
     }
 
     /// Fast path: the whole statement runs in one local database. The
@@ -1799,7 +2043,7 @@ impl DataAccessService {
         Ok(Timed::new(QueryOutcome { result, stats }, cost))
     }
 
-    /// Materialize the four monitor tables from live observability state.
+    /// Materialize the five monitor tables from live observability state.
     fn monitor_database(&self) -> Result<Database> {
         let obs = self.observability();
         let mut db = Database::new("gridfed_monitor");
@@ -1963,6 +2207,34 @@ impl DataAccessService {
                     .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.99) as i64)),
             ])?;
         }
+
+        // gridfed_monitor.marts — versioned mart freshness as this
+        // mediator sees it: one row per (table, database) replica, with
+        // the federation-wide version skew from the RLS registry.
+        let marts = db.create_table(
+            "gridfed_monitor.marts",
+            Schema::new(vec![
+                ColumnDef::new("table_name", DataType::Text),
+                ColumnDef::new("database", DataType::Text),
+                ColumnDef::new("version", DataType::Int),
+                ColumnDef::new("refreshed_us", DataType::Int),
+                ColumnDef::new("skew", DataType::Int),
+            ])?,
+        )?;
+        for (table, database, version, refreshed_us) in self.mart_versions_snapshot() {
+            let skew = self
+                .rls
+                .as_ref()
+                .map(|r| r.version_skew(&table))
+                .unwrap_or(0);
+            marts.insert(vec![
+                Value::Text(table),
+                Value::Text(database),
+                Value::Int(version as i64),
+                Value::Int(refreshed_us as i64),
+                Value::Int(skew as i64),
+            ])?;
+        }
         Ok(db)
     }
 }
@@ -2059,6 +2331,9 @@ fn decode_federated(table: &str, wire: &WireValue) -> Result<(Partial, QueryStat
 struct ResolvedTables {
     homes: HashMap<String, Home>,
     cols: HashMap<String, Option<Vec<String>>>,
+    /// Data version of the chosen replica per logical table; `None` when
+    /// the table has no version bookkeeping.
+    versions: HashMap<String, Option<u64>>,
 }
 
 impl TableResolver for ResolvedTables {
@@ -2071,6 +2346,10 @@ impl TableResolver for ResolvedTables {
 
     fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
         self.cols.get(logical).cloned().flatten()
+    }
+
+    fn version_of(&self, logical: &str) -> Option<u64> {
+        self.versions.get(logical).copied().flatten()
     }
 }
 

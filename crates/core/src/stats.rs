@@ -61,6 +61,13 @@ pub struct QueryStats {
     ///
     /// [`DegradationPolicy::Partial`]: crate::resilience::DegradationPolicy::Partial
     pub branches_dropped: Vec<BranchDrop>,
+    /// Data versions of the tables this query read, in resolution order.
+    /// A mart table carries the monotonically increasing version stamped
+    /// by its last refresh; tables with no version bookkeeping (sources,
+    /// warehouse, monitor tables) are simply absent. The result cache
+    /// validates hits against the *current* versions of the same tables,
+    /// so a refresh invalidates exactly the entries it staled.
+    pub versions: Vec<TableVersion>,
     /// Virtual-time breakdown.
     pub breakdown: CostBreakdown,
 }
@@ -88,6 +95,19 @@ impl QueryStats {
         self.breaker_opens += remote.breaker_opens;
         self.breaker_rejections += remote.breaker_rejections;
     }
+}
+
+/// The data version of one table as observed by one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableVersion {
+    /// Logical table name (lower-cased).
+    pub table: String,
+    /// Backend database the replica lives in; `None` when the table was
+    /// resolved through a remote mediator (the RLS freshness record is
+    /// keyed by server, not database).
+    pub database: Option<String>,
+    /// Data version read (0 = no version bookkeeping for this replica).
+    pub version: u64,
 }
 
 /// One branch dropped from a degraded (Partial-policy) result.

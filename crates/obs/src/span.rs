@@ -34,6 +34,8 @@ pub enum SpanKind {
     Attempt,
     /// A remote-mediator hop over the Clarens wire.
     Rpc,
+    /// A mart-refresh run (root of a refresh trace, not a query).
+    Refresh,
 }
 
 impl SpanKind {
@@ -45,6 +47,7 @@ impl SpanKind {
             SpanKind::Branch => "branch",
             SpanKind::Attempt => "attempt",
             SpanKind::Rpc => "rpc",
+            SpanKind::Refresh => "refresh",
         }
     }
 
@@ -55,6 +58,7 @@ impl SpanKind {
             "branch" => SpanKind::Branch,
             "attempt" => SpanKind::Attempt,
             "rpc" => SpanKind::Rpc,
+            "refresh" => SpanKind::Refresh,
             _ => SpanKind::Phase,
         }
     }

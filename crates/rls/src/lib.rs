@@ -34,6 +34,18 @@ pub struct RlsStats {
     pub unreachable_reports: u64,
     /// Servers unpublished because clients kept reporting them dead.
     pub expirations: u64,
+    /// Freshness (data-version) publish calls handled.
+    pub freshness_publishes: u64,
+}
+
+/// Freshness metadata one mart publishes for one of its tables: the data
+/// version its snapshot holds and the virtual time it was refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableFreshness {
+    /// Monotonically increasing data version (0 = never refreshed).
+    pub version: u64,
+    /// Virtual time (µs) of the refresh that produced this version.
+    pub refreshed_us: u64,
 }
 
 /// The central RLS server.
@@ -59,6 +71,8 @@ pub struct RlsServer {
     /// Consecutive reports after which a server is expired.
     expiry_threshold: RwLock<u32>,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// table logical name → hosting server URL → freshness metadata.
+    freshness: RwLock<BTreeMap<String, BTreeMap<String, TableFreshness>>>,
 }
 
 /// Default number of consecutive unreachability reports before the RLS
@@ -76,6 +90,7 @@ impl RlsServer {
             unreachable_counts: RwLock::new(HashMap::new()),
             expiry_threshold: RwLock::new(DEFAULT_EXPIRY_THRESHOLD),
             faults: RwLock::new(None),
+            freshness: RwLock::new(BTreeMap::new()),
         })
     }
 
@@ -152,6 +167,57 @@ impl RlsServer {
         )
     }
 
+    /// Publish freshness metadata: `server_url`'s replica of each `(table,
+    /// freshness)` pair now holds that data version. Called by a mediator
+    /// after every mart refresh (and at registration for the initial
+    /// version), so placement can prefer the freshest replica.
+    pub fn publish_freshness(
+        &self,
+        server_url: &str,
+        entries: &[(String, TableFreshness)],
+    ) -> Timed<()> {
+        let mut fresh = self.freshness.write();
+        for (table, f) in entries {
+            fresh
+                .entry(table.to_ascii_lowercase())
+                .or_default()
+                .insert(server_url.to_string(), *f);
+        }
+        self.stats.write().freshness_publishes += 1;
+        Timed::new(
+            (),
+            self.params.rls_publish.scale(entries.len().max(1) as f64),
+        )
+    }
+
+    /// Freshness of every known replica of `table`, sorted by URL.
+    /// Replicas that never published freshness are absent — callers treat
+    /// them as version 0.
+    pub fn freshness(&self, table: &str) -> Timed<Vec<(String, TableFreshness)>> {
+        let fresh = self.freshness.read();
+        let out: Vec<(String, TableFreshness)> = fresh
+            .get(&table.to_ascii_lowercase())
+            .map(|per| per.iter().map(|(u, f)| (u.clone(), *f)).collect())
+            .unwrap_or_default();
+        Timed::new(out, self.params.rls_lookup)
+    }
+
+    /// Version skew of a table across its replicas: max published version
+    /// minus min. Zero when all replicas agree (or fewer than two
+    /// published). The `gridfed_monitor` surface exposes this per mart
+    /// table as the staleness early-warning signal.
+    pub fn version_skew(&self, table: &str) -> u64 {
+        let fresh = self.freshness.read();
+        let Some(per) = fresh.get(&table.to_ascii_lowercase()) else {
+            return 0;
+        };
+        let versions: Vec<u64> = per.values().map(|f| f.version).collect();
+        match (versions.iter().max(), versions.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
     /// Remove every mapping for a server (service shutdown).
     pub fn unpublish_server(&self, server_url: &str) -> Timed<usize> {
         let mut map = self.mappings.write();
@@ -161,6 +227,13 @@ impl RlsServer {
                 removed += 1;
             }
             !urls.is_empty()
+        });
+        // A dead server's freshness claims must die with its mappings, or
+        // version_skew would keep reporting a ghost replica forever.
+        let mut fresh = self.freshness.write();
+        fresh.retain(|_, per| {
+            per.remove(server_url);
+            !per.is_empty()
         });
         Timed::new(removed, self.params.rls_publish)
     }
@@ -391,6 +464,72 @@ mod tests {
         plan.set_now(Cost::from_millis(5));
         assert!(rls.report_unreachable("dead").value, "fresh: expiry works");
         assert!(plan.stats().rls_stale_hits >= 1);
+    }
+
+    #[test]
+    fn freshness_tracks_versions_per_replica() {
+        let rls = RlsServer::new("rls");
+        rls.publish("a", &["mart_events".into()]);
+        rls.publish("b", &["mart_events".into()]);
+        rls.publish_freshness(
+            "a",
+            &[(
+                "Mart_Events".into(),
+                TableFreshness {
+                    version: 3,
+                    refreshed_us: 500,
+                },
+            )],
+        );
+        rls.publish_freshness(
+            "b",
+            &[(
+                "mart_events".into(),
+                TableFreshness {
+                    version: 1,
+                    refreshed_us: 100,
+                },
+            )],
+        );
+        let fresh = rls.freshness("MART_EVENTS").value;
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh[0].0, "a");
+        assert_eq!(fresh[0].1.version, 3);
+        assert_eq!(rls.version_skew("mart_events"), 2);
+        assert_eq!(rls.version_skew("unknown"), 0);
+        assert_eq!(rls.stats().freshness_publishes, 2);
+
+        // Re-publishing replaces, it does not accumulate.
+        rls.publish_freshness(
+            "b",
+            &[(
+                "mart_events".into(),
+                TableFreshness {
+                    version: 3,
+                    refreshed_us: 900,
+                },
+            )],
+        );
+        assert_eq!(rls.version_skew("mart_events"), 0);
+    }
+
+    #[test]
+    fn unpublish_drops_freshness_with_mappings() {
+        let rls = RlsServer::new("rls");
+        rls.publish("dead", &["t".into()]);
+        rls.publish_freshness(
+            "dead",
+            &[(
+                "t".into(),
+                TableFreshness {
+                    version: 9,
+                    refreshed_us: 1,
+                },
+            )],
+        );
+        rls.unpublish_server("dead");
+        assert!(rls.freshness("t").value.is_empty());
+        assert_eq!(rls.version_skew("t"), 0);
     }
 
     #[test]

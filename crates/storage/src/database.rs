@@ -75,6 +75,40 @@ impl Database {
         self.tables.values().map(|t| t.name().to_string()).collect()
     }
 
+    /// Rename a table in place; errors if the source is absent or the
+    /// destination already exists.
+    pub fn rename_table(&mut self, from: &str, to: &str) -> Result<()> {
+        let from_key = normalize_ident(from);
+        let to_key = normalize_ident(to);
+        if !self.tables.contains_key(&from_key) {
+            return Err(StorageError::NoSuchTable(from.to_string()));
+        }
+        if from_key != to_key && self.tables.contains_key(&to_key) {
+            return Err(StorageError::TableExists(to.to_string()));
+        }
+        let mut t = self.tables.remove(&from_key).expect("checked above");
+        t.set_name(to);
+        self.tables.insert(to_key, t);
+        Ok(())
+    }
+
+    /// Atomically replace `target` with the already-built `shadow` table:
+    /// the shadow is renamed over the target in one catalog mutation, so a
+    /// reader serialized after this call sees the new contents and one
+    /// serialized before it saw the old — never an absent or partial table.
+    /// The displaced target (if any) is dropped. Errors if `shadow` is absent.
+    pub fn replace_table(&mut self, shadow: &str, target: &str) -> Result<()> {
+        let shadow_key = normalize_ident(shadow);
+        let target_key = normalize_ident(target);
+        if !self.tables.contains_key(&shadow_key) {
+            return Err(StorageError::NoSuchTable(shadow.to_string()));
+        }
+        let mut t = self.tables.remove(&shadow_key).expect("checked above");
+        t.set_name(target);
+        self.tables.insert(target_key, t);
+        Ok(())
+    }
+
     /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()
@@ -123,6 +157,56 @@ mod tests {
         assert!(matches!(
             db.create_table("T", schema()),
             Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn rename_table_moves_catalog_entry() {
+        let mut db = Database::new("d");
+        db.create_table("old", schema()).unwrap();
+        db.table_mut("old")
+            .unwrap()
+            .insert(vec![Value::Int(7)])
+            .unwrap();
+        db.rename_table("OLD", "NewName").unwrap();
+        assert!(!db.has_table("old"));
+        assert_eq!(db.table("newname").unwrap().name(), "NewName");
+        assert_eq!(db.table("newname").unwrap().len(), 1);
+        assert!(matches!(
+            db.rename_table("absent", "x"),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        db.create_table("other", schema()).unwrap();
+        assert!(matches!(
+            db.rename_table("newname", "other"),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn replace_table_swaps_shadow_over_target() {
+        let mut db = Database::new("d");
+        db.create_table("live", schema()).unwrap();
+        db.table_mut("live")
+            .unwrap()
+            .insert(vec![Value::Int(1)])
+            .unwrap();
+        db.create_table("__shadow__live", schema()).unwrap();
+        let s = db.table_mut("__shadow__live").unwrap();
+        s.insert(vec![Value::Int(10)]).unwrap();
+        s.insert(vec![Value::Int(11)]).unwrap();
+        db.replace_table("__shadow__live", "live").unwrap();
+        assert!(!db.has_table("__shadow__live"));
+        let live = db.table("live").unwrap();
+        assert_eq!(live.name(), "live");
+        assert_eq!(live.len(), 2);
+        // Also works when the target does not exist yet (first build).
+        db.create_table("__shadow__fresh", schema()).unwrap();
+        db.replace_table("__shadow__fresh", "fresh").unwrap();
+        assert!(db.has_table("fresh"));
+        assert!(matches!(
+            db.replace_table("missing", "live"),
+            Err(StorageError::NoSuchTable(_))
         ));
     }
 

@@ -52,6 +52,13 @@ impl Table {
         &self.name
     }
 
+    /// Rename the table. Only the catalog (`Database::rename_table` /
+    /// `replace_table`) calls this, keeping the map key and the table's own
+    /// notion of its name in sync.
+    pub(crate) fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// The table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

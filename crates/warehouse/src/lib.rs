@@ -26,8 +26,11 @@ pub mod etl;
 pub mod marts;
 pub mod views;
 
-pub use etl::{EtlPipeline, EtlReport, TransportMode};
-pub use marts::{materialize_into_mart, MartReport};
+pub use etl::{fact_high_water_mark, EtlPipeline, EtlReport, TransportMode};
+pub use marts::{
+    mart_meta_schema, materialize_into_mart, read_all_mart_meta, read_mart_meta, refresh_mart,
+    MartMeta, MartReport, RefreshKind, MART_META_TABLE,
+};
 pub use views::{evaluate_view, ViewDef};
 
 /// Errors raised by the warehouse layer.

@@ -3,26 +3,168 @@
 //! "Views are created on the integrated data of the data warehouse, and
 //! materialized on a new set of databases, which are made available locally
 //! to the applications" (§4.3). Figure 5 measures exactly this stage.
+//!
+//! Two refresh disciplines:
+//!
+//! - [`materialize_into_mart`] — full rebuild: evaluate the view, build a
+//!   **shadow table**, then swap it over the live table in a single
+//!   storage-lock section. Readers serialized before the swap see the old
+//!   complete snapshot; readers after it see the new one; nobody ever sees
+//!   a missing or half-loaded table.
+//! - [`refresh_mart`] — staleness-aware refresh: each mart table carries a
+//!   monotonically increasing **data version** and the warehouse
+//!   high-water mark (`m_id`) it was built from, persisted in the
+//!   relational [`MART_META_TABLE`] and flipped atomically with the data
+//!   swap. If the warehouse hwm has not advanced the refresh is skipped
+//!   outright; for pivot views only the fact rows past the recorded hwm
+//!   are extracted, pivoted, and merged, so the virtual cost scales with
+//!   the *delta*, not the view.
 
-use crate::views::{evaluate_view, ViewDef};
+use crate::etl::fact_high_water_mark;
+use crate::views::{evaluate_view, pivot_fact_since, ViewDef};
 use crate::{Result, WarehouseError};
+use gridfed_ntuple::spec::NtupleSpec;
 use gridfed_simnet::cost::Cost;
 use gridfed_simnet::disk::DiskProfile;
 use gridfed_simnet::params::CostParams;
 use gridfed_simnet::topology::Topology;
-use gridfed_storage::{Row, Value};
+use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Value};
 use gridfed_vendors::Connection;
+use std::collections::BTreeMap;
 
 use crate::etl::TransportMode;
 
-/// Outcome of materializing one view into one mart.
+/// Per-mart relational metadata table: one row per mart table, recording
+/// its data version, refresh time, source high-water mark, and row count.
+/// Living inside the mart database itself makes freshness queryable
+/// through the ordinary SQL surface (and lets a mediator seed its version
+/// map when a mart is registered).
+pub const MART_META_TABLE: &str = "gridfed_mart_meta";
+
+/// Schema of [`MART_META_TABLE`].
+pub fn mart_meta_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("table_name", DataType::Text).not_null(),
+        ColumnDef::new("version", DataType::Int).not_null(),
+        ColumnDef::new("refreshed_us", DataType::Int).not_null(),
+        ColumnDef::new("hwm", DataType::Int).not_null(),
+        ColumnDef::new("row_count", DataType::Int).not_null(),
+    ])
+    .expect("static schema is valid")
+}
+
+/// One mart table's refresh metadata (a decoded [`MART_META_TABLE`] row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MartMeta {
+    /// Mart table the row describes.
+    pub table: String,
+    /// Monotonically increasing data version (1 = first materialization).
+    pub version: u64,
+    /// Virtual time (µs) of the refresh that produced this version.
+    pub refreshed_us: u64,
+    /// Warehouse fact high-water mark (`max m_id`) this version covers.
+    pub hwm: i64,
+    /// Live rows in the mart table at this version.
+    pub rows: usize,
+}
+
+/// Read one table's metadata row, if the meta table and row exist.
+pub fn read_mart_meta(db: &Database, table: &str) -> Option<MartMeta> {
+    let meta = db.table(MART_META_TABLE).ok()?;
+    let wanted = table.to_lowercase();
+    meta.scan().find_map(|row| {
+        let v = row.values();
+        match (&v[0], &v[1], &v[2], &v[3], &v[4]) {
+            (
+                Value::Text(name),
+                Value::Int(ver),
+                Value::Int(at),
+                Value::Int(hwm),
+                Value::Int(n),
+            ) if name.to_lowercase() == wanted => Some(MartMeta {
+                table: name.clone(),
+                version: (*ver).max(0) as u64,
+                refreshed_us: (*at).max(0) as u64,
+                hwm: *hwm,
+                rows: (*n).max(0) as usize,
+            }),
+            _ => None,
+        }
+    })
+}
+
+/// All metadata rows of a mart database (empty if never materialized into).
+pub fn read_all_mart_meta(db: &Database) -> Vec<MartMeta> {
+    let Ok(meta) = db.table(MART_META_TABLE) else {
+        return Vec::new();
+    };
+    meta.scan()
+        .filter_map(|row| {
+            let v = row.values();
+            match (&v[0], &v[1], &v[2], &v[3], &v[4]) {
+                (
+                    Value::Text(name),
+                    Value::Int(ver),
+                    Value::Int(at),
+                    Value::Int(hwm),
+                    Value::Int(n),
+                ) => Some(MartMeta {
+                    table: name.clone(),
+                    version: (*ver).max(0) as u64,
+                    refreshed_us: (*at).max(0) as u64,
+                    hwm: *hwm,
+                    rows: (*n).max(0) as usize,
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Upsert one metadata row. Must be called inside the same storage-lock
+/// section as the table swap so data and version flip together.
+fn write_mart_meta(db: &mut Database, meta: &MartMeta) -> Result<()> {
+    if !db.has_table(MART_META_TABLE) {
+        db.create_table(MART_META_TABLE, mart_meta_schema())
+            .map_err(WarehouseError::Storage)?;
+    }
+    let wanted = meta.table.to_lowercase();
+    let t = db
+        .table_mut(MART_META_TABLE)
+        .map_err(WarehouseError::Storage)?;
+    t.delete_where(|row| matches!(&row.values()[0], Value::Text(n) if n.to_lowercase() == wanted));
+    t.insert(vec![
+        Value::Text(meta.table.clone()),
+        Value::Int(meta.version as i64),
+        Value::Int(meta.refreshed_us as i64),
+        Value::Int(meta.hwm),
+        Value::Int(meta.rows as i64),
+    ])
+    .map_err(WarehouseError::Storage)?;
+    Ok(())
+}
+
+/// What a refresh actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// Full rebuild of the view (first materialization, or an aggregate
+    /// view with no incremental maintenance rule).
+    Full,
+    /// Delta maintenance: only fact rows past the mart's high-water mark
+    /// were extracted and merged.
+    Incremental,
+    /// The warehouse had nothing new; no data moved, version unchanged.
+    Skipped,
+}
+
+/// Outcome of materializing or refreshing one view into one mart.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MartReport {
     /// Mart table created/refreshed.
     pub table: String,
-    /// Rows materialized.
+    /// Rows moved *by this refresh* (the delta for incremental runs).
     pub rows: usize,
-    /// Payload size in bytes.
+    /// Payload moved by this refresh, in bytes.
     pub bytes: usize,
     /// View evaluation + staging-write phase (lower curve of Figure 5).
     pub extract_cost: Cost,
@@ -30,6 +172,10 @@ pub struct MartReport {
     pub load_cost: Cost,
     /// Whether the phases overlapped (direct streaming).
     pub overlapped: bool,
+    /// Data version the mart table holds after this refresh.
+    pub version: u64,
+    /// What the refresh did (full rebuild / delta merge / skip).
+    pub kind: RefreshKind,
 }
 
 impl MartReport {
@@ -48,8 +194,14 @@ impl MartReport {
     }
 }
 
+/// Name of the shadow table a refresh builds before swapping it live.
+fn shadow_name(table: &str) -> String {
+    format!("__shadow__{table}")
+}
+
 /// Materialize `view` from the warehouse into `mart` as table
-/// `view.name()`, replacing prior contents. Returns the Figure-5 report.
+/// `view.name()`, replacing prior contents via shadow build + atomic
+/// swap and bumping the mart's data version. Returns the Figure-5 report.
 pub fn materialize_into_mart(
     view: &ViewDef,
     warehouse: &Connection,
@@ -57,12 +209,76 @@ pub fn materialize_into_mart(
     topology: &Topology,
     mode: TransportMode,
 ) -> Result<MartReport> {
+    full_refresh(view, warehouse, mart, topology, mode, 0)
+}
+
+/// Staleness-aware refresh of `view` into `mart` at virtual time `now_us`:
+/// skip when the warehouse high-water mark has not advanced, merge only
+/// the delta for pivot views, fall back to a full (still shadow-swapped)
+/// rebuild for aggregate SQL views.
+pub fn refresh_mart(
+    view: &ViewDef,
+    warehouse: &Connection,
+    mart: &Connection,
+    topology: &Topology,
+    mode: TransportMode,
+    now_us: u64,
+) -> Result<MartReport> {
+    let table = view.name().to_string();
+    let meta = mart.server().with_db(|db| {
+        (db.has_table(&table))
+            .then(|| read_mart_meta(db, &table))
+            .flatten()
+    });
+    let Some(meta) = meta else {
+        // Never materialized (or table dropped out from under its meta):
+        // only a full build can establish the snapshot.
+        return full_refresh(view, warehouse, mart, topology, mode, now_us);
+    };
+
+    let params = CostParams::paper_2005();
+    let fact_hwm = fact_high_water_mark(warehouse).unwrap_or(-1);
+    if fact_hwm <= meta.hwm {
+        // Nothing new upstream: one hwm probe, no data movement, version
+        // unchanged.
+        return Ok(MartReport {
+            table,
+            rows: 0,
+            bytes: 0,
+            extract_cost: params.per_subquery,
+            load_cost: Cost::ZERO,
+            overlapped: mode == TransportMode::Direct,
+            version: meta.version,
+            kind: RefreshKind::Skipped,
+        });
+    }
+
+    match view {
+        ViewDef::Pivot { spec, .. } => incremental_pivot_refresh(
+            spec, &meta, fact_hwm, warehouse, mart, topology, mode, now_us,
+        ),
+        // Aggregate views have no incremental maintenance rule in this
+        // prototype: stale means a full rebuild (still shadow + swap).
+        ViewDef::Sql { .. } => full_refresh(view, warehouse, mart, topology, mode, now_us),
+    }
+}
+
+/// Full rebuild: evaluate the whole view, build the shadow, swap.
+fn full_refresh(
+    view: &ViewDef,
+    warehouse: &Connection,
+    mart: &Connection,
+    topology: &Topology,
+    mode: TransportMode,
+    now_us: u64,
+) -> Result<MartReport> {
     let params = CostParams::paper_2005();
     let disk = DiskProfile::ide_2005();
 
     // ---- Extract: evaluate the view over the warehouse. ----
     let result = evaluate_view(view, warehouse)?;
     let schema = view.output_schema(warehouse)?;
+    let fact_hwm = fact_high_water_mark(warehouse).unwrap_or(-1);
     let rows = result.rows.len();
     let bytes: usize = result.rows.iter().map(Row::wire_size).sum();
 
@@ -75,24 +291,9 @@ pub fn materialize_into_mart(
         load_cost += disk.read_file(bytes);
     }
 
-    // ---- Load: (re)create the mart table and insert. ----
     let table = view.name().to_string();
-    mart.server().with_db_mut(|db| -> Result<()> {
-        if db.has_table(&table) {
-            db.drop_table(&table).map_err(WarehouseError::Storage)?;
-        }
-        db.create_table(&table, schema.clone())
-            .map_err(WarehouseError::Storage)?;
-        Ok(())
-    })?;
-    mart.insert_rows(
-        &table,
-        result
-            .rows
-            .into_iter()
-            .map(Row::into_values)
-            .collect::<Vec<Vec<Value>>>(),
-    )?;
+    let values: Vec<Vec<Value>> = result.rows.into_iter().map(Row::into_values).collect();
+    let version = swap_in_shadow(mart, &table, schema, values, fact_hwm, now_us)?;
 
     Ok(MartReport {
         table,
@@ -101,6 +302,135 @@ pub fn materialize_into_mart(
         extract_cost,
         load_cost,
         overlapped: mode == TransportMode::Direct,
+        version,
+        kind: RefreshKind::Full,
+    })
+}
+
+/// Delta maintenance for a pivot view: pivot only fact rows past the
+/// mart's recorded high-water mark, merge them (upsert by `e_id`) into a
+/// shadow copy of the live table, swap. Virtual cost is charged on the
+/// delta rows/bytes only — the merge itself is local mart work the cost
+/// model folds into the per-row load rate.
+#[allow(clippy::too_many_arguments)]
+fn incremental_pivot_refresh(
+    spec: &NtupleSpec,
+    meta: &MartMeta,
+    fact_hwm: i64,
+    warehouse: &Connection,
+    mart: &Connection,
+    topology: &Topology,
+    mode: TransportMode,
+    now_us: u64,
+) -> Result<MartReport> {
+    let params = CostParams::paper_2005();
+    let disk = DiskProfile::ide_2005();
+    let table = meta.table.clone();
+
+    // ---- Extract: pivot the delta only. ----
+    let delta = warehouse
+        .server()
+        .with_db(|db| pivot_fact_since(db, spec, meta.hwm))?;
+    let delta_rows = delta.rows.len();
+    let delta_bytes: usize = delta.rows.iter().map(Row::wire_size).sum();
+
+    let mut extract_cost =
+        params.etl_stream_setup + params.view_extract_per_row.scale(delta_rows as f64);
+    let link = topology.transfer(warehouse.server().host(), mart.server().host(), delta_bytes);
+    let mut load_cost = params.etl_stream_setup
+        + link
+        + params.mart_load_per_row.scale(delta_rows as f64)
+        + params.per_subquery; // catalog probe + swap
+    if mode == TransportMode::Staged {
+        extract_cost += disk.write_file(delta_bytes);
+        load_cost += disk.read_file(delta_bytes);
+    }
+
+    // ---- Merge: snapshot the live rows, upsert the delta by e_id. ----
+    let (schema, live_rows) = mart.server().with_db(|db| -> Result<(Schema, Vec<Row>)> {
+        let t = db.table(&table).map_err(WarehouseError::Storage)?;
+        Ok((t.schema().clone(), t.rows()))
+    })?;
+    let mut merged: BTreeMap<i64, Row> = BTreeMap::new();
+    for row in live_rows.into_iter().chain(delta.rows) {
+        let e_id = match row.values().first() {
+            Some(Value::Int(e)) => *e,
+            other => {
+                return Err(WarehouseError::Pipeline(format!(
+                    "non-integer e_id {:?} in pivoted mart table `{table}`",
+                    other
+                )))
+            }
+        };
+        merged.insert(e_id, row);
+    }
+    let rows_after = merged.len();
+    let values: Vec<Vec<Value>> = merged.into_values().map(Row::into_values).collect();
+    let version = swap_in_shadow(mart, &table, schema, values, fact_hwm, now_us)?;
+
+    debug_assert_eq!(
+        mart.server()
+            .with_db(|db| db.table(&table).map(|t| t.len()).unwrap_or(0)),
+        rows_after
+    );
+
+    Ok(MartReport {
+        table,
+        rows: delta_rows,
+        bytes: delta_bytes,
+        extract_cost,
+        load_cost,
+        overlapped: mode == TransportMode::Direct,
+        version,
+        kind: RefreshKind::Incremental,
+    })
+}
+
+/// Build the shadow table (readers keep hitting the live one), then in a
+/// *single* storage-lock section swap it over the live table, bump the
+/// data version, and persist the metadata row. Returns the new version.
+fn swap_in_shadow(
+    mart: &Connection,
+    table: &str,
+    schema: Schema,
+    values: Vec<Vec<Value>>,
+    fact_hwm: i64,
+    now_us: u64,
+) -> Result<u64> {
+    let shadow = shadow_name(table);
+    let row_count = values.len();
+
+    // Phase 1: build the complete shadow. The live table is untouched, so
+    // queries interleaving here still see the old complete snapshot.
+    mart.server().with_db_mut(|db| -> Result<()> {
+        if db.has_table(&shadow) {
+            db.drop_table(&shadow).map_err(WarehouseError::Storage)?;
+        }
+        let t = db
+            .create_table(&shadow, schema)
+            .map_err(WarehouseError::Storage)?;
+        t.insert_many(values).map_err(WarehouseError::Storage)?;
+        Ok(())
+    })?;
+
+    // Phase 2: one atomic catalog mutation — swap table and version
+    // together, so a reader sees either (old data, old version) or
+    // (new data, new version), never a blend.
+    mart.server().with_db_mut(|db| -> Result<u64> {
+        let version = read_mart_meta(db, table).map(|m| m.version).unwrap_or(0) + 1;
+        db.replace_table(&shadow, table)
+            .map_err(WarehouseError::Storage)?;
+        write_mart_meta(
+            db,
+            &MartMeta {
+                table: table.to_string(),
+                version,
+                refreshed_us: now_us,
+                hwm: fact_hwm,
+                rows: row_count,
+            },
+        )?;
+        Ok(version)
     })
 }
 
@@ -111,6 +441,7 @@ mod tests {
     use gridfed_ntuple::{NtupleGenerator, NtupleSpec};
     use gridfed_sqlkit::parser::parse_select;
     use gridfed_vendors::{SimServer, VendorKind};
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     fn warehouse_with_data(spec: &NtupleSpec) -> Arc<SimServer> {
@@ -149,15 +480,24 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.rows, spec.events);
+        assert_eq!(report.version, 1);
+        assert_eq!(report.kind, RefreshKind::Full);
         assert_eq!(
             mart.with_db(|db| db.table("tiny_events").unwrap().len()),
             spec.events
         );
         assert!(report.load_cost > report.extract_cost, "Fig 5 shape");
+        // No shadow debris survives the swap; meta row is live.
+        mart.with_db(|db| {
+            assert!(!db.has_table(&shadow_name("tiny_events")));
+            let meta = read_mart_meta(db, "tiny_events").unwrap();
+            assert_eq!(meta.version, 1);
+            assert_eq!(meta.rows, spec.events);
+        });
     }
 
     #[test]
-    fn rematerialization_replaces_contents() {
+    fn rematerialization_replaces_contents_and_bumps_version() {
         let spec = NtupleSpec::tiny();
         let wh = warehouse_with_data(&spec);
         let mart = SimServer::new(VendorKind::Sqlite, "laptop", "local");
@@ -167,7 +507,7 @@ mod tests {
             name: "tiny_events".into(),
             spec: spec.clone(),
         };
-        materialize_into_mart(
+        let first = materialize_into_mart(
             &view,
             &wconn,
             &mconn,
@@ -175,7 +515,7 @@ mod tests {
             TransportMode::Staged,
         )
         .unwrap();
-        materialize_into_mart(
+        let second = materialize_into_mart(
             &view,
             &wconn,
             &mconn,
@@ -187,6 +527,8 @@ mod tests {
             mart.with_db(|db| db.table("tiny_events").unwrap().len()),
             spec.events
         );
+        assert_eq!(first.version, 1);
+        assert_eq!(second.version, 2);
     }
 
     #[test]
@@ -247,5 +589,254 @@ mod tests {
         )
         .unwrap();
         assert!(wan.total() > lan.total());
+    }
+
+    /// Helper: append `extra` events (run 0) with full measurement rows to
+    /// the source, starting at event id `first`.
+    fn extend_source(src: &SimServer, spec: &NtupleSpec, first: usize, extra: usize) {
+        src.with_db_mut(|db| {
+            let mut gen = NtupleGenerator::new(spec.clone(), 1);
+            let batch = gen.measurement_batch(first, extra);
+            let events = db.table_mut("events").unwrap();
+            for e in first..first + extra {
+                events
+                    .insert(vec![Value::Int(e as i64), Value::Int(0), Value::Float(1.0)])
+                    .unwrap();
+            }
+            db.table_mut("measurements")
+                .unwrap()
+                .insert_many(batch)
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn refresh_with_no_new_data_is_skipped() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec: spec.clone(),
+        };
+        let full = materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        let skip = refresh_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(skip.kind, RefreshKind::Skipped);
+        assert_eq!(skip.rows, 0);
+        assert_eq!(skip.bytes, 0);
+        assert_eq!(skip.version, full.version);
+        assert!(skip.total() < full.total());
+        // Version and refresh time are untouched by a skip.
+        mart.with_db(|db| {
+            let meta = read_mart_meta(db, "tiny_events").unwrap();
+            assert_eq!(meta.version, 1);
+            assert_eq!(meta.refreshed_us, 0);
+        });
+    }
+
+    #[test]
+    fn incremental_refresh_moves_only_the_delta() {
+        let spec = NtupleSpec::with_nvar("inc", 100, 4);
+        let src = SimServer::new(VendorKind::MySql, "t2", "src");
+        src.with_db_mut(|db| {
+            NtupleGenerator::new(spec.clone(), 1)
+                .populate_source_range(db, 0, 80)
+                .unwrap();
+        });
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+        let sconn = src.connect("grid", "grid").unwrap().value;
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let pipeline = EtlPipeline::paper();
+        pipeline.run_incremental(&sconn, &wconn).unwrap();
+
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "inc_events".into(),
+            spec: spec.clone(),
+        };
+        let full = materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        assert_eq!(full.rows, 80);
+
+        // 20 new events arrive at the source and flow into the warehouse.
+        extend_source(&src, &spec, 80, 20);
+        pipeline.run_incremental(&sconn, &wconn).unwrap();
+
+        let delta = refresh_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+            5_000,
+        )
+        .unwrap();
+        assert_eq!(delta.kind, RefreshKind::Incremental);
+        assert_eq!(delta.rows, 20, "only the delta is extracted");
+        assert!(delta.bytes < full.bytes / 2);
+        assert!(delta.total() < full.total(), "delta refresh beats rebuild");
+        assert_eq!(delta.version, full.version + 1);
+        // The mart table holds the complete merged snapshot.
+        assert_eq!(
+            mart.with_db(|db| db.table("inc_events").unwrap().len()),
+            100
+        );
+        mart.with_db(|db| {
+            let meta = read_mart_meta(db, "inc_events").unwrap();
+            assert_eq!(meta.version, 2);
+            assert_eq!(meta.refreshed_us, 5_000);
+            assert_eq!(meta.rows, 100);
+        });
+
+        // Refreshing again with nothing new is a skip.
+        let idle = refresh_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+            6_000,
+        )
+        .unwrap();
+        assert_eq!(idle.kind, RefreshKind::Skipped);
+    }
+
+    #[test]
+    fn stale_sql_view_falls_back_to_full_rebuild() {
+        let spec = NtupleSpec::with_nvar("agg", 40, 3);
+        let src = SimServer::new(VendorKind::MySql, "t2", "src");
+        src.with_db_mut(|db| {
+            NtupleGenerator::new(spec.clone(), 1)
+                .populate_source_range(db, 0, 30)
+                .unwrap();
+        });
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+        let sconn = src.connect("grid", "grid").unwrap().value;
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let pipeline = EtlPipeline::paper();
+        pipeline.run_incremental(&sconn, &wconn).unwrap();
+
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Sql {
+            name: "event_counts".into(),
+            query: parse_select("SELECT e_id, COUNT(*) AS n FROM fact_measurements GROUP BY e_id")
+                .unwrap(),
+        };
+        materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+        extend_source(&src, &spec, 30, 10);
+        pipeline.run_incremental(&sconn, &wconn).unwrap();
+        let second = refresh_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+            2_000,
+        )
+        .unwrap();
+        assert_eq!(second.kind, RefreshKind::Full);
+        assert_eq!(second.version, 2);
+        assert_eq!(
+            mart.with_db(|db| db.table("event_counts").unwrap().len()),
+            40
+        );
+    }
+
+    /// Regression for the drop→create→insert window: readers hammering the
+    /// table during repeated refreshes must always see a complete snapshot
+    /// — never a missing table, never a partial row count.
+    #[test]
+    fn readers_never_observe_missing_or_partial_table_during_refresh() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec: spec.clone(),
+        };
+        materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let expected = spec.events;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let mart = Arc::clone(&mart);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut observations = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let seen = mart.with_db(|db| db.table("tiny_events").map(|t| t.len()).ok());
+                        match seen {
+                            Some(n) => assert_eq!(
+                                n, expected,
+                                "reader saw a partial snapshot ({n} of {expected} rows)"
+                            ),
+                            None => panic!("reader saw a missing mart table"),
+                        }
+                        observations += 1;
+                    }
+                    observations
+                })
+            })
+            .collect();
+
+        for _ in 0..30 {
+            materialize_into_mart(
+                &view,
+                &wconn,
+                &mconn,
+                &Topology::lan(),
+                TransportMode::Staged,
+            )
+            .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers actually ran");
+        // 1 initial + 30 hammered refreshes.
+        mart.with_db(|db| {
+            assert_eq!(read_mart_meta(db, "tiny_events").unwrap().version, 31);
+        });
     }
 }

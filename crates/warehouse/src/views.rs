@@ -90,11 +90,23 @@ pub fn evaluate_view(view: &ViewDef, warehouse: &Connection) -> Result<ResultSet
 
 /// Pivot the fact table into the ntuple shape for `spec`.
 fn pivot_fact(db: &gridfed_storage::Database, spec: &NtupleSpec) -> Result<ResultSet> {
+    pivot_fact_since(db, spec, i64::MIN)
+}
+
+/// Pivot only the fact rows with `m_id > min_m_id` — the delta a mart
+/// refresh must merge when the warehouse high-water mark has advanced past
+/// the mart's recorded one. `i64::MIN` pivots everything.
+pub(crate) fn pivot_fact_since(
+    db: &gridfed_storage::Database,
+    spec: &NtupleSpec,
+    min_m_id: i64,
+) -> Result<ResultSet> {
     let fact = db
         .table(nschema::FACT_TABLE)
         .map_err(WarehouseError::Storage)?;
     let schema = fact.schema();
-    let (e_idx, run_idx, det_idx, var_idx, val_idx, w_idx) = (
+    let (m_idx, e_idx, run_idx, det_idx, var_idx, val_idx, w_idx) = (
+        col(schema, "m_id")?,
         col(schema, "e_id")?,
         col(schema, "run_id")?,
         col(schema, "detector")?,
@@ -115,6 +127,18 @@ fn pivot_fact(db: &gridfed_storage::Database, spec: &NtupleSpec) -> Result<Resul
     let mut order: Vec<i64> = Vec::new();
     for row in fact.scan() {
         let vals = row.values();
+        if min_m_id != i64::MIN {
+            match &vals[m_idx] {
+                Value::Int(m) if *m > min_m_id => {}
+                Value::Int(_) => continue,
+                other => {
+                    return Err(WarehouseError::Pipeline(format!(
+                        "non-integer m_id {} in fact table",
+                        other.render()
+                    )))
+                }
+            }
+        }
         let e_id = match &vals[e_idx] {
             Value::Int(i) => *i,
             other => {

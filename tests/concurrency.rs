@@ -97,3 +97,74 @@ fn mixed_query_shapes_in_parallel() {
         h.join().expect("thread");
     }
 }
+
+/// Readers racing incremental mart refreshes must only ever observe
+/// complete snapshots: either the pre-refresh row set or the post-refresh
+/// one, never a missing table or a half-built snapshot. Before the
+/// shadow-build + atomic-swap refresh, the drop→create→insert window made
+/// both failure modes routine under load.
+#[test]
+fn queries_observe_only_complete_snapshots_during_refresh() {
+    let grid = Arc::new(
+        GridBuilder::new()
+            .with_seed(74)
+            .source("tier1.cern", VendorKind::Oracle, 60)
+            .source("tier2.caltech", VendorKind::MySql, 60)
+            .build()
+            .expect("grid"),
+    );
+    const INITIAL: i64 = 120;
+    const STEP: i64 = 10;
+    const CYCLES: i64 = 5;
+
+    let writer = {
+        let grid = Arc::clone(&grid);
+        thread::spawn(move || {
+            for _ in 0..CYCLES {
+                grid.extend_sources(STEP as usize).expect("extend");
+                grid.run_incremental_etl().expect("etl");
+                let reports = grid.refresh_marts().expect("refresh");
+                assert!(reports
+                    .iter()
+                    .any(|r| r.table == "ntuple_events" && r.rows == STEP as usize));
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let grid = Arc::clone(&grid);
+            thread::spawn(move || {
+                for _ in 0..30 {
+                    let out = grid
+                        .query("SELECT COUNT(*) AS n FROM ntuple_events")
+                        .expect("query during refresh churn");
+                    let n = match out.result.rows[0].values()[0] {
+                        Value::Int(n) => n,
+                        ref v => panic!("count came back as {v:?}"),
+                    };
+                    // Every observed count is exactly one full snapshot:
+                    // the initial build or the state after k refreshes.
+                    assert!(
+                        (INITIAL..=INITIAL + CYCLES * STEP).contains(&n)
+                            && (n - INITIAL) % STEP == 0,
+                        "partial snapshot observed: {n} rows"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    for h in readers {
+        h.join().expect("reader");
+    }
+    writer.join().expect("writer");
+
+    let final_count = grid
+        .query("SELECT COUNT(*) AS n FROM ntuple_events")
+        .expect("final count");
+    assert_eq!(
+        final_count.result.rows[0].values()[0],
+        Value::Int(INITIAL + CYCLES * STEP)
+    );
+}
