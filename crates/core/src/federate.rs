@@ -85,6 +85,25 @@ pub struct IntegrateMetrics {
     pub compile: Duration,
     /// Remaining integration time (staging load + compiled evaluation).
     pub eval: Duration,
+    /// 1024-row batch windows the vectorized residual executor processed.
+    pub batches: u64,
+    /// Rows scanned out of the staging tables.
+    pub rows_scanned: u64,
+    /// Rows surviving residual predicate evaluation.
+    pub rows_selected: u64,
+    /// Rows materialized from columnar form at the output boundary.
+    pub rows_materialized: u64,
+}
+
+impl IntegrateMetrics {
+    /// Fill the batch counters from the executor's accounting.
+    fn with_exec(mut self, exec: &gridfed_sqlkit::ExecMetrics) -> IntegrateMetrics {
+        self.batches = exec.batches;
+        self.rows_scanned = exec.rows_scanned;
+        self.rows_selected = exec.rows_selected;
+        self.rows_materialized = exec.rows_materialized;
+        self
+    }
 }
 
 /// Integrate partials by executing the residual `plan` over them.
@@ -122,7 +141,9 @@ pub fn integrate_metered(
     let metrics = IntegrateMetrics {
         compile: exec.compile,
         eval: total.saturating_sub(exec.compile),
-    };
+        ..IntegrateMetrics::default()
+    }
+    .with_exec(&exec);
     Ok((rs, metrics))
 }
 
@@ -146,7 +167,9 @@ pub fn integrate_analyzed(
     let metrics = IntegrateMetrics {
         compile: exec.compile,
         eval: total.saturating_sub(exec.compile),
-    };
+        ..IntegrateMetrics::default()
+    }
+    .with_exec(&exec);
     Ok((rs, metrics, annotated))
 }
 

@@ -36,6 +36,8 @@ pub fn stats_to_wire(stats: &QueryStats) -> WireValue {
             stats.hedges,
             stats.breaker_opens,
             stats.breaker_rejections,
+            stats.batches as usize,
+            stats.rows_materialized as usize,
         ]
         .into_iter()
         .map(|n| WireValue::Int(n as i64))
@@ -65,6 +67,8 @@ pub fn wire_to_stats(v: &WireValue) -> QueryStats {
     out.hedges = get(6);
     out.breaker_opens = get(7);
     out.breaker_rejections = get(8);
+    out.batches = get(9) as u64;
+    out.rows_materialized = get(10) as u64;
     out
 }
 
@@ -161,6 +165,8 @@ mod tests {
             hedges: 2,
             breaker_opens: 1,
             breaker_rejections: 6,
+            batches: 12,
+            rows_materialized: 90,
             ..Default::default()
         };
         let back = wire_to_stats(&stats_to_wire(&s));
@@ -173,6 +179,8 @@ mod tests {
         assert_eq!(back.hedges, 2);
         assert_eq!(back.breaker_opens, 1);
         assert_eq!(back.breaker_rejections, 6);
+        assert_eq!(back.batches, 12);
+        assert_eq!(back.rows_materialized, 90);
     }
 
     #[test]

@@ -1131,6 +1131,12 @@ impl DataAccessService {
         m.inc("rows_returned", &self.url, stats.rows_returned as u64);
         m.inc("rows_fetched", &self.url, stats.rows_fetched as u64);
         m.inc("bytes_fetched", &self.url, stats.bytes_fetched as u64);
+        if stats.batches > 0 {
+            m.inc("exec_batches", &self.url, stats.batches);
+        }
+        if stats.rows_materialized > 0 {
+            m.inc("rows_materialized", &self.url, stats.rows_materialized);
+        }
         if stats.cache_evictions > 0 {
             m.inc("cache_evictions", &self.url, stats.cache_evictions as u64);
         }
@@ -1783,6 +1789,13 @@ impl DataAccessService {
         };
         stats.compile += Cost::from_secs_f64(metrics.compile.as_secs_f64());
         stats.eval += Cost::from_secs_f64(metrics.eval.as_secs_f64());
+        stats.batches += metrics.batches;
+        stats.rows_materialized += metrics.rows_materialized;
+        stats.selectivity = if metrics.rows_scanned == 0 {
+            1.0
+        } else {
+            metrics.rows_selected as f64 / metrics.rows_scanned as f64
+        };
         Ok(rs)
     }
 
@@ -2027,11 +2040,14 @@ impl DataAccessService {
         }
         let db = self.monitor_database()?;
         let plan = build_plan(&stmt);
-        let (result, _) =
+        let (result, em) =
             execute_plan_metered(&plan, &DatabaseProvider(&db)).map_err(CoreError::from)?;
         let stats = QueryStats {
             tables: stmt.table_refs().len(),
             rows_returned: result.rows.len(),
+            batches: em.batches,
+            rows_materialized: em.rows_materialized,
+            selectivity: em.selectivity(),
             ..Default::default()
         };
         let cost = Cost::from_micros(500)

@@ -45,6 +45,16 @@ pub struct QueryStats {
     /// Mediator-side integration time spent evaluating the compiled
     /// residual plan over fetched rows. Same caveats as `compile`.
     pub eval: Cost,
+    /// 1024-row batch windows the vectorized executor processed while
+    /// running this query's mediator-side (residual or monitor) plans.
+    pub batches: u64,
+    /// Rows materialized from columnar form into output rows at the
+    /// executor's late-materialization boundary.
+    pub rows_materialized: u64,
+    /// Fraction of scanned rows that survived predicate evaluation in the
+    /// mediator-side executor, in `[0, 1]`; 1.0 when nothing was scanned,
+    /// 0.0 until an execution has reported.
+    pub selectivity: f64,
     /// Failed branch attempts that were retried (after backoff).
     pub retries: usize,
     /// Branches re-routed to another replica after retry exhaustion.
@@ -94,6 +104,8 @@ impl QueryStats {
         self.hedges += remote.hedges;
         self.breaker_opens += remote.breaker_opens;
         self.breaker_rejections += remote.breaker_rejections;
+        self.batches += remote.batches;
+        self.rows_materialized += remote.rows_materialized;
     }
 }
 

@@ -36,6 +36,9 @@ pub struct NodeProfile {
     pub rows: u64,
     /// Inclusive wall time (children included), summed across loops.
     pub nanos: u128,
+    /// Inclusive 1024-row batch windows (children included) processed by
+    /// the vectorized executor across loops; 0 for pure row-shaping nodes.
+    pub batches: u64,
     /// Node was skipped by a fused fast path; rows/time live in the parent.
     pub fused: bool,
 }
@@ -86,13 +89,14 @@ pub(crate) fn profiling() -> bool {
 }
 
 /// Record a visited node's output.
-pub(crate) fn record(plan: &LogicalPlan, rows: u64, elapsed: Duration) {
+pub(crate) fn record(plan: &LogicalPlan, rows: u64, elapsed: Duration, batches: u64) {
     PROFILE.with(|p| {
         let mut p = p.borrow_mut();
         let e = p.nodes.entry(key(plan)).or_default();
         e.loops += 1;
         e.rows += rows;
         e.nanos += elapsed.as_nanos();
+        e.batches += batches;
     });
 }
 
@@ -170,6 +174,21 @@ fn fmt_time(nanos: u128) -> String {
     }
 }
 
+/// Physical operator label: the vectorized executor runs Scan/Filter/Join
+/// columnar and Aggregate over selection vectors, so EXPLAIN surfaces them
+/// with a `Batch` prefix; the logical [`LogicalPlan::node_label`] form is
+/// unchanged for plan-IR rendering and the decomposer.
+fn physical_label(plan: &LogicalPlan) -> String {
+    let label = plan.node_label();
+    match plan {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::Filter { .. }
+        | LogicalPlan::Join { .. }
+        | LogicalPlan::Aggregate { .. } => format!("Batch{label}"),
+        _ => label,
+    }
+}
+
 fn annotate_node(
     plan: &LogicalPlan,
     catalog: Option<&dyn PlanCatalog>,
@@ -177,7 +196,7 @@ fn annotate_node(
     indent: usize,
     out: &mut String,
 ) {
-    let _ = write!(out, "{}{}", "  ".repeat(indent), plan.node_label());
+    let _ = write!(out, "{}{}", "  ".repeat(indent), physical_label(plan));
     if let Some(cat) = catalog {
         match estimate_rows(plan, cat) {
             Some(est) => {
@@ -192,11 +211,15 @@ fn annotate_node(
             Some(p) => {
                 let _ = write!(
                     out,
-                    "  (act rows={} loops={} time={})",
+                    "  (act rows={} loops={} time={}",
                     p.rows_per_loop(),
                     p.loops,
                     fmt_time(p.nanos)
                 );
+                if p.batches > 0 {
+                    let _ = write!(out, " batches={}", p.batches);
+                }
+                out.push(')');
             }
             None => out.push_str("  (act: not executed)"),
         }
@@ -254,6 +277,15 @@ pub fn explain_analyze_select(stmt: &SelectStmt, provider: &dyn TableProvider) -
         "rows returned: {}  (expression compile: {})",
         rs.len(),
         fmt_time(metrics.compile.as_nanos())
+    );
+    let _ = writeln!(
+        out,
+        "batches: {}  rows scanned: {}  selected: {}  materialized: {}  selectivity: {:.3}",
+        metrics.batches,
+        metrics.rows_scanned,
+        metrics.rows_selected,
+        metrics.rows_materialized,
+        metrics.selectivity()
     );
     Ok(out)
 }

@@ -424,6 +424,44 @@ impl CompiledExpr {
         Ok(out.map_or(Value::Null, Value::Bool))
     }
 
+    /// Collect every row position this expression reads, in visit order
+    /// (duplicates possible). The vectorized executor uses this to gather
+    /// only the referenced columns into its scratch row.
+    pub fn collect_positions(&self, out: &mut Vec<usize>) {
+        match self {
+            CompiledExpr::Literal(_) => {}
+            CompiledExpr::Column(pos) => out.push(*pos),
+            CompiledExpr::CmpColumnLiteral { pos, .. } => out.push(*pos),
+            CompiledExpr::CmpColumnColumn { left, right, .. } => {
+                out.push(*left);
+                out.push(*right);
+            }
+            CompiledExpr::Unary { expr, .. }
+            | CompiledExpr::IsNull { expr, .. }
+            | CompiledExpr::Like { expr, .. } => expr.collect_positions(out),
+            CompiledExpr::Binary { left, right, .. } => {
+                left.collect_positions(out);
+                right.collect_positions(out);
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.collect_positions(out);
+                for e in list {
+                    e.collect_positions(out);
+                }
+            }
+            CompiledExpr::Between { expr, lo, hi, .. } => {
+                expr.collect_positions(out);
+                lo.collect_positions(out);
+                hi.collect_positions(out);
+            }
+            CompiledExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_positions(out);
+                }
+            }
+        }
+    }
+
     /// Evaluate as a predicate: SQL WHERE treats unknown (NULL) as false.
     pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
         // Fast path for the two comparison shapes: skip the Value round trip.
@@ -485,6 +523,13 @@ impl<'a> KeyValue<'a> {
     /// Composite key of a row slice: NULLs pool together (grouping rule).
     pub fn row_key(values: &[Value]) -> Vec<Option<KeyValue<'_>>> {
         values.iter().map(KeyValue::of).collect()
+    }
+
+    /// Numeric key straight from an `f64` (or a widened `i64`), bypassing
+    /// [`Value`] construction — the vectorized executor keys hash joins and
+    /// GROUP BY directly off typed column chunks with this.
+    pub fn num(x: f64) -> KeyValue<'static> {
+        KeyValue::Num(canonical_f64_bits(x))
     }
 }
 

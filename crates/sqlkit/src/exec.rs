@@ -1,4 +1,4 @@
-//! Single-context SELECT execution.
+//! Single-context SELECT execution — vectorized.
 //!
 //! `SELECT` execution is plan-driven: the statement is lowered to a
 //! [`LogicalPlan`], optimized against the provider's schemas and statistics,
@@ -8,14 +8,25 @@
 //! when the `ON` condition is a simple column equality, falling back to a
 //! nested loop otherwise.
 //!
+//! The relational portion of a plan (Scan/Filter/Join) runs **columnar**:
+//! scans borrow typed column chunks straight out of storage (or transpose a
+//! row provider once), predicates refine a selection vector through the
+//! kernels in [`crate::batch`], and joins gather column indexes. Rows are
+//! materialized only at the Project / Aggregate / bare-root boundary — late
+//! materialization. The row-at-a-time interpreter this replaced survives as
+//! [`crate::exec_row::execute_plan_rowwise`], the differential-testing
+//! reference; the two must agree on values *and* errors.
+//!
 //! Every per-row expression site — scan filters, Filter predicates, Project
 //! items, join ON conditions, aggregate inputs, HAVING, and sort keys — is
 //! lowered once per node through [`crate::compile`], so steady-state row
 //! processing does no name resolution and no string comparison. The time
 //! spent in that lowering is accumulated in [`ExecMetrics`] for the
-//! mediator's compile/eval cost split.
+//! mediator's compile/eval cost split, alongside batch and row counters for
+//! the monitoring surface.
 
 use crate::ast::{DeleteStmt, Expr, JoinKind, OrderItem, SelectItem, SelectStmt, UpdateStmt};
+use crate::batch::{apply_filter, n_batches, take_first_error, ColData, ColRelation};
 use crate::compile::{compile, compile_group, CompiledAggregate, CompiledExpr, KeyValue};
 use crate::error::SqlError;
 use crate::expr::{AggState, Bindings};
@@ -24,20 +35,40 @@ use crate::plan::{build_plan, LogicalPlan};
 use crate::render::render_expr_neutral;
 use crate::result::ResultSet;
 use crate::Result;
-use gridfed_storage::{Database, Row, Schema, Value};
+use gridfed_storage::{Database, Row, Schema, Table, Value};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-/// Wall-clock accounting for one plan execution: how much of it went into
-/// expression compilation (one-shot, per node) versus everything else.
+/// Wall-clock and batch accounting for one plan execution.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ExecMetrics {
     /// Total time spent lowering expressions to [`CompiledExpr`] form.
     pub compile: Duration,
+    /// 1024-row batch windows processed across all vectorized operators.
+    pub batches: u64,
+    /// Rows entering scans (live storage positions before any filter).
+    pub rows_scanned: u64,
+    /// Rows surviving scan filters and `Filter` nodes.
+    pub rows_selected: u64,
+    /// Rows materialized from columns into output `Vec<Value>` form (the
+    /// late-materialization boundary).
+    pub rows_materialized: u64,
+}
+
+impl ExecMetrics {
+    /// Fraction of scanned rows that survived predicate evaluation, in
+    /// `[0, 1]`; `1.0` when nothing was scanned.
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            1.0
+        } else {
+            self.rows_selected as f64 / self.rows_scanned as f64
+        }
+    }
 }
 
 /// Run `f` and charge its wall time to the compile bucket.
-fn timed_compile<T>(m: &mut ExecMetrics, f: impl FnOnce() -> Result<T>) -> Result<T> {
+pub(crate) fn timed_compile<T>(m: &mut ExecMetrics, f: impl FnOnce() -> Result<T>) -> Result<T> {
     let t0 = Instant::now();
     let out = f();
     m.compile += t0.elapsed();
@@ -52,6 +83,12 @@ pub trait TableProvider {
     fn table_rows(&self, name: &str) -> Result<Vec<Row>>;
     /// Row count, if cheaply known; feeds the optimizer's join ordering.
     fn table_row_count(&self, _name: &str) -> Option<u64> {
+        None
+    }
+    /// Borrowed columnar view of a table, when the provider stores column
+    /// chunks natively. The default (`None`) makes the executor transpose
+    /// [`TableProvider::table_rows`] once per scan instead.
+    fn table_columnar(&self, _name: &str) -> Option<&Table> {
         None
     }
 }
@@ -80,6 +117,10 @@ impl TableProvider for DatabaseProvider<'_> {
     fn table_row_count(&self, name: &str) -> Option<u64> {
         self.0.table(name).ok().map(|t| t.len() as u64)
     }
+
+    fn table_columnar(&self, name: &str) -> Option<&Table> {
+        self.0.table(name).ok()
+    }
 }
 
 /// [`PlanCatalog`] view of a [`TableProvider`], so the optimizer can see the
@@ -94,12 +135,6 @@ impl PlanCatalog for ProviderCatalog<'_> {
     fn row_count(&self, table: &str) -> Option<u64> {
         self.0.table_row_count(table)
     }
-}
-
-/// Intermediate relation: bindings + rows.
-struct Relation {
-    bindings: Bindings,
-    rows: Vec<Row>,
 }
 
 /// Execute a SELECT against a provider: lower to a plan, optimize, run.
@@ -120,7 +155,7 @@ pub fn execute_plan(plan: &LogicalPlan, provider: &dyn TableProvider) -> Result<
     execute_plan_metered(plan, provider).map(|(rs, _)| rs)
 }
 
-/// [`execute_plan`], also returning the compile-time accounting.
+/// [`execute_plan`], also returning the compile-time and batch accounting.
 pub fn execute_plan_metered(
     plan: &LogicalPlan,
     provider: &dyn TableProvider,
@@ -132,9 +167,10 @@ pub fn execute_plan_metered(
 
 /// Node dispatcher plus the `EXPLAIN ANALYZE` profiling hook. When
 /// profiling is off (the common case) this is one thread-local flag read;
-/// when on, each result-shaping node records output rows and inclusive
-/// wall time. Relational nodes (Scan/Filter/Join) are recorded by
-/// [`eval_relational`] instead, so every node is profiled exactly once.
+/// when on, each result-shaping node records output rows, inclusive wall
+/// time, and inclusive batch windows. Relational nodes (Scan/Filter/Join)
+/// are recorded by [`eval_relational`] instead, so every node is profiled
+/// exactly once.
 fn execute_node(
     plan: &LogicalPlan,
     provider: &dyn TableProvider,
@@ -149,10 +185,11 @@ fn execute_node(
         return execute_node_inner(plan, provider, m);
     }
     let t0 = Instant::now();
+    let b0 = m.batches;
     let out = execute_node_inner(plan, provider, m);
     let elapsed = t0.elapsed();
     if let Ok(rs) = &out {
-        crate::analyze::record(plan, rs.rows.len() as u64, elapsed);
+        crate::analyze::record(plan, rs.rows.len() as u64, elapsed, m.batches - b0);
     }
     out
 }
@@ -172,24 +209,49 @@ fn execute_node_inner(
                 Ok((plans, key_plans))
             })?;
             let columns: Vec<String> = plans.iter().map(|(n, _)| n.clone()).collect();
-            let mut rows = Vec::with_capacity(rel.rows.len());
-            for row in &rel.rows {
+            // Late materialization: only expression items touch a scratch
+            // row, and only the columns they actually reference are gathered
+            // into it; positional items copy straight out of the chunks.
+            let arity = rel.bindings.arity();
+            let mut needed = Vec::new();
+            for (_, plan) in &plans {
+                if let ItemPlan::Expr(e) = plan {
+                    e.collect_positions(&mut needed);
+                }
+            }
+            for kp in &key_plans {
+                if let SortKeyPlan::Input(e) = kp {
+                    e.collect_positions(&mut needed);
+                }
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            needed.retain(|&p| p < arity);
+            let mut scratch = vec![Value::Null; arity];
+            let mut rows = Vec::with_capacity(rel.sel.len());
+            for &s in &rel.sel {
+                let p = s as usize;
+                for &c in &needed {
+                    scratch[c] = rel.cols[c].value_at(p);
+                }
                 let mut values = Vec::with_capacity(plans.len() + keys.len());
                 for (_, plan) in &plans {
                     match plan {
-                        ItemPlan::Position(p) => values.push(row.values()[*p].clone()),
-                        ItemPlan::Expr(e) => values.push(e.eval(row.values())?),
+                        ItemPlan::Position(q) => values.push(rel.cols[*q].value_at(p)),
+                        ItemPlan::Expr(e) => values.push(e.eval(&scratch)?),
                     }
                 }
                 for kp in &key_plans {
                     let key = match kp {
-                        SortKeyPlan::Output(p) => values[*p].clone(),
-                        SortKeyPlan::Input(e) => e.eval(row.values())?,
+                        SortKeyPlan::Output(q) => values[*q].clone(),
+                        SortKeyPlan::Input(e) => e.eval(&scratch)?,
                     };
                     values.push(key);
                 }
                 rows.push(Row::new(values));
             }
+            m.rows_materialized += rows.len() as u64;
+            m.batches += n_batches(rel.sel.len());
             Ok(ResultSet { columns, rows })
         }
         LogicalPlan::Aggregate {
@@ -296,15 +358,20 @@ fn execute_node_inner(
         }
         relational => {
             // A bare Scan/Filter/Join tree (e.g. a federated residual whose
-            // projection already happened remotely): emit every column.
+            // projection already happened remotely): materialize every
+            // column for every selected position.
             let rel = eval_relational(relational, provider, m)?;
             let columns = (0..rel.bindings.arity())
                 .map(|i| rel.bindings.name_at(i).expect("pos in range").to_string())
                 .collect();
-            Ok(ResultSet {
-                columns,
-                rows: rel.rows,
-            })
+            let mut rows = Vec::with_capacity(rel.sel.len());
+            for &s in &rel.sel {
+                let p = s as usize;
+                rows.push(Row::new(rel.cols.iter().map(|c| c.value_at(p)).collect()));
+            }
+            m.rows_materialized += rows.len() as u64;
+            m.batches += n_batches(rel.sel.len());
+            Ok(ResultSet { columns, rows })
         }
     }
 }
@@ -315,7 +382,7 @@ fn execute_node_inner(
 /// the final tiebreaker, which makes the unstable sort (and the top-k
 /// selection under a LIMIT) reproduce stable-sort output exactly while the
 /// selection only fully orders the k survivors.
-fn sort_strip_fused(
+pub(crate) fn sort_strip_fused(
     mut rs: ResultSet,
     ascending: &[bool],
     drop: usize,
@@ -355,30 +422,32 @@ fn sort_strip_fused(
     rs
 }
 
-/// Evaluate the relational (Scan/Filter/Join) portion of a plan, recording
-/// the profile of every relational node when `EXPLAIN ANALYZE` is active.
-fn eval_relational(
+/// Evaluate the relational (Scan/Filter/Join) portion of a plan into
+/// columnar form, recording the profile of every relational node when
+/// `EXPLAIN ANALYZE` is active.
+fn eval_relational<'p>(
     plan: &LogicalPlan,
-    provider: &dyn TableProvider,
+    provider: &'p dyn TableProvider,
     m: &mut ExecMetrics,
-) -> Result<Relation> {
+) -> Result<ColRelation<'p>> {
     if !crate::analyze::profiling() {
         return eval_relational_inner(plan, provider, m);
     }
     let t0 = Instant::now();
+    let b0 = m.batches;
     let out = eval_relational_inner(plan, provider, m);
     let elapsed = t0.elapsed();
     if let Ok(rel) = &out {
-        crate::analyze::record(plan, rel.rows.len() as u64, elapsed);
+        crate::analyze::record(plan, rel.sel.len() as u64, elapsed, m.batches - b0);
     }
     out
 }
 
-fn eval_relational_inner(
+fn eval_relational_inner<'p>(
     plan: &LogicalPlan,
-    provider: &dyn TableProvider,
+    provider: &'p dyn TableProvider,
     m: &mut ExecMetrics,
-) -> Result<Relation> {
+) -> Result<ColRelation<'p>> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -392,27 +461,57 @@ fn eval_relational_inner(
             let compiled: Vec<CompiledExpr> = timed_compile(m, || {
                 filters.iter().map(|f| compile(f, &bindings)).collect()
             })?;
-            let mut rows = provider.table_rows(table)?;
-            // Pushed-down predicates run over the full-width row, before
-            // the scan's own projection narrows it. All filters apply in one
-            // pass, short-circuiting per row in pushdown order.
-            if !compiled.is_empty() {
-                let mut kept = Vec::with_capacity(rows.len());
-                'row: for row in rows {
-                    for f in &compiled {
-                        if !f.eval_predicate(row.values())? {
-                            continue 'row;
+            // Borrow storage chunks when the provider has them; otherwise
+            // transpose the row stream once into value columns.
+            let (cols, mut sel): (Vec<ColData<'p>>, Vec<u32>) = match provider.table_columnar(table)
+            {
+                Some(t) => {
+                    let sel = if t.has_tombstones() {
+                        (0..t.physical_len())
+                            .filter(|&p| t.is_live(p))
+                            .map(|p| p as u32)
+                            .collect()
+                    } else {
+                        (0..t.physical_len() as u32).collect()
+                    };
+                    (t.chunks().iter().map(ColData::Chunk).collect(), sel)
+                }
+                None => {
+                    let rows = provider.table_rows(table)?;
+                    let n = rows.len() as u32;
+                    let mut data: Vec<Vec<Value>> = names
+                        .iter()
+                        .map(|_| Vec::with_capacity(rows.len()))
+                        .collect();
+                    for row in rows {
+                        for (c, v) in row.into_values().into_iter().enumerate() {
+                            data[c].push(v);
                         }
                     }
-                    kept.push(row);
+                    (
+                        data.into_iter().map(ColData::Values).collect(),
+                        (0..n).collect(),
+                    )
                 }
-                rows = kept;
+            };
+            m.rows_scanned += sel.len() as u64;
+            m.batches += n_batches(sel.len());
+            // Pushed-down predicates run over the full-width relation,
+            // before the scan's own projection narrows it, refining the
+            // selection vector per filter in pushdown order. Errors are
+            // deferred per row and resolved to the row-major first error.
+            let arity = names.len();
+            let mut errors = Vec::new();
+            for f in &compiled {
+                apply_filter(f, &cols, arity, &mut sel, &mut errors, &mut m.batches);
             }
+            take_first_error(errors)?;
+            m.rows_selected += sel.len() as u64;
             match projection {
-                Some(cols) => {
-                    let mut positions = Vec::with_capacity(cols.len());
-                    let mut kept_names = Vec::with_capacity(cols.len());
-                    for c in cols {
+                Some(wanted) => {
+                    let mut positions = Vec::with_capacity(wanted.len());
+                    let mut kept_names = Vec::with_capacity(wanted.len());
+                    for c in wanted {
                         let pos = names
                             .iter()
                             .position(|n| n.eq_ignore_ascii_case(c))
@@ -420,30 +519,40 @@ fn eval_relational_inner(
                         positions.push(pos);
                         kept_names.push(names[pos].clone());
                     }
-                    let rows = rows
-                        .into_iter()
-                        .map(|r| {
-                            Row::new(positions.iter().map(|&p| r.values()[p].clone()).collect())
-                        })
+                    // Narrowing drops whole columns; no row data moves.
+                    let mut taken: Vec<Option<ColData<'p>>> = cols.into_iter().map(Some).collect();
+                    let cols = positions
+                        .iter()
+                        .map(|&p| taken[p].take().expect("projection columns are distinct"))
                         .collect();
-                    Ok(Relation {
+                    Ok(ColRelation {
                         bindings: Bindings::for_table(binding, &kept_names),
-                        rows,
+                        cols,
+                        sel,
                     })
                 }
-                None => Ok(Relation { bindings, rows }),
+                None => Ok(ColRelation {
+                    bindings,
+                    cols,
+                    sel,
+                }),
             }
         }
         LogicalPlan::Filter { input, predicate } => {
             let mut rel = eval_relational(input, provider, m)?;
             let compiled = timed_compile(m, || compile(predicate, &rel.bindings))?;
-            let mut kept = Vec::with_capacity(rel.rows.len());
-            for row in rel.rows {
-                if compiled.eval_predicate(row.values())? {
-                    kept.push(row);
-                }
-            }
-            rel.rows = kept;
+            let arity = rel.bindings.arity();
+            let mut errors = Vec::new();
+            apply_filter(
+                &compiled,
+                &rel.cols,
+                arity,
+                &mut rel.sel,
+                &mut errors,
+                &mut m.batches,
+            );
+            take_first_error(errors)?;
+            m.rows_selected += rel.sel.len() as u64;
             Ok(rel)
         }
         LogicalPlan::Join {
@@ -551,7 +660,7 @@ pub fn execute_delete(stmt: &DeleteStmt, db: &mut Database) -> Result<usize> {
 }
 
 /// Reject a rebuilt table image that would violate a UNIQUE column.
-fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
+pub(crate) fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
     for (idx, col) in schema.columns().iter().enumerate() {
         if !col.unique {
             continue;
@@ -575,7 +684,11 @@ fn check_unique_post_image(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
 
 /// If `on` is `left_col = right_col` with one side bound to each input,
 /// return the two positions for a hash join.
-fn equi_join_keys(on: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize, usize)> {
+pub(crate) fn equi_join_keys(
+    on: &Expr,
+    left: &Bindings,
+    right: &Bindings,
+) -> Option<(usize, usize)> {
     if let Expr::Binary {
         left: l,
         op: crate::ast::BinaryOp::Eq,
@@ -594,80 +707,110 @@ fn equi_join_keys(on: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize
     None
 }
 
-fn join_relations(
-    left: Relation,
-    right: Relation,
+/// Join two columnar relations. The hash path builds and probes on chunk
+/// values directly (dictionary strings are borrowed, never copied), collects
+/// matching index pairs, and gathers output columns once — string columns in
+/// the output share their source dictionary via `Arc`.
+fn join_relations<'p>(
+    left: ColRelation<'p>,
+    right: ColRelation<'p>,
     kind: JoinKind,
     on: Option<&Expr>,
     m: &mut ExecMetrics,
-) -> Result<Relation> {
+) -> Result<ColRelation<'p>> {
     let bindings = left.bindings.concat(&right.bindings);
+    let left_arity = left.bindings.arity();
     let right_arity = right.bindings.arity();
-    let mut rows = Vec::new();
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<Option<u32>> = Vec::new();
+    let mut joined = false;
 
     // Fast path: hash join on a simple column equality, build/probe keyed on
     // the borrowed, allocation-free `KeyValue` form.
     if kind != JoinKind::Cross {
         if let Some(on_expr) = on {
             if let Some((lk, rk)) = equi_join_keys(on_expr, &left.bindings, &right.bindings) {
-                let mut table: HashMap<KeyValue<'_>, Vec<&Row>> = HashMap::new();
-                for r in &right.rows {
-                    if let Some(k) = KeyValue::of(&r.values()[rk]) {
-                        table.entry(k).or_default().push(r);
+                let mut table: HashMap<KeyValue<'_>, Vec<u32>> = HashMap::new();
+                for &rp in &right.sel {
+                    if let Some(k) = right.cols[rk].key_at(rp as usize) {
+                        table.entry(k).or_default().push(rp);
                     }
                 }
-                for l in &left.rows {
+                for &lp in &left.sel {
                     let mut matched = false;
-                    if let Some(k) = KeyValue::of(&l.values()[lk]) {
-                        if let Some(matches) = table.get(&k) {
-                            for r in matches {
-                                rows.push(l.concat(r));
+                    if let Some(k) = left.cols[lk].key_at(lp as usize) {
+                        if let Some(ms) = table.get(&k) {
+                            for &rp in ms {
+                                lidx.push(lp);
+                                ridx.push(Some(rp));
                                 matched = true;
                             }
                         }
                     }
                     if !matched && kind == JoinKind::LeftOuter {
-                        rows.push(l.concat(&Row::new(vec![Value::Null; right_arity])));
+                        lidx.push(lp);
+                        ridx.push(None);
                     }
                 }
-                return Ok(Relation { bindings, rows });
+                joined = true;
             }
         }
     }
 
     // General nested loop; the ON condition compiles once against the
-    // concatenated layout, and candidate pairs are staged in a reusable
-    // scratch buffer so non-matching pairs allocate nothing.
-    let compiled_on = match on {
-        Some(cond) => Some(timed_compile(m, || compile(cond, &bindings))?),
-        None => None,
-    };
-    let mut scratch: Vec<Value> = Vec::with_capacity(bindings.arity());
-    for l in &left.rows {
-        let mut matched = false;
-        for r in &right.rows {
-            scratch.clear();
-            scratch.extend_from_slice(l.values());
-            scratch.extend_from_slice(r.values());
-            let keep = match &compiled_on {
-                Some(cond) => cond.eval_predicate(&scratch)?,
-                None => true,
-            };
-            if keep {
-                rows.push(Row::new(std::mem::take(&mut scratch)));
-                scratch.reserve(bindings.arity());
-                matched = true;
+    // concatenated layout and evaluates over a reusable scratch row, staging
+    // only index pairs — output columns are still gathered, not copied
+    // pairwise.
+    if !joined {
+        let compiled_on = match on {
+            Some(cond) => Some(timed_compile(m, || compile(cond, &bindings))?),
+            None => None,
+        };
+        let mut scratch = vec![Value::Null; left_arity + right_arity];
+        for &lp in &left.sel {
+            for (c, col) in left.cols.iter().enumerate() {
+                scratch[c] = col.value_at(lp as usize);
+            }
+            let mut matched = false;
+            for &rp in &right.sel {
+                for (c, col) in right.cols.iter().enumerate() {
+                    scratch[left_arity + c] = col.value_at(rp as usize);
+                }
+                let keep = match &compiled_on {
+                    Some(cond) => cond.eval_predicate(&scratch)?,
+                    None => true,
+                };
+                if keep {
+                    lidx.push(lp);
+                    ridx.push(Some(rp));
+                    matched = true;
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                lidx.push(lp);
+                ridx.push(None);
             }
         }
-        if !matched && kind == JoinKind::LeftOuter {
-            rows.push(l.concat(&Row::new(vec![Value::Null; right_arity])));
-        }
     }
-    Ok(Relation { bindings, rows })
+
+    m.batches += n_batches(left.sel.len()) + n_batches(right.sel.len());
+    let mut cols: Vec<ColData<'p>> = Vec::with_capacity(left.cols.len() + right.cols.len());
+    for c in &left.cols {
+        cols.push(c.gather(&lidx));
+    }
+    for c in &right.cols {
+        cols.push(c.gather_opt(&ridx));
+    }
+    let sel = (0..lidx.len() as u32).collect();
+    Ok(ColRelation {
+        bindings,
+        cols,
+        sel,
+    })
 }
 
 /// Output column name for a select item.
-fn item_name(item: &SelectItem) -> String {
+pub(crate) fn item_name(item: &SelectItem) -> String {
     match item {
         SelectItem::Wildcard => "*".into(),
         SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
@@ -682,7 +825,10 @@ fn item_name(item: &SelectItem) -> String {
 }
 
 /// Expand wildcards into concrete (name, position) pairs.
-fn expand_items(items: &[SelectItem], bindings: &Bindings) -> Result<Vec<(String, ItemPlan)>> {
+pub(crate) fn expand_items(
+    items: &[SelectItem],
+    bindings: &Bindings,
+) -> Result<Vec<(String, ItemPlan)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -714,13 +860,16 @@ fn expand_items(items: &[SelectItem], bindings: &Bindings) -> Result<Vec<(String
     Ok(out)
 }
 
-enum ItemPlan {
+/// How to produce one projection output value.
+pub(crate) enum ItemPlan {
+    /// Copy the input column at this position.
     Position(usize),
+    /// Evaluate a compiled expression over the input row.
     Expr(CompiledExpr),
 }
 
 /// How to produce one ORDER BY sort key per output row.
-enum SortKeyPlan {
+pub(crate) enum SortKeyPlan {
     /// Copy an already-computed output value (alias / output-column match).
     Output(usize),
     /// Evaluate a compiled expression over the input row.
@@ -730,7 +879,7 @@ enum SortKeyPlan {
 /// Compile ORDER BY sort keys. Each key expression is resolved first against
 /// the output columns (so `ORDER BY alias` works), then against the input
 /// bindings.
-fn compile_order_keys(
+pub(crate) fn compile_order_keys(
     order_by: &[OrderItem],
     bindings: &Bindings,
     out_columns: &[&str],
@@ -753,16 +902,15 @@ fn compile_order_keys(
     Ok(plans)
 }
 
-/// Execute an `Aggregate` plan node: group rows, filter groups with HAVING,
-/// and evaluate aggregate projections, appending hidden sort-key columns.
+/// Execute an `Aggregate` plan node over a columnar relation: evaluate the
+/// grouping keys per selected row, bucket positions by the borrowed
+/// [`KeyValue`] form, filter groups with HAVING, and evaluate aggregate
+/// projections — appending hidden sort-key columns.
 ///
-/// Compile-once throughout: grouping expressions, each distinct aggregate
-/// call (deduplicated into shared slots across the item list and HAVING),
-/// item-level group expressions, and sort keys are all lowered before the
-/// first row is touched. Grouping itself hashes the evaluated key values in
-/// their borrowed [`KeyValue`] form — no rendered-string keys.
+/// Compile-once throughout; aggregate inputs that are bare columns stream
+/// straight out of the chunks without a scratch row.
 fn aggregate_node(
-    rel: &Relation,
+    rel: &ColRelation<'_>,
     items: &[SelectItem],
     group_by: &[Expr],
     having: Option<&Expr>,
@@ -806,26 +954,40 @@ fn aggregate_node(
         Ok((group_keys, aggs, item_exprs, having_expr, sort_plans))
     })?;
 
-    // Evaluate all grouping keys first (stable storage), then bucket rows by
-    // the borrowed key form. NULL keys pool together, per GROUP BY rules.
-    let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
-    for row in &rel.rows {
+    // Evaluate all grouping keys first (stable storage), then bucket the
+    // selected positions by the borrowed key form. NULL keys pool together,
+    // per GROUP BY rules. Key expressions see a scratch row holding only the
+    // columns they reference.
+    let arity = rel.bindings.arity();
+    let mut key_positions = Vec::new();
+    for g in &group_keys {
+        g.collect_positions(&mut key_positions);
+    }
+    key_positions.sort_unstable();
+    key_positions.dedup();
+    key_positions.retain(|&p| p < arity);
+    let mut scratch = vec![Value::Null; arity];
+    let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.sel.len());
+    for &s in &rel.sel {
+        for &c in &key_positions {
+            scratch[c] = rel.cols[c].value_at(s as usize);
+        }
         let mut kv = Vec::with_capacity(group_keys.len());
         for g in &group_keys {
-            kv.push(g.eval(row.values())?);
+            kv.push(g.eval(&scratch)?);
         }
         row_keys.push(kv);
     }
-    let mut groups: Vec<Vec<&Row>> = Vec::new();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
     {
         let mut index: HashMap<Vec<Option<KeyValue<'_>>>, usize> = HashMap::new();
-        for (row, kv) in rel.rows.iter().zip(&row_keys) {
+        for (&s, kv) in rel.sel.iter().zip(&row_keys) {
             let key = KeyValue::row_key(kv);
             match index.get(&key) {
-                Some(&i) => groups[i].push(row),
+                Some(&i) => groups[i].push(s),
                 None => {
                     index.insert(key, groups.len());
-                    groups.push(vec![row]);
+                    groups.push(vec![s]);
                 }
             }
         }
@@ -834,6 +996,21 @@ fn aggregate_node(
     if groups.is_empty() && group_by.is_empty() {
         groups.push(Vec::new());
     }
+
+    // Column positions each aggregate's argument reads, precomputed.
+    let agg_needs: Vec<Vec<usize>> = aggs
+        .iter()
+        .map(|a| {
+            let mut v = Vec::new();
+            if let Some(e) = &a.arg {
+                e.collect_positions(&mut v);
+                v.sort_unstable();
+                v.dedup();
+                v.retain(|&p| p < arity);
+            }
+            v
+        })
+        .collect();
 
     // Aggregate slots HAVING reads: computed for every group; the remaining
     // slots only for groups HAVING keeps (the interpreter's evaluation
@@ -844,15 +1021,25 @@ fn aggregate_node(
     }
 
     let mut out = Vec::with_capacity(groups.len());
-    for rows in &groups {
-        let first_row = rows.first().map(|r| r.values());
+    let mut first_scratch = vec![Value::Null; arity];
+    for positions in &groups {
+        let first_row: Option<&[Value]> = match positions.first() {
+            Some(&s) => {
+                for (c, col) in rel.cols.iter().enumerate() {
+                    first_scratch[c] = col.value_at(s as usize);
+                }
+                Some(&first_scratch)
+            }
+            None => None,
+        };
         let mut agg_values = vec![Value::Null; aggs.len()];
         let mut computed = vec![false; aggs.len()];
         // HAVING: filter whole groups; the predicate may mix aggregates
         // and grouping expressions, with SQL's unknown-is-false rule.
         if let Some(h) = &having_expr {
             for &slot in &having_slots {
-                agg_values[slot] = compute_aggregate(&aggs[slot], rows)?;
+                agg_values[slot] =
+                    compute_aggregate(&aggs[slot], positions, rel, &agg_needs[slot], &mut scratch)?;
                 computed[slot] = true;
             }
             let verdict = h.eval(&agg_values, first_row)?;
@@ -873,7 +1060,8 @@ fn aggregate_node(
         }
         for (slot, agg) in aggs.iter().enumerate() {
             if !computed[slot] {
-                agg_values[slot] = compute_aggregate(agg, rows)?;
+                agg_values[slot] =
+                    compute_aggregate(agg, positions, rel, &agg_needs[slot], &mut scratch)?;
             }
         }
         let mut values = Vec::with_capacity(items.len() + keys.len());
@@ -883,17 +1071,41 @@ fn aggregate_node(
         append_group_sort_keys(&mut values, &sort_plans, first_row, keys.len());
         out.push(Row::new(values));
     }
+    m.rows_materialized += out.len() as u64;
+    m.batches += n_batches(rel.sel.len()) * (1 + aggs.len() as u64);
     Ok(ResultSet { columns, rows: out })
 }
 
-/// Run one compiled aggregate over a group's rows.
-fn compute_aggregate(agg: &CompiledAggregate, rows: &[&Row]) -> Result<Value> {
+/// Run one compiled aggregate over a group's selected positions. A bare
+/// column argument streams values straight out of its chunk; anything else
+/// gathers the referenced columns into the scratch row first.
+fn compute_aggregate(
+    agg: &CompiledAggregate,
+    positions: &[u32],
+    rel: &ColRelation<'_>,
+    needed: &[usize],
+    scratch: &mut [Value],
+) -> Result<Value> {
     let mut state = AggState::new(agg.func, agg.distinct);
-    for row in rows {
-        match &agg.arg {
-            None => state.update(None)?,
-            Some(a) => {
-                let v = a.eval(row.values())?;
+    match &agg.arg {
+        None => {
+            for _ in positions {
+                state.update(None)?;
+            }
+        }
+        Some(CompiledExpr::Column(c)) => {
+            let col = &rel.cols[*c];
+            for &s in positions {
+                let v = col.value_at(s as usize);
+                state.update(Some(&v))?;
+            }
+        }
+        Some(e) => {
+            for &s in positions {
+                for &c in needed {
+                    scratch[c] = rel.cols[c].value_at(s as usize);
+                }
+                let v = e.eval(scratch)?;
                 state.update(Some(&v))?;
             }
         }
@@ -904,7 +1116,7 @@ fn compute_aggregate(agg: &CompiledAggregate, rows: &[&Row]) -> Result<Value> {
 /// Append a group's hidden sort-key columns to `values`. Any evaluation
 /// failure (or an earlier compile failure, `plans == None`) degrades that
 /// group's keys to NULL, preserving the interpreter's fallback.
-fn append_group_sort_keys(
+pub(crate) fn append_group_sort_keys(
     values: &mut Vec<Value>,
     plans: &Option<Vec<SortKeyPlan>>,
     first_row: Option<&[Value]>,
@@ -1251,5 +1463,34 @@ mod tests {
         );
         // pairs within det 10: (1,2); det 20: (3,4)
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn metrics_count_batches_and_selectivity() {
+        let d = db();
+        let stmt = parse_select("SELECT e_id FROM events WHERE energy > 20.0").unwrap();
+        let plan = optimize(build_plan(&stmt), &ProviderCatalog(&DatabaseProvider(&d)));
+        let (rs, m) = execute_plan_metered(&plan, &DatabaseProvider(&d)).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(m.rows_scanned, 5);
+        assert_eq!(m.rows_selected, 3);
+        assert_eq!(m.rows_materialized, 3);
+        assert!(m.batches >= 2, "scan + filter batches, got {}", m.batches);
+        assert!((m.selectivity() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_survives_tombstones() {
+        let mut d = db();
+        d.table_mut("events")
+            .unwrap()
+            .delete_where(|r| r.values()[0] == Value::Int(3));
+        let r = execute_select(
+            &parse_select("SELECT e_id FROM events WHERE energy > 20.0 ORDER BY e_id").unwrap(),
+            &DatabaseProvider(&d),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0].values()[0], Value::Int(4));
     }
 }

@@ -24,9 +24,14 @@
 //!   `EXPLAIN` rendering.
 //! - [`optimize`] — rule-based optimizer passes (constant folding, predicate
 //!   pushdown, join reordering, projection pruning) over the plan IR.
-//! - [`exec`] — a Volcano-ish executor over a [`exec::TableProvider`], used
-//!   for per-mart execution and for the mediator's post-merge residual
-//!   processing. Runs optimized plans, not raw ASTs.
+//! - [`batch`] — the vectorized evaluation layer: columnar relation views
+//!   over storage chunks, selection vectors, typed predicate kernels, and
+//!   deferred per-row error accounting.
+//! - [`exec`] — the batch executor over a [`exec::TableProvider`], used for
+//!   per-mart execution and for the mediator's post-merge residual
+//!   processing. Runs optimized plans columnar, materializing rows late.
+//! - [`exec_row`] — the retired row-at-a-time interpreter, kept as the
+//!   differential-testing reference and benchmark baseline.
 //! - [`analyze`] — `EXPLAIN ANALYZE`: per-node execution profiles
 //!   (actual rows, loops, inclusive time) rendered next to the optimizer's
 //!   row estimates.
@@ -36,9 +41,11 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod batch;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod exec_row;
 pub mod expr;
 pub mod lexer;
 pub mod optimize;
@@ -54,7 +61,8 @@ pub use analyze::{
 pub use ast::{Expr, SelectStmt, Statement};
 pub use compile::{compile, CompiledExpr, KeyValue};
 pub use error::SqlError;
-pub use exec::{execute_select, DatabaseProvider, TableProvider};
+pub use exec::{execute_select, DatabaseProvider, ExecMetrics, TableProvider};
+pub use exec_row::execute_plan_rowwise;
 pub use optimize::{optimize, optimize_with, NoCatalog, PassSet, PlanCatalog};
 pub use parser::parse;
 pub use plan::{build_plan, LogicalPlan};

@@ -14,6 +14,7 @@
 //! The SQL front-end lives in `gridfed-sqlkit`; vendor dialect façades live
 //! in `gridfed-vendors`.
 
+pub mod column;
 pub mod database;
 pub mod error;
 pub mod index;
@@ -22,6 +23,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use column::{Bitmap, ColumnChunk, StrDict};
 pub use database::Database;
 pub use error::StorageError;
 pub use index::OrderedIndex;

@@ -1,5 +1,14 @@
-//! Row-store tables with schema enforcement and optional per-column indexes.
+//! Tables stored column-major behind a row-compatible API.
+//!
+//! Since the columnar refactor, a table's body is one typed
+//! [`ColumnChunk`] per column (see [`crate::column`]) plus a tombstone
+//! [`Bitmap`]. Every row-oriented entry point (`insert`, `scan`, `rows`,
+//! `lookup`, `delete_where`) still works unchanged — rows are materialized
+//! from the chunks on demand — while the vectorized executor borrows the
+//! chunks directly via [`Table::chunks`] and skips row materialization
+//! entirely until its output boundary.
 
+use crate::column::{Bitmap, ColumnChunk};
 use crate::error::StorageError;
 use crate::index::OrderedIndex;
 use crate::row::Row;
@@ -8,15 +17,22 @@ use crate::value::Value;
 use crate::Result;
 use std::collections::HashMap;
 
-/// A table: a schema, a row store, and zero or more single-column indexes.
+/// A table: a schema, typed column chunks, and zero or more single-column
+/// indexes.
 ///
-/// Deleted rows leave tombstones (`None`) so index positions stay stable;
-/// `compact` rebuilds the store when tombstones accumulate.
+/// Deleted rows leave tombstones (a set bit in the tombstone bitmap) so
+/// index positions stay stable; `compact` rebuilds the chunks when
+/// tombstones accumulate.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Option<Row>>,
+    columns: Vec<ColumnChunk>,
+    /// Physical row slots, tombstones included. Tracked separately from the
+    /// chunks so zero-column tables still count rows.
+    physical: usize,
+    /// Bit set = row slot is deleted.
+    tombs: Bitmap,
     live: usize,
     /// column position -> index
     indexes: HashMap<usize, OrderedIndex>,
@@ -26,10 +42,17 @@ impl Table {
     /// Create an empty table. UNIQUE columns automatically get an index so
     /// uniqueness checks are O(log n).
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnChunk::for_type(c.data_type))
+            .collect();
         let mut t = Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            columns,
+            physical: 0,
+            tombs: Bitmap::new(),
             live: 0,
             indexes: HashMap::new(),
         };
@@ -74,7 +97,41 @@ impl Table {
         self.live == 0
     }
 
-    /// Create an ordered index on `column`. Existing rows are indexed
+    /// The typed column chunks, one per schema column. Positions run over
+    /// the *physical* row space — check [`Table::is_live`] (or
+    /// [`Table::has_tombstones`] first) before trusting a slot.
+    pub fn chunks(&self) -> &[ColumnChunk] {
+        &self.columns
+    }
+
+    /// Number of physical row slots, tombstones included.
+    pub fn physical_len(&self) -> usize {
+        self.physical
+    }
+
+    /// True if any row slot is tombstoned (`len() < physical_len()`).
+    pub fn has_tombstones(&self) -> bool {
+        self.live != self.physical
+    }
+
+    /// True if the row slot at `pos` holds a live (non-deleted) row.
+    pub fn is_live(&self, pos: usize) -> bool {
+        pos < self.physical && !self.tombs.get(pos)
+    }
+
+    /// Materialize the live row at physical position `pos` (`None` for
+    /// tombstoned or out-of-range slots).
+    pub fn row_at(&self, pos: usize) -> Option<Row> {
+        if !self.is_live(pos) {
+            return None;
+        }
+        Some(Row::new(
+            self.columns.iter().map(|c| c.value_at(pos)).collect(),
+        ))
+    }
+
+    /// Create an ordered index on `column`, built directly from the column
+    /// chunk — no row materialization. Existing rows are indexed
     /// immediately. Idempotent.
     pub fn create_index(&mut self, column: &str) -> Result<()> {
         let col = self
@@ -84,14 +141,20 @@ impl Table {
         if self.indexes.contains_key(&col) {
             return Ok(());
         }
+        self.indexes.insert(col, self.build_index(col));
+        Ok(())
+    }
+
+    /// Build an index over the chunk at `col` from live positions only.
+    fn build_index(&self, col: usize) -> OrderedIndex {
         let mut ix = OrderedIndex::new();
-        for (pos, row) in self.rows.iter().enumerate() {
-            if let Some(r) = row {
-                ix.insert(r.values()[col].clone(), pos);
+        let chunk = &self.columns[col];
+        for pos in 0..self.physical {
+            if !self.tombs.get(pos) {
+                ix.insert(chunk.value_at(pos), pos);
             }
         }
-        self.indexes.insert(col, ix);
-        Ok(())
+        ix
     }
 
     /// True if `column` has an index.
@@ -116,11 +179,15 @@ impl Table {
                 }
             }
         }
-        let pos = self.rows.len();
+        let pos = self.physical;
         for (col_pos, ix) in self.indexes.iter_mut() {
             ix.insert(values[*col_pos].clone(), pos);
         }
-        self.rows.push(Some(Row::new(values)));
+        for (chunk, v) in self.columns.iter_mut().zip(&values) {
+            chunk.push(v);
+        }
+        self.tombs.push(false);
+        self.physical += 1;
         self.live += 1;
         Ok(pos)
     }
@@ -139,13 +206,13 @@ impl Table {
     /// Delete all rows matching `pred`; returns the number deleted.
     pub fn delete_where(&mut self, pred: impl Fn(&Row) -> bool) -> usize {
         let mut deleted = 0;
-        for pos in 0..self.rows.len() {
-            let matches = self.rows[pos].as_ref().is_some_and(&pred);
+        for pos in 0..self.physical {
+            let matches = self.row_at(pos).is_some_and(|r| pred(&r));
             if matches {
-                let row = self.rows[pos].take().expect("checked Some");
                 for (col_pos, ix) in self.indexes.iter_mut() {
-                    ix.remove(&row.values()[*col_pos], pos);
+                    ix.remove(&self.columns[*col_pos].value_at(pos), pos);
                 }
+                self.tombs.set(pos);
                 self.live -= 1;
                 deleted += 1;
             }
@@ -155,16 +222,20 @@ impl Table {
 
     /// Remove all rows (keeps schema and index definitions).
     pub fn truncate(&mut self) {
-        self.rows.clear();
+        for c in &mut self.columns {
+            c.clear();
+        }
+        self.tombs.clear();
+        self.physical = 0;
         self.live = 0;
         for ix in self.indexes.values_mut() {
             *ix = OrderedIndex::new();
         }
     }
 
-    /// Iterate live rows (clones; see type-level docs).
+    /// Iterate live rows (materialized from the chunks; see type docs).
     pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
-        self.rows.iter().filter_map(|r| r.clone())
+        (0..self.physical).filter_map(|pos| self.row_at(pos))
     }
 
     /// All live rows as a vector.
@@ -183,7 +254,7 @@ impl Table {
             Ok(ix
                 .get(value)
                 .iter()
-                .filter_map(|&p| self.rows[p].clone())
+                .filter_map(|&p| self.row_at(p))
                 .collect())
         } else {
             Ok(self
@@ -212,23 +283,24 @@ impl Table {
         Ok(ix
             .range(lo, hi)
             .iter()
-            .filter_map(|&p| self.rows[p].clone())
+            .filter_map(|&p| self.row_at(p))
             .collect())
     }
 
-    /// Rebuild the row store dropping tombstones; indexes are rebuilt.
+    /// Rebuild the chunks dropping tombstones; indexes are rebuilt from the
+    /// compacted chunks.
     pub fn compact(&mut self) {
-        let rows: Vec<Row> = self.scan().collect();
+        let keep: Vec<u32> = (0..self.physical)
+            .filter(|&p| !self.tombs.get(p))
+            .map(|p| u32::try_from(p).expect("row position fits u32"))
+            .collect();
+        self.columns = self.columns.iter().map(|c| c.gather(&keep)).collect();
+        self.physical = keep.len();
+        self.live = keep.len();
+        self.tombs = Bitmap::zeros(keep.len());
         let cols: Vec<usize> = self.indexes.keys().copied().collect();
-        self.rows = rows.into_iter().map(Some).collect();
-        self.live = self.rows.len();
         for col in cols {
-            let mut ix = OrderedIndex::new();
-            for (pos, row) in self.rows.iter().enumerate() {
-                if let Some(r) = row {
-                    ix.insert(r.values()[col].clone(), pos);
-                }
-            }
+            let ix = self.build_index(col);
             self.indexes.insert(col, ix);
         }
     }
@@ -236,7 +308,15 @@ impl Table {
     /// Approximate wire size of all live rows — what a full dump of this
     /// table would cost to transfer.
     pub fn wire_size(&self) -> usize {
-        self.scan().map(|r| r.wire_size()).sum()
+        (0..self.physical)
+            .filter(|&p| !self.tombs.get(p))
+            .map(|p| {
+                self.columns
+                    .iter()
+                    .map(|c| c.wire_size_at(p))
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -299,6 +379,45 @@ mod tests {
         assert_eq!(by_scan[0].values()[0], Value::Int(5));
     }
 
+    /// Satellite regression: an index built over a dictionary-encoded
+    /// string chunk (directly from codes, no row materialization) must
+    /// agree with a full scan — including after deletes and with NULLs
+    /// interleaved.
+    #[test]
+    fn string_index_agrees_with_full_scan_on_dictionary_column() {
+        let mut t = events_table();
+        let regions = ["barrel", "endcap", "forward"];
+        for i in 0..60 {
+            let det = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Text(regions[i as usize % 3].into())
+            };
+            t.insert(vec![Value::Int(i), Value::Null, det]).unwrap();
+        }
+        // Delete some rows BEFORE building the index so the chunk walk
+        // must honor tombstones.
+        t.delete_where(|r| matches!(r.values()[0], Value::Int(i) if i % 10 == 4));
+        t.create_index("detector").unwrap();
+        for needle in ["barrel", "endcap", "forward", "absent"] {
+            let via_index = t.lookup("detector", &needle.into()).unwrap();
+            let via_scan: Vec<Row> = t
+                .scan()
+                .filter(|r| r.values()[2].sql_eq(&needle.into()))
+                .collect();
+            assert_eq!(via_index, via_scan, "lookup(`{needle}`) diverged");
+        }
+        // Deletes after the index is built stay consistent too.
+        t.delete_where(|r| matches!(&r.values()[2], Value::Text(s) if s == "endcap"));
+        assert!(t.lookup("detector", &"endcap".into()).unwrap().is_empty());
+        let barrel = t.lookup("detector", &"barrel".into()).unwrap();
+        let by_scan: Vec<Row> = t
+            .scan()
+            .filter(|r| r.values()[2].sql_eq(&"barrel".into()))
+            .collect();
+        assert_eq!(barrel, by_scan);
+    }
+
     #[test]
     fn range_lookup_requires_index() {
         let mut t = events_table();
@@ -344,6 +463,8 @@ mod tests {
         t.delete_where(|r| matches!(r.values()[0], Value::Int(i) if i % 2 == 0));
         t.compact();
         assert_eq!(t.len(), 5);
+        assert_eq!(t.physical_len(), 5);
+        assert!(!t.has_tombstones());
         assert_eq!(t.lookup("e_id", &Value::Int(3)).unwrap().len(), 1);
         assert_eq!(t.lookup("e_id", &Value::Int(4)).unwrap().len(), 0);
     }
@@ -368,5 +489,29 @@ mod tests {
         t.insert(vec![Value::Null]).unwrap();
         t.insert(vec![Value::Null]).unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn chunks_expose_columnar_view_with_tombstones() {
+        let mut t = events_table();
+        for i in 0..6 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 0.5),
+                "ecal".into(),
+            ])
+            .unwrap();
+        }
+        t.delete_where(|r| matches!(r.values()[0], Value::Int(2)));
+        assert_eq!(t.physical_len(), 6);
+        assert!(t.has_tombstones());
+        assert!(!t.is_live(2) && t.is_live(3));
+        let (ids, nulls) = t.chunks()[0].as_int().unwrap();
+        assert_eq!(ids, &[0, 1, 2, 3, 4, 5], "physical slots keep deleted data");
+        assert!(!nulls.any());
+        // row-API view skips the tombstone
+        assert_eq!(t.rows().len(), 5);
+        assert!(t.row_at(2).is_none());
+        assert_eq!(t.row_at(3).unwrap().values()[0], Value::Int(3));
     }
 }
