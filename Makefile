@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts stress
 
-verify: build test chaos obs marts lint fmt bench-smoke
+verify: build test chaos obs marts stress lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -43,3 +43,9 @@ obs:
 # invalidation) plus the snapshot-isolation concurrency hammering.
 marts:
 	cargo test -q --test mart_refresh --test concurrency
+
+# Concurrency stress: the multi-threaded hammer (worker pool + admission
+# queue + refresh churn) at full speed under the release profile, where
+# thin synchronization bugs actually race.
+stress:
+	cargo test -q --release --test concurrency

@@ -13,7 +13,7 @@ use gridfed_sqlkit::exec::{execute_plan, DatabaseProvider, ProviderCatalog};
 use gridfed_sqlkit::exec_row::execute_plan_rowwise;
 use gridfed_sqlkit::parser::parse_select;
 use gridfed_sqlkit::plan::LogicalPlan;
-use gridfed_sqlkit::{build_plan, optimize};
+use gridfed_sqlkit::{build_plan, optimize, with_exec_config, ExecConfig};
 use gridfed_storage::{ColumnDef, DataType, Database, Schema, Value};
 use std::hint::black_box;
 
@@ -101,6 +101,16 @@ fn columnar(c: &mut Criterion) {
             });
             g.bench_function(&format!("{shape}/batch"), |b| {
                 b.iter(|| execute_plan(black_box(&plan), &provider).unwrap())
+            });
+            // Same plan, same batch executor, a 4-worker morsel pool: the
+            // delta over `/batch` is pure intra-query parallelism.
+            let par_cfg = ExecConfig::with_workers(4);
+            g.bench_function(&format!("{shape}/batch_par4"), |b| {
+                b.iter(|| {
+                    with_exec_config(par_cfg.clone(), || {
+                        execute_plan(black_box(&plan), &provider).unwrap()
+                    })
+                })
             });
         }
         g.finish();

@@ -1,0 +1,304 @@
+//! Bounded, tenant-fair admission — the mediator's concurrency front door.
+//!
+//! The parallel executor (DESIGN.md §4.11) makes single queries wider; the
+//! admission queue keeps *many* queries from multiplying that width into an
+//! overloaded mediator. It is the same design stance as the memory guard:
+//! a typed error at a clean boundary instead of a degraded server.
+//!
+//! Shape: `slots` queries run concurrently; everyone else waits in a
+//! bounded queue (`queue_limit`), and an enqueue past the bound is refused
+//! with [`CoreError::AdmissionFull`] — callers see backpressure, never a
+//! silent drop. Dequeue is **tenant-fair**: each tenant has its own FIFO
+//! and a round-robin rotation picks the next tenant, so one chatty physics
+//! group cannot starve another's interactive analysis (the paper's
+//! "hundreds of physicists" concurrency concern).
+//!
+//! The queue is deliberately applied only at the client-facing entry
+//! ([`DataAccessService::query_as`]) and **not** on mediator-to-mediator
+//! `query_federated` hops: admission on internal hops can deadlock a
+//! mediator cycle where each holds a slot while waiting on the other.
+//!
+//! [`CoreError::AdmissionFull`]: crate::error::CoreError::AdmissionFull
+//! [`DataAccessService::query_as`]: crate::service::DataAccessService::query_as
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Front-door admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently (clamped to at least 1).
+    pub slots: usize,
+    /// Queries allowed to wait beyond the running set; an enqueue past
+    /// this bound is refused with a typed error.
+    pub queue_limit: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            slots: 4,
+            queue_limit: 32,
+        }
+    }
+}
+
+/// What one admitted query observed at the front door.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionObs {
+    /// Queries already waiting when this one arrived (0 = admitted
+    /// immediately).
+    pub queue_depth: u64,
+    /// Microseconds spent waiting for a slot.
+    pub wait_us: u64,
+}
+
+struct State {
+    /// Queries currently holding an execution slot.
+    running: usize,
+    /// Total tickets waiting across all tenants.
+    queued: usize,
+    /// Per-tenant FIFO of waiting ticket ids.
+    queues: HashMap<String, VecDeque<u64>>,
+    /// Round-robin order over tenants with non-empty queues.
+    rotation: VecDeque<String>,
+    /// Tickets promoted to running whose waiter has not yet woken.
+    granted: HashSet<u64>,
+    next_ticket: u64,
+}
+
+/// The admission queue. One per mediator; shared by reference from every
+/// client-facing entry point.
+pub struct Admission {
+    slots: usize,
+    queue_limit: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// Build a queue from its limits.
+    pub fn new(config: AdmissionConfig) -> Admission {
+        Admission {
+            slots: config.slots.max(1),
+            queue_limit: config.queue_limit,
+            state: Mutex::new(State {
+                running: 0,
+                queued: 0,
+                queues: HashMap::new(),
+                rotation: VecDeque::new(),
+                granted: HashSet::new(),
+                next_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Configured concurrent-execution slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Configured queue bound.
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit
+    }
+
+    /// Currently waiting tickets (snapshot, for the monitor surface).
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).queued
+    }
+
+    /// Acquire an execution slot for `tenant`, blocking in the tenant-fair
+    /// queue when all slots are busy. Returns `Err((queued, limit))` when
+    /// the queue is already at its bound (the caller maps this to
+    /// [`CoreError::AdmissionFull`]).
+    ///
+    /// [`CoreError::AdmissionFull`]: crate::error::CoreError::AdmissionFull
+    pub fn acquire(
+        &self,
+        tenant: &str,
+    ) -> Result<(AdmissionGuard<'_>, AdmissionObs), (usize, usize)> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        // Fast path: a free slot and nobody waiting (the queued check keeps
+        // a late arrival from barging past the rotation).
+        if st.running < self.slots && st.queued == 0 {
+            st.running += 1;
+            return Ok((AdmissionGuard { queue: self }, AdmissionObs::default()));
+        }
+        if st.queued >= self.queue_limit {
+            return Err((st.queued, self.queue_limit));
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        let depth = st.queued as u64;
+        if !st.queues.contains_key(tenant) {
+            st.rotation.push_back(tenant.to_string());
+        }
+        st.queues
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(ticket);
+        st.queued += 1;
+        let start = Instant::now();
+        while !st.granted.remove(&ticket) {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let obs = AdmissionObs {
+            queue_depth: depth,
+            wait_us: start.elapsed().as_micros() as u64,
+        };
+        Ok((AdmissionGuard { queue: self }, obs))
+    }
+
+    /// Release one slot and promote waiters (called from guard drop).
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.running = st.running.saturating_sub(1);
+        self.promote(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Fill free slots from the rotation: next tenant, front ticket.
+    fn promote(&self, st: &mut State) {
+        while st.running < self.slots && st.queued > 0 {
+            let Some(tenant) = st.rotation.pop_front() else {
+                break;
+            };
+            let Some(q) = st.queues.get_mut(&tenant) else {
+                continue;
+            };
+            if let Some(ticket) = q.pop_front() {
+                st.granted.insert(ticket);
+                st.queued -= 1;
+                st.running += 1;
+            }
+            if st.queues.get(&tenant).is_some_and(|q| !q.is_empty()) {
+                // Tenant still has work: back of the rotation (round-robin).
+                st.rotation.push_back(tenant);
+            } else {
+                st.queues.remove(&tenant);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("slots", &self.slots)
+            .field("queue_limit", &self.queue_limit)
+            .finish()
+    }
+}
+
+/// RAII slot: dropping it (normal return, error, or panic unwind) releases
+/// the slot and promotes the next fair waiter.
+pub struct AdmissionGuard<'a> {
+    queue: &'a Admission,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fast_path_admits_up_to_slots() {
+        let a = Admission::new(AdmissionConfig {
+            slots: 2,
+            queue_limit: 0,
+        });
+        let (g1, o1) = a.acquire("t").expect("slot 1");
+        let (_g2, o2) = a.acquire("t").expect("slot 2");
+        assert_eq!(o1.queue_depth, 0);
+        assert_eq!(o2.queue_depth, 0);
+        // Third concurrent query has no slot and no queue room.
+        assert_eq!(a.acquire("t").err(), Some((0, 0)));
+        drop(g1);
+        assert!(a.acquire("t").is_ok());
+    }
+
+    #[test]
+    fn full_queue_is_a_typed_rejection_not_a_drop() {
+        let a = Arc::new(Admission::new(AdmissionConfig {
+            slots: 1,
+            queue_limit: 1,
+        }));
+        let (g, _) = a.acquire("a").expect("slot");
+        // One waiter fits in the queue...
+        let a2 = Arc::clone(&a);
+        let waiter = std::thread::spawn(move || {
+            let (_g, obs) = a2.acquire("b").expect("queued then admitted");
+            obs.queue_depth
+        });
+        while a.queued() == 0 {
+            std::thread::yield_now();
+        }
+        // ...the next is refused with the observed depth and the limit.
+        assert_eq!(a.acquire("c").err(), Some((1, 1)));
+        drop(g);
+        assert_eq!(waiter.join().expect("waiter"), 0);
+    }
+
+    #[test]
+    fn dequeue_round_robins_across_tenants() {
+        let a = Arc::new(Admission::new(AdmissionConfig {
+            slots: 1,
+            queue_limit: 16,
+        }));
+        let (g, _) = a.acquire("seed").expect("slot");
+        // Tenant `hog` queues three tickets, tenant `fair` one, in that
+        // arrival order. Fair dequeue must admit `fair` second, not last.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (tenant, arrive) in [("hog", 0), ("hog", 1), ("hog", 2), ("fair", 3)] {
+            let (a, order) = (Arc::clone(&a), Arc::clone(&order));
+            handles.push(std::thread::spawn(move || {
+                // Serialize arrival: wait until the `arrive` earlier
+                // tickets are enqueued, so the queue contents are fixed.
+                while a.queued() != arrive {
+                    std::thread::yield_now();
+                }
+                let (_g, _) = a.acquire(tenant).expect("admitted");
+                order.lock().unwrap().push(tenant);
+            }));
+        }
+        while a.queued() < 4 {
+            std::thread::yield_now();
+        }
+        drop(g);
+        for h in handles {
+            h.join().expect("waiter");
+        }
+        let order = order.lock().unwrap().clone();
+        assert_eq!(order.len(), 4);
+        // Round-robin: hog, fair, hog, hog — `fair` is not starved behind
+        // the hog's backlog.
+        assert_eq!(order[1], "fair", "full order: {order:?}");
+    }
+
+    #[test]
+    fn guard_released_on_panic() {
+        let a = Arc::new(Admission::new(AdmissionConfig {
+            slots: 1,
+            queue_limit: 0,
+        }));
+        let a2 = Arc::clone(&a);
+        let _ = std::thread::spawn(move || {
+            let (_g, _) = a2.acquire("t").expect("slot");
+            panic!("query died");
+        })
+        .join();
+        // The panicking holder's guard dropped during unwind: slot is free.
+        assert!(a.acquire("t").is_ok());
+    }
+}

@@ -56,6 +56,16 @@ pub enum CoreError {
         /// Server URL the breaker guards.
         target: String,
     },
+    /// The mediator's admission queue is full: the query was refused at
+    /// the front door rather than silently dropped or unboundedly queued.
+    AdmissionFull {
+        /// Tenant whose enqueue was refused.
+        tenant: String,
+        /// Queries already waiting when the enqueue was attempted.
+        queued: usize,
+        /// Configured queue capacity.
+        limit: usize,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -93,6 +103,16 @@ impl fmt::Display for CoreError {
             }
             CoreError::CircuitOpen { target } => {
                 write!(f, "circuit breaker open for `{target}`")
+            }
+            CoreError::AdmissionFull {
+                tenant,
+                queued,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "admission queue full for tenant `{tenant}`: {queued} queued, limit {limit}"
+                )
             }
             CoreError::Internal(m) => write!(f, "internal error: {m}"),
         }

@@ -93,6 +93,11 @@ pub struct IntegrateMetrics {
     pub rows_selected: u64,
     /// Rows materialized from columnar form at the output boundary.
     pub rows_materialized: u64,
+    /// Widest worker pool any parallel operator used (0 = sequential).
+    pub workers: u64,
+    /// Parallel work items (morsels, partitions, gather columns, groups)
+    /// dispatched to the worker pool.
+    pub morsels: u64,
 }
 
 impl IntegrateMetrics {
@@ -102,6 +107,8 @@ impl IntegrateMetrics {
         self.rows_scanned = exec.rows_scanned;
         self.rows_selected = exec.rows_selected;
         self.rows_materialized = exec.rows_materialized;
+        self.workers = exec.workers;
+        self.morsels = exec.morsels;
         self
     }
 }

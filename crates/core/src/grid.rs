@@ -7,6 +7,7 @@
 //! central RLS, and a client. Examples, integration tests, and the
 //! figure/table benchmarks all build their worlds through this.
 
+use crate::admission::AdmissionConfig;
 use crate::error::CoreError;
 use crate::placement::ReplicaPolicy;
 use crate::resilience::ResilienceConfig;
@@ -59,6 +60,10 @@ pub struct GridBuilder {
     fault_plan: Option<Arc<FaultPlan>>,
     resilience: Option<ResilienceConfig>,
     observability: bool,
+    parallelism: usize,
+    batch_rows: Option<usize>,
+    morsel_rows: Option<usize>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl Default for GridBuilder {
@@ -77,6 +82,10 @@ impl Default for GridBuilder {
             fault_plan: None,
             resilience: None,
             observability: false,
+            parallelism: 1,
+            batch_rows: None,
+            morsel_rows: None,
+            admission: None,
         }
     }
 }
@@ -174,6 +183,33 @@ impl GridBuilder {
     /// hedging, degradation) on every Data Access Service.
     pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.resilience = Some(config);
+        self
+    }
+
+    /// Worker threads per parallel operator in every mediator's executor
+    /// (DESIGN.md §4.11). The default, 1, is the sequential executor.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Executor batch accounting window in rows (default 1024).
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Parallel morsel size in rows (default 4096); relations at or under
+    /// one morsel always run sequentially.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Install a bounded, tenant-fair admission queue on every mediator's
+    /// client-facing front door.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
         self
     }
 
@@ -383,6 +419,18 @@ impl GridBuilder {
                 das.observability().set_enabled(true);
             }
         }
+        for das in &services {
+            das.set_parallelism(self.parallelism);
+            if let Some(rows) = self.batch_rows {
+                das.set_batch_rows(rows);
+            }
+            if let Some(rows) = self.morsel_rows {
+                das.set_morsel_rows(rows);
+            }
+            if let Some(config) = self.admission {
+                das.set_admission(Some(config));
+            }
+        }
         if let Some(plan) = &self.fault_plan {
             topology.set_conditions(Arc::clone(plan) as _);
             rls.set_fault_plan(Arc::clone(plan));
@@ -530,8 +578,14 @@ impl Grid {
     /// Execute a query as the client: through the first Clarens server's
     /// Data Access Service, with full wire + dispatch costing.
     pub fn query(&self, sql: &str) -> Result<GridQuery> {
+        self.query_as("default", sql)
+    }
+
+    /// [`Grid::query`] with an explicit tenant label, exercising the
+    /// mediator's admission front door when one is configured.
+    pub fn query_as(&self, tenant: &str, sql: &str) -> Result<GridQuery> {
         let das = &self.services[0];
-        let t = das.query(sql)?;
+        let t = das.query_as(tenant, sql)?;
         let QueryOutcome { result, stats } = t.value;
         let params = CostParams::paper_2005();
         let link = self.topology.link("client", self.servers[0].host());

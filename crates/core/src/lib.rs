@@ -37,7 +37,11 @@
 //! - [`resilience`] — the branch supervision loop (deadlines, retry with
 //!   backoff, replica failover, circuit breakers, hedged requests,
 //!   graceful degradation) that every scatter branch runs through.
+//! - [`admission`] — the bounded, tenant-fair admission queue in front of
+//!   the parallel executor (DESIGN.md §4.11): backpressure with a typed
+//!   error instead of an overloaded mediator.
 
+pub mod admission;
 pub mod decompose;
 pub mod error;
 pub mod federate;
@@ -49,6 +53,7 @@ pub mod resilience;
 pub mod service;
 pub mod stats;
 
+pub use admission::{Admission, AdmissionConfig};
 pub use error::CoreError;
 pub use grid::{Grid, GridBuilder};
 pub use placement::ReplicaPolicy;

@@ -38,6 +38,10 @@ pub fn stats_to_wire(stats: &QueryStats) -> WireValue {
             stats.breaker_rejections,
             stats.batches as usize,
             stats.rows_materialized as usize,
+            stats.exec_workers as usize,
+            stats.exec_morsels as usize,
+            stats.queue_depth as usize,
+            stats.queue_wait_us as usize,
         ]
         .into_iter()
         .map(|n| WireValue::Int(n as i64))
@@ -69,6 +73,12 @@ pub fn wire_to_stats(v: &WireValue) -> QueryStats {
     out.breaker_rejections = get(8);
     out.batches = get(9) as u64;
     out.rows_materialized = get(10) as u64;
+    // Positions 11+ arrived with the parallel executor; a peer predating it
+    // sends a shorter list and these zero-fill.
+    out.exec_workers = get(11) as u64;
+    out.exec_morsels = get(12) as u64;
+    out.queue_depth = get(13) as u64;
+    out.queue_wait_us = get(14) as u64;
     out
 }
 
@@ -167,6 +177,10 @@ mod tests {
             breaker_rejections: 6,
             batches: 12,
             rows_materialized: 90,
+            exec_workers: 4,
+            exec_morsels: 25,
+            queue_depth: 3,
+            queue_wait_us: 740,
             ..Default::default()
         };
         let back = wire_to_stats(&stats_to_wire(&s));
@@ -181,6 +195,10 @@ mod tests {
         assert_eq!(back.breaker_rejections, 6);
         assert_eq!(back.batches, 12);
         assert_eq!(back.rows_materialized, 90);
+        assert_eq!(back.exec_workers, 4);
+        assert_eq!(back.exec_morsels, 25);
+        assert_eq!(back.queue_depth, 3);
+        assert_eq!(back.queue_wait_us, 740);
     }
 
     #[test]
@@ -190,7 +208,19 @@ mod tests {
         assert_eq!(s.connections_opened, 7);
         assert_eq!(s.pooled_hits, 2);
         assert_eq!(s.retries, 0);
+        assert_eq!(s.exec_workers, 0);
+        assert_eq!(s.exec_morsels, 0);
+        assert_eq!(s.queue_wait_us, 0);
         assert_eq!(wire_to_stats(&WireValue::Null), QueryStats::default());
+
+        // An 11-position list — exactly what a pre-parallelism peer sends —
+        // must decode with the new fields zero-filled.
+        let pre_parallel = WireValue::List((0..11).map(|i| WireValue::Int(i + 1)).collect());
+        let s = wire_to_stats(&pre_parallel);
+        assert_eq!(s.batches, 10);
+        assert_eq!(s.rows_materialized, 11);
+        assert_eq!(s.exec_workers, 0);
+        assert_eq!(s.queue_depth, 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The Data Access Service — the mediator the paper builds.
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::decompose::{self, Home, QueryPlan, TableResolver};
 use crate::error::CoreError;
 use crate::federate::{self, Partial};
@@ -25,7 +26,7 @@ use gridfed_sqlkit::exec::{execute_plan_metered, DatabaseProvider};
 use gridfed_sqlkit::parser::{parse, parse_select};
 use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
 use gridfed_sqlkit::render::{render_select, NeutralStyle};
-use gridfed_sqlkit::ResultSet;
+use gridfed_sqlkit::{with_exec_config, ExecConfig, ResultSet};
 use gridfed_storage::{normalize_ident, ColumnDef, DataType, Database, Row, Schema, Value};
 use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
 use gridfed_warehouse::{read_all_mart_meta, MartReport, RefreshKind};
@@ -35,6 +36,7 @@ use gridfed_xspec::model::UpperEntry;
 use gridfed_xspec::tracker::{SchemaTracker, TrackOutcome};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How sub-query branches are dispatched.
@@ -205,6 +207,17 @@ pub struct DataAccessService {
     /// tables. Disabled by default; the query path then pays one relaxed
     /// atomic load.
     obs: Arc<Observability>,
+    /// Worker threads per parallel operator in the mediator-side executor
+    /// (DESIGN.md §4.11). 1 = the sequential PR 6 executor, bit for bit.
+    exec_workers: AtomicUsize,
+    /// Rows per `ExecMetrics::batches` accounting window.
+    exec_batch_rows: AtomicUsize,
+    /// Rows per parallel morsel (also the sequential-fallback threshold).
+    exec_morsel_rows: AtomicUsize,
+    /// Front-door admission queue. `None` = no concurrency limit (the
+    /// pre-PR 7 behaviour). Applied only at the client-facing entry
+    /// points, never on mediator-to-mediator `query_federated` hops.
+    admission: Mutex<Option<Arc<Admission>>>,
 }
 
 /// Normalized table name → database → (version, refreshed_us).
@@ -242,6 +255,10 @@ impl DataAccessService {
             mart_versions: RwLock::new(HashMap::new()),
             creds: ("grid".to_string(), "grid".to_string()),
             obs: Observability::new(),
+            exec_workers: AtomicUsize::new(1),
+            exec_batch_rows: AtomicUsize::new(ExecConfig::default().batch_rows),
+            exec_morsel_rows: AtomicUsize::new(ExecConfig::default().morsel_rows),
+            admission: Mutex::new(None),
         }
     }
 
@@ -306,6 +323,52 @@ impl DataAccessService {
     /// so back-to-back queries see virtual time pass.
     pub fn clock(&self) -> Arc<VirtualClock> {
         Arc::clone(&self.clock.read())
+    }
+
+    /// Set the worker-pool width for mediator-side plan execution
+    /// (clamped to at least 1; 1 = sequential).
+    pub fn set_parallelism(&self, workers: usize) {
+        self.exec_workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Set the executor's batch accounting window (rows).
+    pub fn set_batch_rows(&self, rows: usize) {
+        self.exec_batch_rows.store(rows.max(1), Ordering::Relaxed);
+    }
+
+    /// Set the parallel morsel size (rows); relations at or under one
+    /// morsel always execute sequentially.
+    pub fn set_morsel_rows(&self, rows: usize) {
+        self.exec_morsel_rows.store(rows.max(1), Ordering::Relaxed);
+    }
+
+    /// Install (or with `None` remove) the front-door admission queue.
+    pub fn set_admission(&self, config: Option<AdmissionConfig>) {
+        *self.admission.lock() = config.map(|c| Arc::new(Admission::new(c)));
+    }
+
+    /// This mediator's admission queue, when one is configured.
+    pub fn admission(&self) -> Option<Arc<Admission>> {
+        self.admission.lock().clone()
+    }
+
+    /// Build the executor config every plan execution under this query
+    /// should see. The worker-env hook stages the virtual-clock offset:
+    /// captured on the spawning thread, re-installed on each pool worker,
+    /// so fault windows observe the same virtual time regardless of which
+    /// thread evaluates a morsel.
+    fn exec_config(&self) -> ExecConfig {
+        let workers = self.exec_workers.load(Ordering::Relaxed).max(1);
+        let mut cfg = ExecConfig::with_workers(workers);
+        cfg.batch_rows = self.exec_batch_rows.load(Ordering::Relaxed).max(1);
+        cfg.morsel_rows = self.exec_morsel_rows.load(Ordering::Relaxed).max(1);
+        if workers > 1 {
+            cfg.worker_env = Some(Arc::new(|| {
+                let offset = VirtualClock::thread_offset();
+                Box::new(move || VirtualClock::install_thread_offset(offset))
+            }));
+        }
+        cfg
     }
 
     /// Enforce the per-query memory guard.
@@ -758,14 +821,66 @@ impl DataAccessService {
     /// `gridfed_monitor.*` virtual tables answer from this mediator's own
     /// observability state, and everything else is a federated SELECT.
     pub fn query(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
-        self.query_entry(sql, None).map(|ex| ex.outcome)
+        self.query_as("default", sql)
+    }
+
+    /// [`DataAccessService::query`] with an explicit tenant label — the
+    /// client-facing **front door**. When an admission queue is configured
+    /// ([`DataAccessService::set_admission`]) the query first acquires an
+    /// execution slot, waiting in the tenant-fair bounded queue; a full
+    /// queue is a typed [`CoreError::AdmissionFull`], never a silent drop.
+    /// Mediator-to-mediator `query_federated` hops bypass admission (an
+    /// internal hop waiting on a slot its caller holds can deadlock a
+    /// mediator cycle).
+    pub fn query_as(&self, tenant: &str, sql: &str) -> Result<Timed<QueryOutcome>> {
+        let Some(admission) = self.admission() else {
+            return self.query_entry(sql, None).map(|ex| ex.outcome);
+        };
+        let obs = self.observability();
+        let (guard, adm) = match admission.acquire(tenant) {
+            Ok(entry) => entry,
+            Err((queued, limit)) => {
+                if obs.enabled() {
+                    obs.metrics.inc("admission_rejected", &self.url, 1);
+                }
+                return Err(CoreError::AdmissionFull {
+                    tenant: tenant.to_string(),
+                    queued,
+                    limit,
+                });
+            }
+        };
+        if obs.enabled() {
+            if adm.queue_depth > 0 {
+                obs.metrics.inc("admission_queued", &self.url, 1);
+            }
+            obs.metrics
+                .observe_us("queue_wait_us", &self.url, adm.wait_us);
+            obs.metrics
+                .observe_us("queue_depth", &self.url, adm.queue_depth);
+        }
+        let result = self.query_entry(sql, None);
+        drop(guard);
+        result.map(|ex| {
+            let mut timed = ex.outcome;
+            timed.value.stats.queue_depth = adm.queue_depth;
+            timed.value.stats.queue_wait_us = adm.wait_us;
+            timed
+        })
     }
 
     /// Full entry point: [`DataAccessService::query`] plus the recorded
     /// trace handle, for the RPC layer to ship spans back to a remote
     /// caller. `origin` is the caller's trace context when this query is
-    /// one hop of a remote mediator's federated query.
+    /// one hop of a remote mediator's federated query. Installs the
+    /// mediator's executor config scopewise, so every nested plan
+    /// execution — residual integration, monitor queries, EXPLAIN
+    /// ANALYZE — sees the same parallelism knobs.
     fn query_entry(&self, sql: &str, origin: Option<TraceContext>) -> Result<Executed> {
+        with_exec_config(self.exec_config(), || self.query_entry_inner(sql, origin))
+    }
+
+    fn query_entry_inner(&self, sql: &str, origin: Option<TraceContext>) -> Result<Executed> {
         let trimmed = sql.trim_start();
         if trimmed
             .get(..7)
@@ -1079,7 +1194,7 @@ impl DataAccessService {
             at += scatter_dur;
         }
         if bd.integrate > Cost::ZERO {
-            tb.span(
+            let integrate = tb.span(
                 Some(root),
                 "integrate",
                 SpanKind::Phase,
@@ -1087,6 +1202,24 @@ impl DataAccessService {
                 at,
                 bd.integrate,
             );
+            // A pool-parallel integration is parallel-composed: mark the
+            // phase and give it one contained child per worker, so
+            // `Trace::check_composition` asserts containment (not tiling)
+            // under it, mirroring the scatter phase.
+            if stats.exec_workers > 1 {
+                tb.mark_parallel(integrate);
+                for w in 0..stats.exec_workers {
+                    let worker = tb.span(
+                        Some(integrate),
+                        format!("worker-{w}"),
+                        SpanKind::Phase,
+                        &self.url,
+                        at,
+                        bd.integrate,
+                    );
+                    tb.mark_parallel(worker);
+                }
+            }
             at += bd.integrate;
         }
         if bd.serialize > Cost::ZERO {
@@ -1136,6 +1269,12 @@ impl DataAccessService {
         }
         if stats.rows_materialized > 0 {
             m.inc("rows_materialized", &self.url, stats.rows_materialized);
+        }
+        if stats.exec_morsels > 0 {
+            m.inc("exec_morsels", &self.url, stats.exec_morsels);
+        }
+        if stats.exec_workers > 1 {
+            m.observe_us("exec_workers", &self.url, stats.exec_workers);
         }
         if stats.cache_evictions > 0 {
             m.inc("cache_evictions", &self.url, stats.cache_evictions as u64);
@@ -1705,12 +1844,25 @@ impl DataAccessService {
             }
         };
 
+        // Scatter-branch threads start with neither this thread's executor
+        // config nor its virtual-clock offset (both are thread-locals):
+        // capture both here and re-install inside each spawned branch, so a
+        // branch's plan executions and fault windows behave exactly as if
+        // they ran on the dispatching thread.
+        let branch_cfg = gridfed_sqlkit::current_exec_config();
+        let clock_offset = VirtualClock::thread_offset();
         let outcomes: Vec<Result<BranchReport>> = match self.dispatch {
             DispatchMode::Parallel => std::thread::scope(|scope| {
                 let handles: Vec<_> = specs
                     .iter()
                     .zip(&labels)
-                    .map(|(spec, label)| scope.spawn(move || run_spec(spec, label)))
+                    .map(|(spec, label)| {
+                        let cfg = branch_cfg.clone();
+                        scope.spawn(move || {
+                            VirtualClock::install_thread_offset(clock_offset);
+                            with_exec_config(cfg, || run_spec(spec, label))
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -1791,6 +1943,8 @@ impl DataAccessService {
         stats.eval += Cost::from_secs_f64(metrics.eval.as_secs_f64());
         stats.batches += metrics.batches;
         stats.rows_materialized += metrics.rows_materialized;
+        stats.exec_workers = stats.exec_workers.max(metrics.workers);
+        stats.exec_morsels += metrics.morsels;
         stats.selectivity = if metrics.rows_scanned == 0 {
             1.0
         } else {
@@ -2048,6 +2202,8 @@ impl DataAccessService {
             batches: em.batches,
             rows_materialized: em.rows_materialized,
             selectivity: em.selectivity(),
+            exec_workers: em.workers,
+            exec_morsels: em.morsels,
             ..Default::default()
         };
         let cost = Cost::from_micros(500)
@@ -2872,5 +3028,80 @@ mod tests {
             )
             .expect("rpc explain");
         assert!(out.value.as_str().expect("string plan").contains("plan:"));
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_and_traces_workers() {
+        let sql = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                   JOIN run_summary s ON e.run_id = s.run_id WHERE e.e_id < 50";
+        let seq = GridBuilder::new().with_seed(41).build().expect("grid");
+        let par = GridBuilder::new()
+            .with_seed(41)
+            .with_parallelism(4)
+            .with_morsel_rows(16)
+            .with_observability(true)
+            .build()
+            .expect("grid");
+        let s = seq.service(0).query(sql).expect("seq").value;
+        let p = par.service(0).query(sql).expect("par").value;
+        assert_eq!(s.result, p.result, "parallel result must be identical");
+        assert_eq!(s.stats.exec_workers, 0, "default grid stays sequential");
+        assert!(p.stats.exec_workers > 1, "got {}", p.stats.exec_workers);
+        assert!(p.stats.exec_morsels > 1, "got {}", p.stats.exec_morsels);
+
+        // The integrate phase is parallel-composed with one contained span
+        // per worker, and the trace still composes.
+        let traces = par.service(0).observability().traces.snapshot();
+        let t = traces.last().expect("trace recorded");
+        t.check_composition(5).expect("composition holds");
+        let workers: Vec<&Span> = t
+            .spans
+            .iter()
+            .filter(|sp| sp.name.starts_with("worker-"))
+            .collect();
+        assert_eq!(workers.len(), p.stats.exec_workers as usize);
+        assert!(workers.iter().all(|sp| sp.parallel));
+    }
+
+    #[test]
+    fn admission_front_door_admits_and_rejects_typed() {
+        let grid = GridBuilder::new()
+            .with_seed(43)
+            .with_admission(AdmissionConfig {
+                slots: 1,
+                queue_limit: 0,
+            })
+            .with_observability(true)
+            .build()
+            .expect("grid");
+        let das = grid.service(0);
+        let sql = "SELECT e_id FROM ntuple_events WHERE e_id < 3";
+        let ok = das.query_as("cms", sql).expect("admitted");
+        assert_eq!(ok.value.stats.queue_depth, 0);
+
+        // Hold the only slot: the front door refuses with a typed error
+        // naming the tenant and the bound — never a silent drop.
+        let admission = das.admission().expect("configured");
+        let (guard, _) = admission.acquire("hold").expect("slot");
+        let err = das.query_as("cms", sql).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CoreError::AdmissionFull { tenant, queued: 0, limit: 0 } if tenant == "cms"
+            ),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("admission queue full"));
+        drop(guard);
+        assert!(das.query_as("cms", sql).is_ok(), "slot freed");
+        // Rejections are visible on the monitor surface.
+        let rejected = das
+            .query("SELECT value FROM gridfed_monitor.metrics WHERE family = 'admission_rejected'")
+            .expect("monitor");
+        assert_eq!(
+            rejected.value.result.rows[0].values()[0],
+            Value::Int(1),
+            "one rejection counted"
+        );
     }
 }

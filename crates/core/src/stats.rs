@@ -55,6 +55,18 @@ pub struct QueryStats {
     /// mediator-side executor, in `[0, 1]`; 1.0 when nothing was scanned,
     /// 0.0 until an execution has reported.
     pub selectivity: f64,
+    /// Widest worker pool any parallel operator used while executing this
+    /// query's mediator-side plans (0 or 1 = sequential execution).
+    pub exec_workers: u64,
+    /// Parallel work items (morsels, hash partitions, gather columns,
+    /// aggregate groups) dispatched to the worker pool.
+    pub exec_morsels: u64,
+    /// Admission-queue depth observed when this query was enqueued at the
+    /// front door (0 = admitted immediately or admission disabled).
+    pub queue_depth: u64,
+    /// Microseconds this query waited in the admission queue before
+    /// execution began (wall-clock: the queue blocks a real thread).
+    pub queue_wait_us: u64,
     /// Failed branch attempts that were retried (after backoff).
     pub retries: usize,
     /// Branches re-routed to another replica after retry exhaustion.
@@ -106,6 +118,10 @@ impl QueryStats {
         self.breaker_rejections += remote.breaker_rejections;
         self.batches += remote.batches;
         self.rows_materialized += remote.rows_materialized;
+        self.exec_workers = self.exec_workers.max(remote.exec_workers);
+        self.exec_morsels += remote.exec_morsels;
+        // queue_depth / queue_wait_us stay local: admission happens at the
+        // client-facing front door, not on mediator-to-mediator hops.
     }
 }
 

@@ -76,6 +76,25 @@ impl VirtualClock {
         }));
         f()
     }
+
+    /// The calling thread's current scoped offset. Thread-locals do not
+    /// cross `thread::spawn`, so a worker pool that executes part of a
+    /// query on helper threads must capture the spawning thread's offset
+    /// with this and re-enter it via
+    /// [`VirtualClock::install_thread_offset`] — otherwise workers would
+    /// observe `base + 0` and fault-plan determinism would depend on which
+    /// thread a morsel landed on.
+    pub fn thread_offset() -> Cost {
+        Cost::from_micros(OFFSET.with(Cell::get))
+    }
+
+    /// Install a captured offset on the calling thread (a pool worker).
+    /// Workers are scoped to one parallel operator and exit afterwards, so
+    /// no restore is needed; long-lived threads should prefer
+    /// [`VirtualClock::with_offset`].
+    pub fn install_thread_offset(offset: Cost) {
+        OFFSET.with(|c| c.set(offset.as_micros()));
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +137,28 @@ mod tests {
             assert_eq!(other, Cost::from_millis(100));
             assert_eq!(c.now(), Cost::from_millis(150));
         });
+    }
+
+    #[test]
+    fn captured_offset_reenters_on_a_worker_thread() {
+        let c = std::sync::Arc::new(VirtualClock::new());
+        c.advance(Cost::from_millis(100));
+        c.with_offset(Cost::from_millis(50), || {
+            let captured = VirtualClock::thread_offset();
+            assert_eq!(captured, Cost::from_millis(50));
+            let c2 = std::sync::Arc::clone(&c);
+            let worker = std::thread::spawn(move || {
+                VirtualClock::install_thread_offset(captured);
+                c2.now()
+            })
+            .join()
+            .unwrap();
+            // the worker sees the same virtual "now" as its spawner
+            assert_eq!(worker, c.now());
+            assert_eq!(worker, Cost::from_millis(150));
+        });
+        // back outside the scope, the offset is zero again
+        assert_eq!(VirtualClock::thread_offset(), Cost::ZERO);
     }
 
     #[test]

@@ -287,6 +287,13 @@ pub fn explain_analyze_select(stmt: &SelectStmt, provider: &dyn TableProvider) -
         metrics.rows_materialized,
         metrics.selectivity()
     );
+    if metrics.workers > 1 {
+        let _ = writeln!(
+            out,
+            "parallel: workers={}  morsels={}",
+            metrics.workers, metrics.morsels
+        );
+    }
     Ok(out)
 }
 
@@ -381,6 +388,21 @@ mod tests {
         assert!(text.contains("act rows="), "{text}");
         assert!(text.contains("time="), "{text}");
         assert!(text.contains("rows returned: 20"), "{text}");
+    }
+
+    #[test]
+    fn analyze_footer_reports_parallelism_only_when_used() {
+        let db = db();
+        let provider = DatabaseProvider(&db);
+        let stmt = parse_select("SELECT id FROM events").unwrap();
+        let seq = explain_analyze_select(&stmt, &provider).unwrap();
+        assert!(!seq.contains("parallel:"), "{seq}");
+        let mut cfg = crate::par::ExecConfig::with_workers(3);
+        cfg.morsel_rows = 8;
+        let par =
+            crate::par::with_exec_config(cfg, || explain_analyze_select(&stmt, &provider).unwrap());
+        assert!(par.contains("parallel: workers="), "{par}");
+        assert!(par.contains("morsels="), "{par}");
     }
 
     #[test]

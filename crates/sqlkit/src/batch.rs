@@ -41,14 +41,17 @@ use crate::Result;
 use gridfed_storage::{ColumnChunk, Value};
 use std::cmp::Ordering;
 
-/// Rows per accounting batch: selection vectors are processed in windows of
-/// this many entries.
-pub const BATCH_ROWS: usize = 1024;
+/// Default rows per accounting batch: selection vectors are processed in
+/// windows of this many entries. The effective window is configurable per
+/// query via [`crate::par::ExecConfig::batch_rows`] (installed scopewise
+/// with [`crate::par::with_exec_config`]); this constant is the default.
+pub const BATCH_ROWS: usize = crate::par::DEFAULT_BATCH_ROWS;
 
-/// Number of [`BATCH_ROWS`]-sized windows needed to cover `rows` selection
-/// entries (zero for an empty selection).
+/// Number of batch windows (of the currently configured size, default
+/// [`BATCH_ROWS`]) needed to cover `rows` selection entries (zero for an
+/// empty selection).
 pub fn n_batches(rows: usize) -> u64 {
-    rows.div_ceil(BATCH_ROWS) as u64
+    rows.div_ceil(crate::par::batch_rows().max(1)) as u64
 }
 
 /// One column of an intermediate relation.

@@ -24,6 +24,15 @@
 //! spent in that lowering is accumulated in [`ExecMetrics`] for the
 //! mediator's compile/eval cost split, alongside batch and row counters for
 //! the monitoring surface.
+//!
+//! When the installed [`crate::par::ExecConfig`] asks for more than one
+//! worker, the big per-row loops go **morsel-parallel**: scan/filter
+//! refinement, hash-join build/probe, aggregate key evaluation and
+//! per-group computation, and output materialization each split the
+//! selection vector into morsels executed on a scoped worker pool, merging
+//! results in morsel order and reducing deferred per-row errors by global
+//! minimum position — so parallel execution is value- and
+//! error-order-identical to the sequential pass (see `crate::par`).
 
 use crate::ast::{DeleteStmt, Expr, JoinKind, OrderItem, SelectItem, SelectStmt, UpdateStmt};
 use crate::batch::{apply_filter, n_batches, take_first_error, ColData, ColRelation};
@@ -31,6 +40,7 @@ use crate::compile::{compile, compile_group, CompiledAggregate, CompiledExpr, Ke
 use crate::error::SqlError;
 use crate::expr::{AggState, Bindings};
 use crate::optimize::{optimize, PlanCatalog};
+use crate::par::{self, ExecConfig};
 use crate::plan::{build_plan, LogicalPlan};
 use crate::render::render_expr_neutral;
 use crate::result::ResultSet;
@@ -44,7 +54,8 @@ use std::time::{Duration, Instant};
 pub struct ExecMetrics {
     /// Total time spent lowering expressions to [`CompiledExpr`] form.
     pub compile: Duration,
-    /// 1024-row batch windows processed across all vectorized operators.
+    /// Batch windows (configured size, default 1024 rows) processed across
+    /// all vectorized operators.
     pub batches: u64,
     /// Rows entering scans (live storage positions before any filter).
     pub rows_scanned: u64,
@@ -53,6 +64,13 @@ pub struct ExecMetrics {
     /// Rows materialized from columns into output `Vec<Value>` form (the
     /// late-materialization boundary).
     pub rows_materialized: u64,
+    /// Parallel work items (morsels, hash partitions, gather columns,
+    /// aggregate groups) dispatched to the worker pool. Zero when every
+    /// operator ran sequentially.
+    pub morsels: u64,
+    /// Widest worker pool any parallel operator in this plan actually used.
+    /// Zero when execution was entirely sequential.
+    pub workers: u64,
 }
 
 impl ExecMetrics {
@@ -227,29 +245,44 @@ fn execute_node_inner(
             needed.sort_unstable();
             needed.dedup();
             needed.retain(|&p| p < arity);
-            let mut scratch = vec![Value::Null; arity];
-            let mut rows = Vec::with_capacity(rel.sel.len());
-            for &s in &rel.sel {
-                let p = s as usize;
-                for &c in &needed {
-                    scratch[c] = rel.cols[c].value_at(p);
-                }
-                let mut values = Vec::with_capacity(plans.len() + keys.len());
-                for (_, plan) in &plans {
-                    match plan {
-                        ItemPlan::Position(q) => values.push(rel.cols[*q].value_at(p)),
-                        ItemPlan::Expr(e) => values.push(e.eval(&scratch)?),
+            let cfg = par::current_exec_config();
+            let rows = if par::should_parallelize(&cfg, rel.sel.len()) {
+                par_materialize_project(
+                    &cfg,
+                    &rel,
+                    &plans,
+                    &key_plans,
+                    &needed,
+                    arity,
+                    keys.len(),
+                    m,
+                )?
+            } else {
+                let mut scratch = vec![Value::Null; arity];
+                let mut rows = Vec::with_capacity(rel.sel.len());
+                for &s in &rel.sel {
+                    let p = s as usize;
+                    for &c in &needed {
+                        scratch[c] = rel.cols[c].value_at(p);
                     }
+                    let mut values = Vec::with_capacity(plans.len() + keys.len());
+                    for (_, plan) in &plans {
+                        match plan {
+                            ItemPlan::Position(q) => values.push(rel.cols[*q].value_at(p)),
+                            ItemPlan::Expr(e) => values.push(e.eval(&scratch)?),
+                        }
+                    }
+                    for kp in &key_plans {
+                        let key = match kp {
+                            SortKeyPlan::Output(q) => values[*q].clone(),
+                            SortKeyPlan::Input(e) => e.eval(&scratch)?,
+                        };
+                        values.push(key);
+                    }
+                    rows.push(Row::new(values));
                 }
-                for kp in &key_plans {
-                    let key = match kp {
-                        SortKeyPlan::Output(q) => values[*q].clone(),
-                        SortKeyPlan::Input(e) => e.eval(&scratch)?,
-                    };
-                    values.push(key);
-                }
-                rows.push(Row::new(values));
-            }
+                rows
+            };
             m.rows_materialized += rows.len() as u64;
             m.batches += n_batches(rel.sel.len());
             Ok(ResultSet { columns, rows })
@@ -364,11 +397,28 @@ fn execute_node_inner(
             let columns = (0..rel.bindings.arity())
                 .map(|i| rel.bindings.name_at(i).expect("pos in range").to_string())
                 .collect();
-            let mut rows = Vec::with_capacity(rel.sel.len());
-            for &s in &rel.sel {
-                let p = s as usize;
-                rows.push(Row::new(rel.cols.iter().map(|c| c.value_at(p)).collect()));
-            }
+            let cfg = par::current_exec_config();
+            let rows: Vec<Row> = if par::should_parallelize(&cfg, rel.sel.len()) {
+                let chunks = par::morsels(&cfg, &rel.sel);
+                note_parallel(m, &cfg, chunks.len());
+                let parts = par::parallel_map(&cfg, chunks, |_, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&s| {
+                            let p = s as usize;
+                            Row::new(rel.cols.iter().map(|c| c.value_at(p)).collect())
+                        })
+                        .collect::<Vec<Row>>()
+                });
+                parts.into_iter().flatten().collect()
+            } else {
+                let mut rows = Vec::with_capacity(rel.sel.len());
+                for &s in &rel.sel {
+                    let p = s as usize;
+                    rows.push(Row::new(rel.cols.iter().map(|c| c.value_at(p)).collect()));
+                }
+                rows
+            };
             m.rows_materialized += rows.len() as u64;
             m.batches += n_batches(rel.sel.len());
             Ok(ResultSet { columns, rows })
@@ -502,8 +552,13 @@ fn eval_relational_inner<'p>(
             // deferred per row and resolved to the row-major first error.
             let arity = names.len();
             let mut errors = Vec::new();
-            for f in &compiled {
-                apply_filter(f, &cols, arity, &mut sel, &mut errors, &mut m.batches);
+            let cfg = par::current_exec_config();
+            if !compiled.is_empty() && par::should_parallelize(&cfg, sel.len()) {
+                par_apply_filters(&cfg, &compiled, &cols, arity, &mut sel, &mut errors, m);
+            } else {
+                for f in &compiled {
+                    apply_filter(f, &cols, arity, &mut sel, &mut errors, &mut m.batches);
+                }
             }
             take_first_error(errors)?;
             m.rows_selected += sel.len() as u64;
@@ -543,14 +598,27 @@ fn eval_relational_inner<'p>(
             let compiled = timed_compile(m, || compile(predicate, &rel.bindings))?;
             let arity = rel.bindings.arity();
             let mut errors = Vec::new();
-            apply_filter(
-                &compiled,
-                &rel.cols,
-                arity,
-                &mut rel.sel,
-                &mut errors,
-                &mut m.batches,
-            );
+            let cfg = par::current_exec_config();
+            if par::should_parallelize(&cfg, rel.sel.len()) {
+                par_apply_filters(
+                    &cfg,
+                    std::slice::from_ref(&compiled),
+                    &rel.cols,
+                    arity,
+                    &mut rel.sel,
+                    &mut errors,
+                    m,
+                );
+            } else {
+                apply_filter(
+                    &compiled,
+                    &rel.cols,
+                    arity,
+                    &mut rel.sel,
+                    &mut errors,
+                    &mut m.batches,
+                );
+            }
             take_first_error(errors)?;
             m.rows_selected += rel.sel.len() as u64;
             Ok(rel)
@@ -707,6 +775,213 @@ pub(crate) fn equi_join_keys(
     None
 }
 
+/// Record a parallel dispatch in the metrics: `n` work items on the pool.
+fn note_parallel(m: &mut ExecMetrics, cfg: &ExecConfig, n: usize) {
+    m.morsels += n as u64;
+    m.workers = m.workers.max(cfg.workers.min(n) as u64);
+}
+
+/// Apply all `filters` to `sel` morsel-parallel: each morsel refines its
+/// own slice of the selection through the full filter chain, and the
+/// refined slices concatenate in morsel order (positions stay ascending,
+/// exactly the sequential refinement). The set of `(filter, row)`
+/// evaluations is identical to the sequential pass — a later filter only
+/// ever sees rows that survived the earlier ones in the same morsel — so
+/// the deferred `(position, error)` records are the same set, and
+/// [`take_first_error`]'s minimum-position reduction reports exactly the
+/// row-major first error the interpreter would.
+fn par_apply_filters(
+    cfg: &ExecConfig,
+    filters: &[CompiledExpr],
+    cols: &[ColData<'_>],
+    arity: usize,
+    sel: &mut Vec<u32>,
+    errors: &mut Vec<(u32, SqlError)>,
+    m: &mut ExecMetrics,
+) {
+    let chunks = par::morsels(cfg, sel);
+    note_parallel(m, cfg, chunks.len());
+    let results = par::parallel_map(cfg, chunks, |_, chunk| {
+        let mut local_sel = chunk.to_vec();
+        let mut local_errors = Vec::new();
+        let mut local_batches = 0u64;
+        for f in filters {
+            apply_filter(
+                f,
+                cols,
+                arity,
+                &mut local_sel,
+                &mut local_errors,
+                &mut local_batches,
+            );
+        }
+        (local_sel, local_errors, local_batches)
+    });
+    let mut merged = Vec::with_capacity(sel.len());
+    for (local_sel, local_errors, local_batches) in results {
+        merged.extend(local_sel);
+        errors.extend(local_errors);
+        m.batches += local_batches;
+    }
+    *sel = merged;
+}
+
+/// Morsel-parallel late materialization for a `Project` node. Each morsel
+/// materializes its own rows with a private scratch row; morsel-order
+/// concatenation keeps output order, and the first `Err` in morsel order
+/// is the error of the earliest failing row (earlier morsels completed
+/// without one) — the same abort the sequential loop performs.
+#[allow(clippy::too_many_arguments)]
+fn par_materialize_project(
+    cfg: &ExecConfig,
+    rel: &ColRelation<'_>,
+    plans: &[(String, ItemPlan)],
+    key_plans: &[SortKeyPlan],
+    needed: &[usize],
+    arity: usize,
+    n_keys: usize,
+    m: &mut ExecMetrics,
+) -> Result<Vec<Row>> {
+    let chunks = par::morsels(cfg, &rel.sel);
+    note_parallel(m, cfg, chunks.len());
+    let results = par::parallel_map(cfg, chunks, |_, chunk| -> Result<Vec<Row>> {
+        let mut scratch = vec![Value::Null; arity];
+        let mut rows = Vec::with_capacity(chunk.len());
+        for &s in chunk {
+            let p = s as usize;
+            for &c in needed {
+                scratch[c] = rel.cols[c].value_at(p);
+            }
+            let mut values = Vec::with_capacity(plans.len() + n_keys);
+            for (_, plan) in plans {
+                match plan {
+                    ItemPlan::Position(q) => values.push(rel.cols[*q].value_at(p)),
+                    ItemPlan::Expr(e) => values.push(e.eval(&scratch)?),
+                }
+            }
+            for kp in key_plans {
+                let key = match kp {
+                    SortKeyPlan::Output(q) => values[*q].clone(),
+                    SortKeyPlan::Input(e) => e.eval(&scratch)?,
+                };
+                values.push(key);
+            }
+            rows.push(Row::new(values));
+        }
+        Ok(rows)
+    });
+    let mut out = Vec::with_capacity(rel.sel.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Deterministic partition assignment for the parallel hash-join build: a
+/// fixed-seed `DefaultHasher`, so the same key lands in the same partition
+/// regardless of thread scheduling or process hash randomization. Equal
+/// [`KeyValue`]s hash equal (numeric INT/FLOAT folding included), so a
+/// probe key always finds the partition its matches were built into.
+fn partition_of(k: &KeyValue<'_>, parts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() as usize) % parts.max(1)
+}
+
+/// Hash join with a partition-parallel build and a morsel-parallel probe.
+///
+/// Build: each build-side morsel scatters its non-NULL keys into
+/// `cfg.workers` partitions by [`partition_of`]; each partition then folds
+/// its per-morsel slices **in morsel order**, so every key's match list
+/// stays in `right.sel` order — bucket iteration during the probe emits
+/// matches exactly as the sequential single-map build would. Probe: each
+/// probe-side morsel emits its own `(left, right)` index pairs;
+/// concatenating in morsel order reproduces the sequential probe order, so
+/// the joined output is byte-identical to the single-threaded join.
+fn par_hash_join(
+    cfg: &ExecConfig,
+    left: &ColRelation<'_>,
+    right: &ColRelation<'_>,
+    lk: usize,
+    rk: usize,
+    kind: JoinKind,
+    m: &mut ExecMetrics,
+) -> (Vec<u32>, Vec<Option<u32>>) {
+    let parts = cfg.workers.max(1);
+    let partitions: Vec<HashMap<KeyValue<'_>, Vec<u32>>> =
+        if par::should_parallelize(cfg, right.sel.len()) {
+            let chunks = par::morsels(cfg, &right.sel);
+            note_parallel(m, cfg, chunks.len());
+            let scattered: Vec<Vec<Vec<u32>>> = par::parallel_map(cfg, chunks, |_, chunk| {
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for &rp in chunk {
+                    if let Some(k) = right.cols[rk].key_at(rp as usize) {
+                        buckets[partition_of(&k, parts)].push(rp);
+                    }
+                }
+                buckets
+            });
+            note_parallel(m, cfg, parts);
+            par::parallel_map(cfg, (0..parts).collect(), |_, pi| {
+                let mut map: HashMap<KeyValue<'_>, Vec<u32>> = HashMap::new();
+                for morsel in &scattered {
+                    for &rp in &morsel[pi] {
+                        let k = right.cols[rk]
+                            .key_at(rp as usize)
+                            .expect("scattered keys are non-null");
+                        map.entry(k).or_default().push(rp);
+                    }
+                }
+                map
+            })
+        } else {
+            let mut map: HashMap<KeyValue<'_>, Vec<u32>> = HashMap::new();
+            for &rp in &right.sel {
+                if let Some(k) = right.cols[rk].key_at(rp as usize) {
+                    map.entry(k).or_default().push(rp);
+                }
+            }
+            vec![map]
+        };
+    let single = partitions.len() == 1;
+    let chunks = par::morsels(cfg, &left.sel);
+    note_parallel(m, cfg, chunks.len());
+    let probed = par::parallel_map(cfg, chunks, |_, chunk| {
+        let mut l: Vec<u32> = Vec::new();
+        let mut r: Vec<Option<u32>> = Vec::new();
+        for &lp in chunk {
+            let mut matched = false;
+            if let Some(k) = left.cols[lk].key_at(lp as usize) {
+                let map = if single {
+                    &partitions[0]
+                } else {
+                    &partitions[partition_of(&k, parts)]
+                };
+                if let Some(ms) = map.get(&k) {
+                    for &rp in ms {
+                        l.push(lp);
+                        r.push(Some(rp));
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                l.push(lp);
+                r.push(None);
+            }
+        }
+        (l, r)
+    });
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    for (l, r) in probed {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
+    (lidx, ridx)
+}
+
 /// Join two columnar relations. The hash path builds and probes on chunk
 /// values directly (dictionary strings are borrowed, never copied), collects
 /// matching index pairs, and gathers output columns once — string columns in
@@ -730,26 +1005,31 @@ fn join_relations<'p>(
     if kind != JoinKind::Cross {
         if let Some(on_expr) = on {
             if let Some((lk, rk)) = equi_join_keys(on_expr, &left.bindings, &right.bindings) {
-                let mut table: HashMap<KeyValue<'_>, Vec<u32>> = HashMap::new();
-                for &rp in &right.sel {
-                    if let Some(k) = right.cols[rk].key_at(rp as usize) {
-                        table.entry(k).or_default().push(rp);
-                    }
-                }
-                for &lp in &left.sel {
-                    let mut matched = false;
-                    if let Some(k) = left.cols[lk].key_at(lp as usize) {
-                        if let Some(ms) = table.get(&k) {
-                            for &rp in ms {
-                                lidx.push(lp);
-                                ridx.push(Some(rp));
-                                matched = true;
-                            }
+                let cfg = par::current_exec_config();
+                if par::should_parallelize(&cfg, left.sel.len()) {
+                    (lidx, ridx) = par_hash_join(&cfg, &left, &right, lk, rk, kind, m);
+                } else {
+                    let mut table: HashMap<KeyValue<'_>, Vec<u32>> = HashMap::new();
+                    for &rp in &right.sel {
+                        if let Some(k) = right.cols[rk].key_at(rp as usize) {
+                            table.entry(k).or_default().push(rp);
                         }
                     }
-                    if !matched && kind == JoinKind::LeftOuter {
-                        lidx.push(lp);
-                        ridx.push(None);
+                    for &lp in &left.sel {
+                        let mut matched = false;
+                        if let Some(k) = left.cols[lk].key_at(lp as usize) {
+                            if let Some(ms) = table.get(&k) {
+                                for &rp in ms {
+                                    lidx.push(lp);
+                                    ridx.push(Some(rp));
+                                    matched = true;
+                                }
+                            }
+                        }
+                        if !matched && kind == JoinKind::LeftOuter {
+                            lidx.push(lp);
+                            ridx.push(None);
+                        }
                     }
                 }
                 joined = true;
@@ -794,13 +1074,30 @@ fn join_relations<'p>(
     }
 
     m.batches += n_batches(left.sel.len()) + n_batches(right.sel.len());
-    let mut cols: Vec<ColData<'p>> = Vec::with_capacity(left.cols.len() + right.cols.len());
-    for c in &left.cols {
-        cols.push(c.gather(&lidx));
-    }
-    for c in &right.cols {
-        cols.push(c.gather_opt(&ridx));
-    }
+    let cfg = par::current_exec_config();
+    let n_cols = left.cols.len() + right.cols.len();
+    let cols: Vec<ColData<'p>> = if par::should_parallelize(&cfg, lidx.len()) && n_cols > 1 {
+        // Gather output columns in parallel — each column's gather is
+        // independent, and item-order collection keeps column order.
+        let n_left = left.cols.len();
+        note_parallel(m, &cfg, n_cols);
+        par::parallel_map(&cfg, (0..n_cols).collect(), |_, i| {
+            if i < n_left {
+                left.cols[i].gather(&lidx)
+            } else {
+                right.cols[i - n_left].gather_opt(&ridx)
+            }
+        })
+    } else {
+        let mut cols = Vec::with_capacity(n_cols);
+        for c in &left.cols {
+            cols.push(c.gather(&lidx));
+        }
+        for c in &right.cols {
+            cols.push(c.gather_opt(&ridx));
+        }
+        cols
+    };
     let sel = (0..lidx.len() as u32).collect();
     Ok(ColRelation {
         bindings,
@@ -966,20 +1263,82 @@ fn aggregate_node(
     key_positions.sort_unstable();
     key_positions.dedup();
     key_positions.retain(|&p| p < arity);
+    let cfg = par::current_exec_config();
     let mut scratch = vec![Value::Null; arity];
-    let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.sel.len());
-    for &s in &rel.sel {
-        for &c in &key_positions {
-            scratch[c] = rel.cols[c].value_at(s as usize);
-        }
-        let mut kv = Vec::with_capacity(group_keys.len());
-        for g in &group_keys {
-            kv.push(g.eval(&scratch)?);
-        }
-        row_keys.push(kv);
-    }
     let mut groups: Vec<Vec<u32>> = Vec::new();
-    {
+    if par::should_parallelize(&cfg, rel.sel.len()) {
+        // Morsel-parallel key evaluation and bucketing: each morsel
+        // evaluates its rows' keys and buckets them locally (returning one
+        // representative key clone per local group), then the locals merge
+        // in morsel order — so global group insertion order is first
+        // occurrence in `sel` order, exactly the sequential bucketing. A
+        // key-evaluation error aborts its morsel at the failing row; the
+        // first erroring morsel in morsel order holds the globally first
+        // failing row, reproducing the sequential abort.
+        let chunks = par::morsels(&cfg, &rel.sel);
+        note_parallel(m, &cfg, chunks.len());
+        type MorselGroups = (Vec<Vec<Value>>, Vec<Vec<u32>>);
+        let results = par::parallel_map(&cfg, chunks, |_, chunk| -> Result<MorselGroups> {
+            let mut scratch = vec![Value::Null; arity];
+            let mut local_keys: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
+            for &s in chunk {
+                for &c in &key_positions {
+                    scratch[c] = rel.cols[c].value_at(s as usize);
+                }
+                let mut kv = Vec::with_capacity(group_keys.len());
+                for g in &group_keys {
+                    kv.push(g.eval(&scratch)?);
+                }
+                local_keys.push(kv);
+            }
+            let mut reps: Vec<usize> = Vec::new();
+            let mut positions: Vec<Vec<u32>> = Vec::new();
+            {
+                let mut index: HashMap<Vec<Option<KeyValue<'_>>>, usize> = HashMap::new();
+                for (i, (&s, kv)) in chunk.iter().zip(&local_keys).enumerate() {
+                    let key = KeyValue::row_key(kv);
+                    match index.get(&key) {
+                        Some(&g) => positions[g].push(s),
+                        None => {
+                            index.insert(key, positions.len());
+                            positions.push(vec![s]);
+                            reps.push(i);
+                        }
+                    }
+                }
+            }
+            let reps = reps.into_iter().map(|i| local_keys[i].clone()).collect();
+            Ok((reps, positions))
+        });
+        let mut parts: Vec<MorselGroups> = Vec::with_capacity(results.len());
+        for r in results {
+            parts.push(r?);
+        }
+        let mut index: HashMap<Vec<Option<KeyValue<'_>>>, usize> = HashMap::new();
+        for (reps, positions) in &parts {
+            for (kv, pos) in reps.iter().zip(positions) {
+                let key = KeyValue::row_key(kv);
+                match index.get(&key) {
+                    Some(&g) => groups[g].extend(pos.iter().copied()),
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push(pos.clone());
+                    }
+                }
+            }
+        }
+    } else {
+        let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.sel.len());
+        for &s in &rel.sel {
+            for &c in &key_positions {
+                scratch[c] = rel.cols[c].value_at(s as usize);
+            }
+            let mut kv = Vec::with_capacity(group_keys.len());
+            for g in &group_keys {
+                kv.push(g.eval(&scratch)?);
+            }
+            row_keys.push(kv);
+        }
         let mut index: HashMap<Vec<Option<KeyValue<'_>>>, usize> = HashMap::new();
         for (&s, kv) in rel.sel.iter().zip(&row_keys) {
             let key = KeyValue::row_key(kv);
@@ -1020,15 +1379,21 @@ fn aggregate_node(
         h.agg_slots(&mut having_slots);
     }
 
-    let mut out = Vec::with_capacity(groups.len());
-    let mut first_scratch = vec![Value::Null; arity];
-    for positions in &groups {
+    // One group's full evaluation: gather its first row, compute HAVING's
+    // aggregate slots and verdict (unknown-is-false), then the remaining
+    // slots and the projected values. `Ok(None)` is a HAVING-filtered
+    // group. Shared by the sequential loop and the parallel per-group map.
+    let n_keys = keys.len();
+    let group_row = |positions: &[u32],
+                     scratch: &mut Vec<Value>,
+                     first_scratch: &mut Vec<Value>|
+     -> Result<Option<Row>> {
         let first_row: Option<&[Value]> = match positions.first() {
             Some(&s) => {
                 for (c, col) in rel.cols.iter().enumerate() {
                     first_scratch[c] = col.value_at(s as usize);
                 }
-                Some(&first_scratch)
+                Some(first_scratch.as_slice())
             }
             None => None,
         };
@@ -1039,7 +1404,7 @@ fn aggregate_node(
         if let Some(h) = &having_expr {
             for &slot in &having_slots {
                 agg_values[slot] =
-                    compute_aggregate(&aggs[slot], positions, rel, &agg_needs[slot], &mut scratch)?;
+                    compute_aggregate(&aggs[slot], positions, rel, &agg_needs[slot], scratch)?;
                 computed[slot] = true;
             }
             let verdict = h.eval(&agg_values, first_row)?;
@@ -1055,21 +1420,47 @@ fn aggregate_node(
                 }
             };
             if !keep {
-                continue;
+                return Ok(None);
             }
         }
         for (slot, agg) in aggs.iter().enumerate() {
             if !computed[slot] {
                 agg_values[slot] =
-                    compute_aggregate(agg, positions, rel, &agg_needs[slot], &mut scratch)?;
+                    compute_aggregate(agg, positions, rel, &agg_needs[slot], scratch)?;
             }
         }
-        let mut values = Vec::with_capacity(items.len() + keys.len());
+        let mut values = Vec::with_capacity(item_exprs.len() + n_keys);
         for ge in &item_exprs {
             values.push(ge.eval(&agg_values, first_row)?);
         }
-        append_group_sort_keys(&mut values, &sort_plans, first_row, keys.len());
-        out.push(Row::new(values));
+        append_group_sort_keys(&mut values, &sort_plans, first_row, n_keys);
+        Ok(Some(Row::new(values)))
+    };
+
+    let mut out = Vec::with_capacity(groups.len());
+    if par::should_parallelize(&cfg, rel.sel.len()) && groups.len() > 1 {
+        // Groups are independent — compute them in parallel with
+        // per-worker scratch rows, then fold results in group insertion
+        // order: output order is unchanged and the first `Err` in group
+        // order is the error the sequential loop would have stopped at.
+        note_parallel(m, &cfg, groups.len());
+        let computed = par::parallel_map(&cfg, (0..groups.len()).collect(), |_, gi| {
+            let mut scratch = vec![Value::Null; arity];
+            let mut first_scratch = vec![Value::Null; arity];
+            group_row(&groups[gi], &mut scratch, &mut first_scratch)
+        });
+        for r in computed {
+            if let Some(row) = r? {
+                out.push(row);
+            }
+        }
+    } else {
+        let mut first_scratch = vec![Value::Null; arity];
+        for positions in &groups {
+            if let Some(row) = group_row(positions, &mut scratch, &mut first_scratch)? {
+                out.push(row);
+            }
+        }
     }
     m.rows_materialized += out.len() as u64;
     m.batches += n_batches(rel.sel.len()) * (1 + aggs.len() as u64);
@@ -1477,6 +1868,126 @@ mod tests {
         assert_eq!(m.rows_materialized, 3);
         assert!(m.batches >= 2, "scan + filter batches, got {}", m.batches);
         assert!((m.selectivity() - 0.6).abs() < 1e-9);
+    }
+
+    /// A config that forces many tiny morsels, so even unit-test-sized
+    /// tables exercise the worker pool and morsel-order merges.
+    fn par_cfg() -> crate::par::ExecConfig {
+        let mut cfg = crate::par::ExecConfig::with_workers(4);
+        cfg.morsel_rows = 7;
+        cfg
+    }
+
+    /// A few hundred rows, with a dimension table — big enough that every
+    /// parallel operator splits into multiple morsels under [`par_cfg`].
+    fn par_db() -> Database {
+        let mut db = Database::new("par_mart");
+        let events = Schema::new(vec![
+            ColumnDef::new("e_id", DataType::Int).primary_key(),
+            ColumnDef::new("det_id", DataType::Int),
+            ColumnDef::new("tag_id", DataType::Int),
+            ColumnDef::new("energy", DataType::Float),
+        ])
+        .unwrap();
+        let t = db.create_table("events", events).unwrap();
+        for i in 0..200i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 6),
+                Value::Int(i % 11),
+                Value::Float((i % 37) as f64 * 1.5),
+            ])
+            .unwrap();
+        }
+        let dets = Schema::new(vec![
+            ColumnDef::new("det_id", DataType::Int).primary_key(),
+            ColumnDef::new("name", DataType::Text),
+        ])
+        .unwrap();
+        let t = db.create_table("detectors", dets).unwrap();
+        for (id, name) in [(0, "ecal"), (1, "hcal"), (2, "muon"), (4, "trk")] {
+            t.insert(vec![Value::Int(id), name.into()]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_on_every_shape() {
+        let d = par_db();
+        let provider = DatabaseProvider(&d);
+        for sql in [
+            "SELECT e_id, energy FROM events",
+            "SELECT e_id FROM events WHERE energy > 10.0 AND det_id <> 2 AND tag_id IN (1, 3, 5)",
+            "SELECT e.e_id, d.name FROM events e JOIN detectors d ON e.det_id = d.det_id \
+             WHERE e.energy > 5.0 ORDER BY e.e_id",
+            "SELECT e.e_id, d.name FROM events e LEFT JOIN detectors d ON e.det_id = d.det_id \
+             ORDER BY e.e_id LIMIT 50",
+            "SELECT det_id, COUNT(*) AS n, AVG(energy) AS avg_e, MAX(energy) AS max_e \
+             FROM events GROUP BY det_id HAVING COUNT(*) > 10 ORDER BY det_id",
+            "SELECT COUNT(*), SUM(energy), MIN(energy) FROM events WHERE tag_id < 9",
+            "SELECT DISTINCT det_id FROM events ORDER BY det_id",
+            "SELECT e_id, energy * 2.0 + det_id AS score FROM events ORDER BY score DESC LIMIT 20",
+        ] {
+            let stmt = parse_select(sql).unwrap();
+            let plan = optimize(build_plan(&stmt), &ProviderCatalog(&provider));
+            let (seq, seq_m) = execute_plan_metered(&plan, &provider).unwrap();
+            let (par, par_m) =
+                crate::par::with_exec_config(par_cfg(), || execute_plan_metered(&plan, &provider))
+                    .unwrap();
+            assert_eq!(seq.columns, par.columns, "{sql}");
+            assert_eq!(seq.rows, par.rows, "{sql}");
+            assert_eq!(seq_m.rows_scanned, par_m.rows_scanned, "{sql}");
+            assert_eq!(seq_m.rows_selected, par_m.rows_selected, "{sql}");
+            assert_eq!(seq_m.rows_materialized, par_m.rows_materialized, "{sql}");
+            assert_eq!(seq_m.workers, 0, "{sql}");
+            assert!(par_m.workers > 1, "{sql}: workers {}", par_m.workers);
+            assert!(par_m.morsels > 1, "{sql}: morsels {}", par_m.morsels);
+        }
+    }
+
+    #[test]
+    fn parallel_error_is_the_row_major_first_error() {
+        // `energy LIKE 'x%'` errors on every row with the row's value in
+        // the message, so sequential and parallel runs must report the
+        // *identical* error — the one for the first selected row — even
+        // though every morsel produced its own candidates.
+        let d = par_db();
+        let provider = DatabaseProvider(&d);
+        for sql in [
+            "SELECT e_id FROM events WHERE energy LIKE 'x%'",
+            "SELECT e_id FROM events WHERE e_id > 150 AND energy LIKE 'x%'",
+            "SELECT energy LIKE 'x%' FROM events",
+            "SELECT det_id, COUNT(*) FROM events GROUP BY det_id HAVING MAX(energy) LIKE 'x%'",
+        ] {
+            let stmt = parse_select(sql).unwrap();
+            let plan = optimize(build_plan(&stmt), &ProviderCatalog(&provider));
+            let seq = execute_plan(&plan, &provider).unwrap_err();
+            let par = crate::par::with_exec_config(par_cfg(), || execute_plan(&plan, &provider))
+                .unwrap_err();
+            assert_eq!(seq.to_string(), par.to_string(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn batch_window_is_configurable_per_query() {
+        let d = db();
+        let stmt = parse_select("SELECT e_id FROM events WHERE energy > 20.0").unwrap();
+        let plan = optimize(build_plan(&stmt), &ProviderCatalog(&DatabaseProvider(&d)));
+        let (_, wide) = execute_plan_metered(&plan, &DatabaseProvider(&d)).unwrap();
+        let cfg = crate::par::ExecConfig {
+            batch_rows: 2,
+            ..Default::default()
+        };
+        let (_, narrow) = crate::par::with_exec_config(cfg, || {
+            execute_plan_metered(&plan, &DatabaseProvider(&d))
+        })
+        .unwrap();
+        assert!(
+            narrow.batches > wide.batches,
+            "2-row windows must count more batches: {} vs {}",
+            narrow.batches,
+            wide.batches
+        );
     }
 
     #[test]

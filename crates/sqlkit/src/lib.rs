@@ -30,6 +30,10 @@
 //! - [`exec`] — the batch executor over a [`exec::TableProvider`], used for
 //!   per-mart execution and for the mediator's post-merge residual
 //!   processing. Runs optimized plans columnar, materializing rows late.
+//! - [`par`] — morsel-driven intra-query parallelism: a scoped
+//!   `std::thread::scope` worker pool over selection-vector morsels, with
+//!   an execution config ([`par::ExecConfig`]) installed scopewise so the
+//!   embedder chooses pool width, batch window, and morsel size per query.
 //! - [`exec_row`] — the retired row-at-a-time interpreter, kept as the
 //!   differential-testing reference and benchmark baseline.
 //! - [`analyze`] — `EXPLAIN ANALYZE`: per-node execution profiles
@@ -49,6 +53,7 @@ pub mod exec_row;
 pub mod expr;
 pub mod lexer;
 pub mod optimize;
+pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod render;
@@ -64,6 +69,7 @@ pub use error::SqlError;
 pub use exec::{execute_select, DatabaseProvider, ExecMetrics, TableProvider};
 pub use exec_row::execute_plan_rowwise;
 pub use optimize::{optimize, optimize_with, NoCatalog, PassSet, PlanCatalog};
+pub use par::{current_exec_config, with_exec_config, ExecConfig, WorkerEnvHook};
 pub use parser::parse;
 pub use plan::{build_plan, LogicalPlan};
 pub use render::{render_statement, NeutralStyle, SqlStyle};

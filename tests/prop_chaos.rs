@@ -114,9 +114,16 @@ proptest! {
     #[test]
     fn chaos_never_silently_wrong(seed in any::<u64>()) {
         let refs = references();
+        // The chaos grid runs the parallel executor (small morsels so the
+        // little test relations actually split across workers); the
+        // reference grid stayed sequential, so any thread-placement
+        // dependence in values, errors, or virtual-time fault windows
+        // shows up as a divergence here.
         let g = GridBuilder::new()
             .with_seed(31)
             .replicate_events(true)
+            .with_parallelism(3)
+            .with_morsel_rows(16)
             .with_resilience(random_config(seed))
             .with_fault_plan(random_plan(seed))
             .build()

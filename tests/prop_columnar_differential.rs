@@ -16,7 +16,7 @@
 use gridfed::sqlkit::exec::{execute_plan, DatabaseProvider, ProviderCatalog};
 use gridfed::sqlkit::exec_row::execute_plan_rowwise;
 use gridfed::sqlkit::parser::parse_select;
-use gridfed::sqlkit::{build_plan, optimize};
+use gridfed::sqlkit::{build_plan, optimize, with_exec_config, ExecConfig};
 use gridfed::storage::{ColumnDef, DataType, Database, Schema, Value};
 use proptest::prelude::*;
 
@@ -156,10 +156,17 @@ proptest! {
              FROM events e JOIN dets d ON e.det < d.det".to_string(),
         ];
 
+        // A deliberately awkward parallel config: 3 workers over 7-row
+        // morsels, so even these small relations split across the pool and
+        // morsel boundaries land mid-relation.
+        let mut par_cfg = ExecConfig::with_workers(3);
+        par_cfg.morsel_rows = 7;
+
         for sql in &shapes {
             let stmt = parse_select(sql).expect("parses");
             let plan = optimize(build_plan(&stmt), &catalog);
             let vectorized = execute_plan(&plan, &provider);
+            let parallel = with_exec_config(par_cfg.clone(), || execute_plan(&plan, &provider));
             let rowwise = execute_plan_rowwise(&plan, &provider);
             match (vectorized, rowwise) {
                 (Ok(v), Ok(r)) => {
@@ -171,12 +178,43 @@ proptest! {
                         &v.rows, &r.rows,
                         "rows diverged for `{}`", sql
                     );
+                    // The morsel-parallel pass must be byte-identical to the
+                    // sequential one: same rows, same order.
+                    match &parallel {
+                        Ok(p) => {
+                            prop_assert_eq!(
+                                &p.rows, &r.rows,
+                                "parallel rows diverged for `{}`", sql
+                            );
+                        }
+                        Err(p) => {
+                            return Err(TestCaseError::fail(format!(
+                                "`{sql}`: sequential succeeded, parallel errored: {p}"
+                            )));
+                        }
+                    }
                 }
                 (Err(v), Err(r)) => {
                     prop_assert_eq!(
                         v.to_string(), r.to_string(),
                         "errors diverged for `{}`", sql
                     );
+                    // Per-row errors reduce by global minimum position, so
+                    // the parallel pass reports the *same* first error.
+                    match &parallel {
+                        Err(p) => {
+                            prop_assert_eq!(
+                                p.to_string(), r.to_string(),
+                                "parallel error diverged for `{}`", sql
+                            );
+                        }
+                        Ok(p) => {
+                            return Err(TestCaseError::fail(format!(
+                                "`{sql}`: sequential errored, parallel returned {} rows",
+                                p.rows.len()
+                            )));
+                        }
+                    }
                 }
                 (Ok(v), Err(r)) => {
                     return Err(TestCaseError::fail(format!(
