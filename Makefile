@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts stress
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts repl stress
 
-verify: build test chaos obs marts stress lint fmt bench-smoke
+verify: build test chaos obs marts repl stress lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -43,6 +43,12 @@ obs:
 # invalidation) plus the snapshot-isolation concurrency hammering.
 marts:
 	cargo test -q --test mart_refresh --test concurrency
+
+# WAL replication suite: the log-shipping integration tests (continuous
+# replay, lag surfacing, bounded-staleness routing/failover) and the
+# 128-seed replication chaos property (convergence after faults heal).
+repl:
+	cargo test -q --test replication --test prop_repl_chaos
 
 # Concurrency stress: the multi-threaded hammer (worker pool + admission
 # queue + refresh churn) at full speed under the release profile, where

@@ -1,0 +1,225 @@
+//! WAL-replication benchmarks: steady-state apply throughput (one poll
+//! cycle shipping a small delta) and post-partition catch-up (draining the
+//! backlog a fault window left behind, in capped batches). The claim under
+//! test: continuous log shipping keeps replicas a poll interval behind the
+//! warehouse — far below any periodic mart-refresh cadence — and recovers
+//! from partitions in work proportional to the backlog.
+
+use criterion::{criterion_group, BatchSize, Criterion};
+use gridfed_ntuple::spec::NtupleSpec;
+use gridfed_ntuple::NtupleGenerator;
+use gridfed_simnet::cost::Cost;
+use gridfed_simnet::topology::Topology;
+use gridfed_sqlkit::parser::parse_select;
+use gridfed_vendors::{SimServer, VendorKind};
+use gridfed_warehouse::etl::{EtlPipeline, TransportMode};
+use gridfed_warehouse::marts::materialize_into_mart;
+use gridfed_warehouse::views::ViewDef;
+use gridfed_warehouse::{wal_head, ReplicationStream};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Source + WAL-enabled warehouse (ETL'd with `base` events) + one mart
+/// with a pivot and an aggregate view, + a stream subscribed at head.
+struct Rig {
+    spec: NtupleSpec,
+    src: Arc<SimServer>,
+    wh: Arc<SimServer>,
+    stream: ReplicationStream,
+    topology: Topology,
+}
+
+fn rig(base: usize, headroom: usize, batch_limit: Option<usize>) -> Rig {
+    let spec = NtupleSpec::with_nvar("repl", base + headroom, 4);
+    let src = SimServer::new(VendorKind::MySql, "t2", "src");
+    src.with_db_mut(|db| {
+        NtupleGenerator::new(spec.clone(), 7)
+            .populate_source_range(db, 0, base)
+            .unwrap()
+    });
+    let wh = SimServer::new(VendorKind::Oracle, "tier0", "warehouse");
+    wh.with_db_mut(|db| db.enable_wal());
+    let sconn = src.connect("grid", "grid").unwrap().value;
+    let wconn = wh.connect("grid", "grid").unwrap().value;
+    EtlPipeline::paper()
+        .run_incremental(&sconn, &wconn)
+        .unwrap();
+
+    let mart = SimServer::new(VendorKind::MySql, "node1", "mart");
+    let mconn = mart.connect("grid", "grid").unwrap().value;
+    let views = vec![
+        ViewDef::Pivot {
+            name: "repl_events".into(),
+            spec: spec.clone(),
+        },
+        ViewDef::Sql {
+            name: "run_counts".into(),
+            query: parse_select(
+                "SELECT run_id, COUNT(*) AS n FROM fact_measurements GROUP BY run_id",
+            )
+            .unwrap(),
+        },
+    ];
+    let topology = Topology::lan();
+    for v in &views {
+        materialize_into_mart(v, &wconn, &mconn, &topology, TransportMode::Direct).unwrap();
+    }
+    let head = wal_head(&wconn);
+    let mut stream = ReplicationStream::subscribe(wconn, mconn, views, head, 0);
+    if let Some(limit) = batch_limit {
+        stream = stream.with_batch_limit(limit);
+    }
+    Rig {
+        spec,
+        src,
+        wh,
+        stream,
+        topology,
+    }
+}
+
+/// Append `extra` events upstream and ship them to the warehouse fact
+/// table (WAL-logged), leaving the stream `extra` events behind.
+fn ingest(r: &Rig, first: usize, extra: usize) {
+    r.src.with_db_mut(|db| {
+        let mut generator = NtupleGenerator::new(r.spec.clone(), first as u64);
+        let batch = generator.measurement_batch(first, extra);
+        let events = db.table_mut("events").unwrap();
+        for e in first..first + extra {
+            events
+                .insert(vec![
+                    gridfed_storage::Value::Int(e as i64),
+                    gridfed_storage::Value::Int(0),
+                    gridfed_storage::Value::Float(1.0),
+                ])
+                .unwrap();
+        }
+        db.table_mut("measurements")
+            .unwrap()
+            .insert_many(batch)
+            .unwrap();
+    });
+    EtlPipeline::paper()
+        .run_incremental(
+            &r.src.connect("grid", "grid").unwrap().value,
+            &r.wh.connect("grid", "grid").unwrap().value,
+        )
+        .unwrap();
+}
+
+/// Steady state: the replica is caught up; one poll ships a small fresh
+/// delta. Wall-clock is the replay work; the virtual cost (pull + link
+/// transfer + mart load) is what BENCH_replication.json records.
+fn steady_state_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repl_steady_state");
+    g.sample_size(10);
+    for delta in [10usize, 50] {
+        g.bench_function(&format!("apply_delta{delta}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut r = rig(500, delta, None);
+                    // Catch the stream up to the materialization head.
+                    r.stream.poll(&r.topology, 0).unwrap();
+                    ingest(&r, 500, delta);
+                    r
+                },
+                |mut r| {
+                    let t = r.stream.poll(&r.topology, 0).unwrap();
+                    assert_eq!(t.value.lag.lsn_delta(), 0, "one poll catches up");
+                    assert!(t.value.rows >= delta, "delta rows shipped");
+                    black_box(t)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Post-partition catch-up: a fault window left `backlog` events of WAL
+/// behind; the healed stream drains it in capped batches. Measures the
+/// full multi-poll drain.
+fn catchup_after_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repl_catchup");
+    g.sample_size(10);
+    for backlog in [100usize, 400] {
+        g.bench_function(&format!("drain_backlog{backlog}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut r = rig(500, backlog, Some(2));
+                    r.stream.poll(&r.topology, 0).unwrap();
+                    // Four ETL cycles land while the replica is cut off,
+                    // so the healed stream owes a multi-record backlog.
+                    let round = backlog / 4;
+                    for i in 0..4 {
+                        ingest(&r, 500 + i * round, round);
+                    }
+                    r
+                },
+                |mut r| {
+                    let mut polls = 0usize;
+                    let mut cost = Cost::ZERO;
+                    loop {
+                        let t = r.stream.poll(&r.topology, 0).unwrap();
+                        polls += 1;
+                        cost += t.cost;
+                        if t.value.records == 0 && t.value.lag.lsn_delta() == 0 {
+                            break;
+                        }
+                    }
+                    assert!(polls > 1, "capped batches need several polls");
+                    black_box((polls, cost))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// One-shot summary of the *virtual* quantities BENCH_replication.json
+/// records: steady-state apply cost and staleness, and the post-partition
+/// catch-up drain. Printed before measurement so a plain bench run (and
+/// `--test` smoke) always shows them.
+fn print_virtual_summary() {
+    for delta in [10usize, 50] {
+        let mut r = rig(500, delta, None);
+        r.stream.poll(&r.topology, 0).unwrap();
+        ingest(&r, 500, delta);
+        let t = r.stream.poll(&r.topology, 0).unwrap();
+        eprintln!(
+            "[virtual] steady-state delta={delta}: {} records / {} rows applied in {} \
+             (lag after: {} lsn)",
+            t.value.records,
+            t.value.rows,
+            t.cost,
+            t.value.lag.lsn_delta()
+        );
+    }
+
+    let mut r = rig(500, 400, Some(2));
+    r.stream.poll(&r.topology, 0).unwrap();
+    for i in 0..4 {
+        ingest(&r, 500 + i * 100, 100);
+    }
+    let (mut polls, mut cost, mut rows) = (0usize, Cost::ZERO, 0usize);
+    loop {
+        let t = r.stream.poll(&r.topology, 0).unwrap();
+        polls += 1;
+        cost += t.cost;
+        rows += t.value.rows;
+        if t.value.records == 0 && t.value.lag.lsn_delta() == 0 {
+            break;
+        }
+    }
+    eprintln!(
+        "[virtual] catch-up: backlog of 400 events ({rows} rows) drained in {polls} polls, {cost}"
+    );
+}
+
+criterion_group!(benches, steady_state_apply, catchup_after_partition);
+
+fn main() {
+    print_virtual_summary();
+    benches();
+}

@@ -66,6 +66,19 @@ pub enum CoreError {
         /// Configured queue capacity.
         limit: usize,
     },
+    /// No replica of a log-shipped table met the query's
+    /// [`ReplicaPolicy::BoundedStaleness`] bound: the freshest replica on
+    /// offer was still older than the caller tolerates.
+    ///
+    /// [`ReplicaPolicy::BoundedStaleness`]: crate::placement::ReplicaPolicy::BoundedStaleness
+    StalenessBoundExceeded {
+        /// Logical table whose replicas all missed the bound.
+        table: String,
+        /// The configured bound (virtual µs).
+        bound_us: u64,
+        /// Best (smallest) measured replica age on offer (virtual µs).
+        best_age_us: u64,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -112,6 +125,17 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "admission queue full for tenant `{tenant}`: {queued} queued, limit {limit}"
+                )
+            }
+            CoreError::StalenessBoundExceeded {
+                table,
+                bound_us,
+                best_age_us,
+            } => {
+                write!(
+                    f,
+                    "no replica of `{table}` within the {bound_us}us staleness \
+                     bound (freshest on offer is {best_age_us}us old)"
                 )
             }
             CoreError::Internal(m) => write!(f, "internal error: {m}"),

@@ -31,7 +31,37 @@ use gridfed_vendors::{DriverRegistry, SimServer, VendorKind};
 use gridfed_warehouse::etl::{EtlPipeline, EtlReport, TransportMode};
 use gridfed_warehouse::marts::{materialize_into_mart, refresh_mart, MartReport};
 use gridfed_warehouse::views::ViewDef;
+use gridfed_warehouse::{wal_head, ReplBatchReport, ReplLag, ReplicationStream};
 use std::sync::{Arc, Mutex};
+
+/// Continuous-replication knobs for a grid built
+/// [`GridBuilder::with_replication`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationConfig {
+    /// Virtual time between stream polls — the dominant term in
+    /// steady-state replica staleness (a caught-up replica is at most one
+    /// interval old).
+    pub poll_interval: Cost,
+    /// Max WAL records pulled per poll (bounds batch memory and lets a
+    /// lagging replica converge over several cycles).
+    pub batch_limit: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            poll_interval: Cost::from_millis(50),
+            batch_limit: gridfed_warehouse::DEFAULT_BATCH_LIMIT,
+        }
+    }
+}
+
+/// One mart's WAL-shipping stream plus the table names it replicates.
+struct MartStream {
+    mart_idx: usize,
+    tables: Vec<String>,
+    stream: ReplicationStream,
+}
 
 /// One normalized source database.
 #[derive(Debug, Clone)]
@@ -64,6 +94,7 @@ pub struct GridBuilder {
     batch_rows: Option<usize>,
     morsel_rows: Option<usize>,
     admission: Option<AdmissionConfig>,
+    replication: Option<ReplicationConfig>,
 }
 
 impl Default for GridBuilder {
@@ -86,6 +117,7 @@ impl Default for GridBuilder {
             batch_rows: None,
             morsel_rows: None,
             admission: None,
+            replication: None,
         }
     }
 }
@@ -213,6 +245,17 @@ impl GridBuilder {
         self
     }
 
+    /// Turn on WAL-based continuous replication: the warehouse keeps a
+    /// write-ahead log, every mart subscribes a [`ReplicationStream`] that
+    /// log-ships new facts over its simnet link, and
+    /// [`Grid::pump_replication`] advances all streams by one poll cycle.
+    /// Pair with [`ReplicaPolicy::BoundedStaleness`] for guaranteed-lag
+    /// routing on the measured staleness the streams publish.
+    pub fn with_replication(mut self, config: ReplicationConfig) -> Self {
+        self.replication = Some(config);
+        self
+    }
+
     /// Assemble the grid.
     pub fn build(mut self) -> Result<Grid> {
         if self.sources.is_empty() {
@@ -267,6 +310,11 @@ impl GridBuilder {
         // ---- warehouse + ETL (Stage 1) ----
         let warehouse = SimServer::new(VendorKind::Oracle, "tier0.cern", "warehouse");
         registry.register_server(Arc::clone(&warehouse));
+        // WAL goes on before the first write, so the log is a complete
+        // ordered history and replication streams can subscribe anywhere.
+        if self.replication.is_some() {
+            warehouse.with_db_mut(|db| db.enable_wal());
+        }
         let wconn = warehouse
             .connect("grid", "grid")
             .map_err(CoreError::Vendor)?
@@ -398,6 +446,37 @@ impl GridBuilder {
             das.register_database(&mart_url(mart))?;
         }
 
+        // ---- replication streams (one per mart, pre-fault assembly) ----
+        // Each mart subscribes at the current WAL head: materialization
+        // just copied that exact state, so the stream owes nothing yet.
+        let mut repl_streams = Vec::new();
+        if let Some(config) = &self.replication {
+            for (idx, (_, _, _, view_ids)) in mart_plan.iter().enumerate() {
+                let mart = &marts[idx];
+                let mconn = mart
+                    .connect("grid", "grid")
+                    .map_err(CoreError::Vendor)?
+                    .value;
+                let stream_views: Vec<ViewDef> =
+                    view_ids.iter().map(|&vi| views[vi].clone()).collect();
+                let tables: Vec<String> =
+                    stream_views.iter().map(|v| v.name().to_string()).collect();
+                let stream = ReplicationStream::subscribe(
+                    wconn.clone(),
+                    mconn,
+                    stream_views,
+                    wal_head(&wconn),
+                    0,
+                )
+                .with_batch_limit(config.batch_limit);
+                repl_streams.push(MartStream {
+                    mart_idx: idx,
+                    tables,
+                    stream,
+                });
+            }
+        }
+
         // ---- client ----
         let mut client = ClarensClient::connect(
             &directory,
@@ -468,6 +547,8 @@ impl GridBuilder {
             etl_reports,
             mart_reports,
             fault_plan: self.fault_plan,
+            repl_config: self.replication,
+            repl_streams: Mutex::new(repl_streams),
         })
     }
 }
@@ -572,6 +653,10 @@ pub struct Grid {
     /// The installed fault plan, when the grid was built with one
     /// (its clock drives fault windows; its stats count injections).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Replication knobs, when the grid was built `with_replication`.
+    repl_config: Option<ReplicationConfig>,
+    /// One WAL-shipping stream per mart (empty without replication).
+    repl_streams: Mutex<Vec<MartStream>>,
 }
 
 impl Grid {
@@ -704,6 +789,106 @@ impl Grid {
             }
         }
         Ok(reports)
+    }
+
+    /// Whether the grid was built with continuous replication.
+    pub fn replication_enabled(&self) -> bool {
+        self.repl_config.is_some()
+    }
+
+    /// Advance continuous replication by one poll cycle: virtual time
+    /// moves forward by the configured poll interval, then every mart's
+    /// stream pulls the next WAL batch over its simnet link and replays
+    /// it, reporting to the mart's owning mediator (which publishes the
+    /// measured lag to the RLS and records wal/replay metrics and
+    /// `Replicate` traces). A stream that cannot reach the warehouse —
+    /// partitioned link, crashed server — does *not* fail the pump: the
+    /// stall is reported and the replica keeps aging until the fault
+    /// clears. Returns the reports of the streams that did apply.
+    pub fn pump_replication(&self) -> Vec<ReplBatchReport> {
+        let Some(config) = &self.repl_config else {
+            return Vec::new();
+        };
+        // Advance each distinct clock exactly once (with a fault plan all
+        // services share its clock; without one each has its own).
+        let mut clocks: Vec<Arc<gridfed_faults::VirtualClock>> = Vec::new();
+        for das in &self.services {
+            let clock = das.clock();
+            if !clocks.iter().any(|c| Arc::ptr_eq(c, &clock)) {
+                clocks.push(clock);
+            }
+        }
+        for clock in &clocks {
+            clock.advance(config.poll_interval);
+        }
+        let mut reports = Vec::new();
+        let mut streams = self.repl_streams.lock().expect("stream lock poisoned");
+        for ms in streams.iter_mut() {
+            let mart = &self.marts[ms.mart_idx];
+            let das = self
+                .services
+                .iter()
+                .find(|s| s.host() == mart.host())
+                .unwrap_or(&self.services[0]);
+            let now_us = das.clock().now().as_micros();
+            match ms.stream.poll(&self.topology, now_us) {
+                Ok(t) => {
+                    das.note_replication(mart.db_name(), &ms.tables, &t.value, t.cost, now_us);
+                    reports.push(t.value);
+                }
+                Err(e) => {
+                    das.note_replication_stall(
+                        mart.db_name(),
+                        &ms.tables,
+                        &ms.stream.lag(),
+                        &e.to_string(),
+                        now_us,
+                    );
+                }
+            }
+        }
+        reports
+    }
+
+    /// Pump replication for `cycles` poll intervals (convenience for
+    /// steady-state and convergence tests).
+    pub fn pump_replication_for(&self, cycles: usize) -> Vec<ReplBatchReport> {
+        let mut all = Vec::new();
+        for _ in 0..cycles {
+            all.extend(self.pump_replication());
+        }
+        all
+    }
+
+    /// Current lag bookkeeping of every replication stream:
+    /// `(mart database, lag)`, in mart order.
+    pub fn replication_lag(&self) -> Vec<(String, ReplLag)> {
+        self.repl_streams
+            .lock()
+            .expect("stream lock poisoned")
+            .iter()
+            .map(|ms| {
+                (
+                    self.marts[ms.mart_idx].db_name().to_string(),
+                    ms.stream.lag(),
+                )
+            })
+            .collect()
+    }
+
+    /// Whether every stream has applied everything the warehouse logged
+    /// (no stream owes records as of its last successful poll).
+    pub fn replication_caught_up(&self) -> bool {
+        let wconn = match self.warehouse.connect("grid", "grid") {
+            Ok(t) => t.value,
+            Err(_) => return false,
+        };
+        let head = wal_head(&wconn);
+        self.repl_streams
+            .lock()
+            .expect("stream lock poisoned")
+            .iter()
+            .all(|ms| ms.stream.acked_lsn() >= head)
     }
 }
 

@@ -55,8 +55,8 @@ pub mod stats;
 
 pub use admission::{Admission, AdmissionConfig};
 pub use error::CoreError;
-pub use grid::{Grid, GridBuilder};
-pub use placement::ReplicaPolicy;
+pub use grid::{Grid, GridBuilder, ReplicationConfig};
+pub use placement::{ReplicaPolicy, ReplicaStaleness};
 pub use resilience::{DegradationPolicy, Resilience, ResilienceConfig};
 pub use service::{DataAccessService, DispatchMode, QueryOutcome};
 pub use stats::{BranchDrop, QueryStats};

@@ -42,6 +42,8 @@ pub fn stats_to_wire(stats: &QueryStats) -> WireValue {
             stats.exec_morsels as usize,
             stats.queue_depth as usize,
             stats.queue_wait_us as usize,
+            stats.repl_lag_lsn as usize,
+            stats.repl_age_us as usize,
         ]
         .into_iter()
         .map(|n| WireValue::Int(n as i64))
@@ -79,6 +81,10 @@ pub fn wire_to_stats(v: &WireValue) -> QueryStats {
     out.exec_morsels = get(12) as u64;
     out.queue_depth = get(13) as u64;
     out.queue_wait_us = get(14) as u64;
+    // Positions 15+ arrived with WAL replication; a peer predating it
+    // sends a shorter list and these zero-fill.
+    out.repl_lag_lsn = get(15) as u64;
+    out.repl_age_us = get(16) as u64;
     out
 }
 
@@ -181,6 +187,8 @@ mod tests {
             exec_morsels: 25,
             queue_depth: 3,
             queue_wait_us: 740,
+            repl_lag_lsn: 17,
+            repl_age_us: 52_000,
             ..Default::default()
         };
         let back = wire_to_stats(&stats_to_wire(&s));
@@ -199,6 +207,8 @@ mod tests {
         assert_eq!(back.exec_morsels, 25);
         assert_eq!(back.queue_depth, 3);
         assert_eq!(back.queue_wait_us, 740);
+        assert_eq!(back.repl_lag_lsn, 17);
+        assert_eq!(back.repl_age_us, 52_000);
     }
 
     #[test]
@@ -221,6 +231,16 @@ mod tests {
         assert_eq!(s.rows_materialized, 11);
         assert_eq!(s.exec_workers, 0);
         assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.repl_lag_lsn, 0);
+
+        // A 15-position list — what a pre-replication peer sends — must
+        // decode with the lag fields zero-filled and everything else kept.
+        let pre_repl = WireValue::List((0..15).map(|i| WireValue::Int(i + 1)).collect());
+        let s = wire_to_stats(&pre_repl);
+        assert_eq!(s.queue_depth, 14);
+        assert_eq!(s.queue_wait_us, 15);
+        assert_eq!(s.repl_lag_lsn, 0);
+        assert_eq!(s.repl_age_us, 0);
     }
 
     #[test]

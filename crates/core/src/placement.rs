@@ -7,7 +7,11 @@
 //! replicated databases" — implemented here as [`ReplicaPolicy::Closest`].
 //! With versioned mart refresh, replicas of the same mart table can also
 //! disagree on *data version*; [`ReplicaPolicy::Freshest`] routes to the
-//! highest version (ties broken by network proximity).
+//! highest version (ties broken by network proximity). With WAL-shipped
+//! replication the RLS carries *measured* lag, so
+//! [`ReplicaPolicy::BoundedStaleness`] can guarantee an upper bound on the
+//! age of the data a query reads — failing over to any in-bound replica,
+//! or erroring typed when none qualifies.
 
 use gridfed_simnet::topology::Topology;
 use gridfed_vendors::ConnectionString;
@@ -24,6 +28,24 @@ pub enum ReplicaPolicy {
     /// Staleness-aware: highest data version wins; proximity breaks ties.
     /// Replicas without version bookkeeping count as version 0.
     Freshest,
+    /// Guaranteed-staleness routing: only replicas whose measured
+    /// replication age is at most this bound (virtual µs) are eligible;
+    /// the freshest eligible replica wins (proximity breaks ties). When
+    /// *no* replica meets the bound the query fails typed rather than
+    /// silently serving stale data. Replicas with no published lag
+    /// measurement count as age 0 (non-replicated tables are exact).
+    BoundedStaleness(u64),
+}
+
+/// Measured staleness of one replica, as published to the RLS by its
+/// replication stream: the data version it holds and how old that data is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaStaleness {
+    /// Data version the replica holds.
+    pub version: u64,
+    /// Virtual-time age (µs) since the replica last verified it matched
+    /// the warehouse head. Zero = caught up (or not a replicated table).
+    pub age_us: u64,
 }
 
 fn host_of(loc: &TableLocation) -> String {
@@ -64,6 +86,58 @@ impl ReplicaPolicy {
                     topology.transfer(from_host, &host_of(loc), 1024),
                 )
             }),
+            // Without lag measurements a bound cannot be enforced; treat
+            // every candidate as age 0 (= Freshest). Callers that have
+            // measurements use `choose_measured`.
+            ReplicaPolicy::BoundedStaleness(_) => ReplicaPolicy::Freshest
+                .choose_versioned(candidates, from_host, topology, version_of),
+        }
+    }
+
+    /// Pick one location using *measured* staleness. For every policy but
+    /// [`ReplicaPolicy::BoundedStaleness`] this is `choose_versioned` on
+    /// the measured versions. For `BoundedStaleness(bound)` only replicas
+    /// with `age_us <= bound` are eligible — the freshest eligible one
+    /// wins — and when none qualifies the error carries the best
+    /// (smallest) age on offer so the caller can raise a typed
+    /// staleness-bound error.
+    pub fn choose_measured<'a>(
+        &self,
+        candidates: &'a [TableLocation],
+        from_host: &str,
+        topology: &Topology,
+        measure: impl Fn(&TableLocation) -> ReplicaStaleness,
+    ) -> std::result::Result<Option<&'a TableLocation>, u64> {
+        match self {
+            ReplicaPolicy::BoundedStaleness(bound) => {
+                let eligible = candidates
+                    .iter()
+                    .filter(|loc| measure(loc).age_us <= *bound)
+                    .min_by_key(|loc| {
+                        (
+                            std::cmp::Reverse(measure(loc).version),
+                            topology.transfer(from_host, &host_of(loc), 1024),
+                        )
+                    });
+                match eligible {
+                    Some(loc) => Ok(Some(loc)),
+                    None => {
+                        if candidates.is_empty() {
+                            Ok(None)
+                        } else {
+                            Err(candidates
+                                .iter()
+                                .map(|loc| measure(loc).age_us)
+                                .min()
+                                .unwrap_or(u64::MAX))
+                        }
+                    }
+                }
+            }
+            _ => {
+                Ok(self
+                    .choose_versioned(candidates, from_host, topology, |loc| measure(loc).version))
+            }
         }
     }
 }
@@ -151,5 +225,70 @@ mod tests {
         assert!(ReplicaPolicy::First.choose(&[], "x", &topo).is_none());
         assert!(ReplicaPolicy::Closest.choose(&[], "x", &topo).is_none());
         assert!(ReplicaPolicy::Freshest.choose(&[], "x", &topo).is_none());
+        assert_eq!(
+            ReplicaPolicy::BoundedStaleness(10)
+                .choose_measured(&[], "x", &topo, |_| { ReplicaStaleness::default() }),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn bounded_staleness_fails_over_to_the_in_bound_replica() {
+        // The near replica is too stale; the bound forces failover to the
+        // farther but fresher one.
+        let candidates = vec![loc("laggy", "near"), loc("current", "far")];
+        let mut topo = Topology::lan();
+        topo.set_link("near", "far", Link::wan());
+        let measure = |l: &TableLocation| {
+            if l.database == "laggy" {
+                ReplicaStaleness {
+                    version: 5,
+                    age_us: 900_000,
+                }
+            } else {
+                ReplicaStaleness {
+                    version: 7,
+                    age_us: 40_000,
+                }
+            }
+        };
+        let chosen = ReplicaPolicy::BoundedStaleness(100_000)
+            .choose_measured(&candidates, "near", &topo, measure)
+            .unwrap()
+            .unwrap();
+        assert_eq!(chosen.database, "current");
+        // A generous bound admits both; the freshest (higher version) wins.
+        let chosen = ReplicaPolicy::BoundedStaleness(10_000_000)
+            .choose_measured(&candidates, "near", &topo, measure)
+            .unwrap()
+            .unwrap();
+        assert_eq!(chosen.database, "current");
+    }
+
+    #[test]
+    fn bounded_staleness_errors_when_no_replica_qualifies() {
+        let candidates = vec![loc("a", "n1"), loc("b", "n2")];
+        let topo = Topology::lan();
+        let err = ReplicaPolicy::BoundedStaleness(1_000)
+            .choose_measured(&candidates, "client", &topo, |l| ReplicaStaleness {
+                version: 1,
+                age_us: if l.database == "a" { 5_000 } else { 9_000 },
+            })
+            .unwrap_err();
+        assert_eq!(err, 5_000, "error carries the best age on offer");
+    }
+
+    #[test]
+    fn non_bounded_policies_route_on_measured_versions() {
+        let candidates = vec![loc("old", "near"), loc("new", "far")];
+        let topo = Topology::lan();
+        let chosen = ReplicaPolicy::Freshest
+            .choose_measured(&candidates, "near", &topo, |l| ReplicaStaleness {
+                version: if l.database == "new" { 4 } else { 2 },
+                age_us: 0,
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(chosen.database, "new");
     }
 }

@@ -5,7 +5,7 @@ use crate::decompose::{self, Home, QueryPlan, TableResolver};
 use crate::error::CoreError;
 use crate::federate::{self, Partial};
 use crate::obswire::{spans_to_wire, stats_to_wire, wire_to_spans, wire_to_stats};
-use crate::placement::ReplicaPolicy;
+use crate::placement::{ReplicaPolicy, ReplicaStaleness};
 use crate::resilience::{AttemptKind, BranchReport, BranchYield, Resilience, ResilienceConfig};
 use crate::stats::{BranchDrop, CostBreakdown, QueryStats, TableVersion};
 use crate::Result;
@@ -29,7 +29,7 @@ use gridfed_sqlkit::render::{render_select, NeutralStyle};
 use gridfed_sqlkit::{with_exec_config, ExecConfig, ResultSet};
 use gridfed_storage::{normalize_ident, ColumnDef, DataType, Database, Row, Schema, Value};
 use gridfed_vendors::{ConnectionString, DriverRegistry, VendorKind};
-use gridfed_warehouse::{read_all_mart_meta, MartReport, RefreshKind};
+use gridfed_warehouse::{read_all_mart_meta, MartReport, RefreshKind, ReplBatchReport, ReplLag};
 use gridfed_xspec::dict::DataDictionary;
 use gridfed_xspec::generate_lower_xspec;
 use gridfed_xspec::model::UpperEntry;
@@ -220,8 +220,46 @@ pub struct DataAccessService {
     admission: Mutex<Option<Arc<Admission>>>,
 }
 
-/// Normalized table name → database → (version, refreshed_us).
-type MartVersionMap = HashMap<String, HashMap<String, (u64, u64)>>;
+/// Normalized table name → database → per-replica freshness record.
+type MartVersionMap = HashMap<String, HashMap<String, ReplicaRecord>>;
+
+/// What this mediator knows about one replica of one table: the data
+/// version stamped by its last refresh plus, for log-shipped replicas,
+/// the WAL replication bookkeeping its stream last reported.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplicaRecord {
+    /// Data version (0 = no version bookkeeping).
+    version: u64,
+    /// Virtual time the version was stamped.
+    refreshed_us: u64,
+    /// Last WAL LSN the replica's stream applied (0 = not log-shipped).
+    applied_lsn: u64,
+    /// Warehouse WAL head as of the stream's last successful poll.
+    head_lsn: u64,
+    /// Virtual time the replica last *verified* it matched the warehouse
+    /// head. `None` for tables not fed by a replication stream — their
+    /// measured age reads as zero, because a directly-hosted table is
+    /// exact by definition.
+    fresh_as_of_us: Option<u64>,
+}
+
+impl ReplicaRecord {
+    /// Measured staleness at `now_us` (age 0 for non-replicated tables).
+    fn staleness(&self, now_us: u64) -> ReplicaStaleness {
+        ReplicaStaleness {
+            version: self.version,
+            age_us: self
+                .fresh_as_of_us
+                .map(|t| now_us.saturating_sub(t))
+                .unwrap_or(0),
+        }
+    }
+
+    /// LSN lag: warehouse head minus last applied record.
+    fn lag_lsn(&self) -> u64 {
+        self.head_lsn.saturating_sub(self.applied_lsn)
+    }
+}
 
 impl DataAccessService {
     /// Create a service bound to a Clarens server URL and host node.
@@ -444,15 +482,20 @@ impl DataAccessService {
             let mut versions = self.mart_versions.write();
             for m in &metas {
                 let table = m.table.to_lowercase();
-                versions
-                    .entry(table.clone())
-                    .or_default()
-                    .insert(db_name.clone(), (m.version, m.refreshed_us));
+                versions.entry(table.clone()).or_default().insert(
+                    db_name.clone(),
+                    ReplicaRecord {
+                        version: m.version,
+                        refreshed_us: m.refreshed_us,
+                        ..ReplicaRecord::default()
+                    },
+                );
                 freshness.push((
                     table,
                     TableFreshness {
                         version: m.version,
                         refreshed_us: m.refreshed_us,
+                        ..TableFreshness::default()
                     },
                 ));
             }
@@ -536,7 +579,7 @@ impl DataAccessService {
             .read()
             .get(&normalize_ident(table))
             .and_then(|per| per.get(database))
-            .map(|(v, _)| *v)
+            .map(|r| r.version)
             .unwrap_or(0)
     }
 
@@ -548,7 +591,7 @@ impl DataAccessService {
             .iter()
             .flat_map(|(table, per)| {
                 per.iter()
-                    .map(|(db, (v, at))| (table.clone(), db.clone(), *v, *at))
+                    .map(|(db, r)| (table.clone(), db.clone(), r.version, r.refreshed_us))
             })
             .collect();
         out.sort();
@@ -573,8 +616,12 @@ impl DataAccessService {
         let prev_refreshed = {
             let mut versions = self.mart_versions.write();
             let slot = versions.entry(table.clone()).or_default();
-            let prev = slot.get(database).map(|(_, at)| *at);
-            slot.insert(database.to_string(), (report.version, now_us));
+            let prev = slot.get(database).map(|r| r.refreshed_us);
+            // A refresh stamps version and time; WAL bookkeeping (if a
+            // stream also feeds this replica) is the stream's to update.
+            let rec = slot.entry(database.to_string()).or_default();
+            rec.version = report.version;
+            rec.refreshed_us = now_us;
             prev
         };
         if let Some(rls) = &self.rls {
@@ -585,6 +632,7 @@ impl DataAccessService {
                     TableFreshness {
                         version: report.version,
                         refreshed_us: now_us,
+                        ..TableFreshness::default()
                     },
                 )],
             );
@@ -593,6 +641,12 @@ impl DataAccessService {
             let m = &obs.metrics;
             m.inc("mart_refreshes", &self.url, 1);
             m.inc("mart_refresh_rows", &table, report.rows as u64);
+            // Full rebuilds are the expensive path WAL catch-up exists to
+            // avoid (aggregate SQL views in `refresh_mart` still take it);
+            // count them separately so the cost stays visible.
+            if report.kind == RefreshKind::Full {
+                m.inc("mart_full_rebuilds", &table, 1);
+            }
             // Refresh lag: how stale the previous snapshot had become by
             // the time this refresh landed.
             if let Some(prev) = prev_refreshed {
@@ -638,8 +692,16 @@ impl DataAccessService {
                 tb.mark_parallel(extract);
                 tb.mark_parallel(load);
             }
+            let kind = match report.kind {
+                RefreshKind::Full => "full",
+                RefreshKind::Incremental => "incremental",
+                RefreshKind::Skipped => unreachable!("skips returned above"),
+            };
             let trace = tb.finish(
-                format!("REFRESH MART `{}` (v{})", report.table, report.version),
+                format!(
+                    "REFRESH MART `{}` (v{}, {kind})",
+                    report.table, report.version
+                ),
                 &self.url,
                 None,
                 now_us,
@@ -648,6 +710,204 @@ impl DataAccessService {
                 report.rows as u64,
             );
             obs.traces.record(trace);
+        }
+    }
+
+    /// Record one *applied* WAL batch from a replication stream feeding
+    /// `database`: bump the versions of the views the batch refreshed,
+    /// update the measured replication lag for every table the stream
+    /// covers, publish lag-aware freshness to the RLS, count wal/replay
+    /// metrics, and record a [`SpanKind::Replicate`] trace when the batch
+    /// moved records. `tables` is the full set of replicated tables on the
+    /// stream (an empty batch is a heartbeat that still refreshes age).
+    pub fn note_replication(
+        &self,
+        database: &str,
+        tables: &[String],
+        report: &ReplBatchReport,
+        cost: Cost,
+        now_us: u64,
+    ) {
+        {
+            let mut versions = self.mart_versions.write();
+            for (table, version) in &report.refreshed {
+                let rec = versions
+                    .entry(normalize_ident(table))
+                    .or_default()
+                    .entry(database.to_string())
+                    .or_default();
+                rec.version = *version;
+                rec.refreshed_us = now_us;
+            }
+        }
+        self.publish_replication(database, tables, &report.lag);
+        self.invalidate_cache_if(!report.refreshed.is_empty());
+        let obs = self.observability();
+        if obs.enabled() {
+            let m = &obs.metrics;
+            m.inc("repl_polls", database, 1);
+            if report.records > 0 {
+                m.inc("wal_records_applied", database, report.records as u64);
+                m.inc("wal_rows_applied", database, report.rows as u64);
+            }
+            // Histograms are generic u64 distributions; lag is recorded in
+            // LSNs, age in virtual µs.
+            m.observe_us("repl_lag_lsn", database, report.lag.lsn_delta());
+            m.observe_us("repl_age_us", database, report.lag.age_us(now_us));
+            if report.records > 0 {
+                let mut tb = TraceBuilder::new(obs.traces.next_trace_id());
+                let root = tb.span(
+                    None,
+                    format!("replicate `{database}`"),
+                    SpanKind::Replicate,
+                    &self.url,
+                    Cost::ZERO,
+                    cost,
+                );
+                for (table, version) in &report.refreshed {
+                    tb.span(
+                        Some(root),
+                        format!("apply `{table}` (v{version})"),
+                        SpanKind::Phase,
+                        &self.url,
+                        Cost::ZERO,
+                        cost,
+                    );
+                }
+                let trace = tb.finish(
+                    format!(
+                        "REPLICATE `{database}` <- WAL ({} records, lsn {})",
+                        report.records, report.lag.applied_lsn
+                    ),
+                    &self.url,
+                    None,
+                    now_us,
+                    cost,
+                    "ok",
+                    report.rows as u64,
+                );
+                obs.traces.record(trace);
+            }
+        }
+    }
+
+    /// Record a *failed* stream poll (partition, crashed mart, …): the
+    /// replica keeps aging from its last verified time, and that aging lag
+    /// still reaches the version map and the RLS so bounded-staleness
+    /// routing sees the stall. `lag` is the stream's current bookkeeping.
+    pub fn note_replication_stall(
+        &self,
+        database: &str,
+        tables: &[String],
+        lag: &ReplLag,
+        error: &str,
+        now_us: u64,
+    ) {
+        self.publish_replication(database, tables, lag);
+        let obs = self.observability();
+        if obs.enabled() {
+            obs.metrics.inc("repl_poll_failures", database, 1);
+            obs.metrics
+                .observe_us("repl_age_us", database, lag.age_us(now_us));
+            let _ = error; // classified by the caller; the metric suffices
+        }
+    }
+
+    /// Fold a stream's lag bookkeeping into the version map for every
+    /// table it replicates, and publish lag-aware freshness to the RLS.
+    fn publish_replication(&self, database: &str, tables: &[String], lag: &ReplLag) {
+        let mut freshness: Vec<(String, TableFreshness)> = Vec::new();
+        {
+            let mut versions = self.mart_versions.write();
+            for table in tables {
+                let rec = versions
+                    .entry(normalize_ident(table))
+                    .or_default()
+                    .entry(database.to_string())
+                    .or_default();
+                rec.applied_lsn = lag.applied_lsn;
+                rec.head_lsn = lag.head_lsn;
+                rec.fresh_as_of_us = Some(lag.fresh_as_of_us);
+                freshness.push((
+                    normalize_ident(table),
+                    TableFreshness {
+                        version: rec.version,
+                        refreshed_us: rec.refreshed_us,
+                        applied_lsn: lag.applied_lsn,
+                        head_lsn: lag.head_lsn,
+                    },
+                ));
+            }
+        }
+        if let Some(rls) = &self.rls {
+            rls.publish_freshness(&self.url, &freshness);
+        }
+    }
+
+    /// Measured staleness of one replica at `now_us` — what
+    /// [`ReplicaPolicy::BoundedStaleness`] routes on. Tables without a
+    /// replication stream read as age 0 (they are served directly, not
+    /// from a log-shipped copy).
+    fn replica_staleness(&self, table: &str, database: &str, now_us: u64) -> ReplicaStaleness {
+        self.mart_versions
+            .read()
+            .get(&normalize_ident(table))
+            .and_then(|per| per.get(database))
+            .map(|r| r.staleness(now_us))
+            .unwrap_or_default()
+    }
+
+    /// `(lsn_lag, age_us)` of one replica at `now_us`, for stats/EXPLAIN.
+    fn replica_lag(&self, table: &str, database: &str, now_us: u64) -> (u64, u64) {
+        self.mart_versions
+            .read()
+            .get(&normalize_ident(table))
+            .and_then(|per| per.get(database))
+            .map(|r| (r.lag_lsn(), r.staleness(now_us).age_us))
+            .unwrap_or((0, 0))
+    }
+
+    /// Whether `table`@`database` is fed by a replication stream (has WAL
+    /// bookkeeping in the version map).
+    fn replica_is_streamed(&self, table: &str, database: &str) -> bool {
+        self.mart_versions
+            .read()
+            .get(&normalize_ident(table))
+            .and_then(|per| per.get(database))
+            .is_some_and(|r| r.fresh_as_of_us.is_some())
+    }
+
+    /// Snapshot of every log-shipped replica this mediator tracks:
+    /// `(table, database, version, applied_lsn, head_lsn, age_us)`,
+    /// sorted. Ages are measured against the service clock.
+    pub fn replication_snapshot(&self) -> Vec<(String, String, u64, u64, u64, u64)> {
+        let now_us = self.clock.read().now().as_micros();
+        let versions = self.mart_versions.read();
+        let mut out: Vec<(String, String, u64, u64, u64, u64)> = versions
+            .iter()
+            .flat_map(|(table, per)| {
+                per.iter()
+                    .filter(|(_, r)| r.fresh_as_of_us.is_some())
+                    .map(|(db, r)| {
+                        (
+                            table.clone(),
+                            db.clone(),
+                            r.version,
+                            r.applied_lsn,
+                            r.head_lsn,
+                            r.staleness(now_us).age_us,
+                        )
+                    })
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Invalidate the result cache only when something actually changed.
+    fn invalidate_cache_if(&self, changed: bool) {
+        if changed {
+            self.invalidate_cache();
         }
     }
 
@@ -704,11 +964,21 @@ impl DataAccessService {
                         "Unity/JDBC (fresh connection)"
                     }
                 ));
+                let now_us = self.clock.read().now().as_micros();
                 for tref in stmt.table_refs() {
                     let key = normalize_ident(&tref.name);
                     let v = self.mart_version(&key, &location.database);
                     if v > 0 {
-                        out.push_str(&format!("  table `{key}` [data v{v}]\n"));
+                        // Log-shipped replicas additionally show measured
+                        // replication lag; directly-refreshed marts don't,
+                        // so pre-replication EXPLAIN goldens are unchanged.
+                        let lag = if self.replica_is_streamed(&key, &location.database) {
+                            let (lsn, age) = self.replica_lag(&key, &location.database, now_us);
+                            format!(" [lag {lsn} lsn, {age}us]")
+                        } else {
+                            String::new()
+                        };
+                        out.push_str(&format!("  table `{key}` [data v{v}]{lag}\n"));
                     }
                 }
                 branch_targets.push((format!("database `{}`", location.database), location.url));
@@ -729,14 +999,20 @@ impl DataAccessService {
 ",
                     tasks.len()
                 ));
+                let now_us = self.clock.read().now().as_micros();
                 for task in &tasks {
                     let sub = render_select(&task.subquery, &NeutralStyle);
                     match &task.home {
                         Home::Local(loc) => {
-                            let ver = task
+                            let key = normalize_ident(&task.table);
+                            let mut ver = task
                                 .version
                                 .map(|v| format!(" [data v{v}]"))
                                 .unwrap_or_default();
+                            if self.replica_is_streamed(&key, &loc.database) {
+                                let (lsn, age) = self.replica_lag(&key, &loc.database, now_us);
+                                ver.push_str(&format!(" [lag {lsn} lsn, {age}us]"));
+                            }
                             out.push_str(&format!(
                                 "  fetch `{}` from `{}` ({}){ver}: {sub}
 ",
@@ -1314,6 +1590,7 @@ impl DataAccessService {
         let mut versions = HashMap::new();
         let mut servers: Vec<String> = vec![self.url.clone()];
         let mut databases: Vec<String> = Vec::new();
+        let now_us = self.clock.read().now().as_micros();
         for tref in stmt.table_refs() {
             let key = normalize_ident(&tref.name);
             if homes.contains_key(&key) {
@@ -1321,17 +1598,35 @@ impl DataAccessService {
             }
             let locations = dict.resolve_table(&key);
             if !locations.is_empty() {
-                let loc = self
-                    .policy
-                    .choose_versioned(&locations, &self.host, &self.topology, |loc| {
-                        self.mart_version(&key, &loc.database)
-                    })
-                    .expect("non-empty candidates")
-                    .clone();
+                // Route on *measured* staleness: versions for Freshest,
+                // replication age for BoundedStaleness. A bound no replica
+                // meets is a typed error, never silently-stale data.
+                let loc = match self.policy.choose_measured(
+                    &locations,
+                    &self.host,
+                    &self.topology,
+                    |loc| self.replica_staleness(&key, &loc.database, now_us),
+                ) {
+                    Ok(loc) => loc.expect("non-empty candidates").clone(),
+                    Err(best_age_us) => {
+                        let bound_us = match self.policy {
+                            ReplicaPolicy::BoundedStaleness(b) => b,
+                            _ => 0,
+                        };
+                        return Err(CoreError::StalenessBoundExceeded {
+                            table: key,
+                            bound_us,
+                            best_age_us,
+                        });
+                    }
+                };
                 if !databases.contains(&loc.database) {
                     databases.push(loc.database.clone());
                 }
                 let version = self.mart_version(&key, &loc.database);
+                let (lag_lsn, age_us) = self.replica_lag(&key, &loc.database, now_us);
+                stats.repl_lag_lsn = stats.repl_lag_lsn.max(lag_lsn);
+                stats.repl_age_us = stats.repl_age_us.max(age_us);
                 stats.versions.push(TableVersion {
                     table: key.clone(),
                     database: Some(loc.database.clone()),
@@ -2405,6 +2700,33 @@ impl DataAccessService {
                 Value::Int(version as i64),
                 Value::Int(refreshed_us as i64),
                 Value::Int(skew as i64),
+            ])?;
+        }
+
+        // gridfed_monitor.replication — measured WAL-replication lag for
+        // every log-shipped replica this mediator tracks: one row per
+        // (table, database), with LSN bookkeeping and virtual-time age.
+        let repl = db.create_table(
+            "gridfed_monitor.replication",
+            Schema::new(vec![
+                ColumnDef::new("table_name", DataType::Text),
+                ColumnDef::new("database", DataType::Text),
+                ColumnDef::new("version", DataType::Int),
+                ColumnDef::new("applied_lsn", DataType::Int),
+                ColumnDef::new("head_lsn", DataType::Int),
+                ColumnDef::new("lag_lsn", DataType::Int),
+                ColumnDef::new("age_us", DataType::Int),
+            ])?,
+        )?;
+        for (table, database, version, applied, head, age_us) in self.replication_snapshot() {
+            repl.insert(vec![
+                Value::Text(table),
+                Value::Text(database),
+                Value::Int(version as i64),
+                Value::Int(applied as i64),
+                Value::Int(head as i64),
+                Value::Int(head.saturating_sub(applied) as i64),
+                Value::Int(age_us as i64),
             ])?;
         }
         Ok(db)

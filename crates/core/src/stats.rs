@@ -67,6 +67,14 @@ pub struct QueryStats {
     /// Microseconds this query waited in the admission queue before
     /// execution began (wall-clock: the queue blocks a real thread).
     pub queue_wait_us: u64,
+    /// Largest replication LSN lag (warehouse head minus applied) among
+    /// the log-shipped replicas this query read. Zero when every replica
+    /// was caught up or no replicated table was touched.
+    pub repl_lag_lsn: u64,
+    /// Largest replication staleness age (virtual µs since the replica
+    /// last verified it matched the warehouse) among the replicas this
+    /// query read. Zero for caught-up replicas and non-replicated tables.
+    pub repl_age_us: u64,
     /// Failed branch attempts that were retried (after backoff).
     pub retries: usize,
     /// Branches re-routed to another replica after retry exhaustion.
@@ -120,6 +128,10 @@ impl QueryStats {
         self.rows_materialized += remote.rows_materialized;
         self.exec_workers = self.exec_workers.max(remote.exec_workers);
         self.exec_morsels += remote.exec_morsels;
+        // Lag is a worst-replica measure, so the federated query's lag is
+        // the max across every hop that contributed data.
+        self.repl_lag_lsn = self.repl_lag_lsn.max(remote.repl_lag_lsn);
+        self.repl_age_us = self.repl_age_us.max(remote.repl_age_us);
         // queue_depth / queue_wait_us stay local: admission happens at the
         // client-facing front door, not on mediator-to-mediator hops.
     }

@@ -36,6 +36,9 @@ pub enum SpanKind {
     Rpc,
     /// A mart-refresh run (root of a refresh trace, not a query).
     Refresh,
+    /// One replication-stream poll: a WAL batch shipped and replayed into
+    /// a mart replica (root of a replication trace, not a query).
+    Replicate,
 }
 
 impl SpanKind {
@@ -48,6 +51,7 @@ impl SpanKind {
             SpanKind::Attempt => "attempt",
             SpanKind::Rpc => "rpc",
             SpanKind::Refresh => "refresh",
+            SpanKind::Replicate => "replicate",
         }
     }
 
@@ -59,6 +63,7 @@ impl SpanKind {
             "attempt" => SpanKind::Attempt,
             "rpc" => SpanKind::Rpc,
             "refresh" => SpanKind::Refresh,
+            "replicate" => SpanKind::Replicate,
             _ => SpanKind::Phase,
         }
     }

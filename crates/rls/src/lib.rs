@@ -46,6 +46,11 @@ pub struct TableFreshness {
     pub version: u64,
     /// Virtual time (µs) of the refresh that produced this version.
     pub refreshed_us: u64,
+    /// Last warehouse WAL LSN the replica applied (0 = not log-shipped).
+    pub applied_lsn: u64,
+    /// Warehouse WAL head LSN as of the replica's last poll; `head -
+    /// applied` is the replica's LSN lag. Zero for non-replicated tables.
+    pub head_lsn: u64,
 }
 
 /// The central RLS server.
@@ -478,6 +483,7 @@ mod tests {
                 TableFreshness {
                     version: 3,
                     refreshed_us: 500,
+                    ..TableFreshness::default()
                 },
             )],
         );
@@ -488,6 +494,7 @@ mod tests {
                 TableFreshness {
                     version: 1,
                     refreshed_us: 100,
+                    ..TableFreshness::default()
                 },
             )],
         );
@@ -507,6 +514,7 @@ mod tests {
                 TableFreshness {
                     version: 3,
                     refreshed_us: 900,
+                    ..TableFreshness::default()
                 },
             )],
         );
@@ -524,6 +532,7 @@ mod tests {
                 TableFreshness {
                     version: 9,
                     refreshed_us: 1,
+                    ..TableFreshness::default()
                 },
             )],
         );

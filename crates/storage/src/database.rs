@@ -4,6 +4,8 @@ use crate::error::StorageError;
 use crate::normalize_ident;
 use crate::schema::Schema;
 use crate::table::Table;
+use crate::value::Value;
+use crate::wal::{Wal, WalOp, WalRecord};
 use crate::Result;
 use std::collections::BTreeMap;
 
@@ -12,10 +14,17 @@ use std::collections::BTreeMap;
 /// `BTreeMap` keyed on the lower-cased name keeps catalog listings in a
 /// deterministic order, which the XSpec generator relies on so that two
 /// generations of an unchanged schema hash identically.
+///
+/// With [`Database::enable_wal`] every catalog mutation (and every data
+/// mutation routed through [`Database::append_rows`] /
+/// [`Database::log_snapshot`]) also appends an LSN-stamped record to the
+/// database's write-ahead log — under the same `&mut self` exclusivity as
+/// the mutation itself, so the log and the state can never disagree.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     name: String,
     tables: BTreeMap<String, Table>,
+    wal: Option<Wal>,
 }
 
 impl Database {
@@ -24,12 +33,47 @@ impl Database {
         Database {
             name: name.into(),
             tables: BTreeMap::new(),
+            wal: None,
         }
     }
 
     /// Database name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Turn on the write-ahead log. From this point every catalog
+    /// mutation appends an LSN-stamped record; idempotent (re-enabling
+    /// keeps the existing log).
+    pub fn enable_wal(&mut self) {
+        if self.wal.is_none() {
+            self.wal = Some(Wal::new());
+        }
+    }
+
+    /// The write-ahead log, when enabled.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Highest LSN in the log (0 = WAL disabled or empty).
+    pub fn wal_head_lsn(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::head_lsn)
+    }
+
+    /// Log suffix past `since`, capped at `max` records (empty when the
+    /// WAL is disabled).
+    pub fn wal_records_since(&self, since: u64, max: usize) -> Vec<WalRecord> {
+        self.wal
+            .as_ref()
+            .map(|w| w.records_since(since, max))
+            .unwrap_or_default()
+    }
+
+    fn log(&mut self, op: WalOp) {
+        if let Some(w) = &mut self.wal {
+            w.append(op);
+        }
     }
 
     /// Create a table with the given schema.
@@ -39,16 +83,88 @@ impl Database {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(name));
         }
+        if self.wal.is_some() {
+            self.log(WalOp::CreateTable {
+                table: key.clone(),
+                schema: schema.clone(),
+            });
+        }
         self.tables.insert(key.clone(), Table::new(name, schema));
         Ok(self.tables.get_mut(&key).expect("just inserted"))
     }
 
     /// Drop a table; errors if absent.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = normalize_ident(name);
         self.tables
-            .remove(&normalize_ident(name))
-            .map(|_| ())
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+            .remove(&key)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))?;
+        self.log(WalOp::DropTable { table: key });
+        Ok(())
+    }
+
+    /// Bulk-append rows to a table *through the log*: rows that insert
+    /// successfully are recorded as one [`WalOp::Insert`] before this
+    /// returns (still under the caller's exclusive borrow). Stops at the
+    /// first failing row, logging — and reporting — only the rows that
+    /// actually landed, so the log matches the state even on error.
+    pub fn append_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let key = normalize_ident(table);
+        let logging = self.wal.is_some();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let mut landed: Vec<Vec<Value>> = Vec::with_capacity(if logging { rows.len() } else { 0 });
+        let mut count = 0usize;
+        let mut failed = None;
+        for row in rows {
+            let keep = if logging { Some(row.clone()) } else { None };
+            match t.insert(row) {
+                Ok(_) => {
+                    count += 1;
+                    if let Some(r) = keep {
+                        landed.push(r);
+                    }
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if !landed.is_empty() {
+            self.log(WalOp::Insert {
+                table: key,
+                rows: landed,
+            });
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(count),
+        }
+    }
+
+    /// Record the full post-state of `table` in the WAL (no-op when the
+    /// WAL is disabled). The in-place mutation paths (UPDATE/DELETE) call
+    /// this after mutating, still inside the same lock section.
+    pub fn log_snapshot(&mut self, table: &str) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let key = normalize_ident(table);
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let schema = t.schema().clone();
+        let rows: Vec<Vec<Value>> = t.rows().into_iter().map(|r| r.into_values()).collect();
+        self.log(WalOp::Snapshot {
+            table: key,
+            schema,
+            rows,
+        });
+        Ok(())
     }
 
     /// Look up a table by case-insensitive name.
@@ -88,7 +204,11 @@ impl Database {
         }
         let mut t = self.tables.remove(&from_key).expect("checked above");
         t.set_name(to);
-        self.tables.insert(to_key, t);
+        self.tables.insert(to_key.clone(), t);
+        self.log(WalOp::RenameTable {
+            from: from_key,
+            to: to_key,
+        });
         Ok(())
     }
 
@@ -105,7 +225,11 @@ impl Database {
         }
         let mut t = self.tables.remove(&shadow_key).expect("checked above");
         t.set_name(target);
-        self.tables.insert(target_key, t);
+        self.tables.insert(target_key.clone(), t);
+        self.log(WalOp::ReplaceTable {
+            shadow: shadow_key,
+            target: target_key,
+        });
         Ok(())
     }
 
@@ -208,6 +332,63 @@ mod tests {
             db.replace_table("missing", "live"),
             Err(StorageError::NoSuchTable(_))
         ));
+    }
+
+    #[test]
+    fn wal_records_every_catalog_and_data_mutation() {
+        use crate::wal::WalOp;
+        let mut db = Database::new("wh");
+        db.create_table("pre_wal", schema()).unwrap();
+        db.enable_wal();
+        assert_eq!(db.wal_head_lsn(), 0, "enabling starts an empty log");
+
+        db.create_table("t", schema()).unwrap();
+        let n = db
+            .append_rows("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        assert_eq!(n, 2);
+        db.rename_table("t", "t2").unwrap();
+        db.drop_table("t2").unwrap();
+        let records = db.wal_records_since(0, usize::MAX);
+        assert_eq!(db.wal_head_lsn(), 4);
+        assert!(matches!(&records[0].op, WalOp::CreateTable { table, .. } if table == "t"));
+        assert!(matches!(&records[1].op, WalOp::Insert { rows, .. } if rows.len() == 2));
+        assert!(
+            matches!(&records[2].op, WalOp::RenameTable { from, to } if from == "t" && to == "t2")
+        );
+        assert!(matches!(&records[3].op, WalOp::DropTable { table } if table == "t2"));
+
+        // Unlogged databases behave identically but record nothing.
+        let mut plain = Database::new("plain");
+        plain.create_table("t", schema()).unwrap();
+        assert_eq!(
+            plain.append_rows("t", vec![vec![Value::Int(1)]]).unwrap(),
+            1
+        );
+        assert!(plain.wal().is_none());
+        assert_eq!(plain.wal_head_lsn(), 0);
+    }
+
+    #[test]
+    fn append_rows_logs_only_landed_rows_on_failure() {
+        use crate::wal::WalOp;
+        let uniq = Schema::new(vec![ColumnDef::new("id", DataType::Int).unique()]).unwrap();
+        let mut db = Database::new("wh");
+        db.enable_wal();
+        db.create_table("t", uniq).unwrap();
+        let err = db.append_rows(
+            "t",
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(db.table("t").unwrap().len(), 1, "stopped at the dup");
+        let records = db.wal_records_since(1, usize::MAX); // skip CreateTable
+        assert_eq!(records.len(), 1);
+        assert!(matches!(&records[0].op, WalOp::Insert { rows, .. } if rows.len() == 1));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod row;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use column::{Bitmap, ColumnChunk, StrDict};
 pub use database::Database;
@@ -31,6 +32,7 @@ pub use row::Row;
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};
+pub use wal::{apply_wal_record, Wal, WalOp, WalRecord};
 
 /// Convenience result alias used throughout the storage engine.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -32,7 +32,7 @@ pub use dialect::{dialect_for, Dialect};
 pub use driver::{Driver, DriverRegistry};
 pub use error::VendorError;
 pub use kind::VendorKind;
-pub use server::{Connection, SimServer};
+pub use server::{Connection, SimServer, WalBatch};
 
 /// Result alias for the vendor layer.
 pub type Result<T> = std::result::Result<T, VendorError>;

@@ -11,7 +11,7 @@ use gridfed_sqlkit::ast::Statement;
 use gridfed_sqlkit::exec::{execute_select, DatabaseProvider};
 use gridfed_sqlkit::render::render_select;
 use gridfed_sqlkit::ResultSet;
-use gridfed_storage::{ColumnDef, Database, Row, Schema, Value};
+use gridfed_storage::{ColumnDef, Database, Row, Schema, Value, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -26,6 +26,18 @@ pub struct TableInfo {
     pub columns: Vec<(String, String, bool, bool)>,
     /// Live rows at introspection time.
     pub row_count: usize,
+}
+
+/// One pull of a server's write-ahead log: the records past the
+/// subscriber's acknowledged LSN (possibly capped), plus the head LSN at
+/// read time so the subscriber can compute its own lag even when the
+/// batch was capped or empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalBatch {
+    /// Records with `lsn > since`, oldest first.
+    pub records: Vec<WalRecord>,
+    /// The server's highest LSN at read time.
+    pub head_lsn: u64,
 }
 
 /// A simulated database server: one vendor product hosting one database on
@@ -142,6 +154,14 @@ impl SimServer {
             },
             cost,
         ))
+    }
+
+    /// Consult the fault plan exactly as the driver paths do, without
+    /// running an operation: `Err` when the server is down for this
+    /// instant, otherwise the slow factor in effect. Replication streams
+    /// probe this so crash windows stall replay like they stall queries.
+    pub fn fault_probe(&self) -> Result<f64> {
+        self.fault_check()
     }
 
     /// Direct read access for tests and in-process tooling (bypasses the
@@ -285,13 +305,35 @@ impl Connection {
     }
 
     /// Bulk-insert pre-built rows (the ETL fast path; streaming costs are
-    /// charged by the warehouse layer, not here).
+    /// charged by the warehouse layer, not here). Routed through
+    /// [`Database::append_rows`] so a WAL-enabled database logs the batch
+    /// in the same lock section as the insert.
     pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<Timed<usize>> {
         self.check_open()?;
         let mut db = self.server.db.write();
-        let t = db.table_mut(table)?;
-        let n = t.insert_many(rows)?;
+        let n = db.append_rows(table, rows)?;
         Ok(Timed::new(n, self.server.params.per_subquery))
+    }
+
+    /// Pull a batch of WAL records past `since` — the log-shipping
+    /// primitive a replication stream drives. Fault-checked like any
+    /// other driver operation; the per-record fetch cost scales with the
+    /// rows the batch carries (network transfer is charged by the caller,
+    /// which knows the link). Returns the batch plus the server's current
+    /// head LSN so the subscriber can measure its own lag.
+    pub fn pull_wal(&self, since: u64, max: usize) -> Result<Timed<WalBatch>> {
+        self.check_open()?;
+        let slow = self.server.fault_check()?;
+        let db = self.server.db.read();
+        let records = db.wal_records_since(since, max);
+        let head_lsn = db.wal_head_lsn();
+        drop(db);
+        let carried_rows: usize = records.iter().map(|r| r.op.row_count()).sum();
+        let p = &self.server.params;
+        let cost = (p.per_subquery + p.per_row_fetch.scale(carried_rows as f64))
+            .scale(self.server.kind.perf_multiplier())
+            .scale(slow);
+        Ok(Timed::new(WalBatch { records, head_lsn }, cost))
     }
 
     /// Fetch all rows of a table (ETL extraction primitive).
@@ -373,14 +415,14 @@ fn apply_statement(
             Ok((0, p.per_subquery))
         }
         Statement::Insert(ins) => {
-            let table = db.table_mut(&ins.table)?;
-            let schema = table.schema().clone();
-            let mut inserted = 0;
+            let schema = db.table(&ins.table)?.schema().clone();
+            let mut batch = Vec::with_capacity(ins.rows.len());
             for row_exprs in &ins.rows {
-                let values = reorder_insert_values(&schema, &ins.columns, row_exprs)?;
-                table.insert(values)?;
-                inserted += 1;
+                batch.push(reorder_insert_values(&schema, &ins.columns, row_exprs)?);
             }
+            // append_rows logs the batch into the database's WAL (when
+            // enabled) inside this same lock section.
+            let inserted = db.append_rows(&ins.table, batch)?;
             Ok((
                 inserted,
                 p.per_subquery + p.per_row_fetch.scale(inserted as f64),
@@ -388,10 +430,18 @@ fn apply_statement(
         }
         Statement::Update(u) => {
             let n = gridfed_sqlkit::exec::execute_update(&u, db)?;
+            if n > 0 {
+                // In-place mutations are the warehouse cold path: log the
+                // table's post-state so replicas can rebuild it.
+                db.log_snapshot(&u.table)?;
+            }
             Ok((n, p.per_subquery + p.per_row_fetch.scale(n as f64)))
         }
         Statement::Delete(d) => {
             let n = gridfed_sqlkit::exec::execute_delete(&d, db)?;
+            if n > 0 {
+                db.log_snapshot(&d.table)?;
+            }
             Ok((n, p.per_subquery + p.per_row_fetch.scale(n as f64)))
         }
         _ => Err(VendorError::Sql(gridfed_sqlkit::SqlError::Unsupported(
@@ -698,6 +748,88 @@ mod tests {
             .collect();
         assert!(outcomes.iter().any(|ok| *ok), "some operations succeed");
         assert!(outcomes.iter().any(|ok| !*ok), "some operations fail");
+    }
+
+    #[test]
+    fn driver_paths_feed_the_wal_and_pull_wal_ships_them() {
+        let server = SimServer::new(VendorKind::Oracle, "tier0.cern", "warehouse");
+        server.with_db_mut(|db| db.enable_wal());
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE \"f\" (\"id\" INT PRIMARY KEY, \"v\" FLOAT)")
+            .unwrap();
+        conn.execute("INSERT INTO \"f\" (\"id\", \"v\") VALUES (1, 0.5), (2, 1.5)")
+            .unwrap();
+        conn.insert_rows("f", vec![vec![Value::Int(3), Value::Float(2.5)]])
+            .unwrap();
+        conn.execute("UPDATE \"f\" SET \"v\" = 9.0 WHERE \"id\" = 1")
+            .unwrap();
+        conn.execute("DELETE FROM \"f\" WHERE \"id\" = 2").unwrap();
+
+        let batch = conn.pull_wal(0, usize::MAX).unwrap().value;
+        assert_eq!(batch.head_lsn, 5);
+        assert_eq!(batch.records.len(), 5);
+        use gridfed_storage::WalOp;
+        assert!(matches!(batch.records[0].op, WalOp::CreateTable { .. }));
+        assert!(matches!(batch.records[1].op, WalOp::Insert { .. }));
+        assert!(matches!(batch.records[2].op, WalOp::Insert { .. }));
+        assert!(matches!(batch.records[3].op, WalOp::Snapshot { .. }));
+        assert!(matches!(batch.records[4].op, WalOp::Snapshot { .. }));
+
+        // Replaying the batch reproduces the table on a fresh database.
+        let mut replica = Database::new("replica");
+        for rec in &batch.records {
+            gridfed_storage::apply_wal_record(&mut replica, rec).unwrap();
+        }
+        assert_eq!(
+            replica.table("f").unwrap().rows(),
+            server.with_db(|db| db.table("f").unwrap().rows())
+        );
+
+        // Incremental pull: only the suffix past the acked LSN.
+        let tail = conn.pull_wal(3, usize::MAX).unwrap().value;
+        assert_eq!(tail.records.len(), 2);
+        assert_eq!(tail.records[0].lsn, 4);
+        assert_eq!(tail.head_lsn, 5);
+    }
+
+    #[test]
+    fn rolled_back_transaction_leaves_no_wal_records() {
+        let server = SimServer::new(VendorKind::MySql, "h", "warehouse");
+        server.with_db_mut(|db| db.enable_wal());
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        let before = server.with_db(|db| db.wal_head_lsn());
+        let err = conn.execute_atomic(&[
+            "INSERT INTO `t` (`id`) VALUES (1)",
+            "INSERT INTO `t` (`id`) VALUES (1)",
+        ]);
+        assert!(err.is_err());
+        assert_eq!(
+            server.with_db(|db| db.wal_head_lsn()),
+            before,
+            "aborted appends died with the discarded snapshot"
+        );
+    }
+
+    #[test]
+    fn pull_wal_is_fault_checked() {
+        use gridfed_faults::FaultPlan;
+
+        let server = SimServer::new(VendorKind::MySql, "h", "warehouse");
+        server.with_db_mut(|db| db.enable_wal());
+        let conn = server.connect("grid", "grid").unwrap().value;
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        let plan =
+            Arc::new(FaultPlan::new(3).crash("warehouse", Cost::ZERO, Some(Cost::from_millis(5))));
+        server.set_fault_plan(Arc::clone(&plan));
+        assert!(matches!(
+            conn.pull_wal(0, 10),
+            Err(VendorError::Unavailable { .. })
+        ));
+        assert!(server.fault_probe().is_err());
+        plan.set_now(Cost::from_millis(5));
+        assert!(conn.pull_wal(0, 10).is_ok());
+        assert!(server.fault_probe().is_ok());
     }
 
     #[test]

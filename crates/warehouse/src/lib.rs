@@ -24,6 +24,7 @@
 
 pub mod etl;
 pub mod marts;
+pub mod repl;
 pub mod views;
 
 pub use etl::{fact_high_water_mark, EtlPipeline, EtlReport, TransportMode};
@@ -31,6 +32,7 @@ pub use marts::{
     mart_meta_schema, materialize_into_mart, read_all_mart_meta, read_mart_meta, refresh_mart,
     MartMeta, MartReport, RefreshKind, MART_META_TABLE,
 };
+pub use repl::{wal_head, ReplBatchReport, ReplLag, ReplicationStream, DEFAULT_BATCH_LIMIT};
 pub use views::{evaluate_view, ViewDef};
 
 /// Errors raised by the warehouse layer.
@@ -44,6 +46,14 @@ pub enum WarehouseError {
     Storage(gridfed_storage::StorageError),
     /// Structural problem (missing table, bad view, …).
     Pipeline(String),
+    /// A replication link is partitioned: the subscriber at `to` cannot
+    /// reach the warehouse at `from` over the current topology.
+    Unreachable {
+        /// Upstream (warehouse) host.
+        from: String,
+        /// Subscriber (mart) host.
+        to: String,
+    },
 }
 
 impl std::fmt::Display for WarehouseError {
@@ -53,6 +63,9 @@ impl std::fmt::Display for WarehouseError {
             WarehouseError::Sql(e) => write!(f, "SQL error: {e}"),
             WarehouseError::Storage(e) => write!(f, "storage error: {e}"),
             WarehouseError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            WarehouseError::Unreachable { from, to } => {
+                write!(f, "replication link partitioned: {to} cannot reach {from}")
+            }
         }
     }
 }

@@ -389,7 +389,9 @@ fn incremental_pivot_refresh(
 /// Build the shadow table (readers keep hitting the live one), then in a
 /// *single* storage-lock section swap it over the live table, bump the
 /// data version, and persist the metadata row. Returns the new version.
-fn swap_in_shadow(
+/// `pub(crate)` so the replication stream reuses the same swap discipline
+/// per applied WAL batch.
+pub(crate) fn swap_in_shadow(
     mart: &Connection,
     table: &str,
     schema: Schema,
@@ -415,22 +417,39 @@ fn swap_in_shadow(
 
     // Phase 2: one atomic catalog mutation — swap table and version
     // together, so a reader sees either (old data, old version) or
-    // (new data, new version), never a blend.
+    // (new data, new version), never a blend. Promotion runs against a
+    // copy-on-write snapshot: a mid-way failure (e.g. a corrupted meta
+    // table) leaves the live database exactly as it was — old data, old
+    // meta — instead of half-promoted, and the orphaned shadow is dropped
+    // on the error path so retries start clean.
     mart.server().with_db_mut(|db| -> Result<u64> {
         let version = read_mart_meta(db, table).map(|m| m.version).unwrap_or(0) + 1;
-        db.replace_table(&shadow, table)
-            .map_err(WarehouseError::Storage)?;
-        write_mart_meta(
-            db,
-            &MartMeta {
-                table: table.to_string(),
-                version,
-                refreshed_us: now_us,
-                hwm: fact_hwm,
-                rows: row_count,
-            },
-        )?;
-        Ok(version)
+        let mut staged = db.clone();
+        let promote = (|| -> Result<()> {
+            staged
+                .replace_table(&shadow, table)
+                .map_err(WarehouseError::Storage)?;
+            write_mart_meta(
+                &mut staged,
+                &MartMeta {
+                    table: table.to_string(),
+                    version,
+                    refreshed_us: now_us,
+                    hwm: fact_hwm,
+                    rows: row_count,
+                },
+            )
+        })();
+        match promote {
+            Ok(()) => {
+                *db = staged;
+                Ok(version)
+            }
+            Err(e) => {
+                let _ = db.drop_table(&shadow);
+                Err(e)
+            }
+        }
     })
 }
 
@@ -772,6 +791,59 @@ mod tests {
             mart.with_db(|db| db.table("event_counts").unwrap().len()),
             40
         );
+    }
+
+    /// Regression: a promotion that fails mid-way (here: the mart's meta
+    /// table was corrupted, so persisting the version row errors after the
+    /// shadow was built) must neither half-promote nor leave an orphaned
+    /// `__shadow__<table>` behind.
+    #[test]
+    fn failed_promotion_cleans_up_shadow_and_keeps_old_snapshot() {
+        let spec = NtupleSpec::tiny();
+        let wh = warehouse_with_data(&spec);
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let view = ViewDef::Pivot {
+            name: "tiny_events".into(),
+            spec: spec.clone(),
+        };
+        materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        )
+        .unwrap();
+
+        // Corrupt the meta table: wrong arity makes write_mart_meta fail
+        // *after* replace_table in the promotion section.
+        mart.with_db_mut(|db| {
+            db.drop_table(MART_META_TABLE).unwrap();
+            db.create_table(
+                MART_META_TABLE,
+                Schema::new(vec![ColumnDef::new("x", DataType::Int)]).unwrap(),
+            )
+            .unwrap();
+        });
+
+        let err = materialize_into_mart(
+            &view,
+            &wconn,
+            &mconn,
+            &Topology::lan(),
+            TransportMode::Staged,
+        );
+        assert!(err.is_err(), "corrupted meta must fail the refresh");
+        mart.with_db(|db| {
+            assert!(
+                !db.has_table(&shadow_name("tiny_events")),
+                "orphaned shadow left behind after failed promotion"
+            );
+            // The old snapshot is fully intact — promotion rolled back.
+            assert_eq!(db.table("tiny_events").unwrap().len(), spec.events);
+        });
     }
 
     /// Regression for the drop→create→insert window: readers hammering the

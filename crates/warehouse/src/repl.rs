@@ -1,0 +1,630 @@
+//! WAL-based continuous replication: log-shipped marts.
+//!
+//! PR 5 kept marts fresh by *scheduled* refresh — whole-delta pulls at
+//! coarse intervals, with `ReplicaPolicy::Freshest` routing on refresh
+//! versions. This module collapses refresh into **log shipping**: a
+//! [`ReplicationStream`] subscribes a mart to the warehouse's write-ahead
+//! log (see `gridfed_storage::wal`), pulls record batches past its last
+//! acknowledged LSN over the simnet link, and replays them continuously —
+//! bumping the PR-5 mart version/freshness machinery *per applied batch*
+//! instead of per refresh, and reporting real replication lag (LSN delta
+//! plus virtual-time age) so the mediator can route on measured staleness
+//! (`ReplicaPolicy::BoundedStaleness`).
+//!
+//! Replay is view-aware: marts hold *materialized views*, not raw
+//! warehouse tables, so a batch of fact-table `Insert` records is pivoted
+//! through the same core as `pivot_fact_since` (which is now just another
+//! consumer of the log) and merged by event id; structural fact-table
+//! changes (snapshot/replace) and aggregate SQL views whose inputs the
+//! batch touched trigger a recompute — still triggered *by the log*, so
+//! an idle warehouse costs one heartbeat probe, not a rebuild.
+//!
+//! Because batches ride simnet links and both endpoints consult their
+//! fault plans, `gridfed-faults` partitions, crash windows, and slow links
+//! apply directly: a partitioned stream returns
+//! [`WarehouseError::Unreachable`] and catches up from its acked LSN when
+//! the link heals.
+
+use crate::etl::fact_high_water_mark;
+use crate::marts::{read_mart_meta, swap_in_shadow};
+use crate::views::{evaluate_view, pivot_rows, FactColumns, ViewDef};
+use crate::{Result, WarehouseError};
+use gridfed_ntuple::schema as nschema;
+use gridfed_simnet::cost::Timed;
+use gridfed_simnet::params::CostParams;
+use gridfed_simnet::topology::Topology;
+use gridfed_storage::{normalize_ident, Row, Value, WalOp};
+use gridfed_vendors::Connection;
+use std::collections::BTreeMap;
+
+/// Default cap on records pulled per poll (keeps single polls bounded so
+/// catch-up after a long partition is paced, not one giant batch).
+pub const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// One subscriber's replication lag at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplLag {
+    /// Last LSN applied (and acknowledged) by the replica.
+    pub applied_lsn: u64,
+    /// The warehouse head LSN as of the replica's last successful poll.
+    pub head_lsn: u64,
+    /// Virtual time (µs) the replica last *verified* it was fully caught
+    /// up (applied == head). Staleness age is measured from here, so a
+    /// partitioned replica ages even when the warehouse is idle — the
+    /// replica cannot distinguish "idle" from "unreachable".
+    pub fresh_as_of_us: u64,
+}
+
+impl ReplLag {
+    /// Records known shipped but not yet applied.
+    pub fn lsn_delta(&self) -> u64 {
+        self.head_lsn.saturating_sub(self.applied_lsn)
+    }
+
+    /// Virtual-time age of the replica's data: how long since it last
+    /// verified it matched the warehouse head.
+    pub fn age_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.fresh_as_of_us)
+    }
+}
+
+/// What one poll applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplBatchReport {
+    /// Mart database name.
+    pub mart: String,
+    /// WAL records shipped this poll.
+    pub records: usize,
+    /// Data rows carried by those records.
+    pub rows: usize,
+    /// Wire bytes shipped over the link.
+    pub bytes: usize,
+    /// `(mart table, new data version)` for every view this batch bumped.
+    pub refreshed: Vec<(String, u64)>,
+    /// Lag after this poll.
+    pub lag: ReplLag,
+}
+
+/// A continuous log-shipping subscription: one mart replica following one
+/// warehouse database's WAL.
+#[derive(Debug)]
+pub struct ReplicationStream {
+    warehouse: Connection,
+    mart: Connection,
+    views: Vec<ViewDef>,
+    acked_lsn: u64,
+    last_head_lsn: u64,
+    fresh_as_of_us: u64,
+    batch_limit: usize,
+}
+
+impl ReplicationStream {
+    /// Subscribe `mart` to the warehouse's WAL, replaying everything past
+    /// `start_lsn`. A mart seeded by a full materialization subscribes at
+    /// the head LSN its snapshot covers; a cold replica subscribes at 0
+    /// and bootstraps from the log alone.
+    pub fn subscribe(
+        warehouse: Connection,
+        mart: Connection,
+        views: Vec<ViewDef>,
+        start_lsn: u64,
+        now_us: u64,
+    ) -> ReplicationStream {
+        ReplicationStream {
+            warehouse,
+            mart,
+            views,
+            acked_lsn: start_lsn,
+            last_head_lsn: start_lsn,
+            fresh_as_of_us: now_us,
+            batch_limit: DEFAULT_BATCH_LIMIT,
+        }
+    }
+
+    /// Cap records per poll (default [`DEFAULT_BATCH_LIMIT`]).
+    pub fn with_batch_limit(mut self, limit: usize) -> ReplicationStream {
+        self.batch_limit = limit.max(1);
+        self
+    }
+
+    /// The replica connection.
+    pub fn mart(&self) -> &Connection {
+        &self.mart
+    }
+
+    /// The upstream connection.
+    pub fn warehouse(&self) -> &Connection {
+        &self.warehouse
+    }
+
+    /// Views this stream maintains on the replica.
+    pub fn views(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    /// Last LSN applied and acknowledged.
+    pub fn acked_lsn(&self) -> u64 {
+        self.acked_lsn
+    }
+
+    /// Lag as of the last successful poll.
+    pub fn lag(&self) -> ReplLag {
+        ReplLag {
+            applied_lsn: self.acked_lsn,
+            head_lsn: self.last_head_lsn.max(self.acked_lsn),
+            fresh_as_of_us: self.fresh_as_of_us,
+        }
+    }
+
+    /// One replication round: pull the WAL suffix past the acked LSN over
+    /// the simnet link, replay it into the mart's materialized views, ack.
+    /// An empty batch is a heartbeat — it still re-verifies freshness, so
+    /// a caught-up replica polled every Δ µs has staleness age ≤ Δ.
+    ///
+    /// Fails typed when the link is partitioned
+    /// ([`WarehouseError::Unreachable`]) or either endpoint's fault plan
+    /// says it is down (`WarehouseError::Vendor`); the acked LSN is
+    /// untouched on failure, so the next poll resumes exactly where this
+    /// one left off.
+    pub fn poll(&mut self, topology: &Topology, now_us: u64) -> Result<Timed<ReplBatchReport>> {
+        let wh_host = self.warehouse.server().host().to_string();
+        let mart_host = self.mart.server().host().to_string();
+        if !topology.reachable(&wh_host, &mart_host) {
+            return Err(WarehouseError::Unreachable {
+                from: wh_host,
+                to: mart_host,
+            });
+        }
+        // The replica must be up to apply; probing first means a crashed
+        // mart stalls replay without consuming the batch.
+        let mart_slow = self.mart.server().fault_probe()?;
+        let pulled = self.warehouse.pull_wal(self.acked_lsn, self.batch_limit)?;
+        let batch = pulled.value;
+        let mut cost = pulled.cost;
+
+        let bytes: usize = batch.records.iter().map(|r| r.op.wire_size()).sum();
+        // Request + ack round trip, plus the payload transfer.
+        cost += topology.transfer(&wh_host, &mart_host, bytes.max(64));
+
+        let params = CostParams::paper_2005();
+        let mut refreshed = Vec::new();
+        let mut rows_applied = 0usize;
+
+        if !batch.records.is_empty() {
+            // Partition the batch once: fact-table inserts replay through
+            // the pivot core; anything structural on a view input forces a
+            // recompute of that view.
+            let fact_inserts: Vec<Vec<Value>> = batch
+                .records
+                .iter()
+                .filter_map(|r| match &r.op {
+                    WalOp::Insert { table, rows } if table == nschema::FACT_TABLE => {
+                        Some(rows.clone())
+                    }
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            let fact_restructured = batch.records.iter().any(|r| {
+                r.op.table() == nschema::FACT_TABLE && !matches!(r.op, WalOp::Insert { .. })
+            });
+
+            let views = self.views.clone();
+            for view in &views {
+                let applied = match view {
+                    ViewDef::Pivot { name, spec } => {
+                        if fact_restructured {
+                            self.recompute_view(view, now_us)?
+                        } else if fact_inserts.is_empty() {
+                            None
+                        } else {
+                            self.apply_pivot_delta(name, spec, &fact_inserts, now_us)?
+                        }
+                    }
+                    ViewDef::Sql { query, .. } => {
+                        let touched = batch.records.iter().any(|r| {
+                            query
+                                .table_refs()
+                                .iter()
+                                .any(|t| normalize_ident(&t.name) == r.op.table())
+                        });
+                        if touched {
+                            self.recompute_view(view, now_us)?
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some((table, version, rows)) = applied {
+                    cost += params.mart_load_per_row.scale(rows as f64).scale(mart_slow)
+                        + params.per_subquery; // swap
+                    rows_applied += rows;
+                    refreshed.push((table, version));
+                }
+            }
+            self.acked_lsn = batch.records.last().expect("non-empty").lsn;
+        }
+
+        self.last_head_lsn = batch.head_lsn.max(self.acked_lsn);
+        if self.acked_lsn >= batch.head_lsn {
+            self.fresh_as_of_us = now_us;
+        }
+
+        Ok(Timed::new(
+            ReplBatchReport {
+                mart: self.mart.server().db_name().to_string(),
+                records: batch.records.len(),
+                rows: rows_applied,
+                bytes,
+                refreshed,
+                lag: self.lag(),
+            },
+            cost,
+        ))
+    }
+
+    /// Replay a batch of fact-table insert rows into one pivot view:
+    /// pivot the delta through the shared core, merge per column by event
+    /// id (a batch boundary may split one event's measurements — merging
+    /// only non-NULL variables keeps a half-shipped event from erasing the
+    /// half already applied), swap, bump the version.
+    fn apply_pivot_delta(
+        &self,
+        table: &str,
+        spec: &gridfed_ntuple::spec::NtupleSpec,
+        fact_rows: &[Vec<Value>],
+        now_us: u64,
+    ) -> Result<Option<(String, u64, usize)>> {
+        let Some(meta) = self.mart.server().with_db(|db| read_mart_meta(db, table)) else {
+            // Never materialized: bootstrap with a full recompute.
+            return self.recompute_view(
+                &ViewDef::Pivot {
+                    name: table.to_string(),
+                    spec: spec.clone(),
+                },
+                now_us,
+            );
+        };
+        let cols = self.warehouse.server().with_db(|db| {
+            db.table(nschema::FACT_TABLE)
+                .map_err(WarehouseError::Storage)
+                .and_then(|t| FactColumns::resolve(t.schema()))
+        })?;
+        // Filter on the mart's recorded high-water mark so a replayed or
+        // overlapping batch is idempotent.
+        let delta = pivot_rows(spec, &cols, meta.hwm, fact_rows.iter().cloned())?;
+        if delta.rows.is_empty() {
+            return Ok(None);
+        }
+        let new_hwm = fact_rows
+            .iter()
+            .filter_map(|r| match r.first() {
+                Some(Value::Int(m)) => Some(*m),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(meta.hwm)
+            .max(meta.hwm);
+
+        let (schema, live) =
+            self.mart
+                .server()
+                .with_db(|db| -> Result<(gridfed_storage::Schema, Vec<Row>)> {
+                    let t = db.table(table).map_err(WarehouseError::Storage)?;
+                    Ok((t.schema().clone(), t.rows()))
+                })?;
+        let mut merged: BTreeMap<i64, Vec<Value>> = BTreeMap::new();
+        for row in live {
+            let vals = row.into_values();
+            match vals.first() {
+                Some(Value::Int(e)) => {
+                    merged.insert(*e, vals);
+                }
+                other => {
+                    return Err(WarehouseError::Pipeline(format!(
+                        "non-integer e_id {other:?} in pivoted mart table `{table}`"
+                    )))
+                }
+            }
+        }
+        let delta_rows = delta.rows.len();
+        for row in delta.rows {
+            let vals = row.into_values();
+            let e_id = match vals.first() {
+                Some(Value::Int(e)) => *e,
+                other => {
+                    return Err(WarehouseError::Pipeline(format!(
+                        "non-integer e_id {other:?} in pivoted replication delta"
+                    )))
+                }
+            };
+            merged
+                .entry(e_id)
+                .and_modify(|existing| {
+                    for (slot, v) in existing.iter_mut().zip(&vals) {
+                        if !v.is_null() {
+                            *slot = v.clone();
+                        }
+                    }
+                })
+                .or_insert(vals);
+        }
+        let values: Vec<Vec<Value>> = merged.into_values().collect();
+        let version = swap_in_shadow(&self.mart, table, schema, values, new_hwm, now_us)?;
+        Ok(Some((table.to_string(), version, delta_rows)))
+    }
+
+    /// Recompute one view from the live warehouse and swap it in — the
+    /// replay path for structural changes and for aggregate SQL views,
+    /// still *triggered* by the log rather than by a schedule.
+    fn recompute_view(&self, view: &ViewDef, now_us: u64) -> Result<Option<(String, u64, usize)>> {
+        let result = evaluate_view(view, &self.warehouse)?;
+        let schema = view.output_schema(&self.warehouse)?;
+        let hwm = fact_high_water_mark(&self.warehouse).unwrap_or(-1);
+        let rows = result.rows.len();
+        let values: Vec<Vec<Value>> = result.rows.into_iter().map(Row::into_values).collect();
+        let version = swap_in_shadow(&self.mart, view.name(), schema, values, hwm, now_us)?;
+        Ok(Some((view.name().to_string(), version, rows)))
+    }
+}
+
+/// Convenience: the warehouse's current WAL head — the LSN a freshly
+/// materialized mart subscribes at.
+pub fn wal_head(warehouse: &Connection) -> u64 {
+    warehouse.server().with_db(|db| db.wal_head_lsn())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etl::{EtlPipeline, TransportMode};
+    use crate::marts::materialize_into_mart;
+    use gridfed_ntuple::{NtupleGenerator, NtupleSpec};
+    use gridfed_simnet::cost::Cost;
+    use gridfed_sqlkit::parser::parse_select;
+    use gridfed_vendors::{SimServer, VendorKind};
+    use std::sync::Arc;
+
+    /// Source + WAL-enabled warehouse + one mart with a pivot and an
+    /// aggregate view materialized, plus a stream subscribed at head.
+    fn rig(
+        spec: &NtupleSpec,
+    ) -> (
+        Arc<SimServer>,
+        Arc<SimServer>,
+        Arc<SimServer>,
+        ReplicationStream,
+    ) {
+        let src = SimServer::new(VendorKind::MySql, "t2", "src");
+        src.with_db_mut(|db| {
+            NtupleGenerator::new(spec.clone(), 1)
+                .populate_source_range(db, 0, spec.events - 20)
+                .unwrap();
+        });
+        let wh = SimServer::new(VendorKind::Oracle, "t0", "warehouse");
+        wh.with_db_mut(|db| db.enable_wal());
+        let sconn = src.connect("grid", "grid").unwrap().value;
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        EtlPipeline::paper()
+            .run_incremental(&sconn, &wconn)
+            .unwrap();
+
+        let mart = SimServer::new(VendorKind::MySql, "mart", "m");
+        let mconn = mart.connect("grid", "grid").unwrap().value;
+        let views = vec![
+            ViewDef::Pivot {
+                name: format!("{}_events", spec.name),
+                spec: spec.clone(),
+            },
+            ViewDef::Sql {
+                name: "run_counts".into(),
+                query: parse_select(
+                    "SELECT run_id, COUNT(*) AS n FROM fact_measurements GROUP BY run_id",
+                )
+                .unwrap(),
+            },
+        ];
+        for v in &views {
+            materialize_into_mart(v, &wconn, &mconn, &Topology::lan(), TransportMode::Direct)
+                .unwrap();
+        }
+        let stream = ReplicationStream::subscribe(
+            wconn,
+            mconn,
+            views,
+            wal_head(&wh.connect("grid", "grid").unwrap().value),
+            0,
+        );
+        (src, wh, mart, stream)
+    }
+
+    fn extend_source(src: &SimServer, spec: &NtupleSpec, first: usize, extra: usize) {
+        src.with_db_mut(|db| {
+            let mut gen = NtupleGenerator::new(spec.clone(), 1);
+            let batch = gen.measurement_batch(first, extra);
+            let events = db.table_mut("events").unwrap();
+            for e in first..first + extra {
+                events
+                    .insert(vec![Value::Int(e as i64), Value::Int(0), Value::Float(1.0)])
+                    .unwrap();
+            }
+            db.table_mut("measurements")
+                .unwrap()
+                .insert_many(batch)
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn idle_poll_is_a_cheap_heartbeat_that_refreshes_age() {
+        let spec = NtupleSpec::with_nvar("hb", 40, 3);
+        let (_src, _wh, _mart, mut stream) = rig(&spec);
+        let r = stream.poll(&Topology::lan(), 7_000).unwrap();
+        assert_eq!(r.value.records, 0);
+        assert!(r.value.refreshed.is_empty());
+        assert_eq!(r.value.lag.lsn_delta(), 0);
+        assert_eq!(r.value.lag.age_us(7_000), 0, "heartbeat re-verified");
+        assert_eq!(r.value.lag.age_us(9_500), 2_500);
+    }
+
+    #[test]
+    fn new_fact_rows_stream_into_the_pivot_view() {
+        let spec = NtupleSpec::with_nvar("strm", 60, 4);
+        let (src, wh, mart, mut stream) = rig(&spec);
+        let pre = mart.with_db(|db| db.table("strm_events").unwrap().len());
+
+        extend_source(&src, &spec, spec.events - 20, 20);
+        EtlPipeline::paper()
+            .run_incremental(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+            )
+            .unwrap();
+
+        let r = stream.poll(&Topology::lan(), 10_000).unwrap();
+        assert!(r.value.records > 0);
+        assert!(r.value.rows > 0);
+        assert!(r.cost > Cost::ZERO);
+        assert_eq!(r.value.lag.lsn_delta(), 0, "caught up in one poll");
+        // The pivot view gained exactly the 20 new events…
+        assert_eq!(
+            mart.with_db(|db| db.table("strm_events").unwrap().len()),
+            pre + 20
+        );
+        // …and the aggregate SQL view was recomputed off the same batch.
+        let bumped: Vec<_> = r.value.refreshed.iter().map(|(t, _)| t.clone()).collect();
+        assert!(bumped.contains(&"strm_events".to_string()));
+        assert!(bumped.contains(&"run_counts".to_string()));
+        // Replica pivot matches a fresh warehouse-side pivot exactly.
+        let expect = wh
+            .with_db(|db| crate::views::pivot_fact_since(db, &spec, i64::MIN))
+            .unwrap();
+        let got = mart.with_db(|db| db.table("strm_events").unwrap().rows());
+        assert_eq!(got.len(), expect.rows.len());
+        assert_eq!(got, expect.rows);
+    }
+
+    #[test]
+    fn capped_batches_converge_over_multiple_polls() {
+        let spec = NtupleSpec::with_nvar("cap", 50, 5);
+        let (src, wh, mart, stream) = rig(&spec);
+        let mut stream = stream.with_batch_limit(1);
+        extend_source(&src, &spec, spec.events - 20, 20);
+        EtlPipeline::paper()
+            .run_incremental(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+            )
+            .unwrap();
+
+        let mut polls = 0;
+        loop {
+            let r = stream.poll(&Topology::lan(), 1_000 + polls).unwrap();
+            polls += 1;
+            assert!(polls < 10_000, "stream failed to converge");
+            if r.value.lag.lsn_delta() == 0 && r.value.records == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            mart.with_db(|db| db.table("cap_events").unwrap().len()),
+            spec.events,
+            "split batches merged without erasing half-shipped events"
+        );
+        let expect = wh
+            .with_db(|db| crate::views::pivot_fact_since(db, &spec, i64::MIN))
+            .unwrap();
+        assert_eq!(
+            mart.with_db(|db| db.table("cap_events").unwrap().rows()),
+            expect.rows
+        );
+    }
+
+    #[test]
+    fn partition_fails_typed_and_stream_catches_up_after_heal() {
+        use gridfed_faults::FaultPlan;
+
+        let spec = NtupleSpec::with_nvar("part", 40, 3);
+        let (src, wh, mart, mut stream) = rig(&spec);
+        let topo = Topology::lan();
+        let plan = Arc::new(FaultPlan::new(13).partition(
+            "t0",
+            "mart",
+            Cost::ZERO,
+            Some(Cost::from_millis(5)),
+        ));
+        topo.set_conditions(Arc::clone(&plan) as _);
+
+        extend_source(&src, &spec, spec.events - 20, 20);
+        EtlPipeline::paper()
+            .run_incremental(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+            )
+            .unwrap();
+
+        let err = stream.poll(&topo, 5_000).unwrap_err();
+        assert!(matches!(err, WarehouseError::Unreachable { .. }));
+        // Lag age keeps growing while partitioned.
+        assert!(stream.lag().age_us(5_000) >= 5_000);
+
+        plan.set_now(Cost::from_millis(5)); // partition heals
+        let r = stream.poll(&topo, 6_000).unwrap();
+        assert_eq!(r.value.lag.lsn_delta(), 0);
+        assert_eq!(
+            mart.with_db(|db| db.table("part_events").unwrap().len()),
+            spec.events
+        );
+        assert_eq!(stream.lag().age_us(6_000), 0);
+    }
+
+    #[test]
+    fn update_snapshot_records_force_view_recompute() {
+        let spec = NtupleSpec::with_nvar("snap", 30, 3);
+        let (_src, wh, mart, mut stream) = rig(&spec);
+        // An in-place warehouse UPDATE logs a Snapshot record.
+        let wconn = wh.connect("grid", "grid").unwrap().value;
+        let n = wconn
+            .execute("UPDATE \"fact_measurements\" SET \"weight\" = 2.0 WHERE \"run_id\" = 0")
+            .unwrap()
+            .value;
+        assert!(n > 0);
+        let r = stream.poll(&Topology::lan(), 3_000).unwrap();
+        assert!(r.value.refreshed.iter().any(|(t, _)| t == "snap_events"));
+        // Every replicated weight reflects the update.
+        mart.with_db(|db| {
+            for row in db.table("snap_events").unwrap().scan() {
+                assert_eq!(row.values()[3], Value::Float(2.0));
+            }
+        });
+    }
+
+    #[test]
+    fn crashed_mart_stalls_replay_without_consuming_the_batch() {
+        use gridfed_faults::FaultPlan;
+
+        let spec = NtupleSpec::with_nvar("crash", 30, 3);
+        let (src, wh, mart, mut stream) = rig(&spec);
+        extend_source(&src, &spec, spec.events - 20, 5);
+        EtlPipeline::paper()
+            .run_incremental(
+                &src.connect("grid", "grid").unwrap().value,
+                &wh.connect("grid", "grid").unwrap().value,
+            )
+            .unwrap();
+
+        let acked = stream.acked_lsn();
+        let plan = Arc::new(FaultPlan::new(7).crash("m", Cost::ZERO, Some(Cost::from_millis(10))));
+        mart.set_fault_plan(Arc::clone(&plan));
+        assert!(matches!(
+            stream.poll(&Topology::lan(), 2_000),
+            Err(WarehouseError::Vendor(_))
+        ));
+        assert_eq!(stream.acked_lsn(), acked, "nothing consumed while down");
+
+        plan.set_now(Cost::from_millis(10));
+        let r = stream.poll(&Topology::lan(), 12_000).unwrap();
+        assert!(r.value.records > 0);
+        assert_eq!(r.value.lag.lsn_delta(), 0);
+    }
+}

@@ -104,17 +104,49 @@ pub(crate) fn pivot_fact_since(
     let fact = db
         .table(nschema::FACT_TABLE)
         .map_err(WarehouseError::Storage)?;
-    let schema = fact.schema();
-    let (m_idx, e_idx, run_idx, det_idx, var_idx, val_idx, w_idx) = (
-        col(schema, "m_id")?,
-        col(schema, "e_id")?,
-        col(schema, "run_id")?,
-        col(schema, "detector")?,
-        col(schema, "var_name")?,
-        col(schema, "value")?,
-        col(schema, "weight")?,
-    );
+    let cols = FactColumns::resolve(fact.schema())?;
+    pivot_rows(spec, &cols, min_m_id, fact.scan().map(Row::into_values))
+}
 
+/// Resolved offsets of the fact-table columns the pivot consumes.
+/// Resolving them once lets the same pivot core run over a table scan
+/// *or* over WAL-carried fact rows (the replication path), which arrive
+/// as bare value vectors in schema column order.
+pub(crate) struct FactColumns {
+    m_id: usize,
+    e_id: usize,
+    run_id: usize,
+    detector: usize,
+    var_name: usize,
+    value: usize,
+    weight: usize,
+}
+
+impl FactColumns {
+    /// Resolve against a fact-table schema.
+    pub(crate) fn resolve(schema: &Schema) -> Result<FactColumns> {
+        Ok(FactColumns {
+            m_id: col(schema, "m_id")?,
+            e_id: col(schema, "e_id")?,
+            run_id: col(schema, "run_id")?,
+            detector: col(schema, "detector")?,
+            var_name: col(schema, "var_name")?,
+            value: col(schema, "value")?,
+            weight: col(schema, "weight")?,
+        })
+    }
+}
+
+/// The pivot core: fold fact rows (schema column order, `m_id > min_m_id`)
+/// into the ntuple shape, one output row per event, sorted by `e_id`.
+/// `pivot_fact_since` runs it over a warehouse table scan; the replication
+/// stream runs it directly over the rows a WAL `Insert` batch carries.
+pub(crate) fn pivot_rows(
+    spec: &NtupleSpec,
+    cols: &FactColumns,
+    min_m_id: i64,
+    fact_rows: impl Iterator<Item = Vec<Value>>,
+) -> Result<ResultSet> {
     let var_slot: HashMap<&str, usize> = spec
         .variables
         .iter()
@@ -125,10 +157,9 @@ pub(crate) fn pivot_fact_since(
     // e_id → (run_id, detector, weight, [values per variable])
     let mut events: HashMap<i64, (Value, Value, Value, Vec<Value>)> = HashMap::new();
     let mut order: Vec<i64> = Vec::new();
-    for row in fact.scan() {
-        let vals = row.values();
+    for vals in fact_rows {
         if min_m_id != i64::MIN {
-            match &vals[m_idx] {
+            match &vals[cols.m_id] {
                 Value::Int(m) if *m > min_m_id => {}
                 Value::Int(_) => continue,
                 other => {
@@ -139,7 +170,7 @@ pub(crate) fn pivot_fact_since(
                 }
             }
         }
-        let e_id = match &vals[e_idx] {
+        let e_id = match &vals[cols.e_id] {
             Value::Int(i) => *i,
             other => {
                 return Err(WarehouseError::Pipeline(format!(
@@ -148,21 +179,21 @@ pub(crate) fn pivot_fact_since(
                 )))
             }
         };
-        let slot = match &vals[var_idx] {
+        let slot = match &vals[cols.var_name] {
             Value::Text(name) => var_slot.get(name.as_str()).copied(),
             _ => None,
         };
         let entry = events.entry(e_id).or_insert_with(|| {
             order.push(e_id);
             (
-                vals[run_idx].clone(),
-                vals[det_idx].clone(),
-                vals[w_idx].clone(),
+                vals[cols.run_id].clone(),
+                vals[cols.detector].clone(),
+                vals[cols.weight].clone(),
                 vec![Value::Null; spec.nvar()],
             )
         });
         if let Some(slot) = slot {
-            entry.3[slot] = vals[val_idx].clone();
+            entry.3[slot] = vals[cols.value].clone();
         }
     }
 

@@ -68,7 +68,8 @@ pub use gridfed_xspec as xspec;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use gridfed_core::grid::{Grid, GridBuilder};
+    pub use gridfed_core::grid::{Grid, GridBuilder, ReplicationConfig};
+    pub use gridfed_core::placement::ReplicaPolicy;
     pub use gridfed_core::resilience::{DegradationPolicy, ResilienceConfig};
     pub use gridfed_core::service::{DataAccessService, QueryOutcome};
     pub use gridfed_faults::FaultPlan;
