@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos obs marts repl stress
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs profile marts repl stress
 
-verify: build test chaos obs marts repl stress lint fmt bench-smoke
+verify: build test chaos obs profile marts repl stress lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -37,6 +37,13 @@ chaos:
 # (regenerate the goldens with UPDATE_GOLDEN=1).
 obs:
 	cargo test -q --test observability --test golden_explain
+
+# Statement-profiling suite: fingerprint normalization/aggregation and the
+# metrics-history/SLO unit tests in the obs crate, plus one untimed pass
+# of the obs-overhead bench bodies (off / on / profiled query paths).
+profile:
+	cargo test -q -p gridfed-obs
+	cargo bench -p gridfed-bench --bench obs_overhead -- --test
 
 # Mart-refresh suite: incremental/versioned refresh through the full
 # stack (delta ETL, atomic swap, RLS freshness, placement, cache

@@ -1,14 +1,17 @@
 //! Observability overhead bench (`obs_overhead`): the four exec-hotpath
 //! query shapes (filter scan, dimension join, GROUP BY, ORDER BY) run
-//! through the full mediator query path on a single-server grid, with
-//! tracing+metrics disabled vs enabled. The disabled path must be free —
-//! one relaxed atomic load gates all instrumentation — and the enabled
-//! path buys a full span tree plus counters/histograms per query.
-//! Recorded in `BENCH_obs.json` at the repo root, alongside a baseline
-//! taken at the pre-observability commit.
+//! through the full mediator query path on a single-server grid, in three
+//! modes: tracing+metrics disabled, enabled, and enabled with continuous
+//! statement profiling (fingerprinting, per-statement histograms,
+//! per-node attribution, metrics-history snapshots). The disabled path
+//! must be free — one relaxed atomic load gates all instrumentation —
+//! and each enabled tier buys correspondingly more per query. Recorded in
+//! `BENCH_obs.json` at the repo root, alongside a baseline taken at the
+//! pre-observability commit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gridfed_core::grid::{Grid, GridBuilder};
+use gridfed_obs::ObsConfig;
 use std::hint::black_box;
 
 const SHAPES: [(&str, &str); 4] = [
@@ -44,9 +47,22 @@ fn grid(observability: bool) -> Grid {
         .expect("grid")
 }
 
+fn profiled_grid() -> Grid {
+    GridBuilder::new()
+        .with_seed(31)
+        .single_server()
+        .with_obs_config(ObsConfig {
+            profiling: true,
+            ..ObsConfig::default()
+        })
+        .build()
+        .expect("grid")
+}
+
 fn obs_overhead(c: &mut Criterion) {
     let off = grid(false);
     let on = grid(true);
+    let profiled = profiled_grid();
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(20);
     for (shape, sql) in SHAPES {
@@ -55,6 +71,9 @@ fn obs_overhead(c: &mut Criterion) {
         });
         g.bench_function(format!("on/{shape}").as_str(), |b| {
             b.iter(|| on.service(0).query(black_box(sql)).unwrap())
+        });
+        g.bench_function(format!("profiled/{shape}").as_str(), |b| {
+            b.iter(|| profiled.service(0).query(black_box(sql)).unwrap())
         });
     }
     g.finish();

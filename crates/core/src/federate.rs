@@ -154,13 +154,57 @@ pub fn integrate_metered(
     Ok((rs, metrics))
 }
 
+/// One residual-plan node's actuals from an analyzed integration, in a
+/// form the statement-profile store can aggregate across executions: the
+/// label is derived from the plan *shape* (operator name + depth-first
+/// position), so re-executions of the same fingerprint attribute time to
+/// the same node keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeActual {
+    /// `"<kind>#<dfs index>"`, e.g. `hash_join#0`, `scan#2`.
+    pub node: String,
+    /// Inclusive wall time (children included), microseconds.
+    pub us: u64,
+    /// Output rows across all loops; 0 for fused-away nodes.
+    pub rows: u64,
+}
+
+/// Flatten a [`PlanProfile`] into shape-stable [`NodeActual`]s by walking
+/// the plan depth-first. Unvisited nodes are skipped; fused nodes report
+/// zero time (their cost lives in the parent, and the annotation says so).
+fn flatten_profile(
+    plan: &LogicalPlan,
+    profile: &gridfed_sqlkit::analyze::PlanProfile,
+    index: &mut usize,
+    out: &mut Vec<NodeActual>,
+) {
+    let here = *index;
+    *index += 1;
+    if let Some(node) = profile.get(plan) {
+        out.push(NodeActual {
+            node: format!("{}#{here}", plan.kind_name()),
+            us: if node.fused {
+                0
+            } else {
+                (node.nanos / 1_000) as u64
+            },
+            rows: node.rows,
+        });
+    }
+    for child in plan.children() {
+        flatten_profile(child, profile, index, out);
+    }
+}
+
 /// [`integrate_metered`] with `EXPLAIN ANALYZE` profiling: also returns
 /// the residual tree annotated per node with row estimates (from the
-/// staged partials' real cardinalities) and actual rows/loops/time.
+/// staged partials' real cardinalities) and actual rows/loops/time, plus
+/// the same actuals flattened into [`NodeActual`]s for the statement
+/// profile store.
 pub fn integrate_analyzed(
     plan: &LogicalPlan,
     partials: &[Partial],
-) -> Result<(ResultSet, IntegrateMetrics, String)> {
+) -> Result<(ResultSet, IntegrateMetrics, String, Vec<NodeActual>)> {
     use gridfed_sqlkit::exec::ProviderCatalog;
 
     let start = Instant::now();
@@ -170,6 +214,8 @@ pub fn integrate_analyzed(
         gridfed_sqlkit::analyze::execute_plan_analyzed(plan, &provider).map_err(CoreError::from)?;
     let catalog = ProviderCatalog(&provider);
     let annotated = gridfed_sqlkit::analyze::annotate(plan, Some(&catalog), Some(&profile));
+    let mut actuals = Vec::new();
+    flatten_profile(plan, &profile, &mut 0, &mut actuals);
     let total = start.elapsed();
     let metrics = IntegrateMetrics {
         compile: exec.compile,
@@ -177,7 +223,20 @@ pub fn integrate_analyzed(
         ..IntegrateMetrics::default()
     }
     .with_exec(&exec);
-    Ok((rs, metrics, annotated))
+    Ok((rs, metrics, annotated, actuals))
+}
+
+/// Compact one-line rendering of a plan's operator tree, e.g.
+/// `project(filter(scan))` — the "plan shape" half of the statement
+/// fingerprint.
+pub fn plan_shape(plan: &LogicalPlan) -> String {
+    let children = plan.children();
+    if children.is_empty() {
+        plan.kind_name().to_string()
+    } else {
+        let inner: Vec<String> = children.iter().map(|c| plan_shape(c)).collect();
+        format!("{}({})", plan.kind_name(), inner.join(","))
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +336,26 @@ mod tests {
             integrate(&build_plan(&stmt), &[p]),
             Err(CoreError::Internal(_))
         ));
+    }
+
+    #[test]
+    fn plan_shape_and_analyzed_actuals_are_shape_stable() {
+        let stmt =
+            parse_select("SELECT e_id FROM events WHERE energy > 10.0 ORDER BY e_id").unwrap();
+        let plan = build_plan(&stmt);
+        let shape = plan_shape(&plan);
+        assert!(shape.contains("scan"), "shape={shape}");
+        assert!(shape.contains('('), "nested operators render as a tree");
+        let (rs, _, annotated, actuals) = integrate_analyzed(&plan, &[events_partial()]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(annotated.contains("(act"), "{annotated}");
+        assert!(!actuals.is_empty());
+        // Same query again: identical node labels (shape-stable keys).
+        let (_, _, _, again) = integrate_analyzed(&plan, &[events_partial()]).unwrap();
+        let labels: Vec<&str> = actuals.iter().map(|a| a.node.as_str()).collect();
+        let labels2: Vec<&str> = again.iter().map(|a| a.node.as_str()).collect();
+        assert_eq!(labels, labels2);
+        assert!(labels.iter().any(|l| l.starts_with("scan#")), "{labels:?}");
     }
 
     #[test]

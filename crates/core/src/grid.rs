@@ -19,6 +19,7 @@ use gridfed_clarens::server::ClarensServer;
 use gridfed_faults::FaultPlan;
 use gridfed_ntuple::spec::NtupleSpec;
 use gridfed_ntuple::NtupleGenerator;
+use gridfed_obs::{ObsConfig, SloObjective};
 use gridfed_rls::RlsServer;
 use gridfed_simnet::cost::Cost;
 use gridfed_simnet::link::Link;
@@ -83,7 +84,7 @@ pub struct GridBuilder {
     policy: ReplicaPolicy,
     conn_policy: ConnectionPolicy,
     wan: bool,
-    two_servers: bool,
+    mediators: usize,
     replicate_events: bool,
     catalog_padding: usize,
     transport: TransportMode,
@@ -95,6 +96,8 @@ pub struct GridBuilder {
     morsel_rows: Option<usize>,
     admission: Option<AdmissionConfig>,
     replication: Option<ReplicationConfig>,
+    obs_config: Option<ObsConfig>,
+    slos: Vec<SloObjective>,
 }
 
 impl Default for GridBuilder {
@@ -106,7 +109,7 @@ impl Default for GridBuilder {
             policy: ReplicaPolicy::First,
             conn_policy: ConnectionPolicy::PerQuery,
             wan: false,
-            two_servers: true,
+            mediators: 2,
             replicate_events: false,
             catalog_padding: 0,
             transport: TransportMode::Staged,
@@ -118,6 +121,8 @@ impl Default for GridBuilder {
             morsel_rows: None,
             admission: None,
             replication: None,
+            obs_config: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -178,7 +183,34 @@ impl GridBuilder {
 
     /// Host all marts on one Clarens server instead of two.
     pub fn single_server(mut self) -> Self {
-        self.two_servers = false;
+        self.mediators = 1;
+        self
+    }
+
+    /// Number of Clarens mediator servers hosting the marts (1–3; default
+    /// 2). Three mediators spreads the marts over node1/node2/node3 — the
+    /// smallest grid where a federated monitor query proves it consulted
+    /// *every* peer, not just "the other one".
+    pub fn with_mediators(mut self, n: usize) -> Self {
+        self.mediators = n.clamp(1, 3);
+        self
+    }
+
+    /// Observability knobs (trace/statement/history capacities, profiling,
+    /// slow-query threshold) for every mediator. Implies
+    /// [`GridBuilder::with_observability`].
+    pub fn with_obs_config(mut self, config: ObsConfig) -> Self {
+        self.observability = true;
+        self.obs_config = Some(config);
+        self
+    }
+
+    /// Declare a per-tenant latency/error SLO on every mediator, evaluated
+    /// as error-budget burn over the metrics-history ring
+    /// (`gridfed_monitor.slo`). Implies [`GridBuilder::with_observability`].
+    pub fn with_slo(mut self, objective: SloObjective) -> Self {
+        self.observability = true;
+        self.slos.push(objective);
         self
     }
 
@@ -277,7 +309,14 @@ impl GridBuilder {
 
         // ---- topology ----
         let mut topology = Topology::lan();
-        for node in ["tier0.cern", "node1", "node2", "rls.cern", "client"] {
+        for node in [
+            "tier0.cern",
+            "node1",
+            "node2",
+            "node3",
+            "rls.cern",
+            "client",
+        ] {
             topology.add_node(node);
         }
         if self.wan {
@@ -334,39 +373,25 @@ impl GridBuilder {
 
         // ---- views + marts (Stage 2) ----
         let views = standard_views(&spec);
-        let mart_plan: Vec<(&str, VendorKind, &str, Vec<usize>)> = if self.two_servers {
-            vec![
-                ("mart_mysql", VendorKind::MySql, "node1", vec![0]),
-                ("mart_mssql", VendorKind::MsSql, "node1", vec![1]),
-                (
-                    "mart_oracle",
-                    VendorKind::Oracle,
-                    "node2",
-                    if self.replicate_events {
-                        vec![2, 0]
-                    } else {
-                        vec![2]
-                    },
-                ),
-                ("mart_sqlite", VendorKind::Sqlite, "node2", vec![3]),
-            ]
+        // Mart placement by mediator count: 1 puts everything on node1,
+        // 2 is the paper's split, 3 moves the sqlite mart to node3 so each
+        // mediator owns data (and monitor state) of its own.
+        let oracle_views = if self.replicate_events {
+            vec![2, 0]
         } else {
-            vec![
-                ("mart_mysql", VendorKind::MySql, "node1", vec![0]),
-                ("mart_mssql", VendorKind::MsSql, "node1", vec![1]),
-                (
-                    "mart_oracle",
-                    VendorKind::Oracle,
-                    "node1",
-                    if self.replicate_events {
-                        vec![2, 0]
-                    } else {
-                        vec![2]
-                    },
-                ),
-                ("mart_sqlite", VendorKind::Sqlite, "node1", vec![3]),
-            ]
+            vec![2]
         };
+        let (oracle_host, sqlite_host) = match self.mediators {
+            1 => ("node1", "node1"),
+            2 => ("node2", "node2"),
+            _ => ("node2", "node3"),
+        };
+        let mart_plan: Vec<(&str, VendorKind, &str, Vec<usize>)> = vec![
+            ("mart_mysql", VendorKind::MySql, "node1", vec![0]),
+            ("mart_mssql", VendorKind::MsSql, "node1", vec![1]),
+            ("mart_oracle", VendorKind::Oracle, oracle_host, oracle_views),
+            ("mart_sqlite", VendorKind::Sqlite, sqlite_host, vec![3]),
+        ];
 
         let mut marts = Vec::new();
         let mut mart_reports = Vec::new();
@@ -402,14 +427,12 @@ impl GridBuilder {
         }
 
         // ---- Clarens servers + Data Access Services ----
-        let server_plan: Vec<(&str, &str)> = if self.two_servers {
-            vec![
-                ("clarens://node1:8443/das", "node1"),
-                ("clarens://node2:8443/das", "node2"),
-            ]
-        } else {
-            vec![("clarens://node1:8443/das", "node1")]
-        };
+        let server_plan: Vec<(&str, &str)> = [
+            ("clarens://node1:8443/das", "node1"),
+            ("clarens://node2:8443/das", "node2"),
+            ("clarens://node3:8443/das", "node3"),
+        ][..self.mediators]
+            .to_vec();
         let mut servers = Vec::new();
         let mut services = Vec::new();
         for (url, host) in &server_plan {
@@ -495,7 +518,14 @@ impl GridBuilder {
         }
         if self.observability {
             for das in &services {
-                das.observability().set_enabled(true);
+                let obs = das.observability();
+                obs.set_enabled(true);
+                if let Some(config) = &self.obs_config {
+                    obs.configure(config);
+                }
+                for objective in &self.slos {
+                    obs.slo.declare(objective.clone());
+                }
             }
         }
         for das in &services {

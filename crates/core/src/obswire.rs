@@ -12,11 +12,13 @@
 //! mediators running different revisions can still talk.
 
 use crate::error::CoreError;
+use crate::federate::Partial;
 use crate::stats::QueryStats;
 use crate::Result;
 use gridfed_clarens::codec::WireValue;
 use gridfed_clarens::ClarensError;
 use gridfed_obs::{Span, SpanKind};
+use gridfed_storage::Row;
 
 fn bad(msg: &str) -> CoreError {
     CoreError::Rpc(ClarensError::BadParams(msg.to_string()))
@@ -165,6 +167,89 @@ pub fn wire_to_spans(v: &WireValue) -> Result<Vec<Span>> {
     items.iter().map(wire_to_span).collect()
 }
 
+/// Encode the monitor partials a `monitor_fetch` peer exports:
+/// `List([ [table, [columns...], [[cells...]...]] , ... ])`. Each row of a
+/// monitor table is plain typed values, so the generic value codec covers
+/// it.
+pub fn monitor_partials_to_wire(partials: &[Partial]) -> WireValue {
+    WireValue::List(
+        partials
+            .iter()
+            .map(|p| {
+                WireValue::List(vec![
+                    WireValue::Str(p.table.clone()),
+                    WireValue::List(p.columns.iter().cloned().map(WireValue::Str).collect()),
+                    WireValue::List(
+                        p.rows
+                            .iter()
+                            .map(|r| {
+                                WireValue::List(
+                                    r.values()
+                                        .iter()
+                                        .map(crate::service::value_to_wire)
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decode monitor partials from a peer. Forward-tolerant: trailing fields
+/// beyond the known three per partial are ignored, so a newer peer can
+/// append metadata without breaking this decoder. Column-set mismatches
+/// are *not* resolved here — the consumer maps columns by name when it
+/// merges remote rows into its local monitor tables.
+pub fn wire_to_monitor_partials(v: &WireValue) -> Result<Vec<Partial>> {
+    let WireValue::List(items) = v else {
+        return Err(bad("monitor partials must be a list"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let WireValue::List(fields) = item else {
+                return Err(bad("monitor partial must be a list"));
+            };
+            let table = field_str(fields, 0, "table")?;
+            let Some(WireValue::List(cols)) = fields.get(1) else {
+                return Err(bad("monitor partial columns must be a list"));
+            };
+            let columns: Vec<String> = cols
+                .iter()
+                .map(|c| match c {
+                    WireValue::Str(s) => Ok(s.clone()),
+                    _ => Err(bad("monitor column name must be a string")),
+                })
+                .collect::<Result<_>>()?;
+            let Some(WireValue::List(rows)) = fields.get(2) else {
+                return Err(bad("monitor partial rows must be a list"));
+            };
+            let rows = rows
+                .iter()
+                .map(|r| {
+                    let WireValue::List(cells) = r else {
+                        return Err(bad("monitor row must be a list"));
+                    };
+                    Ok(Row::new(
+                        cells
+                            .iter()
+                            .map(crate::service::wire_to_value)
+                            .collect::<Result<_>>()?,
+                    ))
+                })
+                .collect::<Result<_>>()?;
+            Ok(Partial {
+                table,
+                columns,
+                rows,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +358,36 @@ mod tests {
         ];
         let back = wire_to_spans(&spans_to_wire(&spans)).expect("decode");
         assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn monitor_partials_round_trip_and_tolerate_trailing_fields() {
+        use gridfed_storage::Value;
+        let partials = vec![Partial {
+            table: "gridfed_monitor.statements".into(),
+            columns: vec!["sql".into(), "calls".into(), "server".into()],
+            rows: vec![Row::new(vec![
+                Value::Text("select ?".into()),
+                Value::Int(4),
+                Value::Text("clarens://node2:8443/das".into()),
+            ])],
+        }];
+        let back = wire_to_monitor_partials(&monitor_partials_to_wire(&partials)).unwrap();
+        assert_eq!(back, partials);
+
+        // A newer peer appending a 4th field per partial still decodes.
+        let WireValue::List(mut items) = monitor_partials_to_wire(&partials) else {
+            unreachable!()
+        };
+        let WireValue::List(fields) = &mut items[0] else {
+            unreachable!()
+        };
+        fields.push(WireValue::Str("future metadata".into()));
+        let back = wire_to_monitor_partials(&WireValue::List(items)).unwrap();
+        assert_eq!(back, partials);
+
+        assert!(wire_to_monitor_partials(&WireValue::Int(1)).is_err());
+        assert!(wire_to_monitor_partials(&WireValue::List(vec![WireValue::List(vec![])])).is_err());
     }
 
     #[test]

@@ -4,7 +4,10 @@ use crate::admission::{Admission, AdmissionConfig};
 use crate::decompose::{self, Home, QueryPlan, TableResolver};
 use crate::error::CoreError;
 use crate::federate::{self, Partial};
-use crate::obswire::{spans_to_wire, stats_to_wire, wire_to_spans, wire_to_stats};
+use crate::obswire::{
+    monitor_partials_to_wire, spans_to_wire, stats_to_wire, wire_to_monitor_partials,
+    wire_to_spans, wire_to_stats,
+};
 use crate::placement::{ReplicaPolicy, ReplicaStaleness};
 use crate::resilience::{AttemptKind, BranchReport, BranchYield, Resilience, ResilienceConfig};
 use crate::stats::{BranchDrop, CostBreakdown, QueryStats, TableVersion};
@@ -15,7 +18,10 @@ use gridfed_clarens::directory::Directory;
 use gridfed_clarens::server::Service;
 use gridfed_clarens::{ClarensError, TraceContext};
 use gridfed_faults::VirtualClock;
-use gridfed_obs::{Observability, Span, SpanKind, Trace, TraceBuilder};
+use gridfed_obs::{
+    normalize_statement, NodeContribution, Observability, Span, SpanKind, StatementExec, Trace,
+    TraceBuilder,
+};
 use gridfed_poolral::PoolRal;
 use gridfed_rls::{RlsServer, TableFreshness};
 use gridfed_simnet::cost::{Cost, Timed};
@@ -764,6 +770,12 @@ impl DataAccessService {
                     Cost::ZERO,
                     cost,
                 );
+                // Each refreshed view's apply span covers the whole batch
+                // window (the WAL replay is one pass), so the root is
+                // parallel-composed: children are asserted contained, not
+                // tiling — with ≥2 refreshed tables a sequential root
+                // would flunk its own composition check.
+                tb.mark_parallel(root);
                 for (table, version) in &report.refreshed {
                     tb.span(
                         Some(root),
@@ -1109,6 +1121,30 @@ impl DataAccessService {
     /// internal hop waiting on a slot its caller holds can deadlock a
     /// mediator cycle).
     pub fn query_as(&self, tenant: &str, sql: &str) -> Result<Timed<QueryOutcome>> {
+        let result = self.query_front_door(tenant, sql);
+        let obs = self.observability();
+        if obs.enabled() {
+            // Per-tenant metric families feed the SLO tracker: queries
+            // always, latency on success, errors on failure (admission
+            // rejections included — a turned-away query burns budget too).
+            obs.metrics.inc("tenant_queries", tenant, 1);
+            match &result {
+                Ok(t) => obs
+                    .metrics
+                    .observe_us("tenant_latency_us", tenant, t.cost.as_micros()),
+                Err(_) => obs.metrics.inc("tenant_errors", tenant, 1),
+            }
+            // The history ring samples on the query path itself: the
+            // virtual clock only advances when work happens, so a
+            // background sampler would never fire.
+            obs.history
+                .maybe_snapshot(self.clock.read().now().as_micros(), &obs.metrics);
+        }
+        result
+    }
+
+    /// The admission-gated front door body of [`DataAccessService::query_as`].
+    fn query_front_door(&self, tenant: &str, sql: &str) -> Result<Timed<QueryOutcome>> {
         let Some(admission) = self.admission() else {
             return self.query_entry(sql, None).map(|ex| ex.outcome);
         };
@@ -1164,10 +1200,18 @@ impl DataAccessService {
         {
             return self.query_explain(sql).map(Executed::plain);
         }
-        if sql.to_ascii_lowercase().contains("gridfed_monitor.") {
-            return self.query_monitor(sql).map(Executed::plain);
+        // Monitor routing keys on *parsed table references*, never raw
+        // text: a query whose literal merely mentions "gridfed_monitor."
+        // must take the normal federated path.
+        let stmt = parse_select(sql)?;
+        if stmt
+            .table_refs()
+            .iter()
+            .any(|t| normalize_ident(&t.name).starts_with("gridfed_monitor."))
+        {
+            return self.query_monitor(&stmt, origin).map(Executed::plain);
         }
-        self.run_select(sql, &parse_select(sql)?, origin, false)
+        self.run_select(sql, &stmt, origin, false)
     }
 
     /// Execute one SELECT: cache probe, resolve, decompose, scatter,
@@ -1212,6 +1256,17 @@ impl DataAccessService {
                             obs.metrics.inc("cache_hits", &self.url, 1);
                             obs.metrics
                                 .observe_us("query_latency_us", &self.url, cost.as_micros());
+                            // A cache hit still profiles under the shape
+                            // the cached outcome was planned with, so the
+                            // statement's call count stays honest.
+                            self.record_statement_profile(
+                                &obs,
+                                sql,
+                                &outcome.stats,
+                                cost,
+                                false,
+                                Vec::new(),
+                            );
                         }
                         return Ok(Executed {
                             outcome: Timed::new(outcome, cost),
@@ -1232,6 +1287,7 @@ impl DataAccessService {
         let mut probe = QueryProbe {
             active: tracing,
             want_profile,
+            profile_nodes: want_profile || (obs.enabled() && obs.profiling()),
             ..QueryProbe::default()
         };
         let started_us = self.clock.read().now().as_micros();
@@ -1253,8 +1309,15 @@ impl DataAccessService {
             let plan = decompose::plan(stmt, &resolved)?;
             if obs.enabled() {
                 match &plan {
-                    QueryPlan::Federated { optimized, .. } => record_plan_nodes(&obs, optimized),
-                    _ => record_plan_nodes(&obs, &decompose::optimized_plan(stmt, &resolved)),
+                    QueryPlan::Federated { optimized, .. } => {
+                        record_plan_nodes(&obs, optimized);
+                        stats.plan_shape = federate::plan_shape(optimized);
+                    }
+                    _ => {
+                        let optimized = decompose::optimized_plan(stmt, &resolved);
+                        record_plan_nodes(&obs, &optimized);
+                        stats.plan_shape = federate::plan_shape(&optimized);
+                    }
                 }
             }
             match plan {
@@ -1279,8 +1342,8 @@ impl DataAccessService {
                 // one exhausted query into a permanent outage.
                 bd.resilience += self.resilience.take_wasted();
                 self.clock.read().advance(bd.total());
+                stats.breakdown = bd;
                 if tracing {
-                    stats.breakdown = bd;
                     let trace = self.assemble_trace(
                         trace_id,
                         sql,
@@ -1291,10 +1354,19 @@ impl DataAccessService {
                         Some(&e.to_string()),
                         0,
                     );
-                    obs.traces.record(trace);
+                    let recorded = obs.traces.record(trace);
+                    self.maybe_log_slow(&obs, &recorded, bd.total());
                 }
                 if obs.enabled() {
                     obs.metrics.inc("query_errors", &self.url, 1);
+                    self.record_statement_profile(
+                        &obs,
+                        sql,
+                        &stats,
+                        bd.total(),
+                        true,
+                        phase_nodes(&stats),
+                    );
                 }
                 return Err(e);
             }
@@ -1333,12 +1405,17 @@ impl DataAccessService {
                 None,
                 outcome.result.rows.len() as u64,
             );
-            Some(obs.traces.record(trace))
+            let recorded = obs.traces.record(trace);
+            self.maybe_log_slow(&obs, &recorded, total);
+            Some(recorded)
         } else {
             None
         };
         if obs.enabled() {
             self.record_query_metrics(&obs, &outcome.stats, &probe, total);
+            let mut nodes = phase_nodes(&outcome.stats);
+            nodes.extend(std::mem::take(&mut probe.node_actuals));
+            self.record_statement_profile(&obs, sql, &outcome.stats, total, false, nodes);
         }
         Ok(Executed {
             outcome: Timed::new(outcome, total),
@@ -1574,6 +1651,44 @@ impl DataAccessService {
                 };
                 m.inc(family, &b.target, 1);
             }
+        }
+    }
+
+    /// Fold one execution into the statement profile store (no-op unless
+    /// the profiling gate is on). Fingerprinting normalizes the SQL text
+    /// and pairs it with the plan shape captured at planning time.
+    fn record_statement_profile(
+        &self,
+        obs: &Observability,
+        sql: &str,
+        stats: &QueryStats,
+        latency: Cost,
+        error: bool,
+        nodes: Vec<NodeContribution>,
+    ) {
+        if !obs.profiling() {
+            return;
+        }
+        obs.statements.record(&StatementExec {
+            normalized_sql: normalize_statement(sql),
+            plan_shape: stats.plan_shape.clone(),
+            latency_us: latency.as_micros(),
+            rows_returned: stats.rows_returned as u64,
+            rows_fetched: stats.rows_fetched as u64,
+            cache_hit: stats.cache_hit,
+            error,
+            now_us: self.clock.read().now().as_micros(),
+            nodes,
+        });
+    }
+
+    /// Retain `trace` in the slow-query log when its duration crosses the
+    /// threshold knob (0 = log disabled). The log shares the `Arc` with
+    /// the main ring, so a slow trace survives the ring's FIFO eviction.
+    fn maybe_log_slow(&self, obs: &Observability, trace: &Arc<Trace>, total: Cost) {
+        let threshold_us = obs.slow_query_threshold_us();
+        if threshold_us > 0 && total.as_micros() >= threshold_us {
+            obs.slow_queries.record_shared(Arc::clone(trace));
         }
     }
 
@@ -2224,12 +2339,25 @@ impl DataAccessService {
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
         self.check_memory(stats.bytes_fetched)?;
         bd.integrate += self.params.per_row_merge.scale(stats.rows_fetched as f64);
-        let (rs, metrics) = if probe.want_profile {
-            // EXPLAIN ANALYZE: profile the residual plan per node and keep
-            // the annotated rendering (the staging database only lives
-            // inside the integration call).
-            let (rs, metrics, annotated) = federate::integrate_analyzed(residual, &partials)?;
-            probe.analyzed = Some(annotated);
+        let (rs, metrics) = if probe.profile_nodes {
+            // EXPLAIN ANALYZE or the continuous-profiling gate: profile
+            // the residual plan per node. The annotated rendering is only
+            // kept for EXPLAIN ANALYZE; the flattened actuals feed the
+            // statement profile store either way (the staging database
+            // only lives inside the integration call).
+            let (rs, metrics, annotated, actuals) =
+                federate::integrate_analyzed(residual, &partials)?;
+            if probe.want_profile {
+                probe.analyzed = Some(annotated);
+            }
+            probe.node_actuals = actuals
+                .into_iter()
+                .map(|a| NodeContribution {
+                    node: format!("node:{}", a.node),
+                    us: a.us,
+                    rows: a.rows,
+                })
+                .collect();
             (rs, metrics)
         } else {
             federate::integrate_metered(residual, &partials)?
@@ -2469,14 +2597,25 @@ impl DataAccessService {
 
     // ---- the gridfed_monitor.* relational monitoring surface ----
 
-    /// Answer a query over the `gridfed_monitor.*` virtual tables from
-    /// this mediator's own observability state — the R-GMA idea that grid
-    /// monitoring data is itself best published relationally, served by
-    /// the same SQL engine that powers the federation. Monitor queries are
-    /// never cached (the data changes under them) and never traced (the
-    /// observer should not flood its own ring).
-    fn query_monitor(&self, sql: &str) -> Result<Timed<QueryOutcome>> {
-        let stmt = parse_select(sql)?;
+    /// Answer a query over the `gridfed_monitor.*` virtual tables — the
+    /// R-GMA consumer: the relational evaluation happens here, over rows
+    /// gathered from **every registered mediator** (the producers). The
+    /// local monitor tables are built first, then each Directory peer is
+    /// asked (via the `monitor_fetch` RPC, supervised by the resilience
+    /// layer) for its rows of the referenced tables; every row carries a
+    /// `server` column naming the mediator that produced it. A peer that
+    /// cannot be reached degrades to an honestly *annotated* partial
+    /// result (`stats.branches_dropped` names it) — never a silently
+    /// local-only answer. Monitor queries are never cached (the data
+    /// changes under them) and never traced (the observer should not flood
+    /// its own ring); a peer answering `monitor_fetch` or a federated hop
+    /// (`origin.is_some()`) answers locally — no recursive fan-out.
+    fn query_monitor(
+        &self,
+        stmt: &SelectStmt,
+        origin: Option<TraceContext>,
+    ) -> Result<Timed<QueryOutcome>> {
+        let mut tables: Vec<String> = Vec::new();
         for tref in stmt.table_refs() {
             let key = normalize_ident(&tref.name);
             if !key.starts_with("gridfed_monitor.") {
@@ -2486,28 +2625,153 @@ impl DataAccessService {
                     tref.name
                 )));
             }
+            if !tables.contains(&key) {
+                tables.push(key);
+            }
         }
-        let db = self.monitor_database()?;
-        let plan = build_plan(&stmt);
-        let (result, em) =
-            execute_plan_metered(&plan, &DatabaseProvider(&db)).map_err(CoreError::from)?;
-        let stats = QueryStats {
+        let mut db = self.monitor_database()?;
+        let mut stats = QueryStats {
             tables: stmt.table_refs().len(),
-            rows_returned: result.rows.len(),
-            batches: em.batches,
-            rows_materialized: em.rows_materialized,
-            selectivity: em.selectivity(),
-            exec_workers: em.workers,
-            exec_morsels: em.morsels,
             ..Default::default()
         };
-        let cost = Cost::from_micros(500)
-            + self
-                .params
-                .per_row_serialize
-                .scale(result.rows.len() as f64);
+        let mut bd = CostBreakdown {
+            plan: Cost::from_micros(500),
+            ..CostBreakdown::default()
+        };
+
+        // Consumer fan-out: every mediator the Clarens directory knows,
+        // minus this one. The directory registers exactly the DAS servers,
+        // so it is the monitor-federation peer set.
+        let peers: Vec<String> = if origin.is_none() {
+            self.directory
+                .urls()
+                .into_iter()
+                .filter(|u| *u != self.url)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !peers.is_empty() {
+            stats.distributed = true;
+            stats.servers = peers.len() + 1;
+            let clock = self.clock();
+            let mut exec_costs = Vec::new();
+            let mut full_costs = Vec::new();
+            for peer in &peers {
+                let label = format!("remote mediator `{peer}`");
+                let mut attempt = || self.monitor_fetch_remote(peer, &tables);
+                let outcome =
+                    self.resilience
+                        .run_branch(&clock, &label, peer, &mut attempt, None, None);
+                self.report_reachability(&outcome, peer, &mut stats, &mut bd);
+                match outcome {
+                    Ok(report) => {
+                        self.absorb_branch_events(&report, &label, &mut stats);
+                        bd.connect += report.output.connect_cost;
+                        exec_costs.push(report.output.exec_cost);
+                        full_costs.push(report.output.exec_cost + report.resilience_cost);
+                        for partial in &report.output.partials {
+                            if let Err(e) = merge_monitor_partial(&mut db, partial) {
+                                // A malformed row set from a diverged peer
+                                // degrades that peer honestly instead of
+                                // failing the whole consumer query.
+                                stats.branches_dropped.push(BranchDrop {
+                                    branch: label.clone(),
+                                    reason: format!("monitor rows rejected: {e}"),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Monitoring must observe a sick grid: a dead peer
+                        // is always an annotated partial, regardless of
+                        // the configured degradation policy.
+                        stats.branches_dropped.push(BranchDrop {
+                            branch: label.clone(),
+                            reason: e.to_string(),
+                        });
+                    }
+                }
+            }
+            bd.resilience += self.resilience.take_wasted();
+            match self.dispatch {
+                DispatchMode::Parallel => {
+                    let exec = Cost::par_all(exec_costs);
+                    bd.execute += exec;
+                    bd.resilience += Cost::par_all(full_costs).saturating_sub(exec);
+                }
+                DispatchMode::Sequential => {
+                    let exec: Cost = exec_costs.into_iter().sum();
+                    let full: Cost = full_costs.into_iter().sum();
+                    bd.execute += exec;
+                    bd.resilience += full.saturating_sub(exec);
+                }
+            }
+        }
+
+        let plan = build_plan(stmt);
+        let (result, em) =
+            execute_plan_metered(&plan, &DatabaseProvider(&db)).map_err(CoreError::from)?;
+        stats.rows_returned = result.rows.len();
+        stats.batches = em.batches;
+        stats.rows_materialized = em.rows_materialized;
+        stats.selectivity = em.selectivity();
+        stats.exec_workers = em.workers;
+        stats.exec_morsels = em.morsels;
+        bd.serialize += self
+            .params
+            .per_row_serialize
+            .scale(result.rows.len() as f64);
+        stats.breakdown = bd;
+        let cost = bd.total();
         self.clock.read().advance(cost);
         Ok(Timed::new(QueryOutcome { result, stats }, cost))
+    }
+
+    /// One supervised attempt against a peer mediator's `monitor_fetch`:
+    /// login (or reuse the session) and pull its rows of `tables`.
+    fn monitor_fetch_remote(&self, url: &str, tables: &[String]) -> Result<BranchYield> {
+        let (client, login_cost) = self.remote_client(url)?;
+        let t = client.call(
+            "das",
+            "monitor_fetch",
+            &[WireValue::List(
+                tables.iter().cloned().map(WireValue::Str).collect(),
+            )],
+        )?;
+        Ok(BranchYield {
+            partials: wire_to_monitor_partials(&t.value)?,
+            connect_cost: login_cost,
+            exec_cost: t.cost + self.params.remote_forward,
+            remote_forwards: 1,
+            ..BranchYield::default()
+        })
+    }
+
+    /// The producer side of monitor federation: export this mediator's
+    /// rows of the requested monitor tables. Table names this revision
+    /// does not know are skipped (a newer consumer maps what it gets by
+    /// name); the peer's clock is not advanced — the consumer charges the
+    /// virtual cost of the fetch.
+    fn monitor_export(&self, tables: &[String]) -> Result<Vec<Partial>> {
+        let db = self.monitor_database()?;
+        let mut out = Vec::new();
+        for name in tables {
+            let key = normalize_ident(name);
+            let Ok(table) = db.table(&key) else { continue };
+            out.push(Partial {
+                table: key,
+                columns: table
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+                rows: table.rows(),
+            });
+        }
+        Ok(out)
     }
 
     /// Materialize the five monitor tables from live observability state.
@@ -2568,6 +2832,7 @@ impl DataAccessService {
                 ColumnDef::new("error", DataType::Text),
                 ColumnDef::new("remote", DataType::Bool),
                 ColumnDef::new("parallel", DataType::Bool),
+                ColumnDef::new("server", DataType::Text),
             ])?,
         )?;
         for t in &traces {
@@ -2586,6 +2851,7 @@ impl DataAccessService {
                         .map_or(Value::Null, |e| Value::Text(e.clone())),
                     Value::Bool(s.remote),
                     Value::Bool(s.parallel),
+                    Value::Text(self.url.clone()),
                 ])?;
             }
         }
@@ -2602,6 +2868,7 @@ impl DataAccessService {
                 ColumnDef::new("p50_us", DataType::Int),
                 ColumnDef::new("p95_us", DataType::Int),
                 ColumnDef::new("p99_us", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
             ])?,
         )?;
         for c in obs.metrics.counters() {
@@ -2614,6 +2881,7 @@ impl DataAccessService {
                 Value::Null,
                 Value::Null,
                 Value::Null,
+                Value::Text(self.url.clone()),
             ])?;
         }
         for h in obs.metrics.histograms() {
@@ -2626,6 +2894,7 @@ impl DataAccessService {
                 Value::Int(h.snapshot.quantile_us(0.50) as i64),
                 Value::Int(h.snapshot.quantile_us(0.95) as i64),
                 Value::Int(h.snapshot.quantile_us(0.99) as i64),
+                Value::Text(self.url.clone()),
             ])?;
         }
 
@@ -2643,6 +2912,7 @@ impl DataAccessService {
                 ColumnDef::new("p50_us", DataType::Int),
                 ColumnDef::new("p95_us", DataType::Int),
                 ColumnDef::new("p99_us", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
             ])?,
         )?;
         let mut infos = self
@@ -2672,6 +2942,7 @@ impl DataAccessService {
                     .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.95) as i64)),
                 lat.as_ref()
                     .map_or(Value::Null, |s| Value::Int(s.quantile_us(0.99) as i64)),
+                Value::Text(self.url.clone()),
             ])?;
         }
 
@@ -2686,6 +2957,7 @@ impl DataAccessService {
                 ColumnDef::new("version", DataType::Int),
                 ColumnDef::new("refreshed_us", DataType::Int),
                 ColumnDef::new("skew", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
             ])?,
         )?;
         for (table, database, version, refreshed_us) in self.mart_versions_snapshot() {
@@ -2700,6 +2972,7 @@ impl DataAccessService {
                 Value::Int(version as i64),
                 Value::Int(refreshed_us as i64),
                 Value::Int(skew as i64),
+                Value::Text(self.url.clone()),
             ])?;
         }
 
@@ -2716,6 +2989,7 @@ impl DataAccessService {
                 ColumnDef::new("head_lsn", DataType::Int),
                 ColumnDef::new("lag_lsn", DataType::Int),
                 ColumnDef::new("age_us", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
             ])?,
         )?;
         for (table, database, version, applied, head, age_us) in self.replication_snapshot() {
@@ -2727,10 +3001,233 @@ impl DataAccessService {
                 Value::Int(head as i64),
                 Value::Int(head.saturating_sub(applied) as i64),
                 Value::Int(age_us as i64),
+                Value::Text(self.url.clone()),
+            ])?;
+        }
+
+        // gridfed_monitor.statements — pg_stat_statements for the grid:
+        // one row per retained (normalized SQL, plan shape) fingerprint.
+        let now_us = self.clock.read().now().as_micros();
+        let statements = db.create_table(
+            "gridfed_monitor.statements",
+            Schema::new(vec![
+                ColumnDef::new("fingerprint", DataType::Text),
+                ColumnDef::new("sql", DataType::Text),
+                ColumnDef::new("plan_shape", DataType::Text),
+                ColumnDef::new("calls", DataType::Int),
+                ColumnDef::new("errors", DataType::Int),
+                ColumnDef::new("cache_hits", DataType::Int),
+                ColumnDef::new("rows_returned", DataType::Int),
+                ColumnDef::new("rows_fetched", DataType::Int),
+                ColumnDef::new("total_us", DataType::Int),
+                ColumnDef::new("mean_us", DataType::Int),
+                ColumnDef::new("p50_us", DataType::Int),
+                ColumnDef::new("p95_us", DataType::Int),
+                ColumnDef::new("p99_us", DataType::Int),
+                ColumnDef::new("first_us", DataType::Int),
+                ColumnDef::new("last_us", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
+            ])?,
+        )?;
+        let profiles = obs.statements.snapshot();
+        for p in &profiles {
+            let fp = format!("{:016x}", p.fingerprint);
+            statements.insert(vec![
+                Value::Text(fp.clone()),
+                Value::Text(p.sql.clone()),
+                Value::Text(p.plan_shape.clone()),
+                Value::Int(p.calls as i64),
+                Value::Int(p.errors as i64),
+                Value::Int(p.cache_hits as i64),
+                Value::Int(p.rows_returned as i64),
+                Value::Int(p.rows_fetched as i64),
+                Value::Int(p.total_us as i64),
+                Value::Int(p.latency.mean_us() as i64),
+                Value::Int(p.latency.quantile_us(0.50) as i64),
+                Value::Int(p.latency.quantile_us(0.95) as i64),
+                Value::Int(p.latency.quantile_us(0.99) as i64),
+                Value::Int(p.first_us as i64),
+                Value::Int(p.last_us as i64),
+                Value::Text(self.url.clone()),
+            ])?;
+        }
+        let nodes = db.create_table(
+            "gridfed_monitor.statement_nodes",
+            Schema::new(vec![
+                ColumnDef::new("fingerprint", DataType::Text),
+                ColumnDef::new("node", DataType::Text),
+                ColumnDef::new("calls", DataType::Int),
+                ColumnDef::new("us", DataType::Int),
+                ColumnDef::new("rows", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
+            ])?,
+        )?;
+        for p in &profiles {
+            let fp = format!("{:016x}", p.fingerprint);
+            for n in &p.nodes {
+                nodes.insert(vec![
+                    Value::Text(fp.clone()),
+                    Value::Text(n.node.clone()),
+                    Value::Int(n.calls as i64),
+                    Value::Int(n.us as i64),
+                    Value::Int(n.rows as i64),
+                    Value::Text(self.url.clone()),
+                ])?;
+            }
+        }
+
+        // gridfed_monitor.metrics_history — the ring of virtual-clock
+        // registry snapshots, one row per (snapshot, metric series).
+        let history = db.create_table(
+            "gridfed_monitor.metrics_history",
+            Schema::new(vec![
+                ColumnDef::new("seq", DataType::Int),
+                ColumnDef::new("ts_us", DataType::Int),
+                ColumnDef::new("family", DataType::Text),
+                ColumnDef::new("label", DataType::Text),
+                ColumnDef::new("kind", DataType::Text),
+                ColumnDef::new("value", DataType::Int),
+                ColumnDef::new("sum_us", DataType::Int),
+                ColumnDef::new("p50_us", DataType::Int),
+                ColumnDef::new("p95_us", DataType::Int),
+                ColumnDef::new("p99_us", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
+            ])?,
+        )?;
+        for snap in obs.history.snapshots() {
+            for c in &snap.counters {
+                history.insert(vec![
+                    Value::Int(snap.seq as i64),
+                    Value::Int(snap.ts_us as i64),
+                    Value::Text(c.family.clone()),
+                    Value::Text(c.label.clone()),
+                    Value::Text("counter".into()),
+                    Value::Int(c.value as i64),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Text(self.url.clone()),
+                ])?;
+            }
+            for h in &snap.histograms {
+                history.insert(vec![
+                    Value::Int(snap.seq as i64),
+                    Value::Int(snap.ts_us as i64),
+                    Value::Text(h.family.clone()),
+                    Value::Text(h.label.clone()),
+                    Value::Text("histogram".into()),
+                    Value::Int(h.snapshot.count as i64),
+                    Value::Int(h.snapshot.sum_us as i64),
+                    Value::Int(h.snapshot.quantile_us(0.50) as i64),
+                    Value::Int(h.snapshot.quantile_us(0.95) as i64),
+                    Value::Int(h.snapshot.quantile_us(0.99) as i64),
+                    Value::Text(self.url.clone()),
+                ])?;
+            }
+        }
+
+        // gridfed_monitor.slo — per-tenant error-budget burn over the
+        // declared window, evaluated against the history ring.
+        let slo = db.create_table(
+            "gridfed_monitor.slo",
+            Schema::new(vec![
+                ColumnDef::new("tenant", DataType::Text),
+                ColumnDef::new("objective", DataType::Float),
+                ColumnDef::new("threshold_us", DataType::Int),
+                ColumnDef::new("window_us", DataType::Int),
+                ColumnDef::new("window_start_us", DataType::Int),
+                ColumnDef::new("total", DataType::Int),
+                ColumnDef::new("good", DataType::Int),
+                ColumnDef::new("bad", DataType::Int),
+                ColumnDef::new("errors", DataType::Int),
+                ColumnDef::new("burn_rate", DataType::Float),
+                ColumnDef::new("healthy", DataType::Bool),
+                ColumnDef::new("server", DataType::Text),
+            ])?,
+        )?;
+        for s in obs.slo.evaluate(now_us, &obs.metrics, &obs.history) {
+            slo.insert(vec![
+                Value::Text(s.tenant.clone()),
+                Value::Float(s.objective),
+                Value::Int(s.latency_threshold_us as i64),
+                Value::Int(s.window_us as i64),
+                Value::Int(s.window_start_us as i64),
+                Value::Int(s.total as i64),
+                Value::Int(s.good as i64),
+                Value::Int(s.bad as i64),
+                Value::Int(s.errors as i64),
+                Value::Float(s.burn_rate),
+                Value::Bool(s.healthy),
+                Value::Text(self.url.clone()),
+            ])?;
+        }
+
+        // gridfed_monitor.slow_queries — the threshold-gated trace log:
+        // one row per retained slow trace (spans stay in the main ring).
+        let slow = db.create_table(
+            "gridfed_monitor.slow_queries",
+            Schema::new(vec![
+                ColumnDef::new("trace_id", DataType::Int),
+                ColumnDef::new("sql", DataType::Text),
+                ColumnDef::new("status", DataType::Text),
+                ColumnDef::new("started_us", DataType::Int),
+                ColumnDef::new("duration_us", DataType::Int),
+                ColumnDef::new("rows_returned", DataType::Int),
+                ColumnDef::new("distributed", DataType::Bool),
+                ColumnDef::new("cache_hit", DataType::Bool),
+                ColumnDef::new("degraded", DataType::Bool),
+                ColumnDef::new("retries", DataType::Int),
+                ColumnDef::new("failovers", DataType::Int),
+                ColumnDef::new("server", DataType::Text),
+            ])?,
+        )?;
+        for t in obs.slow_queries.snapshot() {
+            slow.insert(vec![
+                Value::Int(t.trace_id as i64),
+                Value::Text(t.sql.clone()),
+                Value::Text(t.status.clone()),
+                Value::Int(t.started_us as i64),
+                Value::Int(t.duration_us as i64),
+                Value::Int(t.rows_returned as i64),
+                Value::Bool(t.distributed),
+                Value::Bool(t.cache_hit),
+                Value::Bool(t.degraded),
+                Value::Int(t.retries as i64),
+                Value::Int(t.failovers as i64),
+                Value::Text(self.url.clone()),
             ])?;
         }
         Ok(db)
     }
+}
+
+/// Merge one peer's exported monitor rows into the consumer's in-memory
+/// monitor database. Columns are matched **by name** against the local
+/// schema, so a peer running an older or newer revision interoperates:
+/// columns the peer lacks become NULL, columns it added are ignored, and
+/// tables this revision does not know are skipped entirely.
+fn merge_monitor_partial(db: &mut Database, partial: &Partial) -> Result<()> {
+    let Ok(table) = db.table_mut(&partial.table) else {
+        return Ok(());
+    };
+    let positions: Vec<Option<usize>> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| partial.columns.iter().position(|p| *p == c.name))
+        .collect();
+    for row in &partial.rows {
+        let values = positions
+            .iter()
+            .map(|pos| match pos {
+                Some(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            })
+            .collect();
+        table.insert(values)?;
+    }
+    Ok(())
 }
 
 /// One executed SELECT: the outcome, the recorded trace (when tracing was
@@ -2761,10 +3258,15 @@ struct QueryProbe {
     /// EXPLAIN ANALYZE: profile the residual plan and keep the annotated
     /// rendering.
     want_profile: bool,
+    /// Run the residual plan analyzed and collect per-node actuals for the
+    /// statement profile store (EXPLAIN ANALYZE, or the profiling gate).
+    profile_nodes: bool,
     /// One record per scatter branch, in gather order.
     branches: Vec<BranchObs>,
     /// Annotated residual plan (federated EXPLAIN ANALYZE only).
     analyzed: Option<String>,
+    /// Residual-plan node actuals (federated path, `profile_nodes` on).
+    node_actuals: Vec<NodeContribution>,
 }
 
 /// One branch's observed timeline.
@@ -2791,6 +3293,30 @@ fn branch_obs(label: &str, target: &str, report: &BranchReport) -> BranchObs {
         remote_traces: report.output.remote_traces.clone(),
         dropped: report.events.dropped.clone(),
     }
+}
+
+/// Phase-level time attribution of one execution, from its virtual-time
+/// breakdown — always available, even when per-plan-node profiling is off
+/// or the query never reached the residual plan.
+fn phase_nodes(stats: &QueryStats) -> Vec<NodeContribution> {
+    let bd = &stats.breakdown;
+    [
+        ("phase:plan", bd.plan, 0u64),
+        ("phase:rls", bd.rls, 0),
+        ("phase:connect", bd.connect, 0),
+        ("phase:execute", bd.execute, stats.rows_fetched as u64),
+        ("phase:integrate", bd.integrate, 0),
+        ("phase:serialize", bd.serialize, stats.rows_returned as u64),
+        ("phase:resilience", bd.resilience, 0),
+    ]
+    .into_iter()
+    .filter(|(_, cost, _)| *cost > Cost::ZERO)
+    .map(|(node, cost, rows)| NodeContribution {
+        node: node.to_string(),
+        us: cost.as_micros(),
+        rows,
+    })
+    .collect()
 }
 
 /// Count each optimized-plan node kind into the `plan_nodes` metric family.
@@ -2964,7 +3490,7 @@ pub fn wire_to_partial(table: &str, wire: &WireValue) -> Result<Partial> {
     })
 }
 
-fn value_to_wire(v: &Value) -> WireValue {
+pub(crate) fn value_to_wire(v: &Value) -> WireValue {
     match v {
         Value::Null => WireValue::Null,
         Value::Int(i) => WireValue::Int(*i),
@@ -2975,7 +3501,7 @@ fn value_to_wire(v: &Value) -> WireValue {
     }
 }
 
-fn wire_to_value(w: &WireValue) -> Result<Value> {
+pub(crate) fn wire_to_value(w: &WireValue) -> Result<Value> {
     Ok(match w {
         WireValue::Null => Value::Null,
         WireValue::Int(i) => Value::Int(*i),
@@ -3026,6 +3552,7 @@ impl Service for DataAccessService {
             "databases".into(),
             "register_database".into(),
             "refresh_schemas".into(),
+            "monitor_fetch".into(),
         ]
     }
 
@@ -3127,6 +3654,29 @@ impl Service for DataAccessService {
                     WireValue::List(t.value.into_iter().map(WireValue::Str).collect()),
                     t.cost,
                 ))
+            }
+            // Producer side of monitor federation: export this mediator's
+            // rows of the requested `gridfed_monitor.*` tables. The SQL is
+            // evaluated by the *consumer*, so the answer is always this
+            // mediator's complete local view — no degradation to guard.
+            "monitor_fetch" => {
+                let WireValue::List(names) = params.first().ok_or_else(|| {
+                    ClarensError::BadParams("monitor_fetch(tables) needs 1 param".into())
+                })?
+                else {
+                    return Err(ClarensError::BadParams(
+                        "monitor_fetch(tables) wants a list of table names".into(),
+                    ));
+                };
+                let mut tables = Vec::with_capacity(names.len());
+                for n in names {
+                    tables.push(n.as_str()?.to_string());
+                }
+                let partials = self.monitor_export(&tables).map_err(fault)?;
+                let rows: usize = partials.iter().map(|p| p.rows.len()).sum();
+                let cost =
+                    Cost::from_micros(500) + self.params.per_row_serialize.scale(rows as f64);
+                Ok(Timed::new(monitor_partials_to_wire(&partials), cost))
             }
             other => Err(ClarensError::NoMethod {
                 service: "das".into(),

@@ -91,6 +91,12 @@ pub struct QueryStats {
     ///
     /// [`DegradationPolicy::Partial`]: crate::resilience::DegradationPolicy::Partial
     pub branches_dropped: Vec<BranchDrop>,
+    /// Compact rendering of the optimized logical plan's operator tree,
+    /// e.g. `project(filter(scan))`. Paired with the literal-normalized
+    /// SQL it forms the statement-profile fingerprint, so the same text
+    /// planned differently profiles separately. Empty when the planner
+    /// never ran (e.g. a cache hit recorded before PR 9).
+    pub plan_shape: String,
     /// Data versions of the tables this query read, in resolution order.
     /// A mart table carries the monotonically increasing version stamped
     /// by its last refresh; tables with no version bookkeeping (sources,
@@ -220,6 +226,42 @@ mod tests {
             reason: "server `mart_mssql` is unavailable".into(),
         });
         assert!(s.is_degraded());
+    }
+
+    #[test]
+    fn absorb_remote_merges_parallel_and_replication_fields() {
+        // The fields PR 7/8 added to the wire codec: parallel-executor
+        // counters merge (max workers, summed morsels), replication lag is
+        // a worst-replica max, and admission bookkeeping stays local.
+        let mut local = QueryStats {
+            exec_workers: 2,
+            exec_morsels: 3,
+            repl_lag_lsn: 1,
+            repl_age_us: 500,
+            queue_depth: 4,
+            queue_wait_us: 250,
+            ..QueryStats::default()
+        };
+        let remote = QueryStats {
+            exec_workers: 8,
+            exec_morsels: 5,
+            repl_lag_lsn: 9,
+            repl_age_us: 100,
+            queue_depth: 7,
+            queue_wait_us: 999,
+            retries: 2,
+            connections_opened: 1,
+            ..QueryStats::default()
+        };
+        local.absorb_remote(&remote);
+        assert_eq!(local.exec_workers, 8, "widest pool across hops");
+        assert_eq!(local.exec_morsels, 8, "work items sum");
+        assert_eq!(local.repl_lag_lsn, 9, "worst replica lag");
+        assert_eq!(local.repl_age_us, 500, "worst staleness age");
+        assert_eq!(local.queue_depth, 4, "admission stays local");
+        assert_eq!(local.queue_wait_us, 250, "admission stays local");
+        assert_eq!(local.retries, 2);
+        assert_eq!(local.connections_opened, 1);
     }
 
     #[test]

@@ -19,17 +19,20 @@ pub const LATENCY_BOUNDS_US: [u64; 16] = [
     1_000_000, 2_500_000, 5_000_000, 10_000_000,
 ];
 
-const BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+pub(crate) const BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
 
+/// The live, atomically updated histogram. Module-private shape, but
+/// crate-visible so the statement-profile store can reuse the same
+/// fixed-bucket accounting for per-fingerprint latency.
 #[derive(Debug, Default)]
-struct Histogram {
+pub(crate) struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
 }
 
 impl Histogram {
-    fn observe(&self, us: u64) {
+    pub(crate) fn observe(&self, us: u64) {
         let idx = LATENCY_BOUNDS_US
             .iter()
             .position(|&b| us <= b)
@@ -39,7 +42,7 @@ impl Histogram {
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
@@ -93,6 +96,55 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// A snapshot with no observations (the baseline when no history
+    /// snapshot covers a window's start).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Observations at or below `us`, at bucket resolution: a bucket
+    /// counts only when its (inclusive) upper bound is <= `us`, so the
+    /// answer never over-reports. Thresholds chosen from
+    /// [`LATENCY_BOUNDS_US`] are exact; the overflow bucket never counts.
+    pub fn count_le(&self, us: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| LATENCY_BOUNDS_US.get(*i).is_some_and(|&b| b <= us))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Fraction of observations at or below `us` (1.0 when empty — an
+    /// empty window has burned none of its error budget).
+    pub fn fraction_le(&self, us: u64) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.count_le(us) as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise saturating difference `self - earlier`: the
+    /// observations recorded *after* `earlier` was taken. Histograms only
+    /// grow, so with snapshots of the same histogram this is exact; a
+    /// mismatched pair degrades to zeros instead of underflowing.
+    pub fn saturating_sub(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, out) in buckets.iter_mut().enumerate() {
+            *out = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            buckets,
         }
     }
 }
@@ -288,6 +340,28 @@ mod tests {
             buckets: [0; BUCKETS],
         };
         assert_eq!(empty.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_window_deltas_and_goodness() {
+        let m = MetricsRegistry::new();
+        for _ in 0..8 {
+            m.observe_us("lat", "x", 400);
+        }
+        let earlier = m.histogram("lat", "x").unwrap();
+        for _ in 0..2 {
+            m.observe_us("lat", "x", 80_000);
+        }
+        let now = m.histogram("lat", "x").unwrap();
+        assert_eq!(now.count_le(1_000), 8);
+        assert!((now.fraction_le(1_000) - 0.8).abs() < 1e-9);
+        let delta = now.saturating_sub(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.count_le(1_000), 0);
+        assert_eq!(delta.count_le(100_000), 2);
+        // Empty windows burn no budget; mismatched pairs never underflow.
+        assert_eq!(HistogramSnapshot::empty().fraction_le(100), 1.0);
+        assert_eq!(earlier.saturating_sub(&now).count, 0);
     }
 
     #[test]

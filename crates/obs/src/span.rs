@@ -18,7 +18,7 @@ use gridfed_simnet::cost::Cost;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What layer of the query path a span describes.
@@ -354,10 +354,12 @@ impl TraceBuilder {
 }
 
 /// Bounded in-memory store of recent traces (a ring: oldest evicted first).
+/// The retention cap is a live knob ([`TraceStore::set_capacity`]), so an
+/// operator can shrink a mediator's trace memory without rebuilding it.
 #[derive(Debug)]
 pub struct TraceStore {
     next_id: AtomicU64,
-    capacity: usize,
+    capacity: AtomicUsize,
     ring: Mutex<VecDeque<Arc<Trace>>>,
 }
 
@@ -365,7 +367,7 @@ impl TraceStore {
     pub fn new(capacity: usize) -> TraceStore {
         TraceStore {
             next_id: AtomicU64::new(1),
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             ring: Mutex::new(VecDeque::new()),
         }
     }
@@ -375,17 +377,53 @@ impl TraceStore {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The live retention cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Change the retention cap (minimum 1). Shrinking evicts the oldest
+    /// retained traces immediately, FIFO — memory is bounded from the
+    /// moment the knob turns, not from the next record.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        while ring.len() > capacity {
+            ring.pop_front();
+        }
+    }
+
     /// Record a completed trace, evicting the oldest past capacity.
     /// Returns the stored handle (for callers that export it right away,
     /// e.g. the RPC layer shipping spans back to a remote caller).
     pub fn record(&self, trace: Trace) -> Arc<Trace> {
         let trace = Arc::new(trace);
+        self.record_shared(Arc::clone(&trace));
+        trace
+    }
+
+    /// Record an already-shared trace handle — the slow-query log retains
+    /// the same `Arc` the main ring recorded, paying one pointer, not a
+    /// deep copy. The id counter is untouched (the trace keeps the id it
+    /// was assembled with).
+    pub fn record_shared(&self, trace: Arc<Trace>) {
+        let capacity = self.capacity();
         let mut ring = self.ring.lock();
-        if ring.len() == self.capacity {
+        while ring.len() >= capacity {
             ring.pop_front();
         }
-        ring.push_back(Arc::clone(&trace));
-        trace
+        ring.push_back(trace);
+    }
+
+    /// Retained trace count.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
     }
 
     /// All retained traces, oldest first.
@@ -515,6 +553,33 @@ mod tests {
         assert!(store.get(3).is_some());
         assert!(store.get(1).is_none());
         assert_eq!(store.latest().unwrap().trace_id, 4);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest_first() {
+        let store = TraceStore::new(8);
+        for i in 0..6 {
+            let b = TraceBuilder::new(store.next_trace_id());
+            store.record(b.finish(format!("q{i}"), "srv", None, 0, ms(1), "ok", 0));
+        }
+        assert_eq!(store.len(), 6);
+        store.set_capacity(3);
+        assert_eq!(store.capacity(), 3);
+        let kept = store.snapshot();
+        assert_eq!(
+            kept.iter().map(|t| t.sql.as_str()).collect::<Vec<_>>(),
+            vec!["q3", "q4", "q5"],
+            "FIFO: the oldest traces went first"
+        );
+        // The cap holds for subsequent records too.
+        let b = TraceBuilder::new(store.next_trace_id());
+        store.record(b.finish("q6", "srv", None, 0, ms(1), "ok", 0));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.latest().unwrap().sql, "q6");
+        // Raising it back does not resurrect evicted traces.
+        store.set_capacity(10);
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
     }
 
     #[test]

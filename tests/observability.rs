@@ -2,8 +2,8 @@
 //! across RPC hops, the metrics registry, and the R-GMA-style
 //! `gridfed_monitor.*` relational monitoring surface.
 
-use gridfed::core::grid::GridBuilder;
-use gridfed::obs::SpanKind;
+use gridfed::core::grid::{GridBuilder, ReplicationConfig};
+use gridfed::obs::{ObsConfig, SloObjective, SpanKind};
 use gridfed::prelude::*;
 
 const JOIN_SQL: &str = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
@@ -82,19 +82,23 @@ fn acceptance_stitched_trace_under_faults() {
     );
 
     // R-GMA surface: the same trace is retrievable relationally, through
-    // the mediator's own SQL engine.
+    // the mediator's own SQL engine. Monitor queries federate over every
+    // mediator and trace ids are only unique per server, so pin the
+    // producer with the `server` column.
     let spans_sql = format!(
         "SELECT span_id, name, kind FROM gridfed_monitor.spans \
-         WHERE trace_id = {} ORDER BY span_id",
-        trace.trace_id
+         WHERE trace_id = {} AND server = '{}' ORDER BY span_id",
+        trace.trace_id,
+        das.url()
     );
     let rows = das.query(&spans_sql).expect("monitor query");
     assert_eq!(rows.value.result.len(), trace.spans.len());
 
     let queries_sql = format!(
         "SELECT sql, status, retries, failovers FROM gridfed_monitor.queries \
-         WHERE trace_id = {}",
-        trace.trace_id
+         WHERE trace_id = {} AND server = '{}'",
+        trace.trace_id,
+        das.url()
     );
     let q = das.query(&queries_sql).expect("monitor query");
     assert_eq!(q.value.result.len(), 1);
@@ -263,6 +267,271 @@ fn explain_analyze_executes_and_reports_actuals() {
         .expect("analyze again");
     let text = render_plan(&again.value.result);
     assert!(text.contains("actual rows returned: 5"), "{text}");
+}
+
+/// ISSUE 9 acceptance: `SELECT * FROM gridfed_monitor.statements` on a
+/// three-mediator grid is an R-GMA consumer query — it returns statement
+/// profiles from **every live mediator**, each row tagged with the
+/// producing `server`, through one relational surface.
+#[test]
+fn monitor_statements_federate_across_three_mediators() {
+    let g = GridBuilder::new()
+        .with_seed(41)
+        .with_mediators(3)
+        .with_obs_config(ObsConfig {
+            profiling: true,
+            ..ObsConfig::default()
+        })
+        .build()
+        .expect("grid");
+    assert_eq!(g.services.len(), 3);
+
+    // Give every mediator a statement of its own to profile.
+    for i in 0..3 {
+        g.service(i)
+            .query("SELECT e_id FROM ntuple_events WHERE e_id < 4")
+            .expect("workload query");
+    }
+
+    let das = g.service(0);
+    let out = das
+        .query("SELECT * FROM gridfed_monitor.statements")
+        .expect("federated monitor query");
+    assert!(out.value.stats.distributed, "{:?}", out.value.stats);
+    assert_eq!(out.value.stats.servers, 3);
+    assert!(
+        !out.value.stats.is_degraded(),
+        "all peers live: {:?}",
+        out.value.stats.branches_dropped
+    );
+
+    let server_col = out
+        .value
+        .result
+        .columns
+        .iter()
+        .position(|c| c == "server")
+        .expect("server column present");
+    let mut servers: Vec<String> = out
+        .value
+        .result
+        .rows
+        .iter()
+        .map(|r| r.values()[server_col].render())
+        .collect();
+    servers.sort();
+    servers.dedup();
+    let expected: Vec<String> = (0..3).map(|i| g.service(i).url().to_string()).collect();
+    assert_eq!(servers, expected, "rows from every mediator");
+}
+
+/// ISSUE 9 acceptance: under a seeded partition fault the federated
+/// monitor query degrades to an honestly *annotated* partial — the
+/// unreachable mediator is named in `branches_dropped`, while rows from
+/// the reachable peers still arrive. Never a silent local-only answer.
+#[test]
+fn monitor_partition_fault_yields_annotated_partial() {
+    let g = GridBuilder::new()
+        .with_seed(41)
+        .with_mediators(3)
+        .with_observability(true)
+        .with_fault_plan(FaultPlan::new(4).partition("node1", "node3", Cost::ZERO, None))
+        .build()
+        .expect("grid");
+
+    let das = g.service(0);
+    let out = das
+        .query("SELECT url, server FROM gridfed_monitor.servers")
+        .expect("degraded monitor query still answers");
+
+    // Honest annotation: the dead branch is named, with a reason.
+    assert!(out.value.stats.is_degraded(), "{:?}", out.value.stats);
+    assert!(
+        out.value
+            .stats
+            .branches_dropped
+            .iter()
+            .any(|d| d.branch.contains("node3") && !d.reason.is_empty()),
+        "partitioned mediator annotated: {:?}",
+        out.value.stats.branches_dropped
+    );
+
+    // Not local-only: the reachable peer's rows are still in the answer.
+    let producers: Vec<String> = out
+        .value
+        .result
+        .rows
+        .iter()
+        .map(|r| r.values()[1].render())
+        .collect();
+    assert!(
+        producers.iter().any(|s| s.contains("node2")),
+        "live peer rows present: {producers:?}"
+    );
+    assert!(
+        !producers.iter().any(|s| s.contains("node3")),
+        "partitioned peer contributed nothing: {producers:?}"
+    );
+}
+
+/// ISSUE 9 acceptance: literal-varied executions of the same statement
+/// share one fingerprint, with correct call counts and latency quantiles,
+/// and the store retains at most the configured top-k fingerprints.
+#[test]
+fn statement_profiles_aggregate_and_bound_retention() {
+    let g = GridBuilder::new()
+        .with_seed(41)
+        .single_server()
+        .with_obs_config(ObsConfig {
+            profiling: true,
+            statement_capacity: 2,
+            ..ObsConfig::default()
+        })
+        .build()
+        .expect("grid");
+    let das = g.service(0);
+
+    // Two literal-varied executions → one fingerprint with calls = 2.
+    g.query("SELECT e_id FROM ntuple_events WHERE e_id < 3")
+        .expect("exec 1");
+    g.query("SELECT e_id FROM ntuple_events WHERE e_id < 7")
+        .expect("exec 2");
+
+    let out = das
+        .query(
+            "SELECT sql, calls, p50_us, p99_us FROM gridfed_monitor.statements \
+             WHERE calls = 2",
+        )
+        .expect("statements query");
+    assert_eq!(out.value.result.len(), 1, "{:?}", out.value.result.rows);
+    let row = out.value.result.rows[0].values();
+    assert_eq!(
+        row[0],
+        Value::Text("select e_id from ntuple_events where e_id < ?".into()),
+        "literals normalized away"
+    );
+    assert!(matches!(row[2], Value::Int(p50) if p50 > 0), "{row:?}");
+    assert!(
+        matches!((&row[2], &row[3]), (Value::Int(p50), Value::Int(p99)) if p99 >= p50),
+        "{row:?}"
+    );
+
+    // Top-k: a third distinct statement evicts the coldest; the store
+    // never exceeds its configured capacity.
+    g.query("SELECT run_id FROM run_summary WHERE run_id < 5")
+        .expect("exec 3");
+    g.query("SELECT detector FROM run_conditions WHERE run_id < 5")
+        .expect("exec 4");
+    let all = das
+        .query("SELECT fingerprint FROM gridfed_monitor.statements")
+        .expect("statements query");
+    assert!(
+        all.value.result.len() <= 2,
+        "top-k bound holds: {:?}",
+        all.value.result.rows
+    );
+}
+
+/// Satellite (a) regression: a *literal* containing "gridfed_monitor." in
+/// ordinary SQL must not trip monitor-query routing — detection goes by
+/// parsed table references, not substring matching.
+#[test]
+fn monitor_detection_ignores_string_literals() {
+    let g = GridBuilder::new().with_seed(41).build().expect("grid");
+    let out = g
+        .query("SELECT detector FROM detector_summary WHERE detector = 'gridfed_monitor.queries'")
+        .expect("routes as a normal federated query, not a monitor query");
+    assert!(out.result.is_empty(), "no detector has that name");
+    assert_eq!(out.stats.tables, 1);
+}
+
+/// Satellite (c): `Replicate` traces recorded by the WAL-shipping pump
+/// satisfy the same span-composition algebra as query traces — one root,
+/// parallel per-table branches contained within it.
+#[test]
+fn replicate_trace_composition_holds() {
+    let g = GridBuilder::new()
+        .with_seed(41)
+        .with_observability(true)
+        .with_replication(ReplicationConfig::default())
+        .build()
+        .expect("grid");
+    g.extend_sources(10).expect("extend");
+    g.run_incremental_etl().expect("etl");
+    g.pump_replication_for(3);
+
+    let mut saw_replicate = false;
+    for das in &g.services {
+        for trace in das.observability().traces.snapshot() {
+            if trace.spans.iter().any(|s| s.kind == SpanKind::Replicate) {
+                saw_replicate = true;
+                trace
+                    .check_composition(5)
+                    .unwrap_or_else(|e| panic!("{e}\n{}", trace.render_tree()));
+                assert_eq!(
+                    trace.spans.iter().filter(|s| s.parent.is_none()).count(),
+                    1,
+                    "single root"
+                );
+            }
+        }
+    }
+    assert!(saw_replicate, "replication recorded Replicate traces");
+}
+
+/// Tentpole layers 3–4: the metrics-history ring, per-tenant SLO burn,
+/// and the threshold-gated slow-query log are all queryable relationally.
+#[test]
+fn metrics_history_slo_and_slow_queries_are_queryable() {
+    let g = GridBuilder::new()
+        .with_seed(41)
+        .single_server()
+        .with_obs_config(ObsConfig {
+            history_interval_us: 1_000,
+            slow_query_threshold_us: 1,
+            ..ObsConfig::default()
+        })
+        .with_slo(SloObjective {
+            tenant: "default".into(),
+            latency_threshold_us: 16_000_000,
+            objective: 0.99,
+            window_us: 60_000_000,
+        })
+        .build()
+        .expect("grid");
+    let das = g.service(0);
+
+    g.query(JOIN_SQL).expect("query 1");
+    g.query("SELECT e_id FROM ntuple_events WHERE e_id < 3")
+        .expect("query 2");
+
+    // History: the ring holds snapshots of the tenant counters.
+    let h = das
+        .query(
+            "SELECT seq, ts_us, value FROM gridfed_monitor.metrics_history \
+             WHERE family = 'tenant_queries' AND label = 'default' ORDER BY seq",
+        )
+        .expect("history query");
+    assert!(!h.value.result.is_empty());
+
+    // SLO: with a 16 s latency goal every query is good → healthy, burn 0.
+    let s = das
+        .query("SELECT tenant, total, burn_rate, healthy FROM gridfed_monitor.slo")
+        .expect("slo query");
+    assert_eq!(s.value.result.len(), 1);
+    let row = s.value.result.rows[0].values();
+    assert_eq!(row[0], Value::Text("default".into()));
+    assert!(matches!(row[1], Value::Int(total) if total >= 2), "{row:?}");
+    assert_eq!(row[3], Value::Bool(true), "{row:?}");
+
+    // Slow-query log: a 1 µs threshold catches everything.
+    let slow = das
+        .query(
+            "SELECT sql, duration_us FROM gridfed_monitor.slow_queries \
+             ORDER BY duration_us",
+        )
+        .expect("slow query log");
+    assert!(slow.value.result.len() >= 2, "{:?}", slow.value.result.rows);
 }
 
 fn render_plan(result: &ResultSet) -> String {
