@@ -3,9 +3,9 @@
 # lints, formatting, and a smoke run of every criterion bench (one
 # iteration each, no timing).
 
-.PHONY: verify build test lint fmt bench bench-smoke chaos obs profile marts repl stress
+.PHONY: verify build test lint fmt bench bench-smoke chaos obs profile marts repl stress distjoin
 
-verify: build test chaos obs profile marts repl stress lint fmt bench-smoke
+verify: build test chaos obs profile marts repl stress distjoin lint fmt bench-smoke
 
 build:
 	cargo build --release
@@ -56,6 +56,14 @@ marts:
 # 128-seed replication chaos property (convergence after faults heal).
 repl:
 	cargo test -q --test replication --test prop_repl_chaos
+
+# Distributed-join suite: the reduced-vs-full-scatter differential
+# property (256 cases + 64 seeded-fault cases) and the scatter-cost
+# bench (asserts >=5x bytes-moved reduction; numbers in
+# BENCH_distjoin.json).
+distjoin:
+	cargo test -q --test distjoin_differential
+	cargo run -q -p gridfed-bench --bin distjoin
 
 # Concurrency stress: the multi-threaded hammer (worker pool + admission
 # queue + refresh churn) at full speed under the release profile, where

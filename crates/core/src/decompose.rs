@@ -9,12 +9,29 @@
 //! fetch so the mediator can finish the join.
 
 use crate::Result;
-use gridfed_sqlkit::ast::{BinaryOp, ColumnRef, Expr, SelectItem, SelectStmt, TableRef};
+use gridfed_sqlkit::ast::{BinaryOp, ColumnRef, Expr, JoinKind, SelectItem, SelectStmt, TableRef};
+use gridfed_sqlkit::estimate_rows;
 use gridfed_sqlkit::optimize::{optimize, PlanCatalog};
 use gridfed_sqlkit::plan::{build_plan, LogicalPlan};
 use gridfed_storage::normalize_ident;
 use gridfed_xspec::dict::TableLocation;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest estimated key set a semi-join reduction will ship. Above this
+/// the keys themselves are the blowup, so the branch full-scatters.
+pub const REDUCTION_MAX_KEYS: u64 = 100_000;
+
+/// A reduction must shrink the target by at least this factor (estimated)
+/// to pay for the extra scatter wave. Targets with no estimate are assumed
+/// big (that is exactly when a stale or absent count must not block the
+/// fix for the blowup).
+pub const REDUCTION_MIN_RATIO: u64 = 4;
+
+/// At or below this many distinct keys a reduction ships as a sorted
+/// IN-list; above it, as a fixed-seed bloom filter. The executor re-decides
+/// from the *actual* distinct-key count; the planner's choice (from the
+/// estimate) is what EXPLAIN prints.
+pub const IN_LIST_MAX_KEYS: usize = 64;
 
 /// Where a logical table lives, from this service's point of view.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +59,41 @@ pub trait TableResolver {
     fn version_of(&self, _logical: &str) -> Option<u64> {
         None
     }
+    /// *Live* row count of the chosen replica, when something has measured
+    /// it since registration (mart refresh, WAL apply, RLS publication).
+    /// `None` falls back to the registration-time XSpec hint.
+    fn row_count_of(&self, _logical: &str) -> Option<u64> {
+        None
+    }
+}
+
+/// A semi-join reduction attached to a fetch task: before this task's
+/// branch is dispatched, the mediator collects the distinct `source_column`
+/// join keys from the already-fetched `source_table` partial and injects a
+/// membership predicate on `target_column` into the sub-query, so the big
+/// side is filtered at its source instead of shipped whole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    /// Normalized name of the (estimated small) table supplying the keys.
+    pub source_table: String,
+    /// Join-key column on the source table.
+    pub source_column: String,
+    /// Join-key column on the reduced table, as spelled in the query.
+    pub target_column: String,
+    /// Estimated distinct keys the reduction ships (the source branch's
+    /// output estimate) — what the planner sized the strategy from.
+    pub est_keys: u64,
+}
+
+impl Reduction {
+    /// Plan-time strategy label (`in-list` or `bloom`) for EXPLAIN.
+    pub fn strategy(&self) -> &'static str {
+        if self.est_keys <= IN_LIST_MAX_KEYS as u64 {
+            "in-list"
+        } else {
+            "bloom"
+        }
+    }
 }
 
 /// One per-table fetch task.
@@ -55,6 +107,16 @@ pub struct TableTask {
     pub subquery: SelectStmt,
     /// Data version of the chosen replica (versioned marts only).
     pub version: Option<u64>,
+    /// Estimated rows this fetch returns (live row count through the
+    /// pushed-filter selectivity model); `None` when the table has no
+    /// statistics. Printed per branch by EXPLAIN.
+    pub est_rows: Option<u64>,
+    /// Scatter wave: wave-0 branches dispatch immediately; a wave-N branch
+    /// waits for waves `< N` so its reductions can be built from their
+    /// partials. Always 0 when `reductions` is empty.
+    pub wave: usize,
+    /// Semi-join reductions to inject before dispatching this task.
+    pub reductions: Vec<Reduction>,
 }
 
 /// The decomposed plan.
@@ -108,7 +170,14 @@ impl PlanCatalog for ResolverCatalog<'_> {
     }
 
     fn row_count(&self, table: &str) -> Option<u64> {
-        match self.0.resolve(&normalize_ident(table)) {
+        let key = normalize_ident(table);
+        // Live counts first: registration-time XSpec hints freeze the
+        // moment the table is registered, and a mart that was empty then
+        // may hold millions of rows now.
+        if let Some(live) = self.0.row_count_of(&key) {
+            return Some(live);
+        }
+        match self.0.resolve(&key) {
             Ok(Home::Local(loc)) => Some(loc.row_count as u64),
             _ => None,
         }
@@ -249,14 +318,224 @@ pub fn plan(stmt: &SelectStmt, resolver: &dyn TableResolver) -> Result<QueryPlan
             home,
             subquery,
             version: resolver.version_of(t),
+            est_rows: None,
+            wave: 0,
+            reductions: Vec::new(),
         });
     }
+    plan_reductions(stmt, resolver, &optimized, &bindings_of, &mut tasks);
     let residual = residual_plan(&optimized);
     Ok(QueryPlan::Federated {
         tasks,
         optimized,
         residual,
     })
+}
+
+/// Branch identity for scatter purposes: tasks sharing a local database or
+/// a remote server travel (and are costed) together.
+fn branch_key(home: &Home) -> String {
+    match home {
+        Home::Local(loc) => format!("db:{}", loc.database),
+        Home::Remote { server_url } => format!("srv:{server_url}"),
+    }
+}
+
+/// The cost-based reduction pass: estimate each branch's output from live
+/// statistics, order branches small-to-big, and for every cross-branch
+/// inner-join equality chain a semi-join reduction from the smaller side
+/// into the bigger side's sub-query. Tasks the model cannot estimate or
+/// cannot profitably reduce keep the full-scatter shape (`wave` 0, no
+/// reductions) — the planner only ever *adds* filters, so a wrong estimate
+/// costs bytes, never correctness.
+fn plan_reductions(
+    stmt: &SelectStmt,
+    resolver: &dyn TableResolver,
+    optimized: &LogicalPlan,
+    bindings_of: &BTreeMap<String, Vec<String>>,
+    tasks: &mut [TableTask],
+) {
+    // Per-task output estimate: the scan's row count through the pushed
+    // filters, exactly as the optimizer and EXPLAIN estimate it.
+    let catalog = ResolverCatalog(resolver);
+    let scans = optimized.scans();
+    for task in tasks.iter_mut() {
+        let scan = scans.iter().find(
+            |s| matches!(s, LogicalPlan::Scan { table, .. } if normalize_ident(table) == task.table),
+        );
+        task.est_rows = scan.and_then(|s| estimate_rows(s, &catalog));
+    }
+    if tasks.len() < 2 {
+        return;
+    }
+
+    // Scatter order: branches sorted by estimated output ascending, with
+    // unknown estimates last (they are assumed big). Reductions only flow
+    // from earlier to later branches, which makes the wave graph acyclic
+    // by construction.
+    let mut branch_est: BTreeMap<String, Option<u64>> = BTreeMap::new();
+    for task in tasks.iter() {
+        let slot = branch_est.entry(branch_key(&task.home)).or_insert(Some(0));
+        *slot = match (*slot, task.est_rows) {
+            (Some(total), Some(est)) => Some(total.saturating_add(est)),
+            _ => None,
+        };
+    }
+    let mut order: Vec<(&String, &Option<u64>)> = branch_est.iter().collect();
+    order.sort_by_key(|(name, est)| (est.is_none(), est.unwrap_or(u64::MAX), (*name).clone()));
+    let rank: BTreeMap<&String, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (*name, i))
+        .collect();
+
+    // Join-key edges: equality conjuncts of INNER joins whose two sides
+    // resolve (via their bindings) to tables in different branches.
+    let mut binding_table: BTreeMap<String, String> = BTreeMap::new();
+    for tref in stmt.table_refs() {
+        binding_table.insert(normalize_ident(tref.binding()), normalize_ident(&tref.name));
+    }
+    let mut edges: Vec<(String, String, String, String)> = Vec::new();
+    collect_inner_join_edges(optimized, &binding_table, &mut edges);
+
+    for (ta, ca, tb, cb) in edges {
+        let Some(ia) = tasks.iter().position(|t| t.table == ta) else {
+            continue;
+        };
+        let Some(ib) = tasks.iter().position(|t| t.table == tb) else {
+            continue;
+        };
+        let ba = branch_key(&tasks[ia].home);
+        let bb = branch_key(&tasks[ib].home);
+        if ba == bb {
+            continue; // no wire crossing to save
+        }
+        // The earlier-scattered (smaller) branch supplies the keys.
+        let (src, s_col, tgt, t_col) = if rank[&ba] < rank[&bb] {
+            (ia, ca, ib, cb)
+        } else {
+            (ib, cb, ia, ca)
+        };
+        // Fall back to full scatter when the model cannot see a profit:
+        // no source estimate, a key set too big to ship, or a target not
+        // meaningfully bigger than the keys that would reduce it.
+        let Some(src_est) = tasks[src].est_rows else {
+            continue;
+        };
+        if src_est > REDUCTION_MAX_KEYS {
+            continue;
+        }
+        if let Some(tgt_est) = tasks[tgt].est_rows {
+            if src_est.saturating_mul(REDUCTION_MIN_RATIO) > tgt_est {
+                continue;
+            }
+        }
+        // A twice-bound target shares one fetch between its bindings; a
+        // predicate derived from one binding's join must not starve the
+        // other, so such targets stay unreduced.
+        if bindings_of.get(&tasks[tgt].table).map(Vec::len) > Some(1) {
+            continue;
+        }
+        // When the target schema is known locally, the key column must be
+        // in it. Unknown schemas (remote servers) are trusted to have the
+        // join column the query itself asserts.
+        if let Some(cols) = resolver.columns_of(&tasks[tgt].table) {
+            let t_key = normalize_ident(&t_col);
+            if !cols.iter().any(|c| normalize_ident(c) == t_key) {
+                continue;
+            }
+        }
+        let red = Reduction {
+            source_table: tasks[src].table.clone(),
+            source_column: s_col,
+            target_column: t_col,
+            est_keys: src_est,
+        };
+        if !tasks[tgt].reductions.contains(&red) {
+            tasks[tgt].reductions.push(red);
+        }
+    }
+
+    // Waves, at branch granularity: a branch waits one wave past the
+    // latest branch that feeds any of its tasks' reductions. Computed in
+    // rank order, so every source wave is already final.
+    let mut branch_wave: BTreeMap<String, usize> = BTreeMap::new();
+    for (name, _) in order {
+        let mut wave = 0;
+        for task in tasks.iter().filter(|t| &branch_key(&t.home) == name) {
+            for red in &task.reductions {
+                let src_branch = tasks
+                    .iter()
+                    .find(|t| t.table == red.source_table)
+                    .map(|t| branch_key(&t.home))
+                    .expect("reduction source is a task");
+                wave = wave.max(branch_wave[&src_branch] + 1);
+            }
+        }
+        branch_wave.insert(name.clone(), wave);
+    }
+    for task in tasks.iter_mut() {
+        task.wave = branch_wave[&branch_key(&task.home)];
+    }
+}
+
+/// Collect `a.x = b.y` conjuncts from INNER-join conditions, resolved
+/// through `binding_table` to `(table_a, col_a, table_b, col_b)` — only
+/// where the two sides are different tables.
+fn collect_inner_join_edges(
+    plan: &LogicalPlan,
+    binding_table: &BTreeMap<String, String>,
+    out: &mut Vec<(String, String, String, String)>,
+) {
+    if let LogicalPlan::Join {
+        kind: JoinKind::Inner,
+        on: Some(on),
+        ..
+    } = plan
+    {
+        push_equality_conjuncts(on, binding_table, out);
+    }
+    for child in plan.children() {
+        collect_inner_join_edges(child, binding_table, out);
+    }
+}
+
+fn push_equality_conjuncts(
+    expr: &Expr,
+    binding_table: &BTreeMap<String, String>,
+    out: &mut Vec<(String, String, String, String)>,
+) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            push_equality_conjuncts(left, binding_table, out);
+            push_equality_conjuncts(right, binding_table, out);
+        }
+        Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } => {
+            if let (Expr::Column(l), Expr::Column(r)) = (&**left, &**right) {
+                let (Some(lq), Some(rq)) = (&l.qualifier, &r.qualifier) else {
+                    return; // unqualified: ownership is ambiguous
+                };
+                let (Some(lt), Some(rt)) = (
+                    binding_table.get(&normalize_ident(lq)),
+                    binding_table.get(&normalize_ident(rq)),
+                ) else {
+                    return;
+                };
+                if lt != rt {
+                    out.push((lt.clone(), l.column.clone(), rt.clone(), r.column.clone()));
+                }
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Undo pushdown and pruning on the scans of the named tables: their
@@ -517,16 +796,21 @@ mod tests {
     struct StubResolver {
         homes: BTreeMap<String, Home>,
         cols: BTreeMap<String, Vec<String>>,
+        rows: BTreeMap<String, u64>,
     }
 
     fn local(db: &str) -> Home {
+        local_counted(db, 100)
+    }
+
+    fn local_counted(db: &str, row_count: usize) -> Home {
         Home::Local(TableLocation {
             database: db.into(),
             physical_table: "x".into(),
             url: format!("mysql://grid:grid@h:3306/{db}"),
             driver: "mysql".into(),
             vendor: "MySQL".into(),
-            row_count: 100,
+            row_count,
         })
     }
 
@@ -539,6 +823,9 @@ mod tests {
         }
         fn columns_of(&self, logical: &str) -> Option<Vec<String>> {
             self.cols.get(logical).cloned()
+        }
+        fn row_count_of(&self, logical: &str) -> Option<u64> {
+            self.rows.get(logical).copied()
         }
     }
 
@@ -558,7 +845,11 @@ mod tests {
             vec!["e_id".into(), "run_id".into(), "energy".into()],
         );
         cols.insert("runs".to_string(), vec!["run_id".into(), "detector".into()]);
-        StubResolver { homes, cols }
+        StubResolver {
+            homes,
+            cols,
+            rows: BTreeMap::new(),
+        }
     }
 
     #[test]
@@ -681,6 +972,168 @@ mod tests {
             panic!()
         };
         assert!(tasks.iter().all(|t| t.subquery.limit.is_none()));
+    }
+
+    #[test]
+    fn reduction_flows_from_small_branch_to_big() {
+        let mut r = resolver();
+        r.rows.insert("events".to_string(), 1_000_000);
+        r.rows.insert("runs".to_string(), 100);
+        let stmt = parse_select(
+            "SELECT e.e_id, r.detector FROM events e JOIN runs r ON e.run_id = r.run_id",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!("expected federated");
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        let ru = tasks.iter().find(|t| t.table == "runs").unwrap();
+        assert_eq!(ev.est_rows, Some(1_000_000));
+        assert_eq!(ru.est_rows, Some(100));
+        assert!(ru.reductions.is_empty() && ru.wave == 0, "small side leads");
+        assert_eq!(ev.wave, 1, "big side waits for the keys");
+        assert_eq!(
+            ev.reductions,
+            vec![Reduction {
+                source_table: "runs".into(),
+                source_column: "run_id".into(),
+                target_column: "run_id".into(),
+                est_keys: 100,
+            }]
+        );
+        assert_eq!(
+            ev.reductions[0].strategy(),
+            "bloom",
+            "100 keys > IN-list cap"
+        );
+    }
+
+    #[test]
+    fn small_key_estimate_plans_an_in_list() {
+        let mut r = resolver();
+        r.rows.insert("events".to_string(), 1_000_000);
+        r.rows.insert("runs".to_string(), 10);
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        assert_eq!(ev.reductions[0].strategy(), "in-list");
+    }
+
+    #[test]
+    fn comparable_sides_keep_full_scatter() {
+        // Both branches estimate 100 rows: shipping one side's keys cannot
+        // shrink the other 4×, so the cost model keeps the plain scatter.
+        let r = resolver();
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        assert!(tasks.iter().all(|t| t.reductions.is_empty() && t.wave == 0));
+    }
+
+    #[test]
+    fn oversized_key_set_keeps_full_scatter() {
+        let mut r = resolver();
+        r.rows
+            .insert("events".to_string(), REDUCTION_MAX_KEYS * 100);
+        r.rows.insert("runs".to_string(), REDUCTION_MAX_KEYS + 1);
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        assert!(tasks.iter().all(|t| t.reductions.is_empty()));
+    }
+
+    #[test]
+    fn stale_registration_count_no_longer_drives_the_plan() {
+        // Regression for the stale-cardinality bug: `events` was registered
+        // empty (XSpec hint 0) and then 10k rows were loaded. The live count
+        // must win, so `events` is the BIG side receiving the reduction —
+        // the frozen hint would have shipped 10k keys in the wrong
+        // direction.
+        let mut r = resolver();
+        r.homes
+            .insert("events".to_string(), local_counted("mart1", 0));
+        r.rows.insert("events".to_string(), 10_000);
+        let stmt =
+            parse_select("SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id").unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        let ru = tasks.iter().find(|t| t.table == "runs").unwrap();
+        assert_eq!(ev.est_rows, Some(10_000), "live count supersedes XSpec");
+        assert_eq!(ev.reductions.len(), 1, "big side is reduced");
+        assert_eq!(ev.reductions[0].source_table, "runs");
+        assert!(ru.reductions.is_empty());
+    }
+
+    #[test]
+    fn unknown_remote_estimate_is_assumed_big() {
+        // `conditions` lives on a remote server with no published row
+        // count: it is assumed big, and the known-small local side reduces
+        // it — the join asserts the key column exists there.
+        let mut r = resolver();
+        r.rows.insert("runs".to_string(), 100);
+        let stmt =
+            parse_select("SELECT r.detector FROM runs r JOIN conditions c ON r.run_id = c.run_id")
+                .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let cond = tasks.iter().find(|t| t.table == "conditions").unwrap();
+        assert_eq!(cond.est_rows, None);
+        assert_eq!(cond.wave, 1);
+        assert_eq!(cond.reductions.len(), 1);
+        assert_eq!(cond.reductions[0].source_table, "runs");
+        assert_eq!(cond.reductions[0].target_column, "run_id");
+    }
+
+    #[test]
+    fn reductions_chain_along_the_scatter_order() {
+        // runs (10) → events (10k) → conditions (unknown): two waves of
+        // reduction chained along ascending estimated size.
+        let mut r = resolver();
+        r.rows.insert("events".to_string(), 10_000);
+        r.rows.insert("runs".to_string(), 10);
+        let stmt = parse_select(
+            "SELECT e.e_id FROM events e JOIN runs r ON e.run_id = r.run_id \
+             JOIN conditions c ON e.e_id = c.e_id",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ru = tasks.iter().find(|t| t.table == "runs").unwrap();
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        let cond = tasks.iter().find(|t| t.table == "conditions").unwrap();
+        assert_eq!((ru.wave, ev.wave, cond.wave), (0, 1, 2));
+        assert_eq!(ev.reductions[0].source_table, "runs");
+        assert_eq!(cond.reductions[0].source_table, "events");
+    }
+
+    #[test]
+    fn twice_bound_target_is_never_reduced() {
+        // A shared fetch serves both bindings of `events`; a key filter
+        // derived from one binding's join would starve the other.
+        let mut r = resolver();
+        r.rows.insert("events".to_string(), 1_000_000);
+        r.rows.insert("runs".to_string(), 10);
+        let stmt = parse_select(
+            "SELECT a.e_id FROM events a JOIN events b ON a.run_id = b.run_id \
+             JOIN runs r ON a.run_id = r.run_id",
+        )
+        .unwrap();
+        let QueryPlan::Federated { tasks, .. } = plan(&stmt, &r).unwrap() else {
+            panic!()
+        };
+        let ev = tasks.iter().find(|t| t.table == "events").unwrap();
+        assert!(ev.reductions.is_empty());
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! no projection) because the backends already applied the pushed-down
 //! work; what remains is exactly the mediator's share.
 
+use crate::decompose;
 use crate::error::CoreError;
 use crate::Result;
+use gridfed_sqlkit::ast::{ColumnRef, ScalarFunc};
+use gridfed_sqlkit::bloom::BloomFilter;
 use gridfed_sqlkit::exec::{execute_plan_metered, DatabaseProvider};
 use gridfed_sqlkit::plan::LogicalPlan;
-use gridfed_sqlkit::ResultSet;
-use gridfed_storage::{ColumnDef, DataType, Database, Row, Schema, Value};
+use gridfed_sqlkit::{Expr, ResultSet};
+use gridfed_storage::{normalize_ident, ColumnDef, DataType, Database, Row, Schema, Value};
 use std::time::{Duration, Instant};
 
 /// One fetched partial result: the table name it answers for, plus rows.
@@ -39,9 +42,83 @@ impl Partial {
         }
     }
 
-    /// Total wire size of the partial's rows.
+    /// Exact wire size of the partial as the Clarens codec encodes it
+    /// (`result_to_wire(..).encode().len()`): the outer two-element list,
+    /// the column-name list, and one list per row. Keeping this identical
+    /// to the transfer encoding means `bytes_fetched` and `bytes_saved`
+    /// measure the same quantity.
     pub fn wire_size(&self) -> usize {
-        self.rows.iter().map(Row::wire_size).sum()
+        let columns: usize = self.columns.iter().map(|c| 5 + c.len()).sum();
+        let rows: usize = self.rows.iter().map(|r| 5 + r.wire_size()).sum();
+        5 + (5 + columns) + (5 + rows)
+    }
+}
+
+/// Distinct, non-NULL, sorted join keys of `column` in a fetched partial —
+/// the key set a semi-join reduction ships to the big side's source.
+/// `None` when the partial has no such column (the caller then falls back
+/// to full scatter for that reduction).
+pub fn reduction_keys(partial: &Partial, column: &str) -> Option<Vec<Value>> {
+    let want = normalize_ident(column);
+    let idx = partial
+        .columns
+        .iter()
+        .position(|c| normalize_ident(c) == want)?;
+    let mut keys: Vec<Value> = partial
+        .rows
+        .iter()
+        .filter_map(|row| {
+            let v = row.values().get(idx)?;
+            (!v.is_null()).then(|| v.clone())
+        })
+        .collect();
+    keys.sort_by(|a, b| a.index_cmp(b));
+    keys.dedup_by(|a, b| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal));
+    Some(keys)
+}
+
+/// Whether a key round-trips exactly through a rendered SQL literal: only
+/// such keys may ship as an IN-list (bloom filters carry their keys as
+/// hashed bits, so they have no such constraint).
+fn literal_exact(v: &Value) -> bool {
+    match v {
+        Value::Int(_) | Value::Text(_) | Value::Bool(_) => true,
+        Value::Float(x) => x.is_finite(),
+        Value::Null | Value::Bytes(_) => false,
+    }
+}
+
+/// The membership predicate a reduction injects into the big side's
+/// sub-query: a sorted `IN`-list when the key set is small and every key
+/// renders exactly, a fixed-seed [`BloomFilter`] probe otherwise. An empty
+/// key set becomes `col IN (NULL)` — NULL for every row, so the backend
+/// returns zero rows (an inner join against an empty side is empty).
+pub fn reduction_predicate(column: &str, keys: &[Value]) -> Expr {
+    let col = Expr::Column(ColumnRef {
+        qualifier: None,
+        column: column.to_string(),
+    });
+    if keys.is_empty() {
+        return Expr::InList {
+            expr: Box::new(col),
+            list: vec![Expr::Literal(Value::Null)],
+            negated: false,
+        };
+    }
+    if keys.len() <= decompose::IN_LIST_MAX_KEYS && keys.iter().all(literal_exact) {
+        return Expr::InList {
+            expr: Box::new(col),
+            list: keys.iter().map(|k| Expr::Literal(k.clone())).collect(),
+            negated: false,
+        };
+    }
+    let mut filter = BloomFilter::with_capacity(keys.len());
+    for k in keys {
+        filter.insert(k);
+    }
+    Expr::Func {
+        func: ScalarFunc::BloomHas,
+        args: vec![col, Expr::Literal(Value::Text(filter.to_hex()))],
     }
 }
 
@@ -367,5 +444,102 @@ mod tests {
         .unwrap();
         let rs = integrate(&build_plan(&stmt), &[events_partial()]).unwrap();
         assert_eq!(rs.len(), 1); // (1,2) within run 10
+    }
+
+    #[test]
+    fn partial_wire_size_matches_the_encoded_transfer() {
+        // `bytes_fetched` (and therefore `bytes_saved`) must measure the
+        // same bytes the Clarens codec actually puts on the wire, across
+        // every value type — including NULLs and Bytes (which cross
+        // rendered as a hex string).
+        let p = Partial {
+            table: "t".into(),
+            columns: vec![
+                "id".into(),
+                "name".into(),
+                "x".into(),
+                "ok".into(),
+                "raw".into(),
+            ],
+            rows: vec![
+                Row::new(vec![
+                    Value::Int(7),
+                    Value::Text("aliquippa".into()),
+                    Value::Float(1.25),
+                    Value::Bool(true),
+                    Value::Bytes(vec![0xde, 0xad, 0xbe]),
+                ]),
+                Row::new(vec![
+                    Value::Null,
+                    Value::Text(String::new()),
+                    Value::Null,
+                    Value::Bool(false),
+                    Value::Bytes(Vec::new()),
+                ]),
+            ],
+        };
+        let rs = ResultSet {
+            columns: p.columns.clone(),
+            rows: p.rows.clone(),
+        };
+        let encoded = crate::service::result_to_wire(&rs).encode();
+        assert_eq!(p.wire_size(), encoded.len());
+
+        // Degenerate shapes stay exact too.
+        let empty = Partial {
+            table: "t".into(),
+            columns: vec!["only".into()],
+            rows: Vec::new(),
+        };
+        let rs = ResultSet {
+            columns: empty.columns.clone(),
+            rows: Vec::new(),
+        };
+        assert_eq!(
+            empty.wire_size(),
+            crate::service::result_to_wire(&rs).encode().len()
+        );
+    }
+
+    #[test]
+    fn reduction_keys_are_distinct_sorted_and_null_free() {
+        let p = Partial {
+            table: "runs".into(),
+            columns: vec!["run_id".into(), "site".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(30), Value::Text("a".into())]),
+                Row::new(vec![Value::Int(10), Value::Text("b".into())]),
+                Row::new(vec![Value::Null, Value::Text("c".into())]),
+                Row::new(vec![Value::Int(30), Value::Text("d".into())]),
+            ],
+        };
+        // Case-insensitive column lookup; NULLs dropped; duplicates folded.
+        let keys = reduction_keys(&p, "RUN_ID").unwrap();
+        assert_eq!(keys, vec![Value::Int(10), Value::Int(30)]);
+        assert!(reduction_keys(&p, "no_such_column").is_none());
+    }
+
+    #[test]
+    fn reduction_predicate_picks_in_list_bloom_or_empty_guard() {
+        use gridfed_sqlkit::render::render_expr_neutral;
+
+        // Empty key set: a predicate that evaluates NULL (zero rows) but
+        // still parses at the remote end.
+        let none = render_expr_neutral(&reduction_predicate("k", &[]));
+        assert!(none.contains("IN (NULL)"), "{none}");
+
+        // Small exact keys: a sorted IN-list.
+        let small = render_expr_neutral(&reduction_predicate("k", &[Value::Int(1), Value::Int(5)]));
+        assert!(small.contains("IN (1, 5)"), "{small}");
+
+        // Above the IN-list cap: a bloom probe carrying the hex payload.
+        let many: Vec<Value> = (0..200).map(Value::Int).collect();
+        let big = render_expr_neutral(&reduction_predicate("k", &many));
+        assert!(big.contains("BLOOM_HAS("), "{big}");
+
+        // Non-exact literals (a non-finite float) force the bloom form
+        // even for tiny key sets.
+        let odd = render_expr_neutral(&reduction_predicate("k", &[Value::Float(f64::INFINITY)]));
+        assert!(odd.contains("BLOOM_HAS("), "{odd}");
     }
 }

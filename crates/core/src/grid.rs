@@ -1095,4 +1095,125 @@ mod tests {
             .unwrap();
         assert!(!out.result.is_empty());
     }
+
+    #[test]
+    fn semi_join_reduction_matches_full_scatter_and_saves_bytes() {
+        // A selective filter on the small side (run_summary, one row per
+        // run) should ship its surviving run ids into the big side's
+        // fetch instead of scattering all of ntuple_events.
+        let sql = "SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                   JOIN run_summary s ON e.run_id = s.run_id \
+                   WHERE s.run_id < 3 ORDER BY e.e_id";
+        let g = small_grid();
+        let reduced = g.query(sql).unwrap();
+        for s in &g.services {
+            s.set_distjoin(false);
+        }
+        let full = g.query(sql).unwrap();
+        assert_eq!(
+            reduced.result, full.result,
+            "reduction must not change results"
+        );
+        assert!(
+            reduced.stats.reductions_shipped >= 1,
+            "expected a shipped reduction, stats={:?}",
+            reduced.stats
+        );
+        assert!(reduced.stats.bytes_saved > 0);
+        assert!(
+            reduced.stats.bytes_fetched < full.stats.bytes_fetched,
+            "reduced {} vs full {}",
+            reduced.stats.bytes_fetched,
+            full.stats.bytes_fetched
+        );
+        assert_eq!(full.stats.reductions_shipped, 0);
+        assert_eq!(full.stats.bytes_saved, 0);
+    }
+
+    #[test]
+    fn explain_surfaces_estimates_and_reduction_strategy() {
+        let g = small_grid();
+        let out = g
+            .query(
+                "EXPLAIN SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE s.run_id < 3",
+            )
+            .unwrap();
+        let text: String = out
+            .result
+            .rows
+            .iter()
+            .filter_map(|r| match r.values().first() {
+                Some(Value::Text(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            text.contains(" [est "),
+            "per-branch estimates missing:\n{text}"
+        );
+        assert!(
+            text.contains("reduce `run_id` by keys of `run_summary`.`run_id` [in-list"),
+            "reduction strategy line missing:\n{text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_reduction_savings() {
+        let g = small_grid();
+        let out = g
+            .query(
+                "EXPLAIN ANALYZE SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                 JOIN run_summary s ON e.run_id = s.run_id WHERE s.run_id < 3",
+            )
+            .unwrap();
+        let text: String = out
+            .result
+            .rows
+            .iter()
+            .filter_map(|r| match r.values().first() {
+                Some(Value::Text(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            text.contains("reductions shipped: "),
+            "analyze section missing reduction line:\n{text}"
+        );
+        assert!(text.contains("est bytes saved: "), "{text}");
+    }
+
+    #[test]
+    fn mart_refresh_updates_cardinality_estimates() {
+        // The stale-hint regression: registration-time row counts must not
+        // survive a mart refresh. Doubling the dataset and refreshing has
+        // to double the planner's estimate for the events mart.
+        let g = small_grid();
+        let explain_est = |g: &Grid| -> String {
+            let out = g
+                .query(
+                    "EXPLAIN SELECT e.e_id, s.n_meas FROM ntuple_events e \
+                     JOIN run_summary s ON e.run_id = s.run_id WHERE s.run_id < 3",
+                )
+                .unwrap();
+            out.result
+                .rows
+                .iter()
+                .filter_map(|r| match r.values().first() {
+                    Some(Value::Text(s)) if s.contains("fetch `ntuple_events`") => Some(s.clone()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let before = explain_est(&g);
+        assert!(before.contains("[est 120 rows]"), "{before}");
+        g.extend_sources(120).unwrap();
+        g.run_incremental_etl().unwrap();
+        g.refresh_marts().unwrap();
+        let after = explain_est(&g);
+        assert!(after.contains("[est 240 rows]"), "{after}");
+    }
 }

@@ -46,6 +46,8 @@ pub fn stats_to_wire(stats: &QueryStats) -> WireValue {
             stats.queue_wait_us as usize,
             stats.repl_lag_lsn as usize,
             stats.repl_age_us as usize,
+            stats.bytes_saved,
+            stats.reductions_shipped,
         ]
         .into_iter()
         .map(|n| WireValue::Int(n as i64))
@@ -87,6 +89,9 @@ pub fn wire_to_stats(v: &WireValue) -> QueryStats {
     // sends a shorter list and these zero-fill.
     out.repl_lag_lsn = get(15) as u64;
     out.repl_age_us = get(16) as u64;
+    // Positions 17+ arrived with semi-join reduction; same zero-fill rule.
+    out.bytes_saved = get(17);
+    out.reductions_shipped = get(18);
     out
 }
 
@@ -274,6 +279,8 @@ mod tests {
             queue_wait_us: 740,
             repl_lag_lsn: 17,
             repl_age_us: 52_000,
+            bytes_saved: 8_192,
+            reductions_shipped: 2,
             ..Default::default()
         };
         let back = wire_to_stats(&stats_to_wire(&s));
@@ -294,6 +301,8 @@ mod tests {
         assert_eq!(back.queue_wait_us, 740);
         assert_eq!(back.repl_lag_lsn, 17);
         assert_eq!(back.repl_age_us, 52_000);
+        assert_eq!(back.bytes_saved, 8_192);
+        assert_eq!(back.reductions_shipped, 2);
     }
 
     #[test]
@@ -326,6 +335,15 @@ mod tests {
         assert_eq!(s.queue_wait_us, 15);
         assert_eq!(s.repl_lag_lsn, 0);
         assert_eq!(s.repl_age_us, 0);
+
+        // A 17-position list — a pre-reduction peer — zero-fills the
+        // semi-join savings fields and keeps the replication ones.
+        let pre_reduction = WireValue::List((0..17).map(|i| WireValue::Int(i + 1)).collect());
+        let s = wire_to_stats(&pre_reduction);
+        assert_eq!(s.repl_lag_lsn, 16);
+        assert_eq!(s.repl_age_us, 17);
+        assert_eq!(s.bytes_saved, 0);
+        assert_eq!(s.reductions_shipped, 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use gridfed_xspec::model::UpperEntry;
 use gridfed_xspec::tracker::{SchemaTracker, TrackOutcome};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How sub-query branches are dispatched.
@@ -224,6 +224,11 @@ pub struct DataAccessService {
     /// pre-PR 7 behaviour). Applied only at the client-facing entry
     /// points, never on mediator-to-mediator `query_federated` hops.
     admission: Mutex<Option<Arc<Admission>>>,
+    /// Whether cost-based semi-join reduction is enabled (DESIGN.md
+    /// §4.14). On by default; turning it off strips planned reductions at
+    /// dispatch time, restoring the pre-PR 10 full-scatter behaviour —
+    /// the differential test suite runs both sides of this switch.
+    distjoin: AtomicBool,
 }
 
 /// Normalized table name → database → per-replica freshness record.
@@ -247,6 +252,12 @@ struct ReplicaRecord {
     /// measured age reads as zero, because a directly-hosted table is
     /// exact by definition.
     fresh_as_of_us: Option<u64>,
+    /// Live row count as of the last registration / mart refresh / WAL
+    /// apply. `None` until something measured it — the planner then falls
+    /// back to the registration-time XSpec hint. This is the fix for the
+    /// stale-cardinality bug: XSpec counts froze at registration, so a
+    /// table registered empty and then loaded stayed "small" forever.
+    row_count: Option<u64>,
 }
 
 impl ReplicaRecord {
@@ -300,6 +311,7 @@ impl DataAccessService {
             creds: ("grid".to_string(), "grid".to_string()),
             obs: Observability::new(),
             exec_workers: AtomicUsize::new(1),
+            distjoin: AtomicBool::new(true),
             exec_batch_rows: AtomicUsize::new(ExecConfig::default().batch_rows),
             exec_morsel_rows: AtomicUsize::new(ExecConfig::default().morsel_rows),
             admission: Mutex::new(None),
@@ -344,6 +356,14 @@ impl DataAccessService {
     /// instead of an overloaded server.
     pub fn set_memory_limit(&self, limit: Option<usize>) {
         *self.memory_limit.lock() = limit;
+    }
+
+    /// Enable or disable cost-based semi-join reduction for federated
+    /// queries (on by default). With it off every cross-database join
+    /// falls back to full scatter — the shape the differential suite
+    /// compares reduced plans against.
+    pub fn set_distjoin(&self, on: bool) {
+        self.distjoin.store(on, Ordering::Relaxed);
     }
 
     /// Configure branch supervision (retries, failover, breakers,
@@ -493,6 +513,7 @@ impl DataAccessService {
                     ReplicaRecord {
                         version: m.version,
                         refreshed_us: m.refreshed_us,
+                        row_count: Some(m.rows as u64),
                         ..ReplicaRecord::default()
                     },
                 );
@@ -501,6 +522,7 @@ impl DataAccessService {
                     TableFreshness {
                         version: m.version,
                         refreshed_us: m.refreshed_us,
+                        rows: m.rows as u64,
                         ..TableFreshness::default()
                     },
                 ));
@@ -619,7 +641,12 @@ impl DataAccessService {
             return;
         }
         let table = normalize_ident(&report.table);
-        let prev_refreshed = {
+        // Measure the replica's live cardinality for the planner's cost
+        // model; fall back to the report when the backend is unreachable
+        // (a full rebuild's row count IS the live count, an incremental
+        // one is a delta over whatever we knew before).
+        let measured = self.live_row_count(database, &table);
+        let (prev_refreshed, rows_now) = {
             let mut versions = self.mart_versions.write();
             let slot = versions.entry(table.clone()).or_default();
             let prev = slot.get(database).map(|r| r.refreshed_us);
@@ -628,7 +655,11 @@ impl DataAccessService {
             let rec = slot.entry(database.to_string()).or_default();
             rec.version = report.version;
             rec.refreshed_us = now_us;
-            prev
+            rec.row_count = measured.or(match report.kind {
+                RefreshKind::Full => Some(report.rows as u64),
+                _ => rec.row_count.map(|prev| prev + report.rows as u64),
+            });
+            (prev, rec.row_count)
         };
         if let Some(rls) = &self.rls {
             rls.publish_freshness(
@@ -638,6 +669,7 @@ impl DataAccessService {
                     TableFreshness {
                         version: report.version,
                         refreshed_us: now_us,
+                        rows: rows_now.unwrap_or(0),
                         ..TableFreshness::default()
                     },
                 )],
@@ -734,16 +766,32 @@ impl DataAccessService {
         cost: Cost,
         now_us: u64,
     ) {
+        // Re-measure live cardinalities before taking the version lock:
+        // WAL replay just changed the replicas' row counts underneath the
+        // planner's statistics.
+        let measured: Vec<(String, Option<u64>)> = report
+            .refreshed
+            .iter()
+            .map(|(table, _)| {
+                let key = normalize_ident(table);
+                let rows = self.live_row_count(database, &key);
+                (key, rows)
+            })
+            .collect();
         {
             let mut versions = self.mart_versions.write();
-            for (table, version) in &report.refreshed {
+            for ((table, version), (key, rows)) in report.refreshed.iter().zip(&measured) {
+                debug_assert_eq!(&normalize_ident(table), key);
                 let rec = versions
-                    .entry(normalize_ident(table))
+                    .entry(key.clone())
                     .or_default()
                     .entry(database.to_string())
                     .or_default();
                 rec.version = *version;
                 rec.refreshed_us = now_us;
+                if rows.is_some() {
+                    rec.row_count = *rows;
+                }
             }
         }
         self.publish_replication(database, tables, &report.lag);
@@ -847,6 +895,7 @@ impl DataAccessService {
                         refreshed_us: rec.refreshed_us,
                         applied_lsn: lag.applied_lsn,
                         head_lsn: lag.head_lsn,
+                        rows: rec.row_count.unwrap_or(0),
                     },
                 ));
             }
@@ -867,6 +916,22 @@ impl DataAccessService {
             .and_then(|per| per.get(database))
             .map(|r| r.staleness(now_us))
             .unwrap_or_default()
+    }
+
+    /// Measure a replica's live row count straight from the backend. This
+    /// is a local metadata read (no query execution): mart refresh and WAL
+    /// apply call it to keep the planner's cardinality statistics current.
+    fn live_row_count(&self, database: &str, table: &str) -> Option<u64> {
+        let loc = {
+            let dict = self.dict.read();
+            dict.resolve_table(&normalize_ident(table))
+                .into_iter()
+                .find(|l| l.database == database)?
+        };
+        let conn = self.registry.connect(&loc.url).ok()?;
+        conn.value
+            .server()
+            .with_db(|db| db.table(&loc.physical_table).map(|t| t.len() as u64).ok())
     }
 
     /// `(lsn_lag, age_us)` of one replica at `now_us`, for stats/EXPLAIN.
@@ -1014,6 +1079,12 @@ impl DataAccessService {
                 let now_us = self.clock.read().now().as_micros();
                 for task in &tasks {
                     let sub = render_select(&task.subquery, &NeutralStyle);
+                    // Cardinality estimate driving the scatter plan —
+                    // absent when the table has no statistics.
+                    let est = task
+                        .est_rows
+                        .map(|n| format!(" [est {n} rows]"))
+                        .unwrap_or_default();
                     match &task.home {
                         Home::Local(loc) => {
                             let key = normalize_ident(&task.table);
@@ -1026,7 +1097,7 @@ impl DataAccessService {
                                 ver.push_str(&format!(" [lag {lsn} lsn, {age}us]"));
                             }
                             out.push_str(&format!(
-                                "  fetch `{}` from `{}` ({}){ver}: {sub}
+                                "  fetch `{}` from `{}` ({}){ver}{est}: {sub}
 ",
                                 task.table, loc.database, loc.vendor
                             ));
@@ -1041,7 +1112,7 @@ impl DataAccessService {
                                 .map(|v| format!(" [data v{v}]"))
                                 .unwrap_or_default();
                             out.push_str(&format!(
-                                "  fetch `{}` via RLS from {server_url}{ver}: {sub}
+                                "  fetch `{}` via RLS from {server_url}{ver}{est}: {sub}
 ",
                                 task.table
                             ));
@@ -1050,6 +1121,21 @@ impl DataAccessService {
                                 branch_targets.push((label, server_url.clone()));
                             }
                         }
+                    }
+                    // Semi-join reductions chosen by the cost model: this
+                    // fetch waits for its source's partial, then ships the
+                    // key set into the sub-query before dispatching.
+                    for red in &task.reductions {
+                        out.push_str(&format!(
+                            "    reduce `{}` by keys of `{}`.`{}` [{}, est {} keys, wave {}]
+",
+                            red.target_column,
+                            red.source_table,
+                            red.source_column,
+                            red.strategy(),
+                            red.est_keys,
+                            task.wave
+                        ));
                     }
                 }
                 out.push_str(
@@ -1617,6 +1703,16 @@ impl DataAccessService {
         m.inc("rows_returned", &self.url, stats.rows_returned as u64);
         m.inc("rows_fetched", &self.url, stats.rows_fetched as u64);
         m.inc("bytes_fetched", &self.url, stats.bytes_fetched as u64);
+        if stats.reductions_shipped > 0 {
+            m.inc(
+                "reductions_shipped",
+                &self.url,
+                stats.reductions_shipped as u64,
+            );
+        }
+        if stats.bytes_saved > 0 {
+            m.inc("bytes_saved", &self.url, stats.bytes_saved as u64);
+        }
         if stats.batches > 0 {
             m.inc("exec_batches", &self.url, stats.batches);
         }
@@ -1703,6 +1799,7 @@ impl DataAccessService {
         let mut homes = HashMap::new();
         let mut cols = HashMap::new();
         let mut versions = HashMap::new();
+        let mut row_counts = HashMap::new();
         let mut servers: Vec<String> = vec![self.url.clone()];
         let mut databases: Vec<String> = Vec::new();
         let now_us = self.clock.read().now().as_micros();
@@ -1749,6 +1846,17 @@ impl DataAccessService {
                 });
                 versions.insert(key.clone(), (version > 0).then_some(version));
                 cols.insert(key.clone(), dict.columns_of(&key).ok());
+                // Cardinality statistics: the replica's last measured live
+                // count (registration / refresh / WAL apply) supersedes
+                // the registration-time XSpec hint the resolver's `Home`
+                // still carries.
+                let live = self
+                    .mart_versions
+                    .read()
+                    .get(&key)
+                    .and_then(|per| per.get(&loc.database))
+                    .and_then(|r| r.row_count);
+                row_counts.insert(key.clone(), live);
                 homes.insert(key, Home::Local(loc));
                 continue;
             }
@@ -1770,14 +1878,12 @@ impl DataAccessService {
             }
             // For remote tables the recorded version is the highest one
             // any replica has published to the RLS — the global version
-            // state the cache validates against.
-            let version = rls
-                .freshness(&key)
-                .value
-                .iter()
-                .map(|(_, f)| f.version)
-                .max()
-                .unwrap_or(0);
+            // state the cache validates against. The freshest replica's
+            // published row count doubles as the planner's cardinality
+            // estimate for the remote branch.
+            let fresh = rls.freshness(&key).value;
+            let best = fresh.iter().map(|(_, f)| *f).max_by_key(|f| f.version);
+            let version = best.map(|f| f.version).unwrap_or(0);
             stats.versions.push(TableVersion {
                 table: key.clone(),
                 database: None,
@@ -1785,6 +1891,7 @@ impl DataAccessService {
             });
             versions.insert(key.clone(), (version > 0).then_some(version));
             cols.insert(key.clone(), None);
+            row_counts.insert(key.clone(), best.map(|f| f.rows).filter(|r| *r > 0));
             homes.insert(key, Home::Remote { server_url: url });
         }
         stats.servers = servers.len();
@@ -1797,6 +1904,7 @@ impl DataAccessService {
             homes,
             cols,
             versions,
+            row_counts,
         })
     }
 
@@ -2148,7 +2256,7 @@ impl DataAccessService {
     /// Partial degradation.
     fn exec_federated(
         &self,
-        tasks: Vec<decompose::TableTask>,
+        mut tasks: Vec<decompose::TableTask>,
         residual: &LogicalPlan,
         stats: &mut QueryStats,
         bd: &mut CostBreakdown,
@@ -2157,6 +2265,15 @@ impl DataAccessService {
     ) -> Result<ResultSet> {
         stats.distributed = true;
         stats.subqueries = tasks.len();
+
+        // With semi-join reduction disabled, every branch dispatches in
+        // wave 0 with no injected predicates — the full-scatter baseline.
+        if !self.distjoin.load(Ordering::Relaxed) {
+            for task in &mut tasks {
+                task.wave = 0;
+                task.reductions.clear();
+            }
+        }
 
         // Group tasks into branches: one per local database, one per
         // remote server. Connections are opened *inside* each branch so a
@@ -2214,6 +2331,31 @@ impl DataAccessService {
             specs.push(Spec::Remote { url, tasks });
         }
 
+        // Scatter order: the planner assigns waves per branch, so every
+        // task in a branch agrees (max is belt-and-braces). Wave-0
+        // branches dispatch immediately; a wave-N branch waits for waves
+        // < N so its semi-join reductions can be built from their
+        // partials. Full-scatter plans have a single wave and dispatch
+        // exactly as before.
+        let spec_wave: Vec<usize> = specs
+            .iter()
+            .map(|spec| match spec {
+                Spec::Local { tasks, .. } | Spec::Remote { tasks, .. } => {
+                    tasks.iter().map(|t| t.wave).max().unwrap_or(0)
+                }
+            })
+            .collect();
+        let max_wave = spec_wave.iter().copied().max().unwrap_or(0);
+        // Which branch fetches each table — where a reduction's key
+        // partial lands.
+        let mut table_spec: HashMap<String, usize> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let (Spec::Local { tasks, .. } | Spec::Remote { tasks, .. }) = spec;
+            for t in tasks {
+                table_spec.insert(normalize_ident(&t.table), i);
+            }
+        }
+
         // Scatter: each branch is supervised end-to-end by run_branch.
         let clock = self.clock();
         let run_spec = |spec: &Spec, label: &str| -> Result<BranchReport> {
@@ -2261,49 +2403,114 @@ impl DataAccessService {
         // they ran on the dispatching thread.
         let branch_cfg = gridfed_sqlkit::current_exec_config();
         let clock_offset = VirtualClock::thread_offset();
-        let outcomes: Vec<Result<BranchReport>> = match self.dispatch {
-            DispatchMode::Parallel => std::thread::scope(|scope| {
-                let handles: Vec<_> = specs
+        let mut outcomes: Vec<Option<Result<BranchReport>>> =
+            (0..specs.len()).map(|_| None).collect();
+        // `(table, full-scatter estimate)` of every task that actually had
+        // a reduction injected — the basis for the bytes_saved estimate.
+        let mut reduced_tasks: Vec<(String, Option<u64>)> = Vec::new();
+        for wave in 0..=max_wave {
+            let wave_idx: Vec<usize> = (0..specs.len()).filter(|i| spec_wave[*i] == wave).collect();
+            if wave_idx.is_empty() {
+                continue;
+            }
+            // Inject this wave's planned reductions from the partials
+            // earlier waves fetched. A reduction whose source is unclean
+            // (errored, dropped under Partial degradation, or missing the
+            // key column) is silently skipped: that one join degrades to
+            // full scatter, never a wrong answer. An applied predicate
+            // conjoins with whatever the planner already pushed down.
+            for &i in &wave_idx {
+                let (Spec::Local { tasks, .. } | Spec::Remote { tasks, .. }) = &mut specs[i];
+                for task in tasks.iter_mut() {
+                    let mut injected = false;
+                    for red in task.reductions.clone() {
+                        let Some(&src) = table_spec.get(&red.source_table) else {
+                            continue;
+                        };
+                        let partial = match outcomes[src].as_ref() {
+                            Some(Ok(report)) if report.events.dropped.is_none() => report
+                                .output
+                                .partials
+                                .iter()
+                                .find(|p| normalize_ident(&p.table) == red.source_table),
+                            _ => None,
+                        };
+                        let Some(partial) = partial else { continue };
+                        let Some(keys) = federate::reduction_keys(partial, &red.source_column)
+                        else {
+                            continue;
+                        };
+                        let pred = federate::reduction_predicate(&red.target_column, &keys);
+                        task.subquery.where_clause =
+                            Some(match task.subquery.where_clause.take() {
+                                Some(existing) => Expr::and(existing, pred),
+                                None => pred,
+                            });
+                        stats.reductions_shipped += 1;
+                        injected = true;
+                    }
+                    if injected {
+                        reduced_tasks.push((normalize_ident(&task.table), task.est_rows));
+                    }
+                }
+            }
+            let wave_outcomes: Vec<(usize, Result<BranchReport>)> = match self.dispatch {
+                DispatchMode::Parallel => std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave_idx
+                        .iter()
+                        .map(|&i| {
+                            let spec = &specs[i];
+                            let label = &labels[i];
+                            let cfg = branch_cfg.clone();
+                            let handle = scope.spawn(move || {
+                                VirtualClock::install_thread_offset(clock_offset);
+                                with_exec_config(cfg, || run_spec(spec, label))
+                            });
+                            (i, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| {
+                            // A panicking branch becomes an error naming
+                            // the branch instead of tearing down the
+                            // mediator.
+                            let outcome = h.join().unwrap_or_else(|payload| {
+                                Err(CoreError::BranchPanic {
+                                    branch: labels[i].clone(),
+                                    detail: panic_detail(payload.as_ref()),
+                                })
+                            });
+                            (i, outcome)
+                        })
+                        .collect()
+                }),
+                DispatchMode::Sequential => wave_idx
                     .iter()
-                    .zip(&labels)
-                    .map(|(spec, label)| {
-                        let cfg = branch_cfg.clone();
-                        scope.spawn(move || {
-                            VirtualClock::install_thread_offset(clock_offset);
-                            with_exec_config(cfg, || run_spec(spec, label))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .zip(&labels)
-                    .map(|(h, label)| {
-                        // A panicking branch becomes an error naming the
-                        // branch instead of tearing down the mediator.
-                        h.join().unwrap_or_else(|payload| {
-                            Err(CoreError::BranchPanic {
-                                branch: label.clone(),
-                                detail: panic_detail(payload.as_ref()),
-                            })
-                        })
-                    })
-                    .collect()
-            }),
-            DispatchMode::Sequential => specs
-                .iter()
-                .zip(&labels)
-                .map(|(spec, label)| run_spec(spec, label))
-                .collect(),
-        };
+                    .map(|&i| (i, run_spec(&specs[i], &labels[i])))
+                    .collect(),
+            };
+            for (i, outcome) in wave_outcomes {
+                outcomes[i] = Some(outcome);
+            }
+        }
 
-        // Gather: fold events, split each branch's time into useful work
-        // (exec, par-composed) vs supervision overhead (resilience = the
-        // extra critical-path time the slowest branch spent on backoff,
+        // Gather in the original (sorted) branch order, so the first
+        // error surfaced is the same one a full scatter would surface —
+        // wave scheduling must not change which failure the client sees.
+        // Fold events, split each branch's time into useful work (exec,
+        // par-composed) vs supervision overhead (resilience = the extra
+        // critical-path time the slowest branch spent on backoff,
         // penalties, and hedge waits).
         let mut partials = Vec::new();
-        let mut exec_costs = Vec::new();
-        let mut full_costs = Vec::new();
-        for (outcome, (spec, label)) in outcomes.into_iter().zip(specs.iter().zip(&labels)) {
+        let mut exec_by_wave: Vec<Vec<Cost>> = vec![Vec::new(); max_wave + 1];
+        let mut full_by_wave: Vec<Vec<Cost>> = vec![Vec::new(); max_wave + 1];
+        for (i, (outcome, (spec, label))) in outcomes
+            .into_iter()
+            .zip(specs.iter().zip(&labels))
+            .enumerate()
+        {
+            let outcome = outcome.expect("every branch belongs to exactly one wave");
             if let Spec::Remote { url, .. } = spec {
                 self.report_reachability(&outcome, url, stats, bd);
             }
@@ -2317,19 +2524,23 @@ impl DataAccessService {
             }
             bd.connect += report.output.connect_cost;
             bd.rls += report.output.rls_cost;
-            exec_costs.push(report.output.exec_cost);
-            full_costs.push(report.output.exec_cost + report.resilience_cost);
+            exec_by_wave[spec_wave[i]].push(report.output.exec_cost);
+            full_by_wave[spec_wave[i]].push(report.output.exec_cost + report.resilience_cost);
             partials.extend(report.output.partials);
         }
         match self.dispatch {
             DispatchMode::Parallel => {
-                let exec = Cost::par_all(exec_costs);
+                // Branches within a wave run concurrently; waves are
+                // barriers, so wave times add. A single-wave (full
+                // scatter) plan reduces to the old par_all composition.
+                let exec: Cost = exec_by_wave.into_iter().map(Cost::par_all).sum();
+                let full: Cost = full_by_wave.into_iter().map(Cost::par_all).sum();
                 bd.execute += exec;
-                bd.resilience += Cost::par_all(full_costs).saturating_sub(exec);
+                bd.resilience += full.saturating_sub(exec);
             }
             DispatchMode::Sequential => {
-                let exec: Cost = exec_costs.into_iter().sum();
-                let full: Cost = full_costs.into_iter().sum();
+                let exec: Cost = exec_by_wave.into_iter().flatten().sum();
+                let full: Cost = full_by_wave.into_iter().flatten().sum();
                 bd.execute += exec;
                 bd.resilience += full.saturating_sub(exec);
             }
@@ -2337,6 +2548,24 @@ impl DataAccessService {
 
         stats.rows_fetched = partials.iter().map(|p| p.rows.len()).sum();
         stats.bytes_fetched = partials.iter().map(Partial::wire_size).sum();
+        // Estimated bytes the reductions kept off the wire: what the
+        // full-scatter fetch of each reduced branch was estimated to cost
+        // (row estimate × observed row width) minus what it actually
+        // fetched. An estimate by construction — the un-reduced fetch
+        // never ran — and clamped at zero when the reduction lost.
+        for (table, est) in &reduced_tasks {
+            let Some(est) = est else { continue };
+            let (mut rows, mut bytes) = (0usize, 0usize);
+            for p in partials
+                .iter()
+                .filter(|p| &normalize_ident(&p.table) == table)
+            {
+                rows += p.rows.len();
+                bytes += p.wire_size();
+            }
+            let width = bytes.checked_div(rows).map_or(32, |w| w.max(1)) as u64;
+            stats.bytes_saved += (est.saturating_mul(width)).saturating_sub(bytes as u64) as usize;
+        }
         self.check_memory(stats.bytes_fetched)?;
         bd.integrate += self.params.per_row_merge.scale(stats.rows_fetched as f64);
         let (rs, metrics) = if probe.profile_nodes {
@@ -2554,6 +2783,17 @@ impl DataAccessService {
                 outcome.stats.rows_fetched,
                 outcome.stats.bytes_fetched
             ));
+            if outcome.stats.reductions_shipped > 0 {
+                // Estimated vs actual bytes moved under semi-join
+                // reduction: what full scatter was estimated to fetch vs
+                // what the reduced branches actually transferred.
+                text.push_str(&format!(
+                    "  reductions shipped: {}  (est bytes saved: {}, est full-scatter bytes: {})\n",
+                    outcome.stats.reductions_shipped,
+                    outcome.stats.bytes_saved,
+                    outcome.stats.bytes_fetched + outcome.stats.bytes_saved
+                ));
+            }
             text.push_str(&format!(
                 "  virtual time: {} (plan={} rls={} connect={} execute={} integrate={} serialize={} resilience={})\n",
                 bd.total(), bd.plan, bd.rls, bd.connect, bd.execute,
@@ -3354,6 +3594,10 @@ struct ResolvedTables {
     /// Data version of the chosen replica per logical table; `None` when
     /// the table has no version bookkeeping.
     versions: HashMap<String, Option<u64>>,
+    /// Live row count per logical table: the chosen replica's last
+    /// measured count for local tables, the RLS-published count for
+    /// remote ones. `None` when nothing has measured the table.
+    row_counts: HashMap<String, Option<u64>>,
 }
 
 impl TableResolver for ResolvedTables {
@@ -3370,6 +3614,10 @@ impl TableResolver for ResolvedTables {
 
     fn version_of(&self, logical: &str) -> Option<u64> {
         self.versions.get(logical).copied().flatten()
+    }
+
+    fn row_count_of(&self, logical: &str) -> Option<u64> {
+        self.row_counts.get(logical).copied().flatten()
     }
 }
 

@@ -28,6 +28,14 @@ pub struct QueryStats {
     pub bytes_fetched: usize,
     /// Rows in the final result.
     pub rows_returned: usize,
+    /// Estimated bytes of partial results the semi-join reductions kept
+    /// off the wire: per reduced branch, the full-scatter estimate (rows ×
+    /// observed row width) minus what was actually fetched. An estimate by
+    /// construction — the un-reduced fetch never ran.
+    pub bytes_saved: usize,
+    /// Semi-join reductions (IN-list or bloom) injected into dispatched
+    /// sub-queries. Zero for full-scatter plans.
+    pub reductions_shipped: usize,
     /// Fresh database connections opened for this query.
     pub connections_opened: usize,
     /// Pooled POOL-RAL handles reused.
@@ -130,6 +138,8 @@ impl QueryStats {
         self.hedges += remote.hedges;
         self.breaker_opens += remote.breaker_opens;
         self.breaker_rejections += remote.breaker_rejections;
+        self.bytes_saved += remote.bytes_saved;
+        self.reductions_shipped += remote.reductions_shipped;
         self.batches += remote.batches;
         self.rows_materialized += remote.rows_materialized;
         self.exec_workers = self.exec_workers.max(remote.exec_workers);
@@ -251,6 +261,8 @@ mod tests {
             queue_wait_us: 999,
             retries: 2,
             connections_opened: 1,
+            bytes_saved: 4096,
+            reductions_shipped: 2,
             ..QueryStats::default()
         };
         local.absorb_remote(&remote);
@@ -262,6 +274,8 @@ mod tests {
         assert_eq!(local.queue_wait_us, 250, "admission stays local");
         assert_eq!(local.retries, 2);
         assert_eq!(local.connections_opened, 1);
+        assert_eq!(local.bytes_saved, 4096, "reduction savings sum");
+        assert_eq!(local.reductions_shipped, 2, "reduction count sums");
     }
 
     #[test]

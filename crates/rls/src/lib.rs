@@ -51,6 +51,10 @@ pub struct TableFreshness {
     /// Warehouse WAL head LSN as of the replica's last poll; `head -
     /// applied` is the replica's LSN lag. Zero for non-replicated tables.
     pub head_lsn: u64,
+    /// Live row count of the replica at publication time (0 = unknown).
+    /// Remote mediators feed this into their distributed cost model to
+    /// size semi-join reductions without contacting the replica.
+    pub rows: u64,
 }
 
 /// The central RLS server.

@@ -389,6 +389,10 @@ pub enum ScalarFunc {
     Length,
     /// First non-NULL argument.
     Coalesce,
+    /// Semi-join reduction probe: `BLOOM_HAS(expr, 'hex')` is TRUE when
+    /// the expression's key may be in the hex-encoded bloom filter, FALSE
+    /// when it definitively is not (NULL for a NULL key).
+    BloomHas,
 }
 
 impl ScalarFunc {
@@ -401,6 +405,7 @@ impl ScalarFunc {
             "LOWER" => Some(ScalarFunc::Lower),
             "LENGTH" => Some(ScalarFunc::Length),
             "COALESCE" => Some(ScalarFunc::Coalesce),
+            "BLOOM_HAS" => Some(ScalarFunc::BloomHas),
             _ => None,
         }
     }
@@ -414,6 +419,7 @@ impl ScalarFunc {
             ScalarFunc::Lower => "LOWER",
             ScalarFunc::Length => "LENGTH",
             ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::BloomHas => "BLOOM_HAS",
         }
     }
 
@@ -422,6 +428,7 @@ impl ScalarFunc {
         match self {
             ScalarFunc::Round => 1..=2,
             ScalarFunc::Coalesce => 1..=8,
+            ScalarFunc::BloomHas => 2..=2,
             _ => 1..=1,
         }
     }

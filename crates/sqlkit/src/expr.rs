@@ -385,6 +385,15 @@ pub fn eval_scalar_func(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
                 other.render()
             ))),
         },
+        BloomHas => match vals.get(1) {
+            Some(Value::Text(hex)) => crate::bloom::probe_hex(hex, &vals[0])
+                .map(Value::Bool)
+                .map_err(SqlError::Eval),
+            other => Err(SqlError::Eval(format!(
+                "BLOOM_HAS requires a hex text payload, got {}",
+                other.map_or("nothing".to_string(), |v| v.render())
+            ))),
+        },
     }
 }
 

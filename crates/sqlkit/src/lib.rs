@@ -39,6 +39,9 @@
 //! - [`analyze`] — `EXPLAIN ANALYZE`: per-node execution profiles
 //!   (actual rows, loops, inclusive time) rendered next to the optimizer's
 //!   row estimates.
+//! - [`bloom`] — fixed-seed bloom filters for cross-database semi-join
+//!   reduction, hex-encoded into `BLOOM_HAS(col, '<hex>')` predicates so a
+//!   small join side can filter a big side at its source.
 //! - [`render`] — AST → SQL text, parameterized by a [`render::SqlStyle`] so
 //!   vendor crates can impose their dialect quirks.
 //! - [`result`] — [`ResultSet`], the "single 2-D vector" of the paper.
@@ -46,6 +49,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod batch;
+pub mod bloom;
 pub mod compile;
 pub mod error;
 pub mod exec;

@@ -54,8 +54,9 @@ impl Row {
         }
     }
 
-    /// Approximate serialized size in bytes (sum of value wire sizes), used
-    /// by the virtual-time transfer model.
+    /// Serialized size in bytes of the row's values (sum of exact value
+    /// wire sizes, excluding the row's own list framing), used by the
+    /// virtual-time transfer model.
     pub fn wire_size(&self) -> usize {
         self.values.iter().map(Value::wire_size).sum()
     }
@@ -125,6 +126,6 @@ mod tests {
     #[test]
     fn wire_size_sums_values() {
         let r = Row::new(vec![Value::Int(1), Value::Text("abcd".into())]);
-        assert_eq!(r.wire_size(), 8 + 8);
+        assert_eq!(r.wire_size(), 9 + 9);
     }
 }

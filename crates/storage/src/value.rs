@@ -170,17 +170,20 @@ impl Value {
         }
     }
 
-    /// Approximate serialized size of this value in bytes; used by the
-    /// virtual-time network model to cost transfers, matching how the paper
-    /// plots transfer time against payload kilobytes.
+    /// Exact serialized size of this value in the Clarens wire codec
+    /// (tag byte + payload; strings carry a 4-byte length prefix); used by
+    /// the virtual-time network model to cost transfers, matching how the
+    /// paper plots transfer time against payload kilobytes. Bytes cross
+    /// the wire rendered as a `0x…` hex string, so they cost 2 wire bytes
+    /// per payload byte plus the `0x` and string framing.
     pub fn wire_size(&self) -> usize {
         match self {
             Value::Null => 1,
-            Value::Int(_) => 8,
-            Value::Float(_) => 8,
-            Value::Text(s) => s.len() + 4,
-            Value::Bool(_) => 1,
-            Value::Bytes(b) => b.len() + 4,
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Text(s) => s.len() + 5,
+            Value::Bool(_) => 2,
+            Value::Bytes(b) => 2 * b.len() + 7,
         }
     }
 
@@ -370,10 +373,16 @@ mod tests {
     }
 
     #[test]
-    fn wire_size_tracks_payload() {
-        assert_eq!(Value::Int(0).wire_size(), 8);
-        assert_eq!(Value::Text("abcd".into()).wire_size(), 8);
+    fn wire_size_tracks_encoded_payload() {
+        // Tag byte + payload, matching the Clarens codec exactly.
+        assert_eq!(Value::Int(0).wire_size(), 9);
+        assert_eq!(Value::Float(1.5).wire_size(), 9);
+        assert_eq!(Value::Text("abcd".into()).wire_size(), 9);
         assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::Bool(true).wire_size(), 2);
+        // Bytes cross as the hex string "0xDEAD…": 2 chars per byte,
+        // plus "0x" and the 5-byte string framing.
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).wire_size(), 11);
     }
 
     #[test]
